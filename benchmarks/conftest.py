@@ -1,0 +1,23 @@
+"""Benchmark-suite configuration.
+
+Every benchmark reproduces one table or figure of the paper: it runs the
+corresponding experiment driver once (``benchmark.pedantic`` with a
+single round — the drivers are full simulations, not micro-kernels),
+prints the paper-shaped rows/series to stdout, and asserts the headline
+*shape* claims (who wins, monotonicity, orders of magnitude).
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+``-s`` shows the reproduced tables inline; without it they are captured.
+"""
+
+from __future__ import annotations
+
+
+def emit(text: str) -> None:
+    """Print a reproduced table/figure with surrounding whitespace."""
+    print()
+    print(text)
+    print()

@@ -1,0 +1,29 @@
+"""Benchmark: Figure 4 — the (avg L1 × avg QET) scatter of all systems.
+
+Shape claim: EP sits upper-left (exact, slow), OTM lower-right (instant,
+useless), NM top (exact, slowest), DP protocols bottom-middle —
+dominating OTM on accuracy and EP/NM on efficiency simultaneously.
+"""
+
+from conftest import emit
+
+from repro.experiments.figure4 import format_figure4, run_figure4
+
+N_STEPS = 200
+
+
+def test_figure4(benchmark):
+    points = benchmark.pedantic(
+        run_figure4, kwargs={"n_steps": N_STEPS}, rounds=1, iterations=1
+    )
+    emit(format_figure4(points))
+
+    for dataset in ("tpcds", "cpdb"):
+        l1 = {m: points[(dataset, m)][0] for m in ("dp-timer", "dp-ant", "otm", "ep", "nm")}
+        qet = {m: points[(dataset, m)][1] for m in ("dp-timer", "dp-ant", "otm", "ep", "nm")}
+
+        # The DP points lie strictly below NM and EP on the QET axis …
+        for dp in ("dp-timer", "dp-ant"):
+            assert qet[dp] < qet["ep"] < qet["nm"]
+            # … and strictly left of OTM on the L1 axis.
+            assert l1[dp] < l1["otm"]

@@ -1,0 +1,44 @@
+"""Benchmark: Figure 5 — the 3-way trade-off (ε sweep).
+
+Shape claims (Observations 3-4):
+
+* QET decreases as ε grows for both protocols (less noise → fewer
+  dummy tuples in the view → faster padded scans);
+* sDPTimer's L1 error trends downward in ε;
+* sDPANT's L1 is non-monotone (small ε triggers early/frequent updates).
+"""
+
+import pytest
+from conftest import emit
+
+from repro.experiments.figure5 import format_figure5, run_figure5
+
+EPSILONS = (0.01, 0.1, 1.0, 1.5, 10.0, 50.0)
+SEEDS = (0, 1)
+N_STEPS = 160
+
+
+@pytest.mark.parametrize("dataset", ["tpcds", "cpdb"])
+def test_figure5(benchmark, dataset):
+    results = benchmark.pedantic(
+        run_figure5,
+        kwargs={
+            "dataset": dataset,
+            "epsilons": EPSILONS,
+            "seeds": SEEDS,
+            "n_steps": N_STEPS,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    emit(format_figure5(dataset, results))
+
+    for mode in ("dp-timer", "dp-ant"):
+        qet = [results[mode][e][1] for e in EPSILONS]
+        # Efficiency improves from the most-private to the least-private
+        # end of the sweep (allowing local non-monotonicity in between).
+        assert qet[0] > qet[-1]
+
+    timer_l1 = [results["dp-timer"][e][0] for e in EPSILONS]
+    # Accuracy at high ε beats accuracy at extreme privacy for the timer.
+    assert timer_l1[-1] < timer_l1[0]

@@ -1,0 +1,49 @@
+"""Benchmark: Figure 6 — Sparse / Standard / Burst workloads.
+
+Shape claims (Observation 5): with both protocols configured for the
+*standard* rate, sDPTimer holds its accuracy better than sDPANT on
+Sparse data (its schedule is workload-independent), while sDPANT adapts
+better to Burst data; efficiency stays comparable across variants.
+"""
+
+import pytest
+from conftest import emit
+
+from repro.experiments.figure6 import format_figure6, run_figure6
+
+SEEDS = (0, 1, 2)
+N_STEPS = 160
+
+
+@pytest.mark.parametrize("dataset", ["tpcds", "cpdb"])
+def test_figure6(benchmark, dataset):
+    results = benchmark.pedantic(
+        run_figure6,
+        kwargs={"dataset": dataset, "seeds": SEEDS, "n_steps": N_STEPS},
+        rounds=1,
+        iterations=1,
+    )
+    emit(format_figure6(dataset, results))
+
+    timer = results["dp-timer"]
+    ant = results["dp-ant"]
+
+    # Density tracks error for the fixed-schedule timer: more data stuck
+    # in the cache between updates on denser workloads.
+    assert timer["burst"][0] > timer["standard"][0] > timer["sparse"][0]
+
+    # Efficiency stays comparable across variants for both protocols
+    # (the paper's Figures 6b/6d): same padded sizes, similar views.
+    for mode in ("dp-timer", "dp-ant"):
+        qets = [results[mode][v][1] for v in ("sparse", "standard", "burst")]
+        assert max(qets) < 8 * max(min(qets), 1e-9)
+
+    if dataset == "cpdb":
+        # The relative-advantage flip of Observation 5 shows on the
+        # high-rate, ω>1 workload: the timer's L1 penalty vs ANT is
+        # smaller on Sparse than on Burst.  (On TPC-ds the sparse errors
+        # are ≈1 row for both protocols — too small to order reliably;
+        # see EXPERIMENTS.md.)
+        timer_vs_ant_sparse = timer["sparse"][0] / max(ant["sparse"][0], 1e-9)
+        timer_vs_ant_burst = timer["burst"][0] / max(ant["burst"][0], 1e-9)
+        assert timer_vs_ant_sparse < timer_vs_ant_burst

@@ -1,0 +1,45 @@
+"""Benchmark: Figure 7 — T/θ sweep at three privacy levels.
+
+Shape claims (Observation 6): at ε = 0.1 the two protocols separate —
+sDPANT trades efficiency for accuracy, sDPTimer the reverse; by ε = 10
+their point clouds largely coincide.
+"""
+
+import pytest
+from conftest import emit
+
+from repro.experiments.figure7 import format_figure7, run_figure7
+
+T_VALUES = (1, 2, 5, 10, 20, 50)
+EPSILONS = (0.1, 1.0, 10.0)
+N_STEPS = 120
+
+
+@pytest.mark.parametrize("dataset", ["tpcds", "cpdb"])
+def test_figure7(benchmark, dataset):
+    results = benchmark.pedantic(
+        run_figure7,
+        kwargs={
+            "dataset": dataset,
+            "epsilons": EPSILONS,
+            "t_values": T_VALUES,
+            "n_steps": N_STEPS,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    emit(format_figure7(dataset, results))
+
+    def cloud_mean(eps, mode, idx):
+        points = results[eps][mode]
+        return sum(p[idx] for p in points) / len(points)
+
+    # The protocols' separation in (L1, QET) space shrinks as ε grows.
+    def separation(eps):
+        dl1 = abs(cloud_mean(eps, "dp-timer", 1) - cloud_mean(eps, "dp-ant", 1))
+        dqet = abs(cloud_mean(eps, "dp-timer", 2) - cloud_mean(eps, "dp-ant", 2))
+        scale_l1 = max(cloud_mean(eps, "dp-timer", 1), cloud_mean(eps, "dp-ant", 1), 1e-9)
+        scale_qet = max(cloud_mean(eps, "dp-timer", 2), cloud_mean(eps, "dp-ant", 2), 1e-9)
+        return dl1 / scale_l1 + dqet / scale_qet
+
+    assert separation(10.0) < separation(0.1)

@@ -1,0 +1,44 @@
+"""Benchmark: Figure 8 — truncation bound (ω) sweep on CPDB/Q2.
+
+Shape claims (Observations 7-8):
+
+* L1 error is largest at the smallest ω (genuine join pairs truncated)
+  and improves once ω covers the data's real multiplicity;
+* QET degrades as ω grows (more padded slots to scan);
+* Transform's execution time is flat in ω; Shrink's grows with ω.
+"""
+
+from conftest import emit
+
+from repro.experiments.figure8 import format_figure8, run_figure8
+
+OMEGAS = (2, 4, 8, 16, 32)
+SEEDS = (0,)
+N_STEPS = 120
+
+
+def test_figure8(benchmark):
+    results = benchmark.pedantic(
+        run_figure8,
+        kwargs={"omegas": OMEGAS, "seeds": SEEDS, "n_steps": N_STEPS},
+        rounds=1,
+        iterations=1,
+    )
+    emit(format_figure8("cpdb", results))
+
+    for mode in ("dp-timer", "dp-ant"):
+        per = results[mode]
+        l1 = [per[w][0] for w in OMEGAS]
+        qet = [per[w][1] for w in OMEGAS]
+        transform = [per[w][2] for w in OMEGAS]
+        shrink = [per[w][3] for w in OMEGAS]
+
+        # Truncation error dominates at ω=2 relative to a saturating ω.
+        assert l1[0] > l1[2]
+        # Padding cost: scanning the view is slower at ω=32 than ω=2.
+        assert qet[-1] > qet[0]
+        # Transform is flat in ω (its input is the upload window) while
+        # Shrink's oblivious sort grows with the ω-padded cache.
+        assert shrink[-1] > 3 * shrink[0]
+        spread = max(transform) / max(min(transform), 1e-12)
+        assert spread < 2.0

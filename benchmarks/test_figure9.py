@@ -1,0 +1,36 @@
+"""Benchmark: Figure 9 — scaling experiments (50% … 4×).
+
+Shape claim: total MPC time and total query time grow with the data
+scale for both DP protocols — superlinear but polynomial (sorting
+networks are n·log²n), demonstrating practical scalability rather than
+explosion.
+"""
+
+import pytest
+from conftest import emit
+
+from repro.experiments.figure9 import format_figure9, run_figure9
+
+SCALES = (0.5, 1.0, 2.0, 4.0)
+N_STEPS = 100
+
+
+@pytest.mark.parametrize("dataset", ["tpcds", "cpdb"])
+def test_figure9(benchmark, dataset):
+    results = benchmark.pedantic(
+        run_figure9,
+        kwargs={"dataset": dataset, "scales": SCALES, "n_steps": N_STEPS},
+        rounds=1,
+        iterations=1,
+    )
+    emit(format_figure9(dataset, results))
+
+    for mode in ("dp-timer", "dp-ant"):
+        mpc = [results[mode][s][0] for s in SCALES]
+        query = [results[mode][s][1] for s in SCALES]
+        # Monotone growth across the sweep's extremes.
+        assert mpc[-1] > mpc[0]
+        assert query[-1] > query[0]
+        # Growth from 0.5× to 4× (8× data) stays polynomial: under
+        # n² × polylog headroom.
+        assert mpc[-1] / mpc[0] < 64 * 16

@@ -1,0 +1,61 @@
+"""Micro-benchmarks of the MPC substrate operators.
+
+These measure *wall-clock* performance of the simulator itself (unlike
+the table/figure benches, whose interesting output is simulated
+seconds).  They are true multi-round pytest-benchmark measurements.
+"""
+
+import numpy as np
+import pytest
+
+from repro.common.rng import spawn
+from repro.mpc.runtime import MPCRuntime
+from repro.oblivious.filter import oblivious_count
+from repro.oblivious.sort import apply_network, network_comparator_count
+from repro.oblivious.sort_merge_join import truncated_sort_merge_join
+
+
+@pytest.mark.parametrize("n", [256, 1024, 4096])
+def test_bench_sort_network_application(benchmark, n):
+    keys = spawn(0, "bench", n).integers(0, 2**32, size=n).astype(np.uint64)
+    benchmark(apply_network, keys)
+    # Sanity: comparator count follows the expected n·log²n trend.
+    assert network_comparator_count(n) > n
+
+
+@pytest.mark.parametrize("n", [1_000, 10_000])
+def test_bench_oblivious_count_scan(benchmark, n):
+    rows = spawn(1, "bench", n).integers(0, 100, size=(n, 4)).astype(np.uint32)
+    flags = np.ones(n, dtype=bool)
+
+    def scan():
+        runtime = MPCRuntime(seed=0)
+        with runtime.protocol("q") as ctx:
+            return oblivious_count(ctx, rows, flags, None, 4)
+
+    assert benchmark(scan) == n
+
+
+@pytest.mark.parametrize("window", [64, 256])
+def test_bench_truncated_smj(benchmark, window):
+    gen = spawn(2, "bench", window)
+    probe = np.column_stack(
+        [gen.integers(1, 50, size=window), gen.integers(0, 10, size=window)]
+    ).astype(np.uint32)
+    driver = np.column_stack(
+        [gen.integers(1, 50, size=16), gen.integers(5, 15, size=16)]
+    ).astype(np.uint32)
+
+    def join():
+        runtime = MPCRuntime(seed=0)
+        with runtime.protocol("j") as ctx:
+            return truncated_sort_merge_join(
+                ctx,
+                probe, np.ones(window, dtype=bool), 0, np.full(window, 10),
+                driver, np.ones(16, dtype=bool), 0, np.full(16, 10),
+                2,
+                lambda p, d: 0 <= int(d[1]) - int(p[1]) <= 10,
+            )
+
+    result = benchmark(join)
+    assert len(result.rows) == 2 * 16

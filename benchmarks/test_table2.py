@@ -1,0 +1,47 @@
+"""Benchmark: Table 2 — end-to-end comparison of all five candidates.
+
+Paper values for orientation (our substrate is a smaller simulator; the
+orderings and order-of-magnitude gaps are what must reproduce):
+
+* DP protocols beat OTM on L1 by 50-126×; EP/NM are exact.
+* DP protocols beat NM on QET by 7.8e3-1.5e5×; EP beats NM by 26-1366×.
+* DP view sizes beat EP's by 113-304×.
+"""
+
+from conftest import emit
+
+from repro.experiments.table2 import format_table2, run_table2
+
+N_STEPS = 240
+
+
+def test_table2(benchmark):
+    results = benchmark.pedantic(
+        run_table2, kwargs={"n_steps": N_STEPS}, rounds=1, iterations=1
+    )
+    emit(format_table2(results))
+
+    for dataset in ("tpcds", "cpdb"):
+        get = lambda mode: results[(dataset, mode)].summary  # noqa: E731
+
+        # Accuracy: EP and NM exact; DP small; OTM worst.
+        assert get("ep").avg_l1_error == 0
+        assert get("nm").avg_l1_error == 0
+        for dp in ("dp-timer", "dp-ant"):
+            assert get(dp).avg_l1_error < get("otm").avg_l1_error / 5
+
+        # Efficiency: NM ≫ EP ≫ DP; OTM free.
+        assert get("nm").avg_qet_seconds > 10 * get("ep").avg_qet_seconds
+        for dp in ("dp-timer", "dp-ant"):
+            assert get("nm").avg_qet_seconds > 100 * get(dp).avg_qet_seconds
+            assert get("ep").avg_qet_seconds > get(dp).avg_qet_seconds
+        assert get("otm").avg_qet_seconds == 0
+
+        # View sizes: DP views much smaller than EP's padded view.
+        for dp in ("dp-timer", "dp-ant"):
+            assert get(dp).avg_view_size_mb < get("ep").avg_view_size_mb
+
+        # The realised privacy loss equals the configured ε = 1.5.
+        for dp in ("dp-timer", "dp-ant"):
+            eps = results[(dataset, dp)].realized_epsilon
+            assert abs(eps - 1.5) < 1e-6

@@ -1,0 +1,85 @@
+"""Section 8's multi-server extension: IncShrink beyond two servers.
+
+The prototype assumes two non-colluding servers; the paper sketches how
+the architecture generalises to N servers with (N, N) secret sharing,
+N-party protocols, and joint noise built from one contribution per
+server.  This example runs a miniature view-update round across a
+4-server group and demonstrates the two security properties that make
+the extension worthwhile:
+
+1. any coalition of up to N-1 servers sees only uniform noise;
+2. widening the server set does NOT add noise — the joint generator
+   still produces exactly one Lap(Δ/ε) instance.
+
+Run:  python examples/multi_server.py
+"""
+
+import numpy as np
+
+from repro.common.types import Schema
+from repro.mpc.multiparty import ServerGroup
+from repro.oblivious.sort import composite_key, oblivious_sort
+
+SCHEMA = Schema(("order_id", "day"))
+N_SERVERS = 4
+
+
+class _SortCostAdapter:
+    """Bridge the N-party context into the shared sorting helper."""
+
+    def __init__(self, ctx, cost_model):
+        self._ctx = ctx
+        self._model = cost_model
+
+    def charge_compare_exchanges(self, count, words):
+        self._ctx.charge_gates(count * self._model.compare_exchange_gates(words))
+
+
+def main() -> None:
+    group = ServerGroup(N_SERVERS, seed=3)
+    print(f"server group: {N_SERVERS} non-colluding servers, "
+          f"tolerates up to {N_SERVERS - 1} corruptions\n")
+
+    # --- owners upload an (N,N)-shared padded cache ----------------------
+    rows = np.asarray(
+        [[101, 1], [0, 0], [102, 1], [103, 2], [0, 0], [0, 0]], dtype=np.uint32
+    )
+    flags = np.asarray([1, 0, 1, 1, 0, 0], dtype=np.uint32)
+    cache = group.owner_share_table(SCHEMA, rows, flags)
+
+    # --- what a coalition of N-1 corrupted servers learns ----------------
+    coalition = list(range(N_SERVERS - 1))
+    view = group.corruption_view(cache.rows, corrupted=coalition)
+    print(f"coalition of servers {coalition} holding {N_SERVERS - 1}/{N_SERVERS} shares sees:")
+    print(f"  {view[:3].tolist()} ...  (uniform noise, real ids are 101-103)\n")
+
+    # --- one N-party Shrink round ----------------------------------------
+    with group.protocol("shrink-n", time=1) as ctx:
+        plain_rows, plain_flags = ctx.reveal_table(cache)
+        keys = composite_key(
+            np.where(plain_flags, 0, 1).astype(np.uint32),
+            np.arange(len(plain_rows), dtype=np.uint32),
+        )
+        adapter = _SortCostAdapter(ctx, group.cost_model)
+        _, [sorted_rows, sorted_flags] = oblivious_sort(
+            adapter, keys, [plain_rows, plain_flags.astype(np.uint32)], 3
+        )
+        noise = ctx.joint_laplace(sensitivity=1.0, epsilon=2.0)
+        size = max(0, round(int(plain_flags.sum()) + noise))
+        fetched = ctx.share_table(SCHEMA, sorted_rows[:size], sorted_flags[:size])
+        ctx.publish("view-update", size=size)
+        print(f"joint Lap(1/2.0) noise from {N_SERVERS} contributions: {noise:+.2f}")
+        print(f"DP-sized fetch: {size} of {len(plain_rows)} cached slots "
+              f"({ctx.seconds*1e3:.2f} ms simulated)\n")
+
+    # --- noise stays a single instance for any N --------------------------
+    print("noise std by group size (Lap(1) has std 1.414 regardless of N):")
+    for n in (2, 3, 6):
+        g = ServerGroup(n, seed=1)
+        with g.protocol("p") as ctx:
+            draws = [ctx.joint_laplace(1.0, 1.0) for _ in range(20_000)]
+        print(f"  N={n}: std = {np.std(draws):.3f}")
+
+
+if __name__ == "__main__":
+    main()

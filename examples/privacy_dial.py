@@ -1,0 +1,49 @@
+"""The 3-way trade-off as a user-facing dial.
+
+IncShrink's pitch is that ε is an *operational* knob: spend more privacy
+budget and both accuracy and efficiency improve; spend less and the
+system hides more while costing more.  This example turns the dial on
+one workload and prints the resulting (privacy, accuracy, efficiency)
+triples, plus the Theorem-4 deferred-data bound next to the worst
+deferral actually observed — the theory and the simulation side by side.
+
+Run:  python examples/privacy_dial.py
+"""
+
+from repro.dp.bounds import theorem4_deferred_bound
+from repro.experiments.harness import RunConfig, run_experiment
+
+
+def main() -> None:
+    print("sDPTimer on the TPC-ds stream, 160 days, one query per day\n")
+    header = (
+        f"{'epsilon':>8}  {'avg L1':>8}  {'avg QET (ms)':>12}  "
+        f"{'view rows':>9}  {'worst deferral':>14}  {'Thm-4 bound':>11}"
+    )
+    print(header)
+    print("-" * len(header))
+    for eps in (0.05, 0.5, 1.5, 5.0, 50.0):
+        res = run_experiment(
+            RunConfig(
+                dataset="tpcds", mode="dp-timer", epsilon=eps,
+                n_steps=160, seed=4,
+            )
+        )
+        updates = res.engine.policy.updates_done
+        bound = theorem4_deferred_bound(
+            eps, res.engine.view_def.budget, max(updates, 1), beta=0.05
+        )
+        s = res.summary
+        print(
+            f"{eps:>8}  {s.avg_l1_error:8.2f}  {s.avg_qet_seconds*1e3:12.3f}  "
+            f"{s.avg_view_size_rows:9.0f}  {s.max_deferred:>14}  {bound:11.1f}"
+        )
+    print()
+    print("More privacy (small epsilon) -> noisier cache reads -> more dummy")
+    print("rows in the view (slower queries) and more deferred data (larger")
+    print("errors). The observed worst deferral stays under the Theorem 4")
+    print("bound, which is what lets deployments pick a safe flush size.")
+
+
+if __name__ == "__main__":
+    main()

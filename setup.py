@@ -1,0 +1,12 @@
+"""Thin setuptools shim.
+
+The offline environment ships setuptools 65 without the ``wheel``
+package, so PEP 660 editable installs (which build an editable wheel)
+fail.  Keeping a setup.py and no ``[build-system]`` table lets
+``pip install -e .`` fall back to the legacy ``setup.py develop`` path,
+which works everywhere.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

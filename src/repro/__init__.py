@@ -1,0 +1,51 @@
+"""IncShrink reproduction (SIGMOD 2022).
+
+A view-based secure outsourced growing database built from incremental
+MPC (Transform-and-Shrink) and differential privacy, together with every
+substrate it needs — XOR secret sharing, a simulated gate-costed 2PC
+runtime, oblivious operators, DP mechanisms — and the paper's complete
+evaluation harness.
+
+Quick start::
+
+    from repro import EngineConfig, IncShrinkEngine
+    from repro.workload import make_tpcds_workload
+
+    wl = make_tpcds_workload(seed=1, n_steps=60)
+    engine = IncShrinkEngine(wl.view_def, EngineConfig(mode="dp-timer"))
+    for step in wl.steps:
+        engine.upload(step.time, step.probe, step.driver)
+        engine.process_step(step.time)
+        print(engine.query_count(step.time))
+"""
+
+from .common import MetricSummary, QueryObservation, RecordBatch, Schema
+from .core import (
+    EngineConfig,
+    IncShrinkEngine,
+    JoinViewDefinition,
+    SDPANT,
+    SDPTimer,
+)
+from .experiments.harness import RunConfig, RunResult, run_experiment
+from .mpc import CostModel, MPCRuntime
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MetricSummary",
+    "QueryObservation",
+    "RecordBatch",
+    "Schema",
+    "EngineConfig",
+    "IncShrinkEngine",
+    "JoinViewDefinition",
+    "SDPANT",
+    "SDPTimer",
+    "RunConfig",
+    "RunResult",
+    "run_experiment",
+    "CostModel",
+    "MPCRuntime",
+    "__version__",
+]

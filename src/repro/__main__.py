@@ -1,0 +1,112 @@
+"""Command-line entry point: reproduce any experiment from a terminal.
+
+Usage::
+
+    python -m repro table2
+    python -m repro figure5 --dataset cpdb --steps 160
+    python -m repro figure8 --steps 120
+    python -m repro run --dataset tpcds --mode dp-ant --epsilon 0.5
+
+``run`` executes a single deployment and prints its summary; the named
+experiments print the corresponding paper table/figure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .experiments import figure4, figure5, figure6, figure7, figure8, figure9, table2
+from .experiments.harness import RunConfig, run_experiment
+
+_BOTH_DATASET_EXPERIMENTS = {
+    "figure5": (figure5.run_figure5, figure5.format_figure5),
+    "figure6": (figure6.run_figure6, figure6.format_figure6),
+    "figure7": (figure7.run_figure7, figure7.format_figure7),
+    "figure9": (figure9.run_figure9, figure9.format_figure9),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="IncShrink (SIGMOD 2022) reproduction experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    t2 = sub.add_parser("table2", help="end-to-end comparison table")
+    t2.add_argument("--steps", type=int, default=240)
+    t2.add_argument("--seed", type=int, default=0)
+
+    f4 = sub.add_parser("figure4", help="L1 x QET scatter of all systems")
+    f4.add_argument("--steps", type=int, default=240)
+    f4.add_argument("--seed", type=int, default=0)
+
+    for name, help_text in (
+        ("figure5", "epsilon sweep (3-way trade-off)"),
+        ("figure6", "sparse/standard/burst workloads"),
+        ("figure7", "T/theta sweep at three privacy levels"),
+        ("figure9", "data-scale sweep"),
+    ):
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument("--dataset", choices=["tpcds", "cpdb"], default="tpcds")
+        p.add_argument("--steps", type=int, default=160)
+
+    f8 = sub.add_parser("figure8", help="truncation bound sweep (CPDB)")
+    f8.add_argument("--steps", type=int, default=160)
+
+    run = sub.add_parser("run", help="run one deployment and print its summary")
+    run.add_argument("--dataset", choices=["tpcds", "cpdb"], default="tpcds")
+    run.add_argument(
+        "--mode",
+        choices=["dp-timer", "dp-ant", "ep", "otm", "nm"],
+        default="dp-timer",
+    )
+    run.add_argument("--epsilon", type=float, default=1.5)
+    run.add_argument("--steps", type=int, default=120)
+    run.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.command == "table2":
+        print(table2.format_table2(table2.run_table2(n_steps=args.steps, seed=args.seed)))
+    elif args.command == "figure4":
+        print(
+            figure4.format_figure4(
+                figure4.run_figure4(n_steps=args.steps, seed=args.seed)
+            )
+        )
+    elif args.command == "figure8":
+        print(figure8.format_figure8("cpdb", figure8.run_figure8(n_steps=args.steps)))
+    elif args.command in _BOTH_DATASET_EXPERIMENTS:
+        run_fn, format_fn = _BOTH_DATASET_EXPERIMENTS[args.command]
+        print(format_fn(args.dataset, run_fn(args.dataset, n_steps=args.steps)))
+    elif args.command == "run":
+        result = run_experiment(
+            RunConfig(
+                dataset=args.dataset,
+                mode=args.mode,
+                epsilon=args.epsilon,
+                n_steps=args.steps,
+                seed=args.seed,
+            )
+        )
+        s = result.summary
+        print(f"dataset            : {args.dataset} ({result.view_rate:.2f} entries/step)")
+        print(f"mode               : {args.mode}")
+        print(f"avg L1 error       : {s.avg_l1_error:.3f}")
+        print(f"avg relative error : {s.avg_relative_error:.4f}")
+        print(f"avg QET            : {s.avg_qet_seconds:.6f} s (simulated)")
+        print(f"avg Transform      : {s.avg_transform_seconds:.4f} s")
+        print(f"avg Shrink         : {s.avg_shrink_seconds:.4f} s")
+        print(f"avg view size      : {s.avg_view_size_rows:.0f} rows / "
+              f"{s.avg_view_size_mb*1000:.1f} KB per server")
+        print(f"realized epsilon   : {result.realized_epsilon:.4f}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,52 @@
+"""Shared utilities: errors, RNG derivation, schemas/rows, clock, metrics."""
+
+from .clock import SimClock
+from .errors import (
+    ConfigurationError,
+    ContributionBudgetError,
+    PrivacyBudgetError,
+    ProtocolError,
+    ReproError,
+    SchemaError,
+    SecurityError,
+)
+from .metrics import (
+    MetricLog,
+    MetricSummary,
+    QueryObservation,
+    improvement,
+    l1_error,
+    relative_error,
+)
+from .rng import RING_BITS, RING_MOD, msb, random_ring_elements, spawn, uniform_unit_from_u32
+from .types import DUMMY_VALUE, RecordBatch, Schema, Update, as_rows, multiset, rows_to_tuples
+
+__all__ = [
+    "SimClock",
+    "ConfigurationError",
+    "ContributionBudgetError",
+    "PrivacyBudgetError",
+    "ProtocolError",
+    "ReproError",
+    "SchemaError",
+    "SecurityError",
+    "MetricLog",
+    "MetricSummary",
+    "QueryObservation",
+    "improvement",
+    "l1_error",
+    "relative_error",
+    "RING_BITS",
+    "RING_MOD",
+    "msb",
+    "random_ring_elements",
+    "spawn",
+    "uniform_unit_from_u32",
+    "DUMMY_VALUE",
+    "RecordBatch",
+    "Schema",
+    "Update",
+    "as_rows",
+    "multiset",
+    "rows_to_tuples",
+]

@@ -1,0 +1,43 @@
+"""Exception hierarchy for the IncShrink reproduction.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class.  Security-relevant violations (e.g. recovering secret
+shares outside an MPC protocol scope) raise :class:`SecurityError` — these
+indicate a bug in calling code, never a recoverable condition.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by :mod:`repro`."""
+
+
+class SecurityError(ReproError):
+    """A simulated security boundary was violated.
+
+    Raised when code attempts an operation the real system's threat model
+    forbids: recovering a secret outside a protocol scope, one server
+    reading the other server's share store, or tampering with jointly
+    generated randomness.
+    """
+
+
+class PrivacyBudgetError(ReproError):
+    """A differential-privacy budget was overdrawn or mis-specified."""
+
+
+class ContributionBudgetError(ReproError):
+    """A record's lifetime contribution budget (``b``) was violated."""
+
+
+class SchemaError(ReproError):
+    """A row does not match the table schema it was used with."""
+
+
+class ProtocolError(ReproError):
+    """A secure protocol was invoked with inconsistent state or inputs."""
+
+
+class ConfigurationError(ReproError):
+    """An experiment or engine configuration is invalid."""

@@ -1,0 +1,126 @@
+"""Accuracy and efficiency metrics (Section 4.1 of the paper).
+
+* **L1 query error** ``L_qt = || q̃_t(V_t) - q_t(D_t) ||_1`` — absolute
+  difference between the view-based answer and the logical ground truth.
+* **Relative error** — L1 error divided by the logical answer (the paper
+  reports OTM's relative error as exactly 1 because its answer is 0).
+* **Query execution time (QET)** — simulated seconds to run the rewritten
+  query over the materialized view, from the MPC cost model.
+
+A :class:`MetricLog` accumulates per-step observations; a
+:class:`MetricSummary` aggregates them into the quantities Table 2 and the
+figures report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import mean
+from typing import Sequence
+
+
+def l1_error(view_answer: float, logical_answer: float) -> float:
+    """Absolute (L1) difference between view-based and logical answers."""
+    return abs(float(view_answer) - float(logical_answer))
+
+
+def relative_error(view_answer: float, logical_answer: float) -> float:
+    """L1 error normalised by the logical answer.
+
+    When the logical answer is 0 the error is defined as 0 if the view also
+    answers 0 and 1 otherwise, matching the convention needed for the
+    paper's "OTM relative error = 1" row.
+    """
+    err = l1_error(view_answer, logical_answer)
+    if logical_answer == 0:
+        return 0.0 if err == 0 else 1.0
+    return err / abs(float(logical_answer))
+
+
+@dataclass
+class QueryObservation:
+    """One issued query: answers, error, and simulated execution time."""
+
+    time: int
+    logical_answer: float
+    view_answer: float
+    qet_seconds: float
+
+    @property
+    def l1(self) -> float:
+        return l1_error(self.view_answer, self.logical_answer)
+
+    @property
+    def relative(self) -> float:
+        return relative_error(self.view_answer, self.logical_answer)
+
+
+@dataclass
+class MetricLog:
+    """Per-run accumulator for all reported quantities."""
+
+    queries: list[QueryObservation] = field(default_factory=list)
+    transform_seconds: list[float] = field(default_factory=list)
+    shrink_seconds: list[float] = field(default_factory=list)
+    view_size_rows: list[int] = field(default_factory=list)
+    view_size_bytes: list[int] = field(default_factory=list)
+    cache_size_rows: list[int] = field(default_factory=list)
+    deferred_counts: list[int] = field(default_factory=list)
+
+    def record_query(self, obs: QueryObservation) -> None:
+        self.queries.append(obs)
+
+    def summary(self) -> "MetricSummary":
+        return MetricSummary.from_log(self)
+
+
+def _mean(xs: Sequence[float]) -> float:
+    return float(mean(xs)) if xs else 0.0
+
+
+@dataclass(frozen=True)
+class MetricSummary:
+    """Aggregates in the shape of Table 2's rows."""
+
+    avg_l1_error: float
+    avg_relative_error: float
+    avg_qet_seconds: float
+    total_qet_seconds: float
+    avg_transform_seconds: float
+    avg_shrink_seconds: float
+    total_mpc_seconds: float
+    avg_view_size_rows: float
+    avg_view_size_mb: float
+    max_deferred: int
+    query_count: int
+
+    @classmethod
+    def from_log(cls, log: MetricLog) -> "MetricSummary":
+        qets = [q.qet_seconds for q in log.queries]
+        return cls(
+            avg_l1_error=_mean([q.l1 for q in log.queries]),
+            avg_relative_error=_mean([q.relative for q in log.queries]),
+            avg_qet_seconds=_mean(qets),
+            total_qet_seconds=float(sum(qets)),
+            avg_transform_seconds=_mean(log.transform_seconds),
+            avg_shrink_seconds=_mean(log.shrink_seconds),
+            total_mpc_seconds=float(
+                sum(log.transform_seconds) + sum(log.shrink_seconds)
+            ),
+            avg_view_size_rows=_mean([float(v) for v in log.view_size_rows]),
+            avg_view_size_mb=_mean([v / 1e6 for v in log.view_size_bytes]),
+            max_deferred=max(log.deferred_counts, default=0),
+            query_count=len(log.queries),
+        )
+
+
+def improvement(baseline: float, candidate: float) -> float:
+    """How many times better ``candidate`` is than ``baseline``.
+
+    Used for the "Imp." rows of Table 2 (e.g. NM QET / DP QET).  Returns
+    ``inf`` when the candidate cost is 0 and the baseline is positive, and
+    1.0 when both are 0.
+    """
+    if candidate == 0:
+        return float("inf") if baseline > 0 else 1.0
+    return baseline / candidate

@@ -1,0 +1,61 @@
+"""Deterministic randomness utilities.
+
+Every stochastic component in the library (owner data streams, each MPC
+server's local randomness, DP noise seeds) draws from an independently
+seeded :class:`numpy.random.Generator` derived from a single experiment
+seed.  This keeps whole-simulation runs reproducible while still modelling
+*independent* randomness per principal, which the security arguments
+require (e.g. joint noise generation assumes each server samples its
+contribution independently).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Modulus of the secret-sharing ring Z_{2^32} used throughout the paper.
+RING_BITS = 32
+RING_MOD = 1 << RING_BITS
+
+
+def spawn(seed: int, *path: object) -> np.random.Generator:
+    """Derive an independent generator from ``seed`` and a label path.
+
+    ``spawn(7, "server", 0)`` and ``spawn(7, "server", 1)`` return
+    generators with statistically independent streams, stable across runs.
+    """
+    material = [seed] + [_label_to_int(p) for p in path]
+    return np.random.Generator(np.random.PCG64(np.random.SeedSequence(material)))
+
+
+def _label_to_int(label: object) -> int:
+    if isinstance(label, (int, np.integer)):
+        return int(label) & 0xFFFFFFFF
+    # Stable, platform-independent hash of the string form.
+    acc = 2166136261
+    for ch in str(label).encode("utf8"):
+        acc = ((acc ^ ch) * 16777619) & 0xFFFFFFFF
+    return acc
+
+
+def random_ring_elements(gen: np.random.Generator, n: int) -> np.ndarray:
+    """Sample ``n`` uniform elements of Z_{2^32} as ``uint32``."""
+    return gen.integers(0, RING_MOD, size=n, dtype=np.uint32)
+
+
+def uniform_unit_from_u32(z: np.ndarray | int) -> np.ndarray | float:
+    """Map 32-bit integers to the open unit interval (0, 1).
+
+    This is the fixed-point conversion used by the joint noise protocol
+    (Algorithm 2, line 5): ``r = (z + 0.5) / 2^32`` is never exactly 0 or
+    1, so ``log(r)`` is always finite.
+    """
+    return (np.asarray(z, dtype=np.float64) + 0.5) / RING_MOD
+
+
+def msb(z: np.ndarray | int) -> np.ndarray | int:
+    """Most-significant bit of a 32-bit value (0 or 1).
+
+    Used as the sign bit when converting a uniform seed to Laplace noise.
+    """
+    return (np.asarray(z, dtype=np.uint64) >> np.uint64(RING_BITS - 1)) & np.uint64(1)

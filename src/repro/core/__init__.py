@@ -1,0 +1,44 @@
+"""IncShrink core: view definitions, Transform, Shrink protocols, engine."""
+
+from .baselines import ExhaustivePaddingSync, OneTimeMaterialization
+from .budget import ContributionLedger
+from .counter import SharedCounter
+from .dpsync import (
+    DPAboveThresholdOwnerSync,
+    DPTimerOwnerSync,
+    EveryStepSync,
+    SyncingOwner,
+)
+from .engine import MODES, EngineConfig, IncShrinkEngine, StepReport
+from .flush import CacheFlusher, FlushReport
+from .multilevel import MultiLevelIncShrink, SelectionStage, plan_two_level_budget
+from .shrink_ant import SDPANT
+from .shrink_timer import SDPTimer, ShrinkReport
+from .transform import TransformProtocol, TransformReport
+from .view_def import JoinViewDefinition
+
+__all__ = [
+    "ExhaustivePaddingSync",
+    "OneTimeMaterialization",
+    "ContributionLedger",
+    "SharedCounter",
+    "DPAboveThresholdOwnerSync",
+    "DPTimerOwnerSync",
+    "EveryStepSync",
+    "SyncingOwner",
+    "MODES",
+    "EngineConfig",
+    "IncShrinkEngine",
+    "StepReport",
+    "CacheFlusher",
+    "FlushReport",
+    "MultiLevelIncShrink",
+    "SelectionStage",
+    "plan_two_level_budget",
+    "SDPANT",
+    "SDPTimer",
+    "ShrinkReport",
+    "TransformProtocol",
+    "TransformReport",
+    "JoinViewDefinition",
+]

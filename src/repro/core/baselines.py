@@ -1,0 +1,73 @@
+"""Naïve view-update baselines the paper evaluates against (Section 7).
+
+* **EP (exhaustive padding)** — every Transform output is synchronised to
+  the view immediately, dummies and all.  Perfectly accurate (given a
+  sufficient ω) and leakage-free — the view's growth is a public function
+  of batch sizes — but the view bloats with Θ(ω·|batch|) rows per step,
+  so every query pays for mostly-dummy scans.
+
+* **OTM (one-time materialization)** — the view is materialized at setup
+  and never updated.  Maximal efficiency (scans stay tiny), no update
+  leakage, but every post-setup record is missing: relative error is 1.
+
+NM (non-materialization) is the third baseline; it has no view-update
+policy at all — queries recompute the join from the outsourced stores —
+so it lives in the query executor, not here.
+"""
+
+from __future__ import annotations
+
+from ..mpc.runtime import MPCRuntime
+from ..storage.materialized_view import MaterializedView
+from ..storage.secure_cache import SecureCache
+from .counter import SharedCounter
+from .shrink_timer import ShrinkReport
+
+
+class ExhaustivePaddingSync:
+    """EP: move the entire padded cache into the view at every step."""
+
+    name = "ep"
+
+    def __init__(self, runtime: MPCRuntime, counter: SharedCounter) -> None:
+        self.runtime = runtime
+        self.counter = counter
+        self.updates_done = 0
+
+    def step(
+        self, time: int, cache: SecureCache, view: MaterializedView
+    ) -> ShrinkReport | None:
+        size = len(cache)
+        with self.runtime.protocol("shrink-ep", time) as ctx:
+            # No shrinking: the whole (exhaustively padded) cache is
+            # appended, so no oblivious sort is needed — one linear copy.
+            rows, flags = ctx.reveal_table(cache.table)
+            ctx.charge_scan(size, cache.schema.width + 1)
+            fetched_real = int(flags.sum())
+            view.append(ctx.share_table(cache.schema, rows, flags))
+            cache.table = cache.table.take(slice(0, 0))
+            self.counter.reset(ctx)
+            ctx.publish("view-update", size=size)
+            seconds = ctx.seconds
+        self.updates_done += 1
+        return ShrinkReport(
+            time=time,
+            seconds=seconds,
+            released_size=size,
+            fetched_real=fetched_real,
+            deferred_real=0,
+        )
+
+
+class OneTimeMaterialization:
+    """OTM: materialize once (at setup, i.e. empty) and never update."""
+
+    name = "otm"
+
+    def __init__(self) -> None:
+        self.updates_done = 0
+
+    def step(
+        self, time: int, cache: SecureCache, view: MaterializedView
+    ) -> ShrinkReport | None:
+        return None

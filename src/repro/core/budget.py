@@ -1,0 +1,125 @@
+"""Contribution-budget ledger (paper KI-3 and Section 5.1).
+
+Two invariants implement the paper's bounded-stability design:
+
+* **Invocation budget** — a record (batch) may participate as Transform
+  input at most ``b // ω`` times; every participation consumes ω
+  regardless of whether real join entries were produced.  Tracked at
+  batch granularity in :class:`~repro.storage.outsourced_table.OutsourcedTable`
+  (consumption is uniform per invocation, so batch-level tracking is
+  exact) and re-validated here.
+* **Emission cap** — a record contributes at most ω output rows per
+  invocation and at most ``b`` rows over its lifetime (Eq. 3 plus
+  Theorem 3's finite-contribution requirement).
+
+The ledger also exports a per-record contribution map in the form
+Theorem 3 wants, so the privacy accountant can compute the realised
+end-to-end ε.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..common.errors import ContributionBudgetError
+
+
+@dataclass
+class _RecordGroup:
+    """Budget state for the rows of one uploaded batch."""
+
+    n_rows: int
+    emitted: np.ndarray
+    invocations: list[int] = field(default_factory=list)  # times of participation
+
+
+class ContributionLedger:
+    """Tracks per-record lifetime contributions for one view definition."""
+
+    def __init__(self, omega: int, budget: int) -> None:
+        if omega <= 0 or budget < omega:
+            raise ContributionBudgetError(
+                f"need 0 < omega <= budget, got omega={omega}, budget={budget}"
+            )
+        self.omega = omega
+        self.budget = budget
+        self._groups: dict[tuple[str, int], _RecordGroup] = {}
+
+    # -- registration ----------------------------------------------------
+    def register_batch(self, table: str, time: int, n_rows: int) -> None:
+        key = (table, time)
+        if key in self._groups:
+            raise ContributionBudgetError(f"batch {key} already registered")
+        self._groups[key] = _RecordGroup(n_rows, np.zeros(n_rows, dtype=np.int64))
+
+    # -- per-invocation flow ------------------------------------------------
+    def remaining_uses(self, table: str, time: int) -> int:
+        group = self._group(table, time)
+        return self.budget // self.omega - len(group.invocations)
+
+    def charge_invocation(self, table: str, time: int, at_time: int) -> None:
+        group = self._group(table, time)
+        if self.remaining_uses(table, time) <= 0:
+            raise ContributionBudgetError(
+                f"batch ({table!r}, t={time}) has no remaining contribution "
+                f"budget (b={self.budget}, omega={self.omega})"
+            )
+        group.invocations.append(at_time)
+
+    def caps(self, table: str, time: int) -> np.ndarray:
+        """Remaining lifetime emission allowance per row of a batch."""
+        group = self._group(table, time)
+        return np.maximum(self.budget - group.emitted, 0)
+
+    def record_emissions(self, table: str, time: int, counts: np.ndarray) -> None:
+        group = self._group(table, time)
+        counts = np.asarray(counts, dtype=np.int64)
+        if counts.shape != group.emitted.shape:
+            raise ContributionBudgetError(
+                f"emission count shape {counts.shape} != batch rows "
+                f"{group.emitted.shape}"
+            )
+        if (counts > self.omega).any():
+            raise ContributionBudgetError(
+                f"a record emitted more than omega={self.omega} rows in one "
+                "invocation"
+            )
+        new_totals = group.emitted + counts
+        if (new_totals > self.budget).any():
+            raise ContributionBudgetError(
+                f"a record exceeded its lifetime budget b={self.budget}"
+            )
+        group.emitted = new_totals
+
+    # -- accounting exports --------------------------------------------------
+    def max_lifetime_emissions(self) -> int:
+        """Largest realised lifetime contribution of any record."""
+        totals = [int(g.emitted.max()) for g in self._groups.values() if g.n_rows]
+        return max(totals, default=0)
+
+    def theorem3_contributions(
+        self, per_release_epsilon: float
+    ) -> dict[tuple[str, int, int], list[tuple[float, float]]]:
+        """Contribution map for :func:`repro.dp.accountant.theorem3_epsilon`.
+
+        Each record ``u`` maps to one ``(q_i, ε_i)`` pair per Transform
+        invocation it participated in, with ``q_i = ω`` (the stability of
+        the truncated transformation) and ``ε_i = per_release_epsilon``
+        (the DP cost of the release covering that invocation's window).
+        """
+        out: dict[tuple[str, int, int], list[tuple[float, float]]] = {}
+        for (table, time), group in self._groups.items():
+            pairs = [(float(self.omega), per_release_epsilon)] * len(group.invocations)
+            for row in range(group.n_rows):
+                out[(table, time, row)] = pairs
+        return out
+
+    def _group(self, table: str, time: int) -> _RecordGroup:
+        try:
+            return self._groups[(table, time)]
+        except KeyError:
+            raise ContributionBudgetError(
+                f"batch ({table!r}, t={time}) was never registered"
+            ) from None

@@ -1,0 +1,51 @@
+"""The secret-shared cardinality counter c (Algorithm 1, lines 1-2, 4-6).
+
+Transform counts how many *real* view entries it has cached since the
+last view update; Shrink adds DP noise to this count to size its cache
+read.  The counter must round-trip between the two independent protocols
+without either server learning it, so it lives as an XOR-shared ring
+element that is recovered, modified, and re-shared **inside** protocol
+scopes only.
+
+Re-sharing uses fresh randomness contributed by both servers (Section
+5.1, "Secret-sharing inside MPC") so that a server comparing the stored
+shares across rounds learns nothing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..mpc.runtime import ProtocolContext
+from ..sharing.shared_value import SharedArray
+
+
+class SharedCounter:
+    """An XOR-shared non-negative integer with in-protocol access only."""
+
+    def __init__(self) -> None:
+        # Initialised to 0 with a trivial-but-valid sharing; the first
+        # protocol touch re-shares it with joint randomness.
+        self._shares = SharedArray(
+            np.zeros(1, dtype=np.uint32), np.zeros(1, dtype=np.uint32)
+        )
+
+    def read(self, ctx: ProtocolContext) -> int:
+        """Recover the counter inside a protocol scope."""
+        return int(ctx.reveal(self._shares)[0])
+
+    def add(self, ctx: ProtocolContext, delta: int) -> int:
+        """Recover, add ``delta``, re-share with fresh randomness.
+
+        Returns the new plaintext value (still protocol-internal).
+        Charges the counter-update circuit to the cost model.
+        """
+        value = (self.read(ctx) + int(delta)) % (1 << 32)
+        self._shares = ctx.share_array(np.asarray([value], dtype=np.uint32))
+        ctx.charge_counter_update()
+        return value
+
+    def reset(self, ctx: ProtocolContext) -> None:
+        """Set the counter back to 0 and re-share (Algorithm 2, line 9)."""
+        self._shares = ctx.share_array(np.zeros(1, dtype=np.uint32))
+        ctx.charge_counter_update()

@@ -1,0 +1,167 @@
+"""Connecting IncShrink with DP-Sync owner-side strategies (Section 8).
+
+The prototype assumes owners upload fixed-size padded batches at fixed
+intervals.  DP-Sync [83] instead lets owners *privately time* their
+uploads so that even the record-arrival pattern is protected before data
+reaches the servers.  IncShrink composes with any such strategy: if the
+owner strategy is ε₁-DP and IncShrink is deployed at ε₂, total leakage is
+(ε₁+ε₂)-DP (sequential composition), and an (α, β)-accurate strategy
+yields the composed error bounds of Theorem 17.
+
+Implemented strategies:
+
+* :class:`EveryStepSync` — the prototype default: everything uploads
+  immediately (α = 0, ε₁ = 0 — padding alone hides counts).
+* :class:`DPTimerOwnerSync` — DP-Sync's timer strategy: every ``T``
+  steps, release ``pending + Lap(1/ε)`` records (clamped).
+* :class:`DPAboveThresholdOwnerSync` — DP-Sync's SVT strategy, reusing
+  :class:`~repro.dp.svt.NumericAboveNoisyThreshold`.
+
+All strategies hold back undisclosed records in a FIFO pending queue; the
+*logical gap* (Definition 15) is the queue length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..common.errors import ConfigurationError
+from ..common.types import RecordBatch, Schema
+from ..dp.laplace import laplace_noise
+from ..dp.svt import LocalNoiseSource, NumericAboveNoisyThreshold
+
+
+@dataclass
+class SyncDecision:
+    """What the owner uploads this step and what stays pending."""
+
+    released: np.ndarray
+    logical_gap: int
+
+
+class _PendingQueue:
+    def __init__(self, schema: Schema) -> None:
+        self.schema = schema
+        self._rows: list[np.ndarray] = []
+
+    def push(self, rows: np.ndarray) -> None:
+        for r in np.asarray(rows, dtype=np.uint32).reshape(-1, self.schema.width):
+            self._rows.append(r)
+
+    def pop(self, n: int) -> np.ndarray:
+        n = max(0, min(n, len(self._rows)))
+        taken, self._rows = self._rows[:n], self._rows[n:]
+        if not taken:
+            return self.schema.empty_rows(0)
+        return np.vstack(taken)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+
+class EveryStepSync:
+    """Upload every pending record immediately (the prototype default)."""
+
+    epsilon = 0.0
+
+    def __init__(self, schema: Schema) -> None:
+        self._queue = _PendingQueue(schema)
+
+    def step(self, time: int, new_rows: np.ndarray) -> SyncDecision:
+        self._queue.push(new_rows)
+        released = self._queue.pop(len(self._queue))
+        return SyncDecision(released, logical_gap=0)
+
+
+class DPTimerOwnerSync:
+    """DP-Sync timer strategy: noisy-count releases every ``interval``."""
+
+    def __init__(
+        self,
+        schema: Schema,
+        epsilon: float,
+        interval: int,
+        gen: np.random.Generator,
+    ) -> None:
+        if epsilon <= 0 or interval <= 0:
+            raise ConfigurationError("epsilon and interval must be positive")
+        self.epsilon = epsilon
+        self.interval = interval
+        self._gen = gen
+        self._queue = _PendingQueue(schema)
+        self._since_release = 0
+
+    def step(self, time: int, new_rows: np.ndarray) -> SyncDecision:
+        self._queue.push(new_rows)
+        self._since_release += len(new_rows)
+        released = self._queue.schema.empty_rows(0)
+        if time % self.interval == 0:
+            noisy = self._since_release + laplace_noise(self._gen, 1.0 / self.epsilon)
+            released = self._queue.pop(max(0, round(noisy)))
+            self._since_release = 0
+        return SyncDecision(released, logical_gap=len(self._queue))
+
+
+class DPAboveThresholdOwnerSync:
+    """DP-Sync SVT strategy: release when pending count crosses θ̃."""
+
+    def __init__(
+        self,
+        schema: Schema,
+        epsilon: float,
+        threshold: float,
+        gen: np.random.Generator,
+    ) -> None:
+        if epsilon <= 0:
+            raise ConfigurationError("epsilon must be positive")
+        self.epsilon = epsilon
+        self.threshold = threshold
+        self._noise = LocalNoiseSource(gen)
+        self._queue = _PendingQueue(schema)
+        self._pending_count = 0
+        self._svt = NumericAboveNoisyThreshold(epsilon, 1.0, threshold, self._noise)
+
+    def step(self, time: int, new_rows: np.ndarray) -> SyncDecision:
+        self._queue.push(new_rows)
+        self._pending_count += len(new_rows)
+        released = self._queue.schema.empty_rows(0)
+        out = self._svt.observe(self._pending_count)
+        if out is not None:
+            released = self._queue.pop(max(0, round(out)))
+            self._pending_count = 0
+            self._svt = NumericAboveNoisyThreshold(
+                self.epsilon, 1.0, self.threshold, self._noise
+            )
+        return SyncDecision(released, logical_gap=len(self._queue))
+
+
+class SyncingOwner:
+    """An owner device running a record-synchronisation strategy.
+
+    Feeds arriving records through the strategy and emits the fixed-size
+    padded batch the underlying database expects.  Overflow beyond the
+    batch capacity stays pending (counted in the logical gap).
+    """
+
+    def __init__(self, schema: Schema, strategy, batch_capacity: int) -> None:
+        if batch_capacity <= 0:
+            raise ConfigurationError("batch capacity must be positive")
+        self.schema = schema
+        self.strategy = strategy
+        self.batch_capacity = batch_capacity
+        self._overflow = _PendingQueue(schema)
+        self.gap_history: list[int] = []
+
+    def step(self, time: int, new_rows: np.ndarray) -> RecordBatch:
+        decision = self.strategy.step(time, new_rows)
+        self._overflow.push(decision.released)
+        upload = self._overflow.pop(self.batch_capacity)
+        gap = decision.logical_gap + len(self._overflow)
+        self.gap_history.append(gap)
+        return RecordBatch(self.schema, upload).padded_to(self.batch_capacity)
+
+    @property
+    def max_gap(self) -> int:
+        return max(self.gap_history, default=0)

@@ -1,0 +1,245 @@
+"""The IncShrink engine: the full workflow of Figure 1.
+
+One engine instance wires together, for a single view definition:
+
+* owner-side upload of padded, secret-shared batches (plus the plaintext
+  logical mirror used exclusively for ground-truth scoring);
+* the Transform protocol feeding the secure cache;
+* a view-update policy — sDPTimer, sDPANT, EP, or OTM — moving data from
+  the cache to the materialized view;
+* the periodic cache flush (DP modes);
+* view-based COUNT query answering, with the NM (non-materialization)
+  mode recomputing the join from the outsourced stores instead;
+* metric and privacy-accounting ledgers.
+
+The simulation loop itself (workload streaming, per-step queries) lives
+in :mod:`repro.experiments.harness`; the engine only exposes the three
+verbs ``upload``, ``process_step`` and ``query_count``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..common.errors import ConfigurationError
+from ..common.metrics import MetricLog, QueryObservation
+from ..common.types import RecordBatch
+from ..dp.accountant import PrivacyAccountant
+from ..mpc.cost_model import CostModel
+from ..mpc.runtime import MPCRuntime
+from ..query.ast import ViewCountQuery
+from ..query.executor import execute_nm_count, execute_view_count
+from ..storage.growing_db import GrowingDatabase
+from ..storage.materialized_view import MaterializedView
+from ..storage.outsourced_table import OutsourcedTable
+from ..storage.secure_cache import SecureCache
+from .baselines import ExhaustivePaddingSync, OneTimeMaterialization
+from .budget import ContributionLedger
+from .flush import CacheFlusher
+from .shrink_ant import SDPANT
+from .shrink_timer import SDPTimer
+from .transform import TransformProtocol
+from .view_def import JoinViewDefinition
+
+MODES = ("dp-timer", "dp-ant", "ep", "otm", "nm")
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """All knobs of one IncShrink deployment (paper defaults baked in)."""
+
+    mode: str = "dp-timer"
+    epsilon: float = 1.5
+    timer_interval: int = 10
+    ant_threshold: float = 30.0
+    flush_interval: int = 2000
+    flush_size: int = 15
+    join_impl: str = "sort-merge"
+    seed: int = 0
+    cost_model: CostModel | None = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in MODES:
+            raise ConfigurationError(f"mode must be one of {MODES}, got {self.mode!r}")
+
+
+@dataclass
+class StepReport:
+    """Everything one simulated step produced (mostly for tests)."""
+
+    time: int
+    transform_seconds: float = 0.0
+    shrink_seconds: float = 0.0
+    view_updated: bool = False
+    flushed: bool = False
+    deferred_real: int = 0
+    truncation_dropped: int = 0
+    extras: dict = field(default_factory=dict)
+
+
+class IncShrinkEngine:
+    """A deployed IncShrink instance for one join view."""
+
+    def __init__(
+        self,
+        view_def: JoinViewDefinition,
+        config: EngineConfig | None = None,
+        runtime: MPCRuntime | None = None,
+    ) -> None:
+        self.view_def = view_def
+        self.config = config or EngineConfig()
+        self.runtime = runtime or MPCRuntime(
+            seed=self.config.seed, cost_model=self.config.cost_model
+        )
+
+        # server-side state
+        self.probe_store = OutsourcedTable(view_def.probe_schema, view_def.probe_table)
+        self.driver_store = OutsourcedTable(
+            view_def.driver_schema, view_def.driver_table
+        )
+        self.cache = SecureCache(view_def.view_schema)
+        self.view = MaterializedView(view_def.view_schema)
+
+        # accounting
+        self.ledger = ContributionLedger(view_def.omega, view_def.budget)
+        self.accountant = PrivacyAccountant()
+        self.metrics = MetricLog()
+
+        # logical mirror (owners' plaintext; scoring only)
+        self.logical = GrowingDatabase()
+        self.logical.create_table(view_def.probe_table, view_def.probe_schema)
+        self.logical.create_table(view_def.driver_table, view_def.driver_schema)
+
+        self._wire_protocols()
+
+    def _wire_protocols(self) -> None:
+        cfg = self.config
+        self.transform: TransformProtocol | None = None
+        self.policy = None
+        self.flusher: CacheFlusher | None = None
+        if cfg.mode in ("dp-timer", "dp-ant", "ep"):
+            self.transform = TransformProtocol(
+                self.runtime,
+                self.view_def,
+                self.probe_store,
+                self.driver_store,
+                self.ledger,
+                join_impl=cfg.join_impl,
+            )
+        if cfg.mode == "dp-timer":
+            self.policy = SDPTimer(
+                self.runtime,
+                self.transform.counter,
+                cfg.epsilon,
+                self.view_def.budget,
+                cfg.timer_interval,
+                self.accountant,
+            )
+            self.flusher = CacheFlusher(self.runtime, cfg.flush_interval, cfg.flush_size)
+        elif cfg.mode == "dp-ant":
+            self.policy = SDPANT(
+                self.runtime,
+                self.transform.counter,
+                cfg.epsilon,
+                self.view_def.budget,
+                cfg.ant_threshold,
+                self.accountant,
+            )
+            self.flusher = CacheFlusher(self.runtime, cfg.flush_interval, cfg.flush_size)
+        elif cfg.mode == "ep":
+            self.policy = ExhaustivePaddingSync(self.runtime, self.transform.counter)
+        elif cfg.mode == "otm":
+            self.policy = OneTimeMaterialization()
+
+    # -- owner-side -------------------------------------------------------------
+    def upload(
+        self, time: int, probe_batch: RecordBatch, driver_batch: RecordBatch
+    ) -> None:
+        """Owners secret-share and submit this step's padded batches."""
+        vd = self.view_def
+        for name, store, batch in (
+            (vd.probe_table, self.probe_store, probe_batch),
+            (vd.driver_table, self.driver_store, driver_batch),
+        ):
+            shared = self.runtime.owner_share_table(
+                batch.schema, batch.rows, batch.is_real.astype("uint32")
+            )
+            store.append_batch(shared, time)
+            self.ledger.register_batch(name, time, len(batch))
+            real = batch.real_rows()
+            if len(real):
+                self.logical.insert(time, name, real)
+
+    # -- server-side step ----------------------------------------------------------
+    def process_step(self, time: int) -> StepReport:
+        """Run Transform, the view-update policy, and any due flush."""
+        report = StepReport(time=time)
+        if self.transform is not None:
+            t_rep = self.transform.run(time, self.cache)
+            report.transform_seconds = t_rep.seconds
+            report.truncation_dropped = t_rep.dropped
+            self.metrics.transform_seconds.append(t_rep.seconds)
+        if self.policy is not None:
+            s_rep = self.policy.step(time, self.cache, self.view)
+            if s_rep is not None:
+                report.shrink_seconds += s_rep.seconds
+                report.view_updated = True
+                report.deferred_real = s_rep.deferred_real
+                self.metrics.shrink_seconds.append(s_rep.seconds)
+                self.metrics.deferred_counts.append(s_rep.deferred_real)
+        if self.flusher is not None and self.flusher.due(time):
+            f_rep = self.flusher.run(time, self.cache, self.view)
+            report.flushed = True
+            report.shrink_seconds += f_rep.seconds
+            self.metrics.shrink_seconds.append(f_rep.seconds)
+        self.metrics.view_size_rows.append(len(self.view))
+        self.metrics.view_size_bytes.append(self.view.byte_size)
+        self.metrics.cache_size_rows.append(len(self.cache))
+        return report
+
+    # -- analyst side ------------------------------------------------------------
+    def query_count(self, time: int) -> QueryObservation:
+        """Answer the registered COUNT query at time ``t`` and score it.
+
+        The logical answer is computed over the plaintext mirror D_t; the
+        served answer comes from the materialized view (or, under NM,
+        from an oblivious join over the full outsourced stores).
+        """
+        vd = self.view_def
+        probe_rows = self.logical.instance_at(vd.probe_table, time)
+        driver_rows = self.logical.instance_at(vd.driver_table, time)
+        logical_answer = vd.logical_join_count(probe_rows, driver_rows)
+
+        if self.config.mode == "nm":
+            answer, qet = execute_nm_count(
+                self.runtime, time, self.probe_store, self.driver_store, vd
+            )
+        else:
+            answer, qet = execute_view_count(
+                self.runtime, time, self.view, ViewCountQuery(vd.name)
+            )
+
+        obs = QueryObservation(
+            time=time,
+            logical_answer=float(logical_answer),
+            view_answer=float(answer),
+            qet_seconds=qet,
+        )
+        self.metrics.record_query(obs)
+        return obs
+
+    # -- privacy introspection ---------------------------------------------------
+    def realized_epsilon(self) -> float:
+        """End-to-end ε realised so far, via Theorem 3.
+
+        Combines the per-release ε/b leakage with each record's actual
+        (budget-bounded) participation; for a run that respects the
+        configured parameters this never exceeds ``config.epsilon``.
+        """
+        from ..dp.accountant import theorem3_epsilon
+
+        if self.config.mode not in ("dp-timer", "dp-ant"):
+            return 0.0
+        per_release = self.config.epsilon / self.view_def.budget
+        contributions = self.ledger.theorem3_contributions(per_release)
+        return theorem3_epsilon(contributions)

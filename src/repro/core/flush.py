@@ -1,0 +1,70 @@
+"""Independent cache-flush mechanism (paper Section 5.2.1, Theorem 5).
+
+Shrink's DP-sized reads leave an ever-growing residue of dummy tuples
+(and, with small probability, deferred real tuples) in the secure cache.
+Every ``f`` steps the flush protocol obliviously sorts the cache, rescues
+a fixed-size prefix of ``s`` tuples into the materialized view, and
+recycles the rest.  With ``s`` at or above the Theorem-4 deferred-data
+bound, real data is destroyed only with the configured tail probability
+β — :func:`repro.dp.bounds.recommended_flush_size` computes that size.
+
+Both the schedule (``f``) and the size (``s``) are public parameters, so
+the flush leaks nothing data-dependent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..mpc.runtime import MPCRuntime
+from ..storage.materialized_view import MaterializedView
+from ..storage.secure_cache import SecureCache
+
+
+@dataclass(frozen=True)
+class FlushReport:
+    """Outcome of one flush; ``recycled_real`` counts real tuples lost
+    (MPC-internal diagnostic, expected 0 for a well-sized flush)."""
+
+    time: int
+    seconds: float
+    flushed_rows: int
+    rescued_real: int
+    recycled_real: int
+
+
+class CacheFlusher:
+    """Periodic flush of the secure cache into the materialized view."""
+
+    def __init__(
+        self, runtime: MPCRuntime, flush_interval: int, flush_size: int
+    ) -> None:
+        self.runtime = runtime
+        self.flush_interval = flush_interval
+        self.flush_size = flush_size
+
+    def due(self, time: int) -> bool:
+        return (
+            self.flush_interval > 0
+            and time > 0
+            and time % self.flush_interval == 0
+        )
+
+    def run(
+        self, time: int, cache: SecureCache, view: MaterializedView
+    ) -> FlushReport:
+        with self.runtime.protocol("cache-flush", time) as ctx:
+            size = min(self.flush_size, len(cache))
+            fetched, rescued_real, recycled_real = cache.sorted_read(
+                ctx, size, discard_rest=True
+            )
+            view.append(fetched, count_as_update=False)
+            ctx.publish("cache-flush", size=size)
+            seconds = ctx.seconds
+        return FlushReport(
+            time=time,
+            seconds=seconds,
+            flushed_rows=size,
+            rescued_real=rescued_real,
+            recycled_real=recycled_real,
+        )

@@ -1,0 +1,122 @@
+"""sDPANT — the above-noisy-threshold Shrink protocol (paper Algorithm 3).
+
+A sparse-vector (SVT) trigger decides *when* to update: the protocol
+holds a secret-shared noisy threshold θ̃ and, at every step, compares a
+freshly noised counter against it inside MPC.  On a crossing it fetches a
+DP-sized batch, re-arms a fresh θ̃, and resets the counter.
+
+Noise scales, following Algorithm 3 with ε₁ = ε₂ = ε/2:
+
+* threshold:   ``Lap(2b/ε₁) = Lap(4b/ε)`` — redrawn after every update;
+* comparison:  ``Lap(4b/ε₁) = Lap(8b/ε)`` — fresh every step;
+* release:     ``Lap(b/ε₂)  = Lap(2b/ε)`` — on triggered updates only.
+
+The noisy threshold must never be visible to a server between
+invocations, so it is stored as a fixed-point XOR-shared ring element
+(:mod:`repro.sharing.fixed_point`) and only recovered inside the
+protocol scope.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..common.errors import ConfigurationError
+from ..dp.accountant import PrivacyAccountant
+from ..mpc.joint_noise import joint_laplace
+from ..mpc.runtime import MPCRuntime, ProtocolContext
+from ..sharing.fixed_point import decode_fixed, encode_fixed
+from ..sharing.shared_value import SharedArray
+from ..storage.materialized_view import MaterializedView
+from ..storage.secure_cache import SecureCache
+from .counter import SharedCounter
+from .shrink_timer import ShrinkReport
+
+
+class SDPANT:
+    """Above-noisy-threshold DP view-update policy."""
+
+    name = "dp-ant"
+
+    def __init__(
+        self,
+        runtime: MPCRuntime,
+        counter: SharedCounter,
+        epsilon: float,
+        b: int,
+        threshold: float,
+        accountant: PrivacyAccountant | None = None,
+    ) -> None:
+        if epsilon <= 0:
+            raise ConfigurationError(f"epsilon must be positive, got {epsilon}")
+        if b <= 0:
+            raise ConfigurationError(f"contribution bound must be positive, got {b}")
+        if threshold <= 0:
+            raise ConfigurationError(f"threshold must be positive, got {threshold}")
+        self.runtime = runtime
+        self.counter = counter
+        self.epsilon = epsilon
+        self.eps1 = epsilon / 2.0
+        self.eps2 = epsilon / 2.0
+        self.b = b
+        self.threshold = threshold
+        self.accountant = accountant
+        self.updates_done = 0
+        self._shared_threshold: SharedArray | None = None
+
+    # -- noisy threshold management -------------------------------------------
+    def _arm_threshold(self, ctx: ProtocolContext) -> float:
+        """Draw a fresh θ̃ and store it secret-shared (Alg. 3 lines 2-3, 11-12)."""
+        noisy = self.threshold + joint_laplace(ctx, self.b, self.eps1 / 2.0)
+        self._shared_threshold = ctx.share_array(
+            np.asarray([encode_fixed(noisy)], dtype=np.uint32)
+        )
+        return noisy
+
+    def _read_threshold(self, ctx: ProtocolContext) -> float:
+        if self._shared_threshold is None:
+            return self._arm_threshold(ctx)
+        return decode_fixed(ctx.reveal(self._shared_threshold)[0])
+
+    # -- policy step -------------------------------------------------------------
+    def step(
+        self, time: int, cache: SecureCache, view: MaterializedView
+    ) -> ShrinkReport | None:
+        """Run the noisy condition check; update the view on a crossing.
+
+        Returns a report when an update fired, else ``None``.  Either way
+        the protocol executes (and is observed executing) every step —
+        the *absence* of an update is the SVT's public ⊥ output.
+        """
+        with self.runtime.protocol("shrink-ant", time) as ctx:
+            c = self.counter.read(ctx)
+            noisy_threshold = self._read_threshold(ctx)
+            noisy_count = c + joint_laplace(ctx, self.b, self.eps1 / 4.0)
+            triggered = noisy_count >= noisy_threshold
+            if triggered:
+                size = max(0, round(c + joint_laplace(ctx, self.b, self.eps2)))
+                fetched, fetched_real, deferred_real = cache.sorted_read(ctx, size)
+                view.append(fetched)
+                self._arm_threshold(ctx)
+                self.counter.reset(ctx)
+                ctx.publish("view-update", size=min(size, len(fetched)))
+            else:
+                ctx.publish("ant-check", triggered=False)
+            seconds = ctx.seconds
+
+        if not triggered:
+            return None
+        self.updates_done += 1
+        if self.accountant is not None:
+            # One SVT round (threshold + comparisons + release) over the
+            # disjoint segment since the previous update.
+            self.accountant.spend(
+                "sDPANT-release", self.epsilon / self.b, segment=("ant", time)
+            )
+        return ShrinkReport(
+            time=time,
+            seconds=seconds,
+            released_size=size,
+            fetched_real=fetched_real,
+            deferred_real=deferred_real,
+        )

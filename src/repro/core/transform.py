@@ -1,0 +1,219 @@
+"""The Transform protocol (paper Algorithm 1).
+
+Invoked whenever owners submit new data.  One invocation:
+
+1. determines the *active* probe window — every probe batch that still
+   has contribution budget (``b // ω`` invocations per batch) — plus the
+   driver batch uploaded at the current step;
+2. runs the ω-truncated oblivious join (``trans_truncate``), producing an
+   exhaustively padded delta of ``ω × |driver batch|`` view-entry slots;
+3. charges the contribution ledger: ω budget per participating record,
+   plus per-record emission counts (Eq. 3 enforcement);
+4. recovers, increments, and freshly re-shares the cardinality counter c
+   (Algorithm 1 lines 4-6);
+5. appends the padded delta to the secure cache (line 7).
+
+The only transcript event is the public delta length, which depends
+solely on public batch sizes and ω.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..common.errors import ConfigurationError, ProtocolError
+from ..mpc.runtime import MPCRuntime
+from ..oblivious.join_common import JoinResult
+from ..oblivious.nested_loop_join import truncated_nested_loop_join
+from ..oblivious.sort_merge_join import truncated_sort_merge_join
+from ..storage.outsourced_table import OutsourcedBatch, OutsourcedTable
+from ..storage.secure_cache import SecureCache
+from .budget import ContributionLedger
+from .counter import SharedCounter
+from .view_def import JoinViewDefinition
+
+#: Supported truncated-join circuit shapes.
+JOIN_IMPLS = ("sort-merge", "nested-loop")
+
+
+@dataclass(frozen=True)
+class TransformReport:
+    """Outcome of one Transform invocation.
+
+    ``seconds`` and ``cache_delta`` are public; the remaining fields are
+    MPC-internal diagnostics used for scoring and tests.
+    """
+
+    time: int
+    seconds: float
+    cache_delta: int
+    real_entries: int
+    dropped: int
+    counter_value: int
+
+
+class TransformProtocol:
+    """Per-view-definition Transform circuit shared by all Shrink modes."""
+
+    def __init__(
+        self,
+        runtime: MPCRuntime,
+        view_def: JoinViewDefinition,
+        probe_store: OutsourcedTable,
+        driver_store: OutsourcedTable,
+        ledger: ContributionLedger,
+        join_impl: str = "sort-merge",
+    ) -> None:
+        if join_impl not in JOIN_IMPLS:
+            raise ConfigurationError(
+                f"join_impl must be one of {JOIN_IMPLS}, got {join_impl!r}"
+            )
+        self.runtime = runtime
+        self.view_def = view_def
+        self.probe_store = probe_store
+        self.driver_store = driver_store
+        self.ledger = ledger
+        self.join_impl = join_impl
+        self.counter = SharedCounter()
+
+    def run(self, time: int, cache: SecureCache) -> TransformReport:
+        """Execute one invocation for the batches uploaded at ``time``."""
+        vd = self.view_def
+        driver_batch = self._batch_at(self.driver_store, time)
+        if driver_batch is None:
+            raise ProtocolError(
+                f"no driver batch uploaded at t={time}; Transform runs only "
+                "on owner submissions"
+            )
+        probe_batches = self.probe_store.active_batches(vd.omega, vd.budget)
+
+        with self.runtime.protocol("transform", time) as ctx:
+            probe_rows, probe_flags, probe_caps, offsets = self._assemble_probe(
+                ctx, probe_batches
+            )
+            driver_rows, driver_flags = ctx.reveal_table(driver_batch.table)
+            driver_caps = self.ledger.caps(vd.driver_table, driver_batch.time)
+
+            join = self._join(
+                ctx,
+                probe_rows,
+                probe_flags,
+                probe_caps,
+                driver_rows,
+                driver_flags,
+                driver_caps,
+            )
+
+            self._settle_budgets(time, probe_batches, offsets, driver_batch, join)
+            counter_value = self.counter.add(ctx, join.real_count)
+
+            delta = ctx.share_table(vd.view_schema, join.rows, join.flags)
+            cache.append(delta)
+            ctx.publish("transform", cache_delta=len(delta))
+            seconds = ctx.seconds
+
+        return TransformReport(
+            time=time,
+            seconds=seconds,
+            cache_delta=len(join.flags),
+            real_entries=join.real_count,
+            dropped=join.dropped,
+            counter_value=counter_value,
+        )
+
+    # -- helpers ------------------------------------------------------------
+    def _join(
+        self,
+        ctx,
+        probe_rows: np.ndarray,
+        probe_flags: np.ndarray,
+        probe_caps: np.ndarray,
+        driver_rows: np.ndarray,
+        driver_flags: np.ndarray,
+        driver_caps: np.ndarray,
+    ) -> JoinResult:
+        vd = self.view_def
+        impl = (
+            truncated_sort_merge_join
+            if self.join_impl == "sort-merge"
+            else truncated_nested_loop_join
+        )
+        return impl(
+            ctx,
+            probe_rows,
+            probe_flags,
+            vd.probe_key_col,
+            probe_caps,
+            driver_rows,
+            driver_flags,
+            vd.driver_key_col,
+            driver_caps,
+            vd.omega,
+            vd.pair_predicate,
+            output_left="probe",
+        )
+
+    def _assemble_probe(
+        self, ctx, probe_batches: list[OutsourcedBatch]
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, list[tuple[OutsourcedBatch, int, int]]]:
+        """Reveal and concatenate the active probe window, tracking offsets
+        so emission counts can be split back per batch."""
+        vd = self.view_def
+        rows_parts: list[np.ndarray] = []
+        flag_parts: list[np.ndarray] = []
+        cap_parts: list[np.ndarray] = []
+        offsets: list[tuple[OutsourcedBatch, int, int]] = []
+        cursor = 0
+        for batch in probe_batches:
+            r, f = ctx.reveal_table(batch.table)
+            rows_parts.append(r)
+            flag_parts.append(f)
+            cap_parts.append(self.ledger.caps(vd.probe_table, batch.time))
+            offsets.append((batch, cursor, cursor + len(r)))
+            cursor += len(r)
+        if rows_parts:
+            return (
+                np.vstack(rows_parts),
+                np.concatenate(flag_parts),
+                np.concatenate(cap_parts),
+                offsets,
+            )
+        return (
+            vd.probe_schema.empty_rows(0),
+            np.zeros(0, dtype=bool),
+            np.zeros(0, dtype=np.int64),
+            offsets,
+        )
+
+    def _settle_budgets(
+        self,
+        time: int,
+        probe_batches: list[OutsourcedBatch],
+        offsets: list[tuple[OutsourcedBatch, int, int]],
+        driver_batch: OutsourcedBatch,
+        join: JoinResult,
+    ) -> None:
+        vd = self.view_def
+        self.probe_store.charge_invocation(probe_batches, vd.omega, vd.budget)
+        self.driver_store.charge_invocation([driver_batch], vd.omega, vd.budget)
+        for batch, lo, hi in offsets:
+            self.ledger.charge_invocation(vd.probe_table, batch.time, time)
+            counts = join.left_emitted[lo:hi]
+            self.ledger.record_emissions(vd.probe_table, batch.time, counts)
+            batch.emitted += counts
+        self.ledger.charge_invocation(vd.driver_table, driver_batch.time, time)
+        self.ledger.record_emissions(
+            vd.driver_table, driver_batch.time, join.right_emitted
+        )
+        driver_batch.emitted += join.right_emitted
+
+    @staticmethod
+    def _batch_at(store: OutsourcedTable, time: int) -> OutsourcedBatch | None:
+        for batch in reversed(store.batches):
+            if batch.time == time:
+                return batch
+            if batch.time < time:
+                return None
+        return None

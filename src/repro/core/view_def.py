@@ -1,0 +1,141 @@
+"""View definitions: what the servers materialize.
+
+The paper's evaluation uses temporal join views ("products returned
+within 10 days of purchase", "awards within 10 days of a misconduct
+finding").  A :class:`JoinViewDefinition` captures such a view:
+
+* a **probe** table — the side whose records wait around to be joined
+  (Sales, Allegation).  Probe records stay usable for ``b/ω`` Transform
+  invocations before their contribution budget retires them;
+* a **driver** table — the side whose arrivals trigger new view rows
+  (Returns, Award).  Each new driver row owns ``ω`` padded output slots;
+* an equality key plus a timestamp-window condition
+  ``lo ≤ driver.ts − probe.ts ≤ hi``;
+* the truncation bound ``ω`` and lifetime contribution budget ``b``.
+
+The definition also knows how to compute the *logical* (plaintext,
+truncation-free) join count — the ground truth the L1 error is measured
+against.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..common.errors import ConfigurationError
+from ..common.types import Schema
+
+
+@dataclass(frozen=True)
+class JoinViewDefinition:
+    """Specification of a materialized temporal-join view."""
+
+    name: str
+    probe_table: str
+    probe_schema: Schema
+    probe_key: str
+    probe_ts: str
+    driver_table: str
+    driver_schema: Schema
+    driver_key: str
+    driver_ts: str
+    window_lo: int
+    window_hi: int
+    omega: int
+    budget: int
+    #: True when the driver relation is public (the CPDB Award table);
+    #: affects only documentation/leakage accounting — the protocol path
+    #: treats it identically (conservatively secret-shared).
+    driver_public: bool = False
+
+    def __post_init__(self) -> None:
+        if self.omega <= 0:
+            raise ConfigurationError(f"omega must be positive, got {self.omega}")
+        if self.budget < self.omega:
+            raise ConfigurationError(
+                f"budget b={self.budget} must be at least omega={self.omega}"
+            )
+        if self.window_hi < self.window_lo:
+            raise ConfigurationError(
+                f"empty join window [{self.window_lo}, {self.window_hi}]"
+            )
+
+    # -- derived structure ---------------------------------------------------
+    @property
+    def view_schema(self) -> Schema:
+        """Output schema: probe columns then driver columns, prefixed."""
+        return self.probe_schema.concat(
+            self.driver_schema, prefix_self="p_", prefix_other="d_"
+        )
+
+    @property
+    def window_invocations(self) -> int:
+        """How many Transform invocations a probe record participates in.
+
+        Budget ``b`` drains by ``ω`` per invocation, so this is ``b // ω``
+        — the paper's parameter choices make it match the temporal window
+        (e.g. TPC-ds: b=10, ω=1 → a sale stays joinable for 10 daily
+        uploads, exactly the 10-day return window of Q1).
+        """
+        return self.budget // self.omega
+
+    @property
+    def probe_key_col(self) -> int:
+        return self.probe_schema.index(self.probe_key)
+
+    @property
+    def driver_key_col(self) -> int:
+        return self.driver_schema.index(self.driver_key)
+
+    @property
+    def probe_ts_col(self) -> int:
+        return self.probe_schema.index(self.probe_ts)
+
+    @property
+    def driver_ts_col(self) -> int:
+        return self.driver_schema.index(self.driver_ts)
+
+    # -- join semantics --------------------------------------------------------
+    def pair_predicate(self, probe_row: np.ndarray, driver_row: np.ndarray) -> bool:
+        """Temporal condition beyond key equality for one candidate pair."""
+        delta = int(driver_row[self.driver_ts_col]) - int(probe_row[self.probe_ts_col])
+        return self.window_lo <= delta <= self.window_hi
+
+    def logical_join_count(
+        self, probe_rows: np.ndarray, driver_rows: np.ndarray
+    ) -> int:
+        """Exact, truncation-free count of qualifying pairs (ground truth)."""
+        if len(probe_rows) == 0 or len(driver_rows) == 0:
+            return 0
+        by_key: dict[int, list[int]] = defaultdict(list)
+        pk, pt = self.probe_key_col, self.probe_ts_col
+        dk, dt = self.driver_key_col, self.driver_ts_col
+        for ts, key in zip(probe_rows[:, pt], probe_rows[:, pk]):
+            by_key[int(key)].append(int(ts))
+        count = 0
+        for row in driver_rows:
+            d_ts = int(row[dt])
+            for p_ts in by_key.get(int(row[dk]), ()):
+                if self.window_lo <= d_ts - p_ts <= self.window_hi:
+                    count += 1
+        return count
+
+    def logical_join_rows(
+        self, probe_rows: np.ndarray, driver_rows: np.ndarray
+    ) -> np.ndarray:
+        """All qualifying joined rows in plaintext (testing aid)."""
+        out: list[np.ndarray] = []
+        pk, dk = self.probe_key_col, self.driver_key_col
+        by_key: dict[int, list[int]] = defaultdict(list)
+        for i, key in enumerate(probe_rows[:, pk] if len(probe_rows) else []):
+            by_key[int(key)].append(i)
+        for j in range(len(driver_rows)):
+            for i in by_key.get(int(driver_rows[j, dk]), ()):
+                if self.pair_predicate(probe_rows[i], driver_rows[j]):
+                    out.append(np.concatenate([probe_rows[i], driver_rows[j]]))
+        if not out:
+            return self.view_schema.empty_rows(0)
+        return np.vstack(out).astype(np.uint32)

@@ -1,0 +1,114 @@
+"""Privacy accounting: composition, stability, and Theorem 3.
+
+The paper's privacy argument has three layers:
+
+1. each Shrink release is an ε_r-DP Laplace/SVT mechanism **over the
+   cached view tuples** in a window;
+2. windows are disjoint, so releases combine by *parallel* composition
+   (max, not sum) over the transformed stream;
+3. the Transform pipeline is a *q-stable* transformation of the logical
+   database (Lemma 1), so by Lemma 2 the end-to-end loss w.r.t. a logical
+   update is ``q · ε_r`` — and Theorem 3 generalises this to a family of
+   transformations where a record's total loss is
+   ``Σ_{i : τ_i(u) > 0} q_i ε_i``.
+
+The :class:`PrivacyAccountant` tracks all three, and the engine asserts at
+the end of a run that the realised loss matches the configured ε.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Mapping
+
+from ..common.errors import PrivacyBudgetError
+
+
+@dataclass(frozen=True)
+class MechanismEvent:
+    """One invocation of a DP mechanism over some data segment."""
+
+    name: str
+    epsilon: float
+    segment: Hashable  # identifies the disjoint data the mechanism touched
+
+
+@dataclass
+class PrivacyAccountant:
+    """Ledger of mechanism invocations with composition rules."""
+
+    events: list[MechanismEvent] = field(default_factory=list)
+
+    def spend(self, name: str, epsilon: float, segment: Hashable) -> None:
+        if epsilon <= 0:
+            raise PrivacyBudgetError(f"epsilon must be positive, got {epsilon}")
+        self.events.append(MechanismEvent(name, epsilon, segment))
+
+    # -- composition -------------------------------------------------------
+    def sequential_epsilon(self) -> float:
+        """Worst-case bound: sum over all events (Theorem 31 of [31])."""
+        return sum(e.epsilon for e in self.events)
+
+    def parallel_epsilon(self) -> float:
+        """Parallel composition: sum *within* a segment, max across segments.
+
+        Mechanisms applied to disjoint data segments (e.g. counts of view
+        tuples cached in non-overlapping windows) compose in parallel:
+        a single record lives in one segment only, so its loss is the
+        worst segment's sequential total.
+        """
+        per_segment: dict[Hashable, float] = {}
+        for e in self.events:
+            per_segment[e.segment] = per_segment.get(e.segment, 0.0) + e.epsilon
+        return max(per_segment.values(), default=0.0)
+
+
+def stability_composed_epsilon(q: float, epsilon: float) -> float:
+    """Lemma 2: an ε-DP mechanism after a q-stable transform is qε-DP."""
+    if q < 0:
+        raise PrivacyBudgetError(f"stability must be non-negative, got {q}")
+    return q * epsilon
+
+
+def theorem3_epsilon(
+    contributions: Mapping[Hashable, Iterable[tuple[float, float]]],
+) -> float:
+    """Worst-case loss over records per Theorem 3.
+
+    ``contributions[u]`` lists ``(q_i, ε_i)`` for every transformation
+    ``T_i`` with ``τ_i(u) > 0`` — i.e. every mechanism whose input the
+    record ``u`` actually influenced.  The bound is
+    ``max_u Σ q_i·ε_i``; it is finite iff each record touches finitely
+    many mechanism inputs, which the contribution budget enforces.
+    """
+    worst = 0.0
+    for pairs in contributions.values():
+        total = sum(q * eps for q, eps in pairs)
+        worst = max(worst, total)
+    return worst
+
+
+def event_to_user_epsilon(event_epsilon: float, max_tuples_per_user: int) -> float:
+    """Group-privacy conversion: ε-event DP gives ℓ·ε user-level DP.
+
+    Section 4.2: if one user owns at most ℓ tuples of the growing
+    database, event-level ε implies user-level ℓ·ε (and conversely, a
+    user-level target ε can be met by running the event-level mechanisms
+    at ε/ℓ).
+    """
+    if max_tuples_per_user < 1:
+        raise PrivacyBudgetError(
+            f"a user owns at least one tuple, got {max_tuples_per_user}"
+        )
+    return event_epsilon * max_tuples_per_user
+
+
+def sequential_system_epsilon(*epsilons: float) -> float:
+    """Sequential composition across sub-systems (Section 8, DP-Sync).
+
+    Combining an ε₁-DP owner-side synchronisation strategy with an ε₂-DP
+    IncShrink deployment reveals at most (ε₁+ε₂)-DP leakage in total.
+    """
+    if any(e < 0 for e in epsilons):
+        raise PrivacyBudgetError("epsilons must be non-negative")
+    return float(sum(epsilons))

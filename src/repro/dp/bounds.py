@@ -1,0 +1,121 @@
+"""Closed-form error/size bounds from the paper (Theorems 4, 5, 6, 17).
+
+These are used three ways:
+
+* to choose sane cache-flush sizes (Theorem 4 tells how much *real* data
+  can be deferred, so a flush of that size is lossless w.h.p.);
+* by tests, which check the bounds empirically against simulated runs;
+* by :mod:`repro.core.dpsync` for the composed error bound (Theorem 17).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..common.errors import ConfigurationError
+from .laplace import laplace_sum_high_probability_bound
+
+
+def theorem4_deferred_bound(
+    epsilon: float, b: float, k: int, beta: float = 0.05
+) -> float:
+    """Theorem 4: after k sDPTimer updates, Pr[deferred ≥ α] ≤ β with
+
+    ``α = (2b/ε)·sqrt(k·log(1/β))``  (valid for k ≥ 4·log(1/β)).
+
+    "Deferred" counts real view tuples still sitting in the secure cache
+    because negative noise left them unfetched.
+    """
+    _validate(epsilon, b, beta)
+    if k < 1:
+        raise ConfigurationError(f"update count must be >= 1, got {k}")
+    return laplace_sum_high_probability_bound(k, b / epsilon, beta)
+
+
+def theorem4_min_updates(beta: float) -> int:
+    """Smallest k for which Theorem 4's bound is valid: k ≥ 4·log(1/β)."""
+    if not 0.0 < beta < 1.0:
+        raise ConfigurationError(f"beta must be in (0,1), got {beta}")
+    return math.ceil(4.0 * math.log(1.0 / beta))
+
+
+def theorem5_dummy_bound(
+    epsilon: float, b: float, k: int, T: int, flush_interval: int, flush_size: int,
+    beta: float = 0.05,
+) -> float:
+    """Theorem 5: dummy rows inserted into the view after k updates.
+
+    ``O((2b/ε)·sqrt(k)) + s·kT/f`` — Laplace overshoot plus flush slop.
+    """
+    _validate(epsilon, b, beta)
+    if flush_interval <= 0:
+        raise ConfigurationError("flush interval must be positive")
+    noise_part = laplace_sum_high_probability_bound(k, b / epsilon, beta)
+    flush_part = flush_size * k * T / flush_interval
+    return noise_part + flush_part
+
+
+def theorem6_deferred_bound(
+    epsilon: float, b: float, t: int, beta: float = 0.05
+) -> float:
+    """Theorem 6 (sDPANT): deferred data at time t is bounded by
+
+    ``(16b/ε)·(log t + log(2/β))`` with probability ≥ 1-β.
+    """
+    _validate(epsilon, b, beta)
+    if t < 1:
+        raise ConfigurationError(f"time must be >= 1, got {t}")
+    return 16.0 * b * (math.log(max(t, 2)) + math.log(2.0 / beta)) / epsilon
+
+
+def theorem6_dummy_bound(
+    epsilon: float, b: float, t: int, flush_interval: int, flush_size: int,
+    beta: float = 0.05,
+) -> float:
+    """Theorem 6, second part: dummies in the view under sDPANT with flushes."""
+    if flush_interval <= 0:
+        raise ConfigurationError("flush interval must be positive")
+    return theorem6_deferred_bound(epsilon, b, t, beta) + flush_size * (
+        t // flush_interval
+    )
+
+
+def theorem17_timer_error_bound(
+    epsilon: float, b: float, k: int, sync_alpha: float, beta: float = 0.05
+) -> float:
+    """Theorem 17: composed IncShrink∘DP-Sync error under sDPTimer.
+
+    ``O(b·α_r + (2b/ε)·sqrt(k))`` where α_r bounds the owner-side
+    synchronisation strategy's logical gap.
+    """
+    return b * sync_alpha + theorem4_deferred_bound(epsilon, b, max(k, 1), beta)
+
+
+def theorem17_ant_error_bound(
+    epsilon: float, b: float, t: int, sync_alpha: float, beta: float = 0.05
+) -> float:
+    """Theorem 17 under sDPANT: ``O(b·α_r + (16b/ε)·log t)``."""
+    return b * sync_alpha + theorem6_deferred_bound(epsilon, b, max(t, 1), beta)
+
+
+def recommended_flush_size(
+    epsilon: float, b: float, expected_updates: int, beta: float = 0.01
+) -> int:
+    """Flush size s such that flushing discards real data with prob ≤ β.
+
+    Per the discussion after Theorem 4: fetch the Theorem-4 high
+    probability deferred bound, so with probability ≥ 1-β everything real
+    left in the cache is rescued before the remainder is recycled.
+    """
+    return math.ceil(
+        theorem4_deferred_bound(epsilon, b, max(expected_updates, 1), beta)
+    )
+
+
+def _validate(epsilon: float, b: float, beta: float) -> None:
+    if epsilon <= 0:
+        raise ConfigurationError(f"epsilon must be positive, got {epsilon}")
+    if b <= 0:
+        raise ConfigurationError(f"contribution bound must be positive, got {b}")
+    if not 0.0 < beta < 1.0:
+        raise ConfigurationError(f"beta must be in (0,1), got {beta}")

@@ -1,0 +1,82 @@
+"""Laplace mechanism utilities.
+
+The protocols themselves draw their noise through the *joint* generator
+(:mod:`repro.mpc.joint_noise`) so that no single server controls the
+randomness.  This module provides the trusted-curator counterpart — used
+by the DP-Sync composition layer, by tests that validate that the joint
+sampler follows the same distribution, and by analytical helpers (CDF,
+quantiles, tail bounds) used for error-bound calculations.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+def laplace_noise(gen: np.random.Generator, scale: float, size: int | None = None):
+    """Draw from Lap(scale) via inverse-CDF sampling.
+
+    Uses the same magnitude/sign construction as the in-MPC sampler
+    (``sign · scale · (-ln r)``) so the two sources are distributionally
+    identical — a property tested explicitly.
+    """
+    if scale <= 0:
+        raise ValueError(f"scale must be positive, got {scale}")
+    n = 1 if size is None else size
+    r = gen.random(n)  # uniform in [0, 1)
+    r = np.maximum(r, np.finfo(float).tiny)  # keep log finite
+    sign = np.where(gen.random(n) < 0.5, -1.0, 1.0)
+    draws = sign * scale * (-np.log(r))
+    return float(draws[0]) if size is None else draws
+
+
+def laplace_mechanism(
+    gen: np.random.Generator, value: float, sensitivity: float, epsilon: float
+) -> float:
+    """``value + Lap(sensitivity/epsilon)`` — the ε-DP Laplace mechanism."""
+    if epsilon <= 0:
+        raise ValueError(f"epsilon must be positive, got {epsilon}")
+    if sensitivity <= 0:
+        raise ValueError(f"sensitivity must be positive, got {sensitivity}")
+    return float(value) + laplace_noise(gen, sensitivity / epsilon)
+
+
+def laplace_cdf(x: float, scale: float) -> float:
+    """CDF of the zero-centred Laplace distribution."""
+    if x < 0:
+        return 0.5 * math.exp(x / scale)
+    return 1.0 - 0.5 * math.exp(-x / scale)
+
+
+def laplace_quantile(q: float, scale: float) -> float:
+    """Inverse CDF; ``q`` in (0, 1)."""
+    if not 0.0 < q < 1.0:
+        raise ValueError(f"quantile must be in (0,1), got {q}")
+    if q < 0.5:
+        return scale * math.log(2.0 * q)
+    return -scale * math.log(2.0 * (1.0 - q))
+
+
+def laplace_sum_tail_bound(k: int, scale: float, alpha: float) -> float:
+    """Upper bound on ``Pr[sum of k iid Lap(scale) >= alpha]`` (Lemma 10).
+
+    Valid for ``0 < alpha <= k * scale``; the bound is
+    ``exp(-alpha² / (4 k scale²))``.
+    """
+    if k <= 0 or scale <= 0:
+        raise ValueError("k and scale must be positive")
+    if alpha <= 0:
+        return 1.0
+    return math.exp(-(alpha**2) / (4.0 * k * scale**2))
+
+
+def laplace_sum_high_probability_bound(k: int, scale: float, beta: float) -> float:
+    """The α making ``Pr[sum >= α] <= β`` per Corollary 11.
+
+    ``α = 2·scale·sqrt(k·log(1/β))``, valid once ``k >= 4·log(1/β)``.
+    """
+    if not 0.0 < beta < 1.0:
+        raise ValueError(f"beta must be in (0,1), got {beta}")
+    return 2.0 * scale * math.sqrt(k * math.log(1.0 / beta))

@@ -1,0 +1,55 @@
+"""Figure 4 — end-to-end comparison scatter (avg L1 error × avg QET).
+
+One point per candidate system per dataset.  The paper's claim: NM sits
+at the top (slow, exact), EP upper-left (slow-ish, exact), OTM lower-right
+(instant, useless), and the two DP protocols in the bottom-middle —
+optimized for both objectives at once.
+"""
+
+from __future__ import annotations
+
+from .harness import RunResult
+from .reporting import format_table
+from .table2 import DATASETS, MODES, run_table2
+
+
+def run_figure4(
+    n_steps: int = 240,
+    seed: int = 0,
+    datasets: tuple[str, ...] = DATASETS,
+    results: dict[tuple[str, str], RunResult] | None = None,
+) -> dict[tuple[str, str], tuple[float, float]]:
+    """Return the (avg L1, avg QET) coordinates of every scatter point.
+
+    Accepts precomputed Table-2 results so the two experiments can share
+    one set of runs (they use identical configurations).
+    """
+    if results is None:
+        results = run_table2(n_steps=n_steps, seed=seed, datasets=datasets)
+    return {
+        key: (res.summary.avg_l1_error, res.summary.avg_qet_seconds)
+        for key, res in results.items()
+    }
+
+
+def format_figure4(points: dict[tuple[str, str], tuple[float, float]]) -> str:
+    datasets = sorted({ds for ds, _ in points})
+    rows = []
+    for ds in datasets:
+        for mode in MODES:
+            if (ds, mode) in points:
+                l1, qet = points[(ds, mode)]
+                rows.append([ds, mode, l1, qet])
+    return format_table(
+        "Figure 4: end-to-end comparison (avg L1 error vs avg QET)",
+        ["dataset", "system", "avg L1 error", "avg QET (s)"],
+        rows,
+    )
+
+
+def main() -> None:  # pragma: no cover
+    print(format_figure4(run_figure4()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,82 @@
+"""Figure 5 — the 3-way trade-off: privacy vs accuracy / efficiency.
+
+Sweeps ε from 0.01 to 50 for both DP protocols on both datasets,
+averaging each point over several seeds (the paper averages over all
+queries of one long run; at our shorter horizon multiple seeds serve the
+same purpose).
+
+Expected shapes (Observations 3-4): sDPTimer's L1 decreases as ε grows;
+sDPANT's first *rises* then falls (small ε triggers early, frequent
+updates); QET decreases with ε for both because less noise means fewer
+dummy tuples in the view.
+"""
+
+from __future__ import annotations
+
+from statistics import mean
+
+from .harness import RunConfig, run_experiment
+from .reporting import format_series
+
+EPSILONS = (0.01, 0.05, 0.1, 0.5, 1.0, 1.5, 5.0, 10.0, 50.0)
+PROTOCOLS = ("dp-timer", "dp-ant")
+
+
+def run_figure5(
+    dataset: str = "tpcds",
+    epsilons: tuple[float, ...] = EPSILONS,
+    seeds: tuple[int, ...] = (0, 1, 2),
+    n_steps: int = 160,
+) -> dict[str, dict[float, tuple[float, float]]]:
+    """Per protocol: ε → (avg L1, avg QET), averaged over seeds."""
+    out: dict[str, dict[float, tuple[float, float]]] = {}
+    for mode in PROTOCOLS:
+        per_eps: dict[float, tuple[float, float]] = {}
+        for eps in epsilons:
+            l1s, qets = [], []
+            for seed in seeds:
+                res = run_experiment(
+                    RunConfig(
+                        dataset=dataset,
+                        mode=mode,
+                        epsilon=eps,
+                        n_steps=n_steps,
+                        seed=seed,
+                    )
+                )
+                l1s.append(res.summary.avg_l1_error)
+                qets.append(res.summary.avg_qet_seconds)
+            per_eps[eps] = (mean(l1s), mean(qets))
+        out[mode] = per_eps
+    return out
+
+
+def format_figure5(
+    dataset: str, results: dict[str, dict[float, tuple[float, float]]]
+) -> str:
+    epsilons = sorted(next(iter(results.values())))
+    blocks = []
+    for metric, idx in (("Avg L1 error", 0), ("Avg QET (s)", 1)):
+        series = {
+            mode: [results[mode][e][idx] for e in epsilons] for mode in results
+        }
+        blocks.append(
+            format_series(
+                f"Figure 5 ({dataset}): privacy vs "
+                f"{'accuracy' if idx == 0 else 'efficiency'} — {metric}",
+                "epsilon",
+                list(epsilons),
+                series,
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+def main() -> None:  # pragma: no cover
+    for dataset in ("tpcds", "cpdb"):
+        print(format_figure5(dataset, run_figure5(dataset)))
+        print()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,90 @@
+"""Figure 7 — DP protocols across non-privacy parameters (T and θ).
+
+The paper fixes ε ∈ {0.1, 1, 10} and sweeps T from 1 to 100, setting the
+sDPANT threshold consistently to θ = rate·T.  Each (protocol, T) pair
+becomes a point in (avg L1, avg QET) space.
+
+Expected shape (Observation 6): at small ε the sDPANT cloud sits
+upper-left (accurate but slower) and the sDPTimer cloud lower-right
+(efficient but less accurate); the separation shrinks as ε grows, and by
+ε = 10 the clouds coincide.
+"""
+
+from __future__ import annotations
+
+from .harness import RunConfig, run_experiment
+from .reporting import format_table
+
+T_VALUES = (1, 2, 5, 10, 20, 50, 100)
+EPSILONS = (0.1, 1.0, 10.0)
+PROTOCOLS = ("dp-timer", "dp-ant")
+
+
+def run_figure7(
+    dataset: str = "tpcds",
+    epsilons: tuple[float, ...] = EPSILONS,
+    t_values: tuple[int, ...] = T_VALUES,
+    seed: int = 0,
+    n_steps: int = 160,
+) -> dict[float, dict[str, list[tuple[int, float, float]]]]:
+    """Per ε, per protocol: list of (T, avg L1, avg QET) points."""
+    # Calibrate the dataset's view rate once to derive θ = rate·T.
+    calibration = run_experiment(
+        RunConfig(dataset=dataset, mode="otm", n_steps=min(n_steps, 80), seed=seed)
+    )
+    rate = calibration.view_rate
+
+    out: dict[float, dict[str, list[tuple[int, float, float]]]] = {}
+    for eps in epsilons:
+        per_proto: dict[str, list[tuple[int, float, float]]] = {}
+        for mode in PROTOCOLS:
+            points: list[tuple[int, float, float]] = []
+            for t in t_values:
+                res = run_experiment(
+                    RunConfig(
+                        dataset=dataset,
+                        mode=mode,
+                        epsilon=eps,
+                        n_steps=n_steps,
+                        seed=seed,
+                        timer_interval=t,
+                        theta=max(1.0, rate * t),
+                    )
+                )
+                points.append(
+                    (t, res.summary.avg_l1_error, res.summary.avg_qet_seconds)
+                )
+            per_proto[mode] = points
+        out[eps] = per_proto
+    return out
+
+
+def format_figure7(
+    dataset: str,
+    results: dict[float, dict[str, list[tuple[int, float, float]]]],
+) -> str:
+    blocks = []
+    for eps, per_proto in results.items():
+        rows = [
+            [mode, t, l1, qet]
+            for mode, points in per_proto.items()
+            for (t, l1, qet) in points
+        ]
+        blocks.append(
+            format_table(
+                f"Figure 7 ({dataset}, eps={eps}): vary T (theta = rate*T)",
+                ["protocol", "T", "avg L1 error", "avg QET (s)"],
+                rows,
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+def main() -> None:  # pragma: no cover
+    for dataset in ("tpcds", "cpdb"):
+        print(format_figure7(dataset, run_figure7(dataset)))
+        print()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,91 @@
+"""Figure 8 — effect of the truncation bound ω (CPDB / Q2).
+
+Sweeps ω from 2 to 32 with the budget pinned at b = 2ω, as in Section
+7.4.  Q1's multiplicity is 1, so the paper (and we) run this on the CPDB
+workload only.
+
+Expected shapes (Observations 7-8): L1 error falls steeply as ω grows
+from very small values (fewer genuine join pairs truncated), then levels
+off / worsens slightly once ω exceeds the maximum record contribution
+(extra ω only adds noise-driven dummies); QET degrades as ω grows (more
+padded slots everywhere); Transform time is flat in ω while Shrink time
+increases (its input — the cache — scales with ω).
+"""
+
+from __future__ import annotations
+
+from statistics import mean
+
+from .harness import RunConfig, run_experiment
+from .reporting import format_series
+
+OMEGAS = (2, 4, 8, 16, 32)
+PROTOCOLS = ("dp-timer", "dp-ant")
+
+
+def run_figure8(
+    dataset: str = "cpdb",
+    omegas: tuple[int, ...] = OMEGAS,
+    seeds: tuple[int, ...] = (0, 1),
+    n_steps: int = 160,
+    epsilon: float = 1.5,
+) -> dict[str, dict[int, tuple[float, float, float, float]]]:
+    """Per protocol: ω → (avg L1, avg QET, avg Transform s, avg Shrink s)."""
+    out: dict[str, dict[int, tuple[float, float, float, float]]] = {}
+    for mode in PROTOCOLS:
+        per_omega: dict[int, tuple[float, float, float, float]] = {}
+        for omega in omegas:
+            l1s, qets, trans, shrinks = [], [], [], []
+            for seed in seeds:
+                res = run_experiment(
+                    RunConfig(
+                        dataset=dataset,
+                        mode=mode,
+                        epsilon=epsilon,
+                        n_steps=n_steps,
+                        seed=seed,
+                        omega=omega,
+                        budget=2 * omega,
+                    )
+                )
+                l1s.append(res.summary.avg_l1_error)
+                qets.append(res.summary.avg_qet_seconds)
+                trans.append(res.summary.avg_transform_seconds)
+                shrinks.append(res.summary.avg_shrink_seconds)
+            per_omega[omega] = (mean(l1s), mean(qets), mean(trans), mean(shrinks))
+        out[mode] = per_omega
+    return out
+
+
+def format_figure8(
+    dataset: str, results: dict[str, dict[int, tuple[float, float, float, float]]]
+) -> str:
+    omegas = sorted(next(iter(results.values())))
+    blocks = []
+    metrics = (
+        ("Avg L1 error", 0),
+        ("Avg QET (s)", 1),
+        ("Avg Transform time (s)", 2),
+        ("Avg Shrink time (s)", 3),
+    )
+    for metric, idx in metrics:
+        series = {
+            mode: [results[mode][w][idx] for w in omegas] for mode in results
+        }
+        blocks.append(
+            format_series(
+                f"Figure 8 ({dataset}): truncation bound sweep — {metric}",
+                "omega",
+                list(omegas),
+                series,
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+def main() -> None:  # pragma: no cover
+    print(format_figure8("cpdb", run_figure8()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

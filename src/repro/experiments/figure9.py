@@ -1,0 +1,76 @@
+"""Figure 9 — scaling experiments (Section 7.5).
+
+Scales each dataset to 50% / 1× / 2× / 4× of its standard volume
+(both rates and padded batch capacities grow, so circuit sizes grow too)
+and reports, per DP protocol, the *total* MPC time (every Transform,
+Shrink, and flush invocation) and the *total* query time over the run.
+
+Expected shape: both totals grow superlinearly-but-modestly with scale
+(sorting networks are n·log²n), demonstrating practical scalability.
+"""
+
+from __future__ import annotations
+
+from .harness import RunConfig, run_experiment
+from .reporting import format_series
+from ..workload.variants import FIGURE9_SCALES
+
+PROTOCOLS = ("dp-timer", "dp-ant")
+
+
+def run_figure9(
+    dataset: str = "tpcds",
+    scales: tuple[float, ...] = FIGURE9_SCALES,
+    seed: int = 0,
+    n_steps: int = 120,
+) -> dict[str, dict[float, tuple[float, float]]]:
+    """Per protocol: scale → (total MPC seconds, total query seconds)."""
+    out: dict[str, dict[float, tuple[float, float]]] = {}
+    for mode in PROTOCOLS:
+        per_scale: dict[float, tuple[float, float]] = {}
+        for scale in scales:
+            res = run_experiment(
+                RunConfig(
+                    dataset=dataset,
+                    mode=mode,
+                    n_steps=n_steps,
+                    seed=seed,
+                    scale=scale,
+                )
+            )
+            per_scale[scale] = (
+                res.summary.total_mpc_seconds,
+                res.summary.total_qet_seconds,
+            )
+        out[mode] = per_scale
+    return out
+
+
+def format_figure9(
+    dataset: str, results: dict[str, dict[float, tuple[float, float]]]
+) -> str:
+    scales = sorted(next(iter(results.values())))
+    blocks = []
+    for metric, idx in (("Total MPC time (s)", 0), ("Total query time (s)", 1)):
+        series = {
+            mode: [results[mode][s][idx] for s in scales] for mode in results
+        }
+        blocks.append(
+            format_series(
+                f"Figure 9 ({dataset}): scaling — {metric}",
+                "scale",
+                [f"{s:g}x" for s in scales],
+                series,
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+def main() -> None:  # pragma: no cover
+    for dataset in ("tpcds", "cpdb"):
+        print(format_figure9(dataset, run_figure9(dataset)))
+        print()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

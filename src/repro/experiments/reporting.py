@@ -1,0 +1,53 @@
+"""Plain-text reporting helpers for the experiment drivers.
+
+Every experiment prints the same rows/series its paper counterpart
+reports, as aligned monospace tables — good enough for terminals, test
+logs, and EXPERIMENTS.md extraction.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_value(value) -> str:
+    if value is None:
+        return "N/A"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or 0 < abs(value) < 1e-3:
+            return f"{value:.2e}"
+        if abs(value) >= 100:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(
+    title: str, headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Render an aligned table with a title rule."""
+    cells = [[format_value(v) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    title: str, x_label: str, xs: Sequence[object], series: dict[str, Sequence[object]]
+) -> str:
+    """Render one figure's data as a table: x column plus one column per line."""
+    headers = [x_label] + list(series)
+    rows = [
+        [x] + [series[name][i] for name in series]
+        for i, x in enumerate(xs)
+    ]
+    return format_table(title, headers, rows)

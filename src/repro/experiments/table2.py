@@ -1,0 +1,137 @@
+"""Table 2 — aggregated end-to-end comparison of all five candidates.
+
+Reproduces the paper's Table 2 for both datasets: average L1/relative
+error (with accuracy improvements over OTM), average Transform/Shrink/QET
+times (with QET improvements over NM and EP), and average materialized
+view sizes (with improvement over EP).
+
+NM recomputes the full join per query, so its queries are sampled every
+``nm_query_every`` steps; the reported figure is the per-query average,
+unaffected by the sampling rate.
+"""
+
+from __future__ import annotations
+
+from ..common.metrics import improvement
+from .harness import RunConfig, RunResult, run_experiment
+from .reporting import format_table
+
+MODES = ("dp-timer", "dp-ant", "otm", "ep", "nm")
+DATASETS = ("tpcds", "cpdb")
+
+
+def run_table2(
+    n_steps: int = 240,
+    seed: int = 0,
+    datasets: tuple[str, ...] = DATASETS,
+    nm_query_every: int = 10,
+) -> dict[tuple[str, str], RunResult]:
+    """Run every (dataset, mode) cell of Table 2."""
+    results: dict[tuple[str, str], RunResult] = {}
+    for dataset in datasets:
+        for mode in MODES:
+            config = RunConfig(
+                dataset=dataset,
+                mode=mode,
+                n_steps=n_steps,
+                seed=seed,
+                query_every=nm_query_every if mode == "nm" else 1,
+            )
+            results[(dataset, mode)] = run_experiment(config)
+    return results
+
+
+def table2_rows(results: dict[tuple[str, str], RunResult]) -> list[list[object]]:
+    """Flatten the results into Table 2's rows (one per dataset-metric)."""
+    rows: list[list[object]] = []
+    datasets = sorted({ds for ds, _ in results})
+    for ds in datasets:
+        get = lambda mode: results[(ds, mode)].summary  # noqa: E731
+        otm_l1 = get("otm").avg_l1_error
+        rows.append(
+            [f"{ds} Avg L1 error"]
+            + [get(m).avg_l1_error for m in MODES]
+        )
+        rows.append(
+            [f"{ds} Relative error"]
+            + [get(m).avg_relative_error for m in MODES]
+        )
+        rows.append(
+            [f"{ds} Accuracy imp (vs OTM)"]
+            + [
+                improvement(otm_l1, get(m).avg_l1_error)
+                if m in ("dp-timer", "dp-ant")
+                else None
+                for m in MODES
+            ]
+        )
+        rows.append(
+            [f"{ds} Transform (s)"]
+            + [
+                get(m).avg_transform_seconds if m in ("dp-timer", "dp-ant", "ep") else None
+                for m in MODES
+            ]
+        )
+        rows.append(
+            [f"{ds} Shrink (s)"]
+            + [
+                get(m).avg_shrink_seconds if m in ("dp-timer", "dp-ant") else None
+                for m in MODES
+            ]
+        )
+        rows.append([f"{ds} QET (s)"] + [get(m).avg_qet_seconds for m in MODES])
+        nm_qet = get("nm").avg_qet_seconds
+        ep_qet = get("ep").avg_qet_seconds
+        rows.append(
+            [f"{ds} QET imp over NM"]
+            + [
+                improvement(nm_qet, get(m).avg_qet_seconds)
+                if m in ("dp-timer", "dp-ant", "ep")
+                else None
+                for m in MODES
+            ]
+        )
+        rows.append(
+            [f"{ds} QET imp over EP"]
+            + [
+                improvement(ep_qet, get(m).avg_qet_seconds)
+                if m in ("dp-timer", "dp-ant")
+                else None
+                for m in MODES
+            ]
+        )
+        ep_mb = get("ep").avg_view_size_mb
+        rows.append(
+            [f"{ds} View size (MB)"]
+            + [
+                get(m).avg_view_size_mb if m != "nm" else None
+                for m in MODES
+            ]
+        )
+        rows.append(
+            [f"{ds} View size imp (vs EP)"]
+            + [
+                improvement(ep_mb, get(m).avg_view_size_mb)
+                if m in ("dp-timer", "dp-ant")
+                else None
+                for m in MODES
+            ]
+        )
+    return rows
+
+
+def format_table2(results: dict[tuple[str, str], RunResult]) -> str:
+    headers = ["metric", "DP-Timer", "DP-ANT", "OTM", "EP", "NM"]
+    return format_table(
+        "Table 2: aggregated statistics for comparison experiments",
+        headers,
+        table2_rows(results),
+    )
+
+
+def main() -> None:  # pragma: no cover - manual entry point
+    print(format_table2(run_table2()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,24 @@
+"""Simulated two-party MPC: runtime, cost model, transcript, joint noise."""
+
+from .cost_model import DEFAULT_COST_MODEL, CostModel
+from .joint_noise import joint_laplace, joint_noise, laplace_from_u32
+from .multiparty import NShare, NSharedTable, ServerGroup
+from .runtime import MPCRuntime, ProtocolContext, ProtocolRun, Server
+from .transcript import Transcript, TranscriptEvent
+
+__all__ = [
+    "DEFAULT_COST_MODEL",
+    "CostModel",
+    "joint_laplace",
+    "joint_noise",
+    "laplace_from_u32",
+    "NShare",
+    "NSharedTable",
+    "ServerGroup",
+    "MPCRuntime",
+    "ProtocolContext",
+    "ProtocolRun",
+    "Server",
+    "Transcript",
+    "TranscriptEvent",
+]

@@ -1,0 +1,65 @@
+"""Joint Laplace noise generation inside MPC (Algorithm 2, lines 4-6).
+
+Neither server may learn or control the DP noise that resizes cache
+fetches — otherwise it could subtract the noise from the published size
+and recover the true cardinality.  Following the paper (which adapts the
+distributed noise generation idea of Dwork et al. [29]):
+
+1. each server contributes a uniform 32-bit value ``z_i``;
+2. the protocol computes ``z = z0 ⊕ z1`` internally (uniform if at least
+   one contribution is honest);
+3. the low 31 bits become a fixed-point ``r ∈ (0, 1)`` and the most
+   significant bit the sign, giving ``noise = sign · (Δ/ε) · (-ln r)``,
+   i.e. a sample of ``Lap(Δ/ε)``.
+
+The paper's notation ``JointNoise(S0, S1, Δ, ε, x)`` returning
+``x + Lap(Δ/ε)`` maps to :func:`joint_noise` here.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..common.rng import RING_BITS
+from .runtime import ProtocolContext
+
+_SIGN_BIT = np.uint32(1 << (RING_BITS - 1))
+_MAG_MASK = np.uint32((1 << (RING_BITS - 1)) - 1)
+_MAG_DENOM = float(1 << (RING_BITS - 1))
+
+
+def laplace_from_u32(z: int | np.uint32, scale: float) -> float:
+    """Deterministically map one uniform 32-bit word to a Lap(scale) draw.
+
+    Magnitude uses the low 31 bits through the inverse CDF of the
+    exponential distribution; the sign uses the most significant bit, as
+    in Algorithm 2 line 6 (``sign(msb(z))``).  Exposed separately so tests
+    can check the mapping without a runtime.
+    """
+    z = np.uint32(z)
+    r = (float(z & _MAG_MASK) + 0.5) / _MAG_DENOM  # r ∈ (0, 1)
+    sign = -1.0 if (z & _SIGN_BIT) else 1.0
+    return sign * scale * (-math.log(r))
+
+
+def joint_laplace(ctx: ProtocolContext, sensitivity: float, epsilon: float) -> float:
+    """Sample ``Lap(sensitivity / epsilon)`` from joint server randomness.
+
+    Charges the fixed-point logarithm circuit to the cost model.
+    """
+    if epsilon <= 0:
+        raise ValueError(f"epsilon must be positive, got {epsilon}")
+    if sensitivity <= 0:
+        raise ValueError(f"sensitivity must be positive, got {sensitivity}")
+    z = int(ctx.joint_uniform_u32(1)[0])
+    ctx.charge_laplace()
+    return laplace_from_u32(z, sensitivity / epsilon)
+
+
+def joint_noise(
+    ctx: ProtocolContext, sensitivity: float, epsilon: float, value: float
+) -> float:
+    """The paper's ``JointNoise``: ``value + Lap(sensitivity/epsilon)``."""
+    return float(value) + joint_laplace(ctx, sensitivity, epsilon)

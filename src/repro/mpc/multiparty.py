@@ -1,0 +1,215 @@
+"""Multi-server deployment (paper Section 8, "Expanding to multiple
+servers").
+
+The prototype uses two non-colluding servers; the paper sketches the
+N ≥ 2 generalisation:
+
+* owners share data with the (N, N) XOR scheme, one share per server;
+* all outsourced objects (cache, view, counters, thresholds) are stored
+  as N-way shares;
+* Transform/Shrink compile to N-party protocols;
+* joint noise draws one uniform contribution *per server* and XORs all
+  of them — still exactly **one** Laplace instance, so widening the
+  server set adds no extra noise — and the design tolerates up to N−1
+  corruptions [51, 52].
+
+This module provides the N-party primitives (:class:`ServerGroup`) and a
+protocol scope mirroring the two-party runtime.  It exists to validate
+the extension's security-relevant properties (share confidentiality up
+to N−1 servers, single-noise-instance claim) and to let examples and
+benches exercise an N-server IncShrink data path; the full engine keeps
+the paper's two-server default.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from ..common.errors import ProtocolError, SecurityError
+from ..common.rng import spawn
+from ..common.types import Schema
+from ..sharing.xor_sharing import recover_array_k, share_array_k
+from .cost_model import DEFAULT_COST_MODEL, CostModel
+from .joint_noise import laplace_from_u32
+from .transcript import Transcript
+
+
+@dataclass
+class NShare:
+    """An N-way shared array: ``shares[i]`` lives on server i."""
+
+    shares: list[np.ndarray]
+
+    def __post_init__(self) -> None:
+        if len(self.shares) < 2:
+            raise ProtocolError("an N-share needs at least two shares")
+        shape = self.shares[0].shape
+        if any(s.shape != shape for s in self.shares):
+            raise ProtocolError("all shares must have identical shapes")
+
+    @property
+    def n_servers(self) -> int:
+        return len(self.shares)
+
+    def __len__(self) -> int:
+        return len(self.shares[0])
+
+
+@dataclass
+class NSharedTable:
+    """An N-way shared relation (rows + reality flags)."""
+
+    schema: Schema
+    rows: NShare
+    flags: NShare
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+class NPartyContext:
+    """Protocol scope for an N-server group (mirrors ProtocolContext)."""
+
+    def __init__(self, group: "ServerGroup", name: str, time: int) -> None:
+        self._group = group
+        self.name = name
+        self.time = time
+        self.gates = 0
+        self._open = True
+
+    def _require_open(self) -> None:
+        if not self._open:
+            raise SecurityError(f"protocol scope {self.name!r} already closed")
+
+    def reveal(self, shared: NShare) -> np.ndarray:
+        self._require_open()
+        if shared.n_servers != self._group.n_servers:
+            raise ProtocolError(
+                f"share count {shared.n_servers} does not match group size "
+                f"{self._group.n_servers}"
+            )
+        return recover_array_k(shared.shares)
+
+    def reveal_table(self, table: NSharedTable) -> tuple[np.ndarray, np.ndarray]:
+        rows = self.reveal(table.rows)
+        flags = self.reveal(table.flags).astype(bool)
+        return rows, flags
+
+    def share(self, values: np.ndarray) -> NShare:
+        """Re-share plaintext with fresh randomness from every server.
+
+        The mask of each non-final share comes from XOR-ing one
+        contribution per server (Appendix A.2's k-party construction):
+        uniform as long as any single server is honest.
+        """
+        self._require_open()
+        values = np.asarray(values, dtype=np.uint32)
+        n = self._group.n_servers
+        shares: list[np.ndarray] = []
+        acc = values.copy()
+        for i in range(n - 1):
+            mask = np.zeros(values.shape, dtype=np.uint32)
+            for server_gen in self._group.gens:
+                mask ^= (
+                    server_gen.integers(0, 1 << 32, size=values.size, dtype=np.uint32)
+                    .reshape(values.shape)
+                )
+            shares.append(mask)
+            acc ^= mask
+        shares.append(acc)
+        return NShare(shares)
+
+    def share_table(
+        self, schema: Schema, rows: np.ndarray, flags: np.ndarray
+    ) -> NSharedTable:
+        rows = np.asarray(rows, dtype=np.uint32).reshape(-1, schema.width)
+        return NSharedTable(
+            schema,
+            self.share(rows),
+            self.share(np.asarray(flags, dtype=np.uint32)),
+        )
+
+    def joint_laplace(self, sensitivity: float, epsilon: float) -> float:
+        """One Laplace draw from N contributions (still one instance)."""
+        self._require_open()
+        if epsilon <= 0 or sensitivity <= 0:
+            raise ValueError("sensitivity and epsilon must be positive")
+        z = np.uint32(0)
+        for gen in self._group.gens:
+            z ^= gen.integers(0, 1 << 32, dtype=np.uint32)
+        self.charge_gates(self._group.cost_model.laplace_gates)
+        return laplace_from_u32(z, sensitivity / epsilon)
+
+    def charge_gates(self, gates: int | float) -> None:
+        self._require_open()
+        self.gates += int(gates)
+
+    @property
+    def seconds(self) -> float:
+        return self._group.cost_model.seconds(self.gates)
+
+    def publish(self, kind: str, **payload: object) -> None:
+        self._group.transcript.publish(self.time, self.name, kind, **payload)
+
+
+class ServerGroup:
+    """N non-colluding servers plus the shared protocol machinery."""
+
+    def __init__(
+        self, n_servers: int, seed: int = 0, cost_model: CostModel | None = None
+    ) -> None:
+        if n_servers < 2:
+            raise ProtocolError(f"need at least 2 servers, got {n_servers}")
+        self.n_servers = n_servers
+        self.gens = [spawn(seed, "nserver", i) for i in range(n_servers)]
+        self.cost_model = cost_model or DEFAULT_COST_MODEL
+        self.transcript = Transcript()
+        self.owner_gen = spawn(seed, "nowner")
+        self._active: NPartyContext | None = None
+
+    @contextmanager
+    def protocol(self, name: str, time: int = 0) -> Iterator[NPartyContext]:
+        if self._active is not None:
+            raise ProtocolError("N-party protocols do not nest")
+        ctx = NPartyContext(self, name, time)
+        self._active = ctx
+        try:
+            yield ctx
+        finally:
+            ctx._open = False
+            self._active = None
+
+    def owner_share_table(
+        self, schema: Schema, rows: np.ndarray, flags: np.ndarray
+    ) -> NSharedTable:
+        """Owner-side (N, N) sharing of an upload batch."""
+        rows = np.asarray(rows, dtype=np.uint32).reshape(-1, schema.width)
+        return NSharedTable(
+            schema,
+            NShare(share_array_k(rows, self.n_servers, self.owner_gen)),
+            NShare(
+                share_array_k(
+                    np.asarray(flags, dtype=np.uint32), self.n_servers, self.owner_gen
+                )
+            ),
+        )
+
+    def corruption_view(self, shared: NShare, corrupted: list[int]) -> np.ndarray:
+        """XOR of the shares a coalition of ``corrupted`` servers holds.
+
+        For any strict subset this is a uniformly masked array carrying
+        no information — the property the N−1 corruption tolerance rests
+        on, and what the tests check.
+        """
+        if len(set(corrupted)) >= shared.n_servers:
+            raise SecurityError(
+                "corrupting every server defeats any secret-sharing scheme"
+            )
+        acc = np.zeros(shared.shares[0].shape, dtype=np.uint32)
+        for i in corrupted:
+            acc ^= shared.shares[i]
+        return acc

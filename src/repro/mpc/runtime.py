@@ -1,0 +1,242 @@
+"""Simulated two-party secure computation runtime.
+
+This module stands in for the EMP-Toolkit deployment of the paper.  The
+simulation is faithful in the three ways that matter for reproducing the
+evaluation:
+
+1. **Data flow** — servers only ever hold XOR shares.  Plaintext exists
+   exclusively inside a *protocol scope* (the analogue of a garbled
+   circuit evaluation): :meth:`ProtocolContext.reveal` recombines shares,
+   and calling it outside a scope raises
+   :class:`~repro.common.errors.SecurityError`.
+
+2. **Obliviousness** — everything executed inside a scope uses
+   data-independent algorithms (sorting networks, exhaustively padded
+   scans) whose operation sequence depends only on public sizes, so the
+   simulated access pattern equals the real one.
+
+3. **Cost** — every oblivious operation charges its exact gate count to a
+   :class:`~repro.mpc.cost_model.CostModel`; protocol runtimes reported by
+   experiments are ``gates / throughput`` seconds.
+
+Each :class:`Server` owns an independent RNG used for its randomness
+contributions (joint noise, in-MPC resharing), mirroring the paper's
+requirement that no single party controls protocol randomness.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from ..common.errors import ProtocolError, SecurityError
+from ..common.rng import spawn
+from ..common.types import Schema
+from ..sharing.shared_value import SharedArray, SharedTable
+from ..sharing.xor_sharing import reshare_from_contributions
+from .cost_model import DEFAULT_COST_MODEL, CostModel
+from .transcript import Transcript
+
+
+@dataclass
+class Server:
+    """One of the two non-colluding outsourcing servers.
+
+    Holds only an identifier and a private randomness source.  Shares
+    themselves live in :class:`~repro.sharing.shared_value.SharedArray`
+    pairs; slot 0 of every pair belongs to server 0 and slot 1 to
+    server 1.
+    """
+
+    server_id: int
+    gen: np.random.Generator
+
+    def contribute_u32(self, n: int = 1) -> np.ndarray:
+        """Fresh uniform ring elements for a joint-randomness protocol."""
+        return self.gen.integers(0, 1 << 32, size=n, dtype=np.uint32)
+
+
+@dataclass
+class ProtocolRun:
+    """Bookkeeping for one completed protocol invocation."""
+
+    name: str
+    time: int
+    gates: int
+    seconds: float
+
+
+class ProtocolContext:
+    """Handle available while a secure protocol is executing.
+
+    Created by :meth:`MPCRuntime.protocol`; all reveal/share/charge
+    operations of oblivious operators go through this object.
+    """
+
+    def __init__(self, runtime: "MPCRuntime", name: str, time: int) -> None:
+        self._runtime = runtime
+        self.name = name
+        self.time = time
+        self.gates = 0
+        self._open = True
+
+    # -- lifecycle --------------------------------------------------------
+    def _close(self) -> None:
+        self._open = False
+
+    def _require_open(self) -> None:
+        if not self._open:
+            raise SecurityError(
+                f"protocol scope {self.name!r} already closed; "
+                "plaintext operations are no longer permitted"
+            )
+
+    # -- plaintext boundary -------------------------------------------------
+    def reveal(self, shared: SharedArray) -> np.ndarray:
+        """Recombine shares inside the protocol (never leaves the scope)."""
+        self._require_open()
+        return shared._recover()
+
+    def reveal_table(self, table: SharedTable) -> tuple[np.ndarray, np.ndarray]:
+        """Recombine a shared table into ``(rows, flag_bits)``."""
+        self._require_open()
+        rows = table.rows._recover()
+        flags = table.flags._recover().astype(bool)
+        return rows, flags
+
+    def share_array(self, values: np.ndarray) -> SharedArray:
+        """Re-share protocol-internal plaintext using joint randomness.
+
+        The mask is derived from fresh contributions of *both* servers
+        (Section 5.1), so neither can predict the resulting shares.
+        """
+        self._require_open()
+        values = np.asarray(values, dtype=np.uint32)
+        z0 = self._runtime.server0.contribute_u32(values.size).reshape(values.shape)
+        z1 = self._runtime.server1.contribute_u32(values.size).reshape(values.shape)
+        s0, s1 = reshare_from_contributions(values, z0, z1)
+        return SharedArray(s0, s1)
+
+    def share_table(
+        self, schema: Schema, rows: np.ndarray, flags: np.ndarray
+    ) -> SharedTable:
+        self._require_open()
+        rows = np.asarray(rows, dtype=np.uint32)
+        if rows.ndim != 2:
+            rows = rows.reshape(-1, schema.width)
+        return SharedTable(
+            schema,
+            self.share_array(rows),
+            self.share_array(np.asarray(flags, dtype=np.uint32)),
+        )
+
+    def joint_uniform_u32(self, n: int = 1) -> np.ndarray:
+        """XOR of one fresh uniform contribution from each server.
+
+        This is the randomness source of the joint noise protocol: uniform
+        as long as at least one server samples honestly.
+        """
+        self._require_open()
+        z0 = self._runtime.server0.contribute_u32(n)
+        z1 = self._runtime.server1.contribute_u32(n)
+        return z0 ^ z1
+
+    # -- cost accounting --------------------------------------------------
+    @property
+    def cost_model(self) -> CostModel:
+        return self._runtime.cost_model
+
+    def charge_gates(self, gates: int | float) -> None:
+        self._require_open()
+        self.gates += int(gates)
+
+    def charge_compare_exchanges(self, count: int, payload_words: int) -> None:
+        self.charge_gates(count * self.cost_model.compare_exchange_gates(payload_words))
+
+    def charge_scan(self, n_rows: int, payload_words: int, predicate_words: int = 1) -> None:
+        self.charge_gates(
+            n_rows * self.cost_model.scan_row_gates(payload_words, predicate_words)
+        )
+
+    def charge_join_probes(self, count: int, payload_words: int) -> None:
+        self.charge_gates(count * self.cost_model.join_probe_gates(payload_words))
+
+    def charge_laplace(self) -> None:
+        self.charge_gates(self.cost_model.laplace_gates)
+
+    def charge_counter_update(self) -> None:
+        self.charge_gates(self.cost_model.counter_update_gates())
+
+    @property
+    def seconds(self) -> float:
+        """Simulated seconds consumed by this invocation so far."""
+        return self.cost_model.seconds(self.gates)
+
+    # -- public outputs ----------------------------------------------------
+    def publish(self, kind: str, **payload: object) -> None:
+        """Record an adversary-observable output of this protocol.
+
+        Anything passed here is *leakage*: tests assert it is limited to
+        public parameters and DP-protected quantities.
+        """
+        self._runtime.transcript.publish(self.time, self.name, kind, **payload)
+
+
+class MPCRuntime:
+    """Owns the two servers, the transcript, and the protocol ledger."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        cost_model: CostModel | None = None,
+    ) -> None:
+        self.server0 = Server(0, spawn(seed, "server", 0))
+        self.server1 = Server(1, spawn(seed, "server", 1))
+        self.cost_model = cost_model or DEFAULT_COST_MODEL
+        self.transcript = Transcript()
+        self.runs: list[ProtocolRun] = []
+        self._active: ProtocolContext | None = None
+        #: generator for owner-side sharing (outside any protocol scope)
+        self.owner_gen = spawn(seed, "owner-sharing")
+
+    @contextmanager
+    def protocol(self, name: str, time: int = 0) -> Iterator[ProtocolContext]:
+        """Open a protocol scope; on exit the invocation is logged.
+
+        Nesting is rejected: the paper's Transform and Shrink are compiled
+        as independent circuits and never call into one another.
+        """
+        if self._active is not None:
+            raise ProtocolError(
+                f"protocol {self._active.name!r} is already executing; "
+                "protocols are independent circuits and do not nest"
+            )
+        ctx = ProtocolContext(self, name, time)
+        self._active = ctx
+        try:
+            yield ctx
+        finally:
+            ctx._close()
+            self._active = None
+            self.runs.append(ProtocolRun(name, time, ctx.gates, ctx.seconds))
+
+    # -- convenience for owners (outside protocol scopes) -------------------
+    def owner_share_table(
+        self, schema: Schema, rows: np.ndarray, flags: np.ndarray
+    ) -> SharedTable:
+        """Owner-side secret sharing of an upload batch.
+
+        Owners run locally and are trusted with their own data, so this
+        does not require a protocol scope.
+        """
+        return SharedTable.from_plain(schema, rows, flags, self.owner_gen)
+
+    # -- introspection ------------------------------------------------------
+    def seconds_of(self, protocol_name: str) -> list[float]:
+        return [r.seconds for r in self.runs if r.name == protocol_name]
+
+    def total_seconds(self) -> float:
+        return sum(r.seconds for r in self.runs)

@@ -1,0 +1,47 @@
+"""The adversary-observable transcript of protocol executions.
+
+Definition 4 (SIM-CDP) bounds what a semi-honest server learns by the
+output of a DP mechanism over the update pattern.  To make that claim
+*checkable* in this reproduction, every piece of information a protocol
+makes public — array lengths, fetch sizes, invocation times — is recorded
+as a :class:`TranscriptEvent`.  Tests then assert, for example, that the
+only data-dependent quantity the Shrink protocols ever publish is the
+DP-noised cardinality, never the true counter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+
+@dataclass(frozen=True)
+class TranscriptEvent:
+    """One public observation: when, which protocol, what was revealed."""
+
+    time: int
+    protocol: str
+    kind: str
+    payload: dict[str, Any]
+
+
+@dataclass
+class Transcript:
+    """Append-only log of everything the untrusted servers observe."""
+
+    events: list[TranscriptEvent] = field(default_factory=list)
+
+    def publish(self, time: int, protocol: str, kind: str, **payload: Any) -> None:
+        self.events.append(TranscriptEvent(time, protocol, kind, dict(payload)))
+
+    def of_kind(self, kind: str) -> list[TranscriptEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def of_protocol(self, protocol: str) -> list[TranscriptEvent]:
+        return [e for e in self.events if e.protocol == protocol]
+
+    def __iter__(self) -> Iterator[TranscriptEvent]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)

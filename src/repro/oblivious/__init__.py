@@ -1,0 +1,32 @@
+"""Data-oblivious operators: sorting network, selection, truncated joins."""
+
+from .filter import oblivious_count, oblivious_select
+from .join_common import JoinResult, match_pairs_truncated
+from .nested_loop_join import truncated_nested_loop_join
+from .shuffle import oblivious_shuffle
+from .sort import (
+    PAD_KEY,
+    apply_network,
+    batcher_network,
+    composite_key,
+    network_comparator_count,
+    oblivious_sort,
+)
+from .sort_merge_join import oblivious_join_count, truncated_sort_merge_join
+
+__all__ = [
+    "oblivious_count",
+    "oblivious_select",
+    "JoinResult",
+    "match_pairs_truncated",
+    "truncated_nested_loop_join",
+    "oblivious_shuffle",
+    "PAD_KEY",
+    "apply_network",
+    "batcher_network",
+    "composite_key",
+    "network_comparator_count",
+    "oblivious_sort",
+    "oblivious_join_count",
+    "truncated_sort_merge_join",
+]

@@ -1,0 +1,93 @@
+"""Oblivious selection (Appendix A.1.1) and padded counting scans.
+
+Selection has stability 1 — each input row appears at most once in the
+output — so no truncation machinery is needed.  Obliviousness is achieved
+by returning *all* input rows and only flipping the ``isView`` bit: rows
+failing the predicate become dummies.  The output size therefore equals
+the (public) input size and nothing about the predicate's selectivity
+leaks.
+
+The counting scan is the query-side workhorse: every query in the paper's
+evaluation is a COUNT over the materialized view, evaluated by one padded
+linear pass that touches every row (real or dummy) exactly once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..mpc.runtime import ProtocolContext
+
+
+def oblivious_select(
+    ctx: ProtocolContext,
+    rows: np.ndarray,
+    flags: np.ndarray,
+    predicate_mask: np.ndarray,
+    payload_words: int,
+    predicate_words: int = 1,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Apply a selection predicate without changing the array size.
+
+    ``predicate_mask`` is the plaintext evaluation of the predicate inside
+    the protocol scope; the returned flag column is the AND of the input
+    reality flags and the mask.  Charges one padded scan.
+    """
+    n = len(rows)
+    ctx.charge_scan(n, payload_words, predicate_words)
+    mask = np.asarray(predicate_mask, dtype=bool)
+    if len(mask) != n:
+        raise ValueError(f"predicate mask length {len(mask)} != row count {n}")
+    return rows, np.asarray(flags, dtype=bool) & mask
+
+
+def oblivious_count(
+    ctx: ProtocolContext,
+    rows: np.ndarray,
+    flags: np.ndarray,
+    predicate_mask: np.ndarray | None,
+    payload_words: int,
+    predicate_words: int = 1,
+) -> int:
+    """COUNT(*) over real rows satisfying the predicate, via a padded scan.
+
+    The scan touches every row including dummies — that is where the
+    view-size/efficiency trade-off of the paper comes from: a view bloated
+    with dummy tuples (EP) pays for them on *every* query.
+    """
+    n = len(rows)
+    ctx.charge_scan(n, payload_words, predicate_words)
+    live = np.asarray(flags, dtype=bool)
+    if predicate_mask is not None:
+        live = live & np.asarray(predicate_mask, dtype=bool)
+    return int(live.sum())
+
+
+def oblivious_sum(
+    ctx: ProtocolContext,
+    rows: np.ndarray,
+    flags: np.ndarray,
+    column: int,
+    predicate_mask: np.ndarray | None,
+    payload_words: int,
+    predicate_words: int = 1,
+) -> int:
+    """SUM of one column over real rows satisfying the predicate.
+
+    Same padded scan as :func:`oblivious_count` plus a wider accumulator
+    (sums live in Z_{2^64} inside the circuit; real deployments size the
+    accumulator for the worst case, and so does the cost charge here).
+    Dummy rows contribute 0 — their payloads are multiplied by the
+    isView bit, so even non-zero dummy padding cannot skew the result.
+    """
+    n = len(rows)
+    # Count-scan cost plus a second 64-bit accumulate per row.
+    ctx.charge_scan(n, payload_words, predicate_words)
+    ctx.charge_gates(n * 64)
+    live = np.asarray(flags, dtype=bool)
+    if predicate_mask is not None:
+        live = live & np.asarray(predicate_mask, dtype=bool)
+    if n == 0:
+        return 0
+    values = np.asarray(rows, dtype=np.uint64)[:, column]
+    return int(values[live].sum())

@@ -1,0 +1,104 @@
+"""Shared pieces of the truncated oblivious join operators.
+
+Both join implementations (sort-merge, Example 5.1; nested-loop,
+Algorithm 4) produce the same *logical* result under the same truncation
+rules; they differ only in circuit shape and therefore cost.  This module
+holds the common result container and the truncated matching rule.
+
+Truncation semantics (Eq. 3 / Section 5.1):
+
+* every input record may contribute to at most ``ω`` output rows in one
+  invocation — enforced on *both* sides of the join;
+* callers additionally pass per-record remaining *lifetime* allowances
+  (``caps``), from which the effective per-invocation cap is
+  ``min(ω, cap)``; the engine derives caps from contribution budgets
+  (``b``), giving the bounded lifetime contribution of KI-3.
+
+The output is laid out in fixed slot blocks: driver row ``i`` owns output
+slots ``[i·ω, (i+1)·ω)``.  The block structure depends only on public
+sizes, so revealing the (always fully padded) output array leaks nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class JoinResult:
+    """Exhaustively padded output of a truncated oblivious join.
+
+    Attributes
+    ----------
+    rows:
+        ``(slots·ω, left_width + right_width)`` padded output rows.
+    flags:
+        isView bits — True for real join tuples, False for dummies.
+    left_emitted / right_emitted:
+        Per-input-row counts of output tuples each record produced in this
+        invocation (used by the contribution-budget ledger).
+    dropped:
+        Number of genuine join pairs discarded because a participant hit
+        its per-invocation or lifetime cap.  This is exactly the
+        truncation-induced accuracy loss studied in Section 7.4.
+    """
+
+    rows: np.ndarray
+    flags: np.ndarray
+    left_emitted: np.ndarray
+    right_emitted: np.ndarray
+    dropped: int
+
+    @property
+    def real_count(self) -> int:
+        return int(self.flags.sum())
+
+
+def match_pairs_truncated(
+    driver_order: np.ndarray,
+    candidate_lists: list[list[int]],
+    omega: int,
+    driver_caps: np.ndarray,
+    probe_caps: np.ndarray,
+) -> tuple[list[list[int]], np.ndarray, np.ndarray, int]:
+    """Assign probe matches to driver rows under truncation caps.
+
+    Parameters
+    ----------
+    driver_order:
+        Driver row indices in the order the oblivious scan visits them.
+    candidate_lists:
+        For each driver row (aligned with ``driver_order``), the probe row
+        indices that satisfy the join condition, in scan order.
+    omega:
+        Per-invocation contribution bound.
+    driver_caps / probe_caps:
+        Remaining lifetime allowances per row on each side.
+
+    Returns ``(assigned, driver_emitted, probe_emitted, dropped)`` where
+    ``assigned[k]`` lists the probe rows matched to ``driver_order[k]``.
+    The greedy in-scan-order assignment mirrors the linear pass of the
+    sort-merge construction: earlier tuples claim contribution slots
+    first; every candidate pair blocked by a cap counts as dropped.
+    """
+    driver_emitted = np.zeros(len(driver_caps), dtype=np.int64)
+    probe_emitted = np.zeros(len(probe_caps), dtype=np.int64)
+    driver_allow = np.minimum(omega, np.asarray(driver_caps)).astype(np.int64)
+    probe_allow = np.minimum(omega, np.asarray(probe_caps)).astype(np.int64)
+    assigned: list[list[int]] = []
+    dropped = 0
+    for k, d in enumerate(driver_order):
+        d = int(d)
+        matches: list[int] = []
+        for p in candidate_lists[k]:
+            p = int(p)
+            if driver_emitted[d] >= driver_allow[d] or probe_emitted[p] >= probe_allow[p]:
+                dropped += 1
+                continue
+            matches.append(p)
+            driver_emitted[d] += 1
+            probe_emitted[p] += 1
+        assigned.append(matches)
+    return assigned, driver_emitted, probe_emitted, dropped

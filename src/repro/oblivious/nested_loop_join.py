@@ -1,0 +1,99 @@
+"""Truncated oblivious nested-loop join (paper Algorithm 4, Appendix A.1.2).
+
+For each driver tuple the operator scans the entire probe table, appends a
+(real or dummy) candidate per probe tuple, obliviously sorts the per-driver
+intermediate so real joins come first, and cuts it to ``ω`` slots.  The
+result is logically identical to the truncated sort-merge join for the
+same inputs and caps, but the circuit is quadratic: ``n_driver × n_probe``
+probes plus ``n_driver`` small sorts, instead of one big sort plus a
+linear scan.
+
+The operator exists (a) because the paper specifies it, and (b) as the
+ablation point contrasting circuit shapes — see
+``benchmarks/test_ablation_join.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..mpc.runtime import ProtocolContext
+from .join_common import JoinResult, match_pairs_truncated
+from .sort import network_comparator_count
+from .sort_merge_join import PairPredicate
+
+
+def truncated_nested_loop_join(
+    ctx: ProtocolContext,
+    probe_rows: np.ndarray,
+    probe_flags: np.ndarray,
+    probe_key_col: int,
+    probe_caps: np.ndarray,
+    driver_rows: np.ndarray,
+    driver_flags: np.ndarray,
+    driver_key_col: int,
+    driver_caps: np.ndarray,
+    omega: int,
+    pair_predicate: PairPredicate | None = None,
+    output_left: str = "probe",
+) -> JoinResult:
+    """Nested-loop variant of the ω-truncated join.
+
+    Same signature and output layout as
+    :func:`~repro.oblivious.sort_merge_join.truncated_sort_merge_join`:
+    driver slot ``i`` owns output rows ``[i·ω, (i+1)·ω)``.
+    """
+    n_probe, w_probe = probe_rows.shape if probe_rows.size else (0, probe_rows.shape[1])
+    n_driver, w_driver = (
+        driver_rows.shape if driver_rows.size else (0, driver_rows.shape[1])
+    )
+    out_width = w_probe + w_driver
+
+    # Candidate collection: the outer loop visits drivers in storage
+    # order (Algorithm 4 scans T1 sequentially), the inner loop scans the
+    # probe table in storage order.
+    driver_order = np.arange(n_driver, dtype=np.int64)
+    candidate_lists: list[list[int]] = []
+    for d in range(n_driver):
+        ctx.charge_join_probes(n_probe, out_width)
+        # Per-driver intermediate o_i is obliviously sorted then cut to ω
+        # (Algorithm 4 lines 12-13); charge that sort's comparators.
+        ctx.charge_compare_exchanges(network_comparator_count(n_probe), out_width)
+        cands: list[int] = []
+        if driver_flags[d]:
+            key = int(driver_rows[d, driver_key_col])
+            for p in range(n_probe):
+                if not probe_flags[p]:
+                    continue
+                if int(probe_rows[p, probe_key_col]) != key:
+                    continue
+                if pair_predicate is None or pair_predicate(
+                    probe_rows[p], driver_rows[d]
+                ):
+                    cands.append(p)
+        candidate_lists.append(cands)
+
+    assigned, driver_emitted, probe_emitted, dropped = match_pairs_truncated(
+        driver_order, candidate_lists, omega, driver_caps, probe_caps
+    )
+
+    out_rows = np.zeros((n_driver * omega, out_width), dtype=np.uint32)
+    out_flags = np.zeros(n_driver * omega, dtype=bool)
+    for d in range(n_driver):
+        base = d * omega
+        for j, p in enumerate(assigned[d]):
+            if output_left == "probe":
+                out_rows[base + j, :w_probe] = probe_rows[p]
+                out_rows[base + j, w_probe:] = driver_rows[d]
+            else:
+                out_rows[base + j, :w_driver] = driver_rows[d]
+                out_rows[base + j, w_driver:] = probe_rows[p]
+            out_flags[base + j] = True
+
+    return JoinResult(
+        rows=out_rows,
+        flags=out_flags,
+        left_emitted=probe_emitted,
+        right_emitted=driver_emitted,
+        dropped=dropped,
+    )

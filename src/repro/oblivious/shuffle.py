@@ -1,0 +1,44 @@
+"""Oblivious shuffle: permute a shared array without revealing the order.
+
+Built the standard way — obliviously *sort* under one-time uniform keys
+drawn from the joint randomness of both servers.  The paper's protocols
+do not strictly need a shuffle (the sorted cache read of Figure 3 leaks
+nothing because its output positions are data-independent), but a real
+deployment uses one wherever a data-dependent order could otherwise
+surface (e.g. before handing a fetched batch to a different operator in
+a multi-level plan, so that slot positions stop encoding arrival order).
+
+Costs one full sorting network over the input length.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..mpc.runtime import ProtocolContext
+from .sort import oblivious_sort
+
+
+def oblivious_shuffle(
+    ctx: ProtocolContext,
+    rows: np.ndarray,
+    flags: np.ndarray,
+    payload_words: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Uniformly permute ``(rows, flags)`` inside a protocol scope.
+
+    The permutation comes from sorting under fresh joint-uniform 64-bit
+    keys (two 32-bit contributions per element), so neither server can
+    predict or bias it; collisions are possible but only make some
+    permutations infinitesimally more likely, which no observer can see.
+    """
+    n = len(rows)
+    if n <= 1:
+        return rows, flags
+    hi = ctx.joint_uniform_u32(n).astype(np.uint64)
+    lo = ctx.joint_uniform_u32(n).astype(np.uint64)
+    keys = (hi << np.uint64(32)) | lo
+    _, [out_rows, out_flags] = oblivious_sort(
+        ctx, keys, [rows, np.asarray(flags, dtype=np.uint32)], payload_words
+    )
+    return out_rows, out_flags.astype(bool)

@@ -1,0 +1,211 @@
+"""b-truncated oblivious sort-merge join (paper Example 5.1).
+
+Workflow, exactly as Figure 2 sketches it:
+
+1. Union the two input tables (tagging each row with its side) and
+   obliviously sort by the join attribute, breaking ties so the probe
+   side orders before the driver side.
+2. Linearly scan the sorted, merged table.  Whenever a driver tuple is
+   visited, join it against the probe tuples of the same key group that
+   satisfy the pair predicate and still have contribution allowance.
+3. After visiting each driver tuple, emit exactly ``ω`` output slots —
+   real joins first, dummies after; surplus genuine joins are truncated.
+
+The output array size is therefore ``ω × |driver input|``, a public
+quantity; the real cardinality stays hidden inside the isView bits.
+
+This module also provides the *untruncated* ``oblivious_join_count`` used
+by the non-materialization (NM) baseline, which recomputes the full join
+per query and aggregates the count inside the circuit.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable
+
+import numpy as np
+
+from ..mpc.runtime import ProtocolContext
+from .join_common import JoinResult, match_pairs_truncated
+from .sort import composite_key, oblivious_sort
+
+#: Predicate over candidate pairs: receives the probe row and driver row
+#: (1-D uint32 arrays) and returns whether the pair truly joins beyond key
+#: equality (e.g. the "returned within 10 days" temporal condition).
+PairPredicate = Callable[[np.ndarray, np.ndarray], bool]
+
+
+def _group_by_key(keys: np.ndarray) -> dict[int, list[int]]:
+    groups: dict[int, list[int]] = defaultdict(list)
+    for pos, key in enumerate(keys):
+        groups[int(key)].append(pos)
+    return groups
+
+
+def truncated_sort_merge_join(
+    ctx: ProtocolContext,
+    probe_rows: np.ndarray,
+    probe_flags: np.ndarray,
+    probe_key_col: int,
+    probe_caps: np.ndarray,
+    driver_rows: np.ndarray,
+    driver_flags: np.ndarray,
+    driver_key_col: int,
+    driver_caps: np.ndarray,
+    omega: int,
+    pair_predicate: PairPredicate | None = None,
+    output_left: str = "probe",
+) -> JoinResult:
+    """Join driver rows against probe rows with ω-truncation.
+
+    The *driver* side is the newly uploaded batch whose arrival triggered
+    this Transform invocation; every driver slot ``i`` owns output rows
+    ``[i·ω, (i+1)·ω)``.  The *probe* side is the still-active (budgeted)
+    window of the other table.  Output columns are
+    ``probe || driver`` when ``output_left == "probe"`` (the default,
+    matching "T1 records are ordered before T2"), else ``driver || probe``.
+
+    Obliviousness: the sort is a fixed network over the public union size;
+    the scan visits every merged tuple once; the output size is fixed.
+    Charges: one oblivious sort of the union, one probe per candidate
+    pair within equal-key groups, one padded emit per output slot.
+    """
+    n_probe, w_probe = probe_rows.shape if probe_rows.size else (0, probe_rows.shape[1])
+    n_driver, w_driver = (
+        driver_rows.shape if driver_rows.size else (0, driver_rows.shape[1])
+    )
+    out_width = w_probe + w_driver
+    n_union = n_probe + n_driver
+
+    # --- 1. oblivious sort of the tagged union --------------------------
+    union_keys = np.concatenate(
+        [
+            probe_rows[:, probe_key_col] if n_probe else np.zeros(0, dtype=np.uint32),
+            driver_rows[:, driver_key_col] if n_driver else np.zeros(0, dtype=np.uint32),
+        ]
+    )
+    # Tiebreak: probe side (0) before driver side (1), then original index.
+    side = np.concatenate(
+        [np.zeros(n_probe, dtype=np.uint32), np.ones(n_driver, dtype=np.uint32)]
+    )
+    position = np.concatenate(
+        [np.arange(n_probe, dtype=np.uint32), np.arange(n_driver, dtype=np.uint32)]
+    )
+    tiebreak = (side << np.uint32(24)) | (position & np.uint32(0xFFFFFF))
+    sort_keys = composite_key(union_keys, tiebreak)
+    union_payload_words = max(w_probe, w_driver) + 2  # rows + side tag + flag
+    _, [sorted_side, sorted_pos] = oblivious_sort(
+        ctx, sort_keys, [side, position], union_payload_words
+    )
+
+    # --- 2. linear scan: collect candidates per driver tuple ------------
+    # Dummy rows never join: their flags are False on both sides.
+    groups = _group_by_key(union_keys)
+    candidate_lists: list[list[int]] = []
+    driver_order: list[int] = []
+    # Visit drivers in sorted-scan order (the order the circuit would).
+    for s, pos in zip(sorted_side, sorted_pos):
+        if s != 1:
+            continue
+        d = int(pos)
+        driver_order.append(d)
+        if not driver_flags[d]:
+            candidate_lists.append([])
+            continue
+        key = int(driver_rows[d, driver_key_col])
+        cands: list[int] = []
+        for upos in groups.get(key, []):
+            if upos >= n_probe:
+                continue  # the merged tuple is a driver row, not a probe
+            p = upos
+            if not probe_flags[p]:
+                continue
+            if pair_predicate is None or pair_predicate(probe_rows[p], driver_rows[d]):
+                cands.append(p)
+        candidate_lists.append(cands)
+        ctx.charge_join_probes(max(len(groups.get(key, [])) - 1, 0), out_width)
+
+    assigned, driver_emitted, probe_emitted, dropped = match_pairs_truncated(
+        np.asarray(driver_order, dtype=np.int64),
+        candidate_lists,
+        omega,
+        driver_caps,
+        probe_caps,
+    )
+
+    # --- 3. fixed-size padded emission -----------------------------------
+    out_rows = np.zeros((n_driver * omega, out_width), dtype=np.uint32)
+    out_flags = np.zeros(n_driver * omega, dtype=bool)
+    ctx.charge_scan(n_driver * omega, out_width)
+    for k, d in enumerate(driver_order):
+        base = int(d) * omega
+        for j, p in enumerate(assigned[k]):
+            if output_left == "probe":
+                out_rows[base + j, :w_probe] = probe_rows[p]
+                out_rows[base + j, w_probe:] = driver_rows[d]
+            else:
+                out_rows[base + j, :w_driver] = driver_rows[d]
+                out_rows[base + j, w_driver:] = probe_rows[p]
+            out_flags[base + j] = True
+
+    return JoinResult(
+        rows=out_rows,
+        flags=out_flags,
+        left_emitted=probe_emitted,
+        right_emitted=driver_emitted,
+        dropped=dropped,
+    )
+
+
+def oblivious_join_count(
+    ctx: ProtocolContext,
+    left_rows: np.ndarray,
+    left_flags: np.ndarray,
+    left_key_col: int,
+    right_rows: np.ndarray,
+    right_flags: np.ndarray,
+    right_key_col: int,
+    pair_predicate: PairPredicate | None = None,
+) -> int:
+    """Exact COUNT of the full (untruncated) join, inside the circuit.
+
+    This is the query path of the non-materialization baseline: sort the
+    union of the *entire* outsourced tables, scan, and accumulate the
+    count.  Nothing but the final aggregate leaves the protocol — but the
+    circuit size grows with the whole database, which is precisely the
+    redundant-computation overhead IncShrink's materialized view removes.
+    """
+    n_left, w_left = left_rows.shape if left_rows.size else (0, left_rows.shape[1])
+    n_right, w_right = right_rows.shape if right_rows.size else (0, right_rows.shape[1])
+    out_width = w_left + w_right
+
+    union_keys = np.concatenate(
+        [
+            left_rows[:, left_key_col] if n_left else np.zeros(0, dtype=np.uint32),
+            right_rows[:, right_key_col] if n_right else np.zeros(0, dtype=np.uint32),
+        ]
+    )
+    side = np.concatenate(
+        [np.zeros(n_left, dtype=np.uint32), np.ones(n_right, dtype=np.uint32)]
+    )
+    sort_keys = composite_key(union_keys, side)
+    payload_words = max(w_left, w_right) + 2
+    oblivious_sort(ctx, sort_keys, [side], payload_words)
+
+    count = 0
+    groups_left: dict[int, list[int]] = defaultdict(list)
+    for i in range(n_left):
+        if left_flags[i]:
+            groups_left[int(left_rows[i, left_key_col])].append(i)
+    for j in range(n_right):
+        if not right_flags[j]:
+            continue
+        key = int(right_rows[j, right_key_col])
+        partners = groups_left.get(key, [])
+        ctx.charge_join_probes(len(partners), out_width)
+        for i in partners:
+            if pair_predicate is None or pair_predicate(left_rows[i], right_rows[j]):
+                count += 1
+    ctx.charge_scan(n_left + n_right, payload_words)
+    return count

@@ -1,0 +1,24 @@
+"""Query layer: AST, logical→view rewriting, secure execution."""
+
+from .ast import (
+    LogicalJoinCountQuery,
+    ViewCountQuery,
+    ViewSumQuery,
+    column_equals,
+    column_in_range,
+)
+from .executor import execute_nm_count, execute_view_count, execute_view_sum
+from .rewrite import can_answer, rewrite
+
+__all__ = [
+    "LogicalJoinCountQuery",
+    "ViewCountQuery",
+    "ViewSumQuery",
+    "column_equals",
+    "column_in_range",
+    "execute_nm_count",
+    "execute_view_count",
+    "execute_view_sum",
+    "can_answer",
+    "rewrite",
+]

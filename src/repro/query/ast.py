@@ -1,0 +1,94 @@
+"""Query representation: logical COUNT queries and their view rewrites.
+
+The paper's evaluation queries (Q1, Q2) are COUNT aggregates over a
+temporal join — precisely the shape a join view materializes.  A
+:class:`LogicalJoinCountQuery` describes the analyst's intent against the
+*logical* tables; :mod:`repro.query.rewrite` turns it into a
+:class:`ViewCountQuery` against a matching view definition.
+
+View queries may carry an additional residual predicate (e.g. "only
+officer 17"), evaluated obliviously during the padded view scan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..common.errors import SchemaError
+from ..common.types import Schema
+
+#: Residual predicate over view rows: (n, width) array -> boolean mask.
+ViewPredicate = Callable[[np.ndarray], np.ndarray]
+
+
+@dataclass(frozen=True)
+class LogicalJoinCountQuery:
+    """``SELECT COUNT(*) FROM probe JOIN driver ON key WHERE ts-window``.
+
+    Field names refer to the logical tables; ``window_lo``/``window_hi``
+    bound ``driver.ts − probe.ts`` exactly as in the view definitions.
+    """
+
+    probe_table: str
+    driver_table: str
+    probe_key: str
+    driver_key: str
+    probe_ts: str
+    driver_ts: str
+    window_lo: int
+    window_hi: int
+
+
+@dataclass(frozen=True)
+class ViewCountQuery:
+    """COUNT over a materialized view, with an optional residual filter."""
+
+    view_name: str
+    predicate: ViewPredicate | None = None
+    predicate_words: int = 1
+
+
+@dataclass(frozen=True)
+class ViewSumQuery:
+    """SUM of one view column over rows passing the residual filter.
+
+    The evaluation section of the paper uses COUNT queries exclusively,
+    but the view-based query paradigm supports any aggregate computable
+    in one padded scan; SUM is the canonical second example ("total value
+    of products returned within 10 days").
+    """
+
+    view_name: str
+    column: str
+    predicate: ViewPredicate | None = None
+    predicate_words: int = 1
+
+
+def column_equals(schema: Schema, column: str, value: int) -> ViewPredicate:
+    """Convenience residual predicate: ``view.column == value``."""
+    col = schema.index(column)
+
+    def _pred(rows: np.ndarray) -> np.ndarray:
+        if len(rows) == 0:
+            return np.zeros(0, dtype=bool)
+        return rows[:, col] == np.uint32(value)
+
+    return _pred
+
+
+def column_in_range(schema: Schema, column: str, lo: int, hi: int) -> ViewPredicate:
+    """Residual range predicate: ``lo <= view.column <= hi``."""
+    if hi < lo:
+        raise SchemaError(f"empty range [{lo}, {hi}]")
+    col = schema.index(column)
+
+    def _pred(rows: np.ndarray) -> np.ndarray:
+        if len(rows) == 0:
+            return np.zeros(0, dtype=bool)
+        vals = rows[:, col]
+        return (vals >= np.uint32(lo)) & (vals <= np.uint32(hi))
+
+    return _pred

@@ -1,0 +1,98 @@
+"""Secure query execution over views and outsourced stores.
+
+Two execution paths, mirroring the paper's evaluation candidates:
+
+* **view scan** — one padded oblivious pass over the materialized view;
+  cost is linear in the view's *total* (real + dummy) size, which is why
+  EP's bloated views answer slowly and the DP views answer fast;
+* **non-materialization (NM)** — a full oblivious sort-merge join over
+  the entire outsourced tables, recomputed per query.
+
+Both return the answer together with the simulated QET.
+"""
+
+from __future__ import annotations
+
+from ..core.view_def import JoinViewDefinition
+from ..mpc.runtime import MPCRuntime
+from ..oblivious.filter import oblivious_count, oblivious_sum
+from ..oblivious.sort_merge_join import oblivious_join_count
+from ..storage.materialized_view import MaterializedView
+from ..storage.outsourced_table import OutsourcedTable
+from .ast import ViewCountQuery, ViewSumQuery
+
+
+def execute_view_count(
+    runtime: MPCRuntime,
+    time: int,
+    view: MaterializedView,
+    query: ViewCountQuery,
+) -> tuple[int, float]:
+    """Answer a COUNT over the materialized view; returns (answer, QET)."""
+    with runtime.protocol("query", time) as ctx:
+        rows, flags = ctx.reveal_table(view.table)
+        mask = None
+        if query.predicate is not None and len(rows):
+            mask = query.predicate(rows)
+        count = oblivious_count(
+            ctx,
+            rows,
+            flags,
+            mask,
+            view.schema.width,
+            query.predicate_words,
+        )
+        seconds = ctx.seconds
+    return count, seconds
+
+
+def execute_view_sum(
+    runtime: MPCRuntime,
+    time: int,
+    view: MaterializedView,
+    query: ViewSumQuery,
+) -> tuple[int, float]:
+    """Answer a SUM over one view column; returns (answer, QET)."""
+    with runtime.protocol("query", time) as ctx:
+        rows, flags = ctx.reveal_table(view.table)
+        mask = None
+        if query.predicate is not None and len(rows):
+            mask = query.predicate(rows)
+        total = oblivious_sum(
+            ctx,
+            rows,
+            flags,
+            view.schema.index(query.column),
+            mask,
+            view.schema.width,
+            query.predicate_words,
+        )
+        seconds = ctx.seconds
+    return total, seconds
+
+
+def execute_nm_count(
+    runtime: MPCRuntime,
+    time: int,
+    probe_store: OutsourcedTable,
+    driver_store: OutsourcedTable,
+    view_def: JoinViewDefinition,
+) -> tuple[int, float]:
+    """NM baseline: recompute the whole join obliviously for this query."""
+    probe = probe_store.full_table()
+    driver = driver_store.full_table()
+    with runtime.protocol("query-nm", time) as ctx:
+        p_rows, p_flags = ctx.reveal_table(probe)
+        d_rows, d_flags = ctx.reveal_table(driver)
+        count = oblivious_join_count(
+            ctx,
+            p_rows,
+            p_flags,
+            view_def.probe_key_col,
+            d_rows,
+            d_flags,
+            view_def.driver_key_col,
+            view_def.pair_predicate,
+        )
+        seconds = ctx.seconds
+    return count, seconds

@@ -1,0 +1,39 @@
+"""Logical-to-view query rewriting (the paper's q̃_t from q_t).
+
+IncShrink registers a view per *pre-specified* query class; an incoming
+logical query is answerable from a view exactly when its join structure
+(tables, keys, timestamp window) matches the view definition.  The
+rewriter checks that match and emits the view-side COUNT; a mismatch is
+an error — the paper's framework does not fall back to NM silently.
+"""
+
+from __future__ import annotations
+
+from ..common.errors import SchemaError
+from ..core.view_def import JoinViewDefinition
+from .ast import LogicalJoinCountQuery, ViewCountQuery
+
+
+def can_answer(query: LogicalJoinCountQuery, view: JoinViewDefinition) -> bool:
+    """Whether ``view`` materializes exactly ``query``'s join."""
+    return (
+        query.probe_table == view.probe_table
+        and query.driver_table == view.driver_table
+        and query.probe_key == view.probe_key
+        and query.driver_key == view.driver_key
+        and query.probe_ts == view.probe_ts
+        and query.driver_ts == view.driver_ts
+        and query.window_lo == view.window_lo
+        and query.window_hi == view.window_hi
+    )
+
+
+def rewrite(query: LogicalJoinCountQuery, view: JoinViewDefinition) -> ViewCountQuery:
+    """Rewrite ``q_t(D_t)`` into ``q̃_t(V_t)`` or raise if incompatible."""
+    if not can_answer(query, view):
+        raise SchemaError(
+            f"view {view.name!r} does not materialize the join of query "
+            f"({query.probe_table} ⋈ {query.driver_table}); register a "
+            "matching view first"
+        )
+    return ViewCountQuery(view_name=view.name)

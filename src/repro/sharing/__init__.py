@@ -1,0 +1,21 @@
+"""Secret sharing: XOR (2,2)/(k,k) schemes and shared containers."""
+
+from .shared_value import WORD_BYTES, SharedArray, SharedTable
+from .xor_sharing import (
+    recover_array,
+    recover_array_k,
+    reshare_from_contributions,
+    share_array,
+    share_array_k,
+)
+
+__all__ = [
+    "WORD_BYTES",
+    "SharedArray",
+    "SharedTable",
+    "recover_array",
+    "recover_array_k",
+    "reshare_from_contributions",
+    "share_array",
+    "share_array_k",
+]

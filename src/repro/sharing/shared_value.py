@@ -1,0 +1,168 @@
+"""Secret-shared containers the servers store and the protocols manipulate.
+
+A :class:`SharedArray` is the pair of XOR shares of a ``uint32`` array —
+one share held (conceptually) by each server.  A :class:`SharedTable`
+bundles a shared row matrix with a shared ``is_real``/``isView`` flag
+column and a plaintext :class:`~repro.common.types.Schema` (schemas are
+public metadata in the paper's model; only the *data* is hidden).
+
+These containers deliberately expose **no plaintext accessor**: recovery
+goes through :meth:`repro.mpc.runtime.MPCRuntime.reveal`, which enforces
+that recombination only happens inside a protocol scope.  Structural
+operations that a real MPC deployment performs share-locally (concatenate,
+slice, apply a public permutation) are provided directly because they
+touch each share independently and leak nothing beyond public lengths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..common.errors import ProtocolError, SchemaError
+from ..common.types import Schema
+from .xor_sharing import recover_array, share_array
+
+#: Bytes each secret-shared ring element occupies on one server.
+WORD_BYTES = 4
+
+
+@dataclass
+class SharedArray:
+    """XOR shares of an integer array (any shape), one per server."""
+
+    share0: np.ndarray
+    share1: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.share0 = np.asarray(self.share0, dtype=np.uint32)
+        self.share1 = np.asarray(self.share1, dtype=np.uint32)
+        if self.share0.shape != self.share1.shape:
+            raise ProtocolError("share halves must have identical shapes")
+
+    # -- construction ---------------------------------------------------
+    @classmethod
+    def from_plain(cls, values: np.ndarray, gen: np.random.Generator) -> "SharedArray":
+        """Share a plaintext array (an owner-side or in-protocol action)."""
+        s0, s1 = share_array(np.asarray(values), gen)
+        return cls(s0, s1)
+
+    @classmethod
+    def empty(cls, shape: tuple[int, ...]) -> "SharedArray":
+        z = np.zeros(shape, dtype=np.uint32)
+        return cls(z, z.copy())
+
+    # -- public structure -----------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.share0.shape
+
+    def __len__(self) -> int:
+        return len(self.share0)
+
+    @property
+    def byte_size(self) -> int:
+        """Bytes of ciphertext held per server."""
+        return int(self.share0.size) * WORD_BYTES
+
+    # -- share-local structural ops (leak only public lengths) ----------
+    def concat(self, other: "SharedArray") -> "SharedArray":
+        return SharedArray(
+            np.concatenate([self.share0, other.share0]),
+            np.concatenate([self.share1, other.share1]),
+        )
+
+    def take(self, index: np.ndarray | slice) -> "SharedArray":
+        """Select rows by a *public* index or slice.
+
+        Oblivious protocols only ever call this with data-independent
+        indices (a prefix cut after an oblivious sort, a public
+        permutation), so using it never widens the leakage surface.
+        """
+        return SharedArray(self.share0[index], self.share1[index])
+
+    def _recover(self) -> np.ndarray:
+        """Recombine shares.  Internal: only the MPC runtime calls this."""
+        return recover_array(self.share0, self.share1)
+
+
+@dataclass
+class SharedTable:
+    """A secret-shared relation: shared rows + shared reality flags.
+
+    ``flags`` holds the ``isView``/``is_real`` bit of each row (stored as a
+    full ring element, as it would be in a real garbled-circuit wire
+    bundle).  The row count and schema are public; everything else is
+    hidden.
+    """
+
+    schema: Schema
+    rows: SharedArray
+    flags: SharedArray
+
+    def __post_init__(self) -> None:
+        if self.rows.shape and len(self.rows.shape) != 2:
+            raise SchemaError("shared rows must be a 2-D array")
+        if self.rows.shape and self.rows.shape[1] != self.schema.width:
+            raise SchemaError(
+                f"shared rows width {self.rows.shape[1]} != schema width {self.schema.width}"
+            )
+        if len(self.flags) != len(self.rows):
+            raise SchemaError("flag column length must match row count")
+
+    # -- construction ---------------------------------------------------
+    @classmethod
+    def from_plain(
+        cls,
+        schema: Schema,
+        rows: np.ndarray,
+        flags: np.ndarray,
+        gen: np.random.Generator,
+    ) -> "SharedTable":
+        rows = np.asarray(rows, dtype=np.uint32)
+        if rows.ndim != 2:
+            rows = rows.reshape(-1, schema.width)
+        return cls(
+            schema,
+            SharedArray.from_plain(rows, gen),
+            SharedArray.from_plain(np.asarray(flags, dtype=np.uint32), gen),
+        )
+
+    @classmethod
+    def empty(cls, schema: Schema) -> "SharedTable":
+        return cls(
+            schema,
+            SharedArray.empty((0, schema.width)),
+            SharedArray.empty((0,)),
+        )
+
+    # -- public structure -----------------------------------------------
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    @property
+    def byte_size(self) -> int:
+        """Per-server ciphertext bytes (rows plus flag column)."""
+        return self.rows.byte_size + self.flags.byte_size
+
+    def concat(self, other: "SharedTable") -> "SharedTable":
+        if other.schema != self.schema:
+            raise SchemaError("cannot concat shared tables with different schemas")
+        return SharedTable(
+            self.schema, self.rows.concat(other.rows), self.flags.concat(other.flags)
+        )
+
+    def take(self, index: np.ndarray | slice) -> "SharedTable":
+        """Row selection by a public index/slice (see :meth:`SharedArray.take`)."""
+        return SharedTable(self.schema, self.rows.take(index), self.flags.take(index))
+
+    @classmethod
+    def concat_all(cls, tables: Sequence["SharedTable"]) -> "SharedTable":
+        if not tables:
+            raise SchemaError("cannot concat zero shared tables")
+        out = tables[0]
+        for t in tables[1:]:
+            out = out.concat(t)
+        return out

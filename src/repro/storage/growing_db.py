@@ -1,0 +1,87 @@
+"""The logical growing database D = {u_i} (paper Section 4.1).
+
+This is the *owners'* plaintext data, used for two things only:
+
+* the owner side of the simulation reads it to produce upload batches;
+* the experiment harness queries it for ground-truth answers so that the
+  L1 error of the view-based answers can be measured.
+
+The untrusted servers never see this object — their world consists of
+secret shares in :mod:`repro.storage.outsourced_table` and friends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..common.errors import SchemaError
+from ..common.types import Schema
+
+
+@dataclass
+class _TableLog:
+    schema: Schema
+    times: list[int] = field(default_factory=list)
+    batches: list[np.ndarray] = field(default_factory=list)
+
+
+class GrowingDatabase:
+    """Insertion-only timestamped relational store.
+
+    ``D_t`` — the instance at time ``t`` — is the union of all batches
+    inserted at times ≤ t (Definition: D = {D_t}, D_t ⊆ D).
+    """
+
+    def __init__(self) -> None:
+        self._tables: dict[str, _TableLog] = {}
+
+    def create_table(self, name: str, schema: Schema) -> None:
+        if name in self._tables:
+            raise SchemaError(f"table {name!r} already exists")
+        self._tables[name] = _TableLog(schema)
+
+    def schema(self, name: str) -> Schema:
+        return self._log(name).schema
+
+    def insert(self, time: int, name: str, rows: np.ndarray) -> None:
+        """Append a batch of logical updates at time ``time``.
+
+        Times must be non-decreasing per table — the database only grows.
+        """
+        log = self._log(name)
+        rows = np.asarray(rows, dtype=np.uint32)
+        if rows.ndim != 2 or rows.shape[1] != log.schema.width:
+            raise SchemaError(
+                f"rows shape {rows.shape} does not match table {name!r} "
+                f"schema width {log.schema.width}"
+            )
+        if log.times and time < log.times[-1]:
+            raise SchemaError(
+                f"insert at time {time} before last insert {log.times[-1]}: "
+                "growing databases are insertion-only"
+            )
+        log.times.append(time)
+        log.batches.append(rows)
+
+    def instance_at(self, name: str, time: int) -> np.ndarray:
+        """All rows of ``name`` inserted at or before ``time`` (D_t)."""
+        log = self._log(name)
+        parts = [b for t, b in zip(log.times, log.batches) if t <= time]
+        if not parts:
+            return log.schema.empty_rows(0)
+        return np.vstack(parts)
+
+    def count_at(self, name: str, time: int) -> int:
+        log = self._log(name)
+        return sum(len(b) for t, b in zip(log.times, log.batches) if t <= time)
+
+    def tables(self) -> list[str]:
+        return list(self._tables)
+
+    def _log(self, name: str) -> _TableLog:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise SchemaError(f"no table named {name!r}") from None

@@ -1,0 +1,45 @@
+"""The materialized view V (paper Sections 2.2 and 4.1).
+
+A secret-shared, append-only relation the servers answer queries from.
+Like the cache, only its length (and therefore byte size) is public; the
+mix of real and dummy tuples inside is hidden.  Appends happen exclusively
+through Shrink (DP-sized), the EP baseline (everything), or a cache
+flush.
+"""
+
+from __future__ import annotations
+
+from ..common.types import Schema
+from ..mpc.runtime import ProtocolContext
+from ..sharing.shared_value import SharedTable
+
+
+class MaterializedView:
+    """Append-only secret-shared view instance."""
+
+    def __init__(self, schema: Schema) -> None:
+        self.schema = schema
+        self.table = SharedTable.empty(schema)
+        #: number of Shrink-driven updates applied so far (public)
+        self.update_count = 0
+
+    def __len__(self) -> int:
+        return len(self.table)
+
+    @property
+    def row_count(self) -> int:
+        return len(self.table)
+
+    @property
+    def byte_size(self) -> int:
+        return self.table.byte_size
+
+    def append(self, delta: SharedTable, count_as_update: bool = True) -> None:
+        self.table = self.table.concat(delta)
+        if count_as_update:
+            self.update_count += 1
+
+    def real_count(self, ctx: ProtocolContext) -> int:
+        """MPC-internal true cardinality (used for scoring, never leaked)."""
+        _, flags = ctx.reveal_table(self.table)
+        return int(flags.sum())

@@ -1,0 +1,105 @@
+"""Server-side secret-shared storage of an outsourced table (DS).
+
+Owners upload fixed-size, exhaustively padded batches at fixed intervals
+(the paper's default record-synchronisation strategy); each batch is kept
+as one :class:`~repro.sharing.shared_value.SharedTable` tagged with its
+upload time.  Batch boundaries, sizes, and times are public — that is the
+whole point of the padded upload policy.
+
+What is *not* public is which rows are real; that travels in the shared
+flag column.  Per-row lifetime emission counters (needed to enforce the
+contribution budget ``b``) are MPC-internal state: a real deployment
+carries them as extra shared columns, and we model that by storing them
+beside the shares and only reading them inside protocol scopes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..common.errors import ProtocolError, SchemaError
+from ..common.types import Schema
+from ..sharing.shared_value import SharedTable
+
+
+@dataclass
+class OutsourcedBatch:
+    """One uploaded batch: shares plus budget bookkeeping."""
+
+    time: int
+    table: SharedTable
+    #: number of Transform invocations this batch has participated in
+    invocations_used: int = 0
+    #: per-row lifetime view-entry emissions (MPC-internal shared state)
+    emitted: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.emitted is None:
+            self.emitted = np.zeros(len(self.table), dtype=np.int64)
+
+
+class OutsourcedTable:
+    """Append-only store of uploaded batches for one relation."""
+
+    def __init__(self, schema: Schema, name: str) -> None:
+        self.schema = schema
+        self.name = name
+        self.batches: list[OutsourcedBatch] = []
+
+    def append_batch(self, table: SharedTable, time: int) -> OutsourcedBatch:
+        if table.schema != self.schema:
+            raise SchemaError(
+                f"batch schema {table.schema.fields} does not match table "
+                f"{self.name!r} schema {self.schema.fields}"
+            )
+        if self.batches and time < self.batches[-1].time:
+            raise ProtocolError(
+                f"batch at time {time} precedes last batch at "
+                f"{self.batches[-1].time}; uploads are ordered"
+            )
+        batch = OutsourcedBatch(time=time, table=table)
+        self.batches.append(batch)
+        return batch
+
+    # -- budget-aware access ------------------------------------------------
+    def active_batches(self, omega: int, budget: int) -> list[OutsourcedBatch]:
+        """Batches that still have contribution budget to spend.
+
+        Each Transform invocation a batch participates in costs ω of its
+        records' budget ``b`` (Section 5.1, "Contribution over time"), so
+        a batch is usable while ``b - ω·uses ≥ ω``.  Because consumption
+        is uniform per invocation, eligibility depends only on public
+        upload times — using it leaks nothing.
+        """
+        if omega <= 0 or budget <= 0:
+            raise ProtocolError("omega and budget must be positive")
+        max_uses = budget // omega
+        return [b for b in self.batches if b.invocations_used < max_uses]
+
+    def charge_invocation(self, batches: list[OutsourcedBatch], omega: int, budget: int) -> None:
+        """Consume ω budget from every participating batch."""
+        max_uses = budget // omega
+        for b in batches:
+            if b.invocations_used >= max_uses:
+                raise ProtocolError(
+                    f"batch at time {b.time} of {self.name!r} has exhausted "
+                    "its contribution budget"
+                )
+            b.invocations_used += 1
+
+    # -- whole-table access (NM baseline) ------------------------------------
+    def full_table(self) -> SharedTable:
+        """Concatenation of every uploaded batch (the entire DS_t)."""
+        if not self.batches:
+            return SharedTable.empty(self.schema)
+        return SharedTable.concat_all([b.table for b in self.batches])
+
+    @property
+    def total_rows(self) -> int:
+        return sum(len(b.table) for b in self.batches)
+
+    @property
+    def byte_size(self) -> int:
+        return sum(b.table.byte_size for b in self.batches)

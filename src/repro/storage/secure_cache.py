@@ -1,0 +1,89 @@
+"""The secure outsourced cache σ (paper Sections 2.2 and 5).
+
+Transform appends exhaustively padded view deltas here; Shrink later
+moves a DP-sized portion into the materialized view.  The cache is a
+secret-shared array across the two servers; its only public attribute is
+its length.
+
+The cache-read operation (Figure 3) is: obliviously sort by the isView
+bit so real tuples come first, cut a prefix of the requested (public,
+DP-noised) size, hand the prefix to the view, keep the suffix.  The flush
+operation is the same but discards the suffix entirely, reclaiming the
+space (Theorem 5's ``s``/``f`` machinery).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..common.errors import ProtocolError
+from ..common.types import Schema
+from ..mpc.runtime import ProtocolContext
+from ..oblivious.sort import composite_key, oblivious_sort
+from ..sharing.shared_value import SharedTable
+
+
+class SecureCache:
+    """Secret-shared staging area for not-yet-synchronised view tuples."""
+
+    def __init__(self, schema: Schema) -> None:
+        self.schema = schema
+        self.table = SharedTable.empty(schema)
+
+    def __len__(self) -> int:
+        return len(self.table)
+
+    @property
+    def byte_size(self) -> int:
+        return self.table.byte_size
+
+    def append(self, delta: SharedTable) -> None:
+        """Concatenate a padded Transform output (share-local, no leakage
+        beyond the public delta length)."""
+        self.table = self.table.concat(delta)
+
+    # -- protocol-scope operations ------------------------------------------
+    def sorted_read(
+        self, ctx: ProtocolContext, size: int, discard_rest: bool = False
+    ) -> tuple[SharedTable, int, int]:
+        """The cache read of Figure 3: sort by isView, cut ``size`` rows.
+
+        Returns ``(fetched, fetched_real, remaining_real)``.  The two real
+        counts are MPC-internal diagnostics (they never enter the
+        transcript); experiments use them to measure deferred data.  With
+        ``discard_rest`` the suffix is recycled instead of kept — the
+        cache-flush behaviour — and ``remaining_real`` then reports how
+        many real tuples were destroyed (Theorem 4 makes this unlikely
+        for a well-chosen flush size).
+        """
+        if size < 0:
+            raise ProtocolError(f"read size must be non-negative, got {size}")
+        n = len(self.table)
+        size = min(size, n)
+        rows, flags = ctx.reveal_table(self.table)
+        # Real tuples (flag=1) must sort to the head: key 0 for real,
+        # 1 for dummy; FIFO tiebreak on position keeps reads deterministic.
+        primary = np.where(flags, 0, 1).astype(np.uint32)
+        position = np.arange(n, dtype=np.uint32)
+        keys = composite_key(primary, position)
+        _, [sorted_rows, sorted_flags] = oblivious_sort(
+            ctx, keys, [rows, flags.astype(np.uint32)], self.schema.width + 1
+        )
+        sorted_flags = sorted_flags.astype(bool)
+
+        head_rows, head_flags = sorted_rows[:size], sorted_flags[:size]
+        tail_rows, tail_flags = sorted_rows[size:], sorted_flags[size:]
+        fetched = ctx.share_table(self.schema, head_rows, head_flags)
+        fetched_real = int(head_flags.sum())
+        remaining_real = int(tail_flags.sum())
+
+        if discard_rest:
+            self.table = SharedTable.empty(self.schema)
+        else:
+            self.table = ctx.share_table(self.schema, tail_rows, tail_flags)
+        return fetched, fetched_real, remaining_real
+
+    def real_count(self, ctx: ProtocolContext) -> int:
+        """MPC-internal count of real tuples currently cached."""
+        _, flags = ctx.reveal_table(self.table)
+        return int(flags.sum())

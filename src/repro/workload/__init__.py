@@ -1,0 +1,22 @@
+"""Workload generators: synthetic TPC-ds and CPDB streams plus variants."""
+
+from .cpdb import ALLEGATION_SCHEMA, AWARD_SCHEMA, cpdb_view_def, make_cpdb_workload
+from .stream import StepUploads, Workload
+from .tpcds import RETURNS_SCHEMA, SALES_SCHEMA, make_tpcds_workload, tpcds_view_def
+from .variants import FIGURE9_SCALES, VARIANT_MULTIPLIERS, make_workload
+
+__all__ = [
+    "ALLEGATION_SCHEMA",
+    "AWARD_SCHEMA",
+    "cpdb_view_def",
+    "make_cpdb_workload",
+    "StepUploads",
+    "Workload",
+    "RETURNS_SCHEMA",
+    "SALES_SCHEMA",
+    "make_tpcds_workload",
+    "tpcds_view_def",
+    "FIGURE9_SCALES",
+    "VARIANT_MULTIPLIERS",
+    "make_workload",
+]

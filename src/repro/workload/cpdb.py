@@ -1,0 +1,129 @@
+"""Synthetic Chicago Police Database stream (paper Section 7, Q2).
+
+The paper's Q2 counts how often an officer received an award within 10
+days of a misconduct finding — a join between the private ``Allegation``
+table and the public ``Award`` table, with multiplicity > 1 (an officer
+can receive several awards inside one window, and one award can pair
+with several recent allegations).  The paper runs it with ω = 10 and
+b = 20: uploads arrive every 5 days, so an allegation stays joinable for
+b/ω = 2 uploads ≈ the 10-day window.
+
+The generator reproduces that shape (see DESIGN.md §2):
+
+* one step = one 5-day upload period; timestamps are step numbers and
+  the join window is driver.ts − probe.ts ∈ [0, 1] steps;
+* awards are drawn toward recently-accused officers with probability
+  ``hot_fraction`` — that correlation is what gives Q2 its multiplicity
+  and is the premise of the query itself;
+* defaults calibrated to the paper's ≈9.8 new view entries per step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..common.errors import ConfigurationError
+from ..common.rng import spawn
+from ..common.types import RecordBatch, Schema
+from ..core.view_def import JoinViewDefinition
+from .stream import StepUploads, Workload
+
+ALLEGATION_SCHEMA = Schema(("officer_id", "case_end_ts"))
+AWARD_SCHEMA = Schema(("officer_id", "award_ts"))
+
+#: Join window in upload steps: same or next upload period.
+WINDOW_HI = 1
+
+
+def cpdb_view_def(omega: int = 10, budget: int = 20) -> JoinViewDefinition:
+    """The Q2 join view: allegations ⋈ awards on officer within window."""
+    return JoinViewDefinition(
+        name="cpdb-q2",
+        probe_table="allegation",
+        probe_schema=ALLEGATION_SCHEMA,
+        probe_key="officer_id",
+        probe_ts="case_end_ts",
+        driver_table="award",
+        driver_schema=AWARD_SCHEMA,
+        driver_key="officer_id",
+        driver_ts="award_ts",
+        window_lo=0,
+        window_hi=WINDOW_HI,
+        omega=omega,
+        budget=budget,
+        driver_public=True,
+    )
+
+
+def make_cpdb_workload(
+    seed: int = 0,
+    n_steps: int = 240,
+    allegations_per_step: float = 4.0,
+    awards_per_step: float = 12.0,
+    hot_fraction: float = 0.68,
+    n_officers: int = 60,
+    rate_multiplier: float = 1.0,
+    spike_prob: float = 0.0,
+    spike_multiplier: float = 1.0,
+    scale: float = 1.0,
+    omega: int = 10,
+    budget: int = 20,
+) -> Workload:
+    """Generate the synthetic Allegation/Award stream.
+
+    ``scale`` multiplies volumes and capacities (Figure 9);
+    ``rate_multiplier`` adjusts real arrival rates at fixed capacities
+    (Figure 6 Sparse); ``spike_prob``/``spike_multiplier`` inject bursty
+    steps at fixed capacities (Figure 6 Burst).
+    """
+    if n_steps < 1:
+        raise ConfigurationError("n_steps must be >= 1")
+    if not 0.0 <= hot_fraction <= 1.0:
+        raise ConfigurationError(f"hot_fraction must be in [0,1], got {hot_fraction}")
+    gen = spawn(seed, "cpdb", n_steps)
+    lam_alleg = allegations_per_step * scale * rate_multiplier
+    lam_award = awards_per_step * scale * rate_multiplier
+    pool = max(8, int(n_officers * scale))
+    alleg_capacity = max(3, int(np.ceil(allegations_per_step * scale * 2.5)))
+    award_capacity = max(4, int(np.ceil(awards_per_step * scale * 2.0)))
+
+    recent_accused: list[list[int]] = []  # officer ids per recent step
+    steps: list[StepUploads] = []
+    for t in range(1, n_steps + 1):
+        boost = 1.0
+        if spike_prob > 0 and gen.random() < spike_prob:
+            boost = spike_multiplier
+        n_alleg = min(int(gen.poisson(lam_alleg * boost)), alleg_capacity)
+        officers = gen.integers(1, pool + 1, size=n_alleg)
+        alleg_rows = np.column_stack(
+            [officers, np.full(n_alleg, t)]
+        ).astype(np.uint32) if n_alleg else ALLEGATION_SCHEMA.empty_rows(0)
+
+        recent_accused.append(list(map(int, officers)))
+        if len(recent_accused) > WINDOW_HI + 1:
+            recent_accused.pop(0)
+        hot_pool = [o for step_officers in recent_accused for o in step_officers]
+
+        n_award = min(int(gen.poisson(lam_award * boost)), award_capacity)
+        award_officers = np.empty(n_award, dtype=np.uint32)
+        for i in range(n_award):
+            if hot_pool and gen.random() < hot_fraction:
+                award_officers[i] = hot_pool[int(gen.integers(0, len(hot_pool)))]
+            else:
+                award_officers[i] = int(gen.integers(1, pool + 1))
+        award_rows = np.column_stack(
+            [award_officers, np.full(n_award, t)]
+        ).astype(np.uint32) if n_award else AWARD_SCHEMA.empty_rows(0)
+
+        steps.append(
+            StepUploads(
+                time=t,
+                probe=RecordBatch(ALLEGATION_SCHEMA, alleg_rows).padded_to(
+                    alleg_capacity
+                ),
+                driver=RecordBatch(AWARD_SCHEMA, award_rows).padded_to(
+                    award_capacity
+                ),
+            )
+        )
+    return Workload("cpdb", cpdb_view_def(omega, budget), steps)

@@ -1,0 +1,86 @@
+"""Workload streams: the owner-side upload schedule of an experiment.
+
+A :class:`Workload` is a fully materialized, seeded sequence of per-step
+upload pairs (probe batch, driver batch), each exhaustively padded to its
+table's fixed capacity — the paper's default owner behaviour ("owners
+submit a fixed-size data block at predetermined intervals").
+
+Timestamps are expressed in *upload steps*: one step is one upload period
+(a day for TPC-ds, five days for CPDB).  Join windows are measured in the
+same unit; see DESIGN.md §2 for how this maps onto the paper's day-based
+predicates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..common.errors import ConfigurationError
+from ..common.types import RecordBatch
+from ..core.view_def import JoinViewDefinition
+
+
+@dataclass(frozen=True)
+class StepUploads:
+    """The two padded batches owners submit at one step."""
+
+    time: int
+    probe: RecordBatch
+    driver: RecordBatch
+
+
+@dataclass
+class Workload:
+    """A named, reproducible upload schedule bound to a view definition."""
+
+    name: str
+    view_def: JoinViewDefinition
+    steps: list[StepUploads]
+
+    def __post_init__(self) -> None:
+        if not self.steps:
+            raise ConfigurationError("a workload needs at least one step")
+        times = [s.time for s in self.steps]
+        if times != sorted(times) or len(set(times)) != len(times):
+            raise ConfigurationError("step times must be strictly increasing")
+
+    @property
+    def n_steps(self) -> int:
+        return len(self.steps)
+
+    def all_probe_rows(self) -> np.ndarray:
+        parts = [s.probe.real_rows() for s in self.steps]
+        parts = [p for p in parts if len(p)]
+        if not parts:
+            return self.view_def.probe_schema.empty_rows(0)
+        return np.vstack(parts)
+
+    def all_driver_rows(self) -> np.ndarray:
+        parts = [s.driver.real_rows() for s in self.steps]
+        parts = [p for p in parts if len(p)]
+        if not parts:
+            return self.view_def.driver_schema.empty_rows(0)
+        return np.vstack(parts)
+
+    def total_view_entries(self) -> int:
+        """Qualifying join pairs over the whole stream (ground truth)."""
+        return self.view_def.logical_join_count(
+            self.all_probe_rows(), self.all_driver_rows()
+        )
+
+    def average_view_rate(self) -> float:
+        """Mean new view entries per step — the paper's 2.7 / 9.8 figures.
+
+        Used to pick consistent protocol parameters: the paper sets the
+        sDPANT threshold θ = 30 and the timer T = ⌊θ / rate⌋.
+        """
+        return self.total_view_entries() / self.n_steps
+
+    def recommended_timer_interval(self, theta: float = 30.0) -> int:
+        """``T = ⌊θ / rate⌋`` as in the paper's default setting."""
+        rate = self.average_view_rate()
+        if rate <= 0:
+            return self.n_steps
+        return max(1, int(theta // max(rate, 1e-9)))

@@ -1,0 +1,84 @@
+"""Workload variants: Sparse / Standard / Burst and Figure-9 scaling.
+
+Section 7.3 derives two extra datasets from each original: a *Sparse* one
+with 10% of the view entries and a *Burst* one with more entries arriving
+in dense episodes.  Both keep batch capacities at their standard values —
+padded upload sizes are public constants, so the variants differ only in
+hidden content, exactly as in the paper:
+
+* **sparse** thins real arrivals to 10%;
+* **burst** injects spike steps whose arrival rate jumps several-fold
+  (clamped by the public capacity).  Burstiness — not just average
+  volume — is what separates the fixed-schedule sDPTimer from the
+  adaptive sDPANT, which is the point of the experiment.
+
+Section 7.5 scales the datasets to 50%/1×/2×/4×; that knob multiplies
+volumes *and* capacities (``scale``), growing the circuits themselves.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..common.errors import ConfigurationError
+from .cpdb import make_cpdb_workload
+from .stream import Workload
+from .tpcds import make_tpcds_workload
+
+#: generator keyword overrides per Section 7.3 variant
+VARIANT_SETTINGS: dict[str, dict[str, float]] = {
+    "sparse": {"rate_multiplier": 0.1},
+    "standard": {},
+    "burst": {"spike_prob": 0.4, "spike_multiplier": 5.0},
+}
+
+#: retained for backwards compatibility with the average-rate view of
+#: the variants (sparse ≈ 0.1×, burst ≈ 1.5-2× depending on clamping)
+VARIANT_MULTIPLIERS = {"sparse": 0.1, "standard": 1.0, "burst": 2.0}
+
+#: data scales for the Section 7.5 experiment
+FIGURE9_SCALES = (0.5, 1.0, 2.0, 4.0)
+
+_GENERATORS: dict[str, Callable[..., Workload]] = {
+    "tpcds": make_tpcds_workload,
+    "cpdb": make_cpdb_workload,
+}
+
+
+def make_workload(
+    dataset: str,
+    seed: int = 0,
+    n_steps: int = 240,
+    variant: str = "standard",
+    scale: float = 1.0,
+    **overrides,
+) -> Workload:
+    """Uniform entry point for every experiment's workload needs.
+
+    ``dataset`` ∈ {"tpcds", "cpdb"}; ``variant`` ∈ {"sparse", "standard",
+    "burst"}; ``scale`` ∈ (0, ∞), typically one of ``FIGURE9_SCALES``.
+    Extra keyword arguments pass through to the underlying generator
+    (e.g. ``omega=...`` for the Figure 8 sweep).
+    """
+    try:
+        generator = _GENERATORS[dataset]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown dataset {dataset!r}; expected one of {sorted(_GENERATORS)}"
+        ) from None
+    try:
+        settings = VARIANT_SETTINGS[variant]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown variant {variant!r}; expected one of "
+            f"{sorted(VARIANT_SETTINGS)}"
+        ) from None
+    if scale <= 0:
+        raise ConfigurationError(f"scale must be positive, got {scale}")
+    return generator(
+        seed=seed,
+        n_steps=n_steps,
+        scale=scale,
+        **settings,
+        **overrides,
+    )

@@ -1,0 +1,93 @@
+"""Tests for the CLI entry point and the oblivious shuffle utility."""
+
+import numpy as np
+import pytest
+
+from repro.__main__ import main
+from repro.common.types import multiset
+from repro.mpc.runtime import MPCRuntime
+from repro.oblivious.shuffle import oblivious_shuffle
+from repro.oblivious.sort import network_comparator_count
+
+
+class TestCli:
+    def test_run_command(self, capsys):
+        assert main(["run", "--dataset", "tpcds", "--mode", "ep", "--steps", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "avg L1 error" in out
+        assert "realized epsilon" in out
+
+    def test_table2_command(self, capsys):
+        assert main(["table2", "--steps", "12"]) == 0
+        assert "Table 2" in capsys.readouterr().out
+
+    def test_figure4_command(self, capsys):
+        assert main(["figure4", "--steps", "12"]) == 0
+        assert "Figure 4" in capsys.readouterr().out
+
+    def test_figure5_command(self, capsys):
+        assert main(["figure5", "--dataset", "tpcds", "--steps", "10"]) == 0
+        assert "privacy vs" in capsys.readouterr().out
+
+    def test_figure8_command(self, capsys):
+        assert main(["figure8", "--steps", "10"]) == 0
+        assert "truncation bound" in capsys.readouterr().out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["not-an-experiment"])
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--mode", "quantum"])
+
+
+class TestObliviousShuffle:
+    def _shuffle(self, rows, flags, seed=0):
+        runtime = MPCRuntime(seed=seed)
+        with runtime.protocol("s") as ctx:
+            out = oblivious_shuffle(ctx, rows, flags, payload_words=3)
+            gates = ctx.gates
+        return out, gates
+
+    def test_preserves_multiset(self):
+        rows = np.asarray([[i, i * 2] for i in range(17)], dtype=np.uint32)
+        flags = np.asarray([i % 2 == 0 for i in range(17)])
+        (out_rows, out_flags), _ = self._shuffle(rows, flags)
+        assert multiset(out_rows) == multiset(rows)
+        assert out_flags.sum() == flags.sum()
+
+    def test_flags_travel_with_rows(self):
+        rows = np.asarray([[i, 0] for i in range(20)], dtype=np.uint32)
+        flags = np.asarray([i < 10 for i in range(20)])
+        (out_rows, out_flags), _ = self._shuffle(rows, flags)
+        for row, flag in zip(out_rows, out_flags):
+            assert flag == (int(row[0]) < 10)
+
+    def test_actually_permutes(self):
+        rows = np.asarray([[i, 0] for i in range(64)], dtype=np.uint32)
+        flags = np.ones(64, dtype=bool)
+        (out_rows, _), _ = self._shuffle(rows, flags)
+        assert (out_rows[:, 0] != rows[:, 0]).any()
+
+    def test_different_runs_differ(self):
+        rows = np.asarray([[i, 0] for i in range(32)], dtype=np.uint32)
+        flags = np.ones(32, dtype=bool)
+        (a, _), _ = self._shuffle(rows, flags, seed=1)
+        (b, _), _ = self._shuffle(rows, flags, seed=2)
+        assert (a[:, 0] != b[:, 0]).any()
+
+    def test_charges_one_sort(self):
+        rows = np.asarray([[i, 0] for i in range(16)], dtype=np.uint32)
+        flags = np.ones(16, dtype=bool)
+        runtime = MPCRuntime(seed=0)
+        _, gates = self._shuffle(rows, flags)
+        expected = network_comparator_count(16) * runtime.cost_model.compare_exchange_gates(3)
+        assert gates == expected
+
+    def test_trivial_inputs(self):
+        rows = np.zeros((1, 2), dtype=np.uint32)
+        flags = np.ones(1, dtype=bool)
+        (out_rows, out_flags), gates = self._shuffle(rows, flags)
+        assert (out_rows == rows).all()
+        assert gates == 0

@@ -1,0 +1,79 @@
+"""Unit tests for the simulation clock and RNG derivation."""
+
+import numpy as np
+import pytest
+
+from repro.common.clock import SimClock
+from repro.common.rng import (
+    RING_MOD,
+    msb,
+    random_ring_elements,
+    spawn,
+    uniform_unit_from_u32,
+)
+
+
+class TestSimClock:
+    def test_ticks_advance(self):
+        clock = SimClock()
+        assert clock.tick() == 1
+        assert clock.tick() == 2
+        assert clock.now == 2
+
+    def test_every_matches_modulo(self):
+        clock = SimClock()
+        fired = []
+        for _ in range(9):
+            clock.tick()
+            if clock.every(3):
+                fired.append(clock.now)
+        assert fired == [3, 6, 9]
+
+    def test_every_never_fires_at_time_zero(self):
+        assert not SimClock().every(1)
+
+    def test_nonpositive_period_never_fires(self):
+        clock = SimClock()
+        clock.tick()
+        assert not clock.every(0)
+        assert not clock.every(-2)
+
+
+class TestSpawn:
+    def test_deterministic(self):
+        a = spawn(7, "x").integers(0, 1000, 5)
+        b = spawn(7, "x").integers(0, 1000, 5)
+        assert (a == b).all()
+
+    def test_different_paths_differ(self):
+        a = spawn(7, "server", 0).integers(0, 2**32, 16)
+        b = spawn(7, "server", 1).integers(0, 2**32, 16)
+        assert (a != b).any()
+
+    def test_different_seeds_differ(self):
+        a = spawn(1, "x").integers(0, 2**32, 16)
+        b = spawn(2, "x").integers(0, 2**32, 16)
+        assert (a != b).any()
+
+    def test_string_and_int_labels_accepted(self):
+        assert spawn(0, "a", 3, "b") is not None
+
+
+class TestRingHelpers:
+    def test_random_ring_elements_dtype_and_range(self):
+        vals = random_ring_elements(spawn(0, "r"), 1000)
+        assert vals.dtype == np.uint32
+        assert len(vals) == 1000
+
+    def test_uniform_unit_open_interval(self):
+        assert 0.0 < uniform_unit_from_u32(0) < 1.0
+        assert 0.0 < uniform_unit_from_u32(RING_MOD - 1) < 1.0
+
+    def test_uniform_unit_midpoint(self):
+        assert uniform_unit_from_u32(RING_MOD // 2) == pytest.approx(0.5, abs=1e-6)
+
+    def test_msb(self):
+        assert msb(0) == 0
+        assert msb(RING_MOD - 1) == 1
+        assert msb(1 << 31) == 1
+        assert msb((1 << 31) - 1) == 0

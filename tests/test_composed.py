@@ -1,0 +1,100 @@
+"""Tests for the composed IncShrink ∘ DP-Sync harness (Theorem 17)."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.experiments.composed import (
+    ComposedRunConfig,
+    run_composed_experiment,
+)
+
+
+class TestComposedConfig:
+    def test_unknown_owner_strategy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ComposedRunConfig(owner_strategy="telepathy")
+
+    def test_non_dp_server_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ComposedRunConfig(server_mode="ep")
+
+
+class TestComposedRuns:
+    def test_every_step_owner_matches_plain_deployment(self):
+        """With the pass-through owner strategy the composition reduces
+        to the plain engine: zero owner gap, ε total = server ε."""
+        res = run_composed_experiment(
+            ComposedRunConfig(owner_strategy="every-step", n_steps=40)
+        )
+        assert res.owner_max_gap == 0
+        assert res.total_epsilon == pytest.approx(res.config.server_epsilon)
+
+    def test_dp_timer_owner_creates_gap_and_adds_epsilon(self):
+        res = run_composed_experiment(
+            ComposedRunConfig(
+                owner_strategy="dp-timer",
+                owner_epsilon=1.0,
+                owner_interval=3,
+                n_steps=40,
+            )
+        )
+        assert res.owner_max_gap > 0
+        assert res.total_epsilon == pytest.approx(1.0 + 1.5)
+
+    def test_dp_ant_owner_runs(self):
+        res = run_composed_experiment(
+            ComposedRunConfig(
+                owner_strategy="dp-ant", owner_epsilon=2.0, n_steps=40
+            )
+        )
+        assert res.summary.query_count == 40
+        assert res.total_epsilon == pytest.approx(2.0 + 1.5)
+
+    def test_public_driver_needs_no_owner_strategy(self):
+        """CPDB's Award table is public: only the Allegation owner runs
+        DP-Sync, and the composition still works end to end."""
+        res = run_composed_experiment(
+            ComposedRunConfig(
+                dataset="cpdb",
+                owner_strategy="dp-timer",
+                n_steps=30,
+                timer_interval=3,
+            )
+        )
+        assert res.summary.query_count == 30
+
+    def test_theorem17_bound_dominates_measured_error(self):
+        """The composed error bound is an upper envelope: measured avg L1
+        stays below it (the bound is deliberately loose)."""
+        res = run_composed_experiment(
+            ComposedRunConfig(
+                owner_strategy="dp-timer", owner_epsilon=1.0, n_steps=60
+            )
+        )
+        assert res.summary.avg_l1_error < res.theorem17_bound
+
+    def test_owner_gap_increases_error_vs_passthrough(self):
+        """Holding records back at the owner can only hurt accuracy
+        relative to immediate upload, all else equal."""
+        passthrough = run_composed_experiment(
+            ComposedRunConfig(owner_strategy="every-step", n_steps=60, seed=3)
+        )
+        delayed = run_composed_experiment(
+            ComposedRunConfig(
+                owner_strategy="dp-timer",
+                owner_epsilon=0.3,   # heavy noise → long gaps
+                owner_interval=5,
+                n_steps=60,
+                seed=3,
+            )
+        )
+        assert delayed.owner_max_gap > passthrough.owner_max_gap
+        assert delayed.summary.avg_l1_error > passthrough.summary.avg_l1_error
+
+    def test_server_ant_mode_composition(self):
+        res = run_composed_experiment(
+            ComposedRunConfig(
+                owner_strategy="every-step", server_mode="dp-ant", n_steps=40
+            )
+        )
+        assert res.theorem17_bound > 0

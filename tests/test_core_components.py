@@ -1,0 +1,176 @@
+"""Tests for core components: counter, budget ledger, view definition."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError, ContributionBudgetError
+from repro.common.types import Schema
+from repro.core.budget import ContributionLedger
+from repro.core.counter import SharedCounter
+from repro.core.view_def import JoinViewDefinition
+from repro.mpc.runtime import MPCRuntime
+
+
+class TestSharedCounter:
+    def test_starts_at_zero(self, runtime):
+        counter = SharedCounter()
+        with runtime.protocol("p") as ctx:
+            assert counter.read(ctx) == 0
+
+    def test_add_accumulates_across_protocols(self, runtime):
+        counter = SharedCounter()
+        with runtime.protocol("p1") as ctx:
+            assert counter.add(ctx, 5) == 5
+        with runtime.protocol("p2") as ctx:
+            assert counter.add(ctx, 3) == 8
+            assert counter.read(ctx) == 8
+
+    def test_reset(self, runtime):
+        counter = SharedCounter()
+        with runtime.protocol("p") as ctx:
+            counter.add(ctx, 7)
+            counter.reset(ctx)
+            assert counter.read(ctx) == 0
+
+    def test_reshare_refreshes_share_material(self, runtime):
+        """Adding 0 must still re-randomise the stored shares — a server
+        diffing its share across rounds learns nothing."""
+        counter = SharedCounter()
+        with runtime.protocol("p") as ctx:
+            counter.add(ctx, 5)
+            before = counter._shares.share0.copy()
+            counter.add(ctx, 0)
+            after = counter._shares.share0
+        assert (before != after).any()
+
+    def test_charges_counter_circuit(self, runtime):
+        counter = SharedCounter()
+        with runtime.protocol("p") as ctx:
+            counter.add(ctx, 1)
+            assert ctx.gates >= runtime.cost_model.counter_update_gates()
+
+
+class TestContributionLedger:
+    def test_invocation_budget_lifecycle(self):
+        ledger = ContributionLedger(omega=2, budget=6)
+        ledger.register_batch("t", 1, n_rows=3)
+        assert ledger.remaining_uses("t", 1) == 3
+        ledger.charge_invocation("t", 1, at_time=1)
+        ledger.charge_invocation("t", 1, at_time=2)
+        ledger.charge_invocation("t", 1, at_time=3)
+        assert ledger.remaining_uses("t", 1) == 0
+        with pytest.raises(ContributionBudgetError, match="no remaining"):
+            ledger.charge_invocation("t", 1, at_time=4)
+
+    def test_caps_shrink_with_emissions(self):
+        ledger = ContributionLedger(omega=2, budget=6)
+        ledger.register_batch("t", 1, n_rows=2)
+        assert ledger.caps("t", 1).tolist() == [6, 6]
+        ledger.record_emissions("t", 1, np.asarray([2, 1]))
+        assert ledger.caps("t", 1).tolist() == [4, 5]
+
+    def test_per_invocation_emission_limit(self):
+        ledger = ContributionLedger(omega=2, budget=6)
+        ledger.register_batch("t", 1, n_rows=1)
+        with pytest.raises(ContributionBudgetError, match="omega"):
+            ledger.record_emissions("t", 1, np.asarray([3]))
+
+    def test_lifetime_emission_limit(self):
+        ledger = ContributionLedger(omega=2, budget=3)
+        ledger.register_batch("t", 1, n_rows=1)
+        ledger.record_emissions("t", 1, np.asarray([2]))
+        with pytest.raises(ContributionBudgetError, match="lifetime"):
+            ledger.record_emissions("t", 1, np.asarray([2]))
+
+    def test_duplicate_registration_rejected(self):
+        ledger = ContributionLedger(omega=1, budget=2)
+        ledger.register_batch("t", 1, 1)
+        with pytest.raises(ContributionBudgetError):
+            ledger.register_batch("t", 1, 1)
+
+    def test_unregistered_batch_rejected(self):
+        ledger = ContributionLedger(omega=1, budget=2)
+        with pytest.raises(ContributionBudgetError, match="never registered"):
+            ledger.caps("t", 99)
+
+    def test_emission_shape_mismatch_rejected(self):
+        ledger = ContributionLedger(omega=1, budget=2)
+        ledger.register_batch("t", 1, 2)
+        with pytest.raises(ContributionBudgetError, match="shape"):
+            ledger.record_emissions("t", 1, np.asarray([1]))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ContributionBudgetError):
+            ContributionLedger(omega=0, budget=5)
+        with pytest.raises(ContributionBudgetError):
+            ContributionLedger(omega=5, budget=3)
+
+    def test_theorem3_contributions_shape(self):
+        ledger = ContributionLedger(omega=2, budget=4)
+        ledger.register_batch("t", 1, n_rows=2)
+        ledger.charge_invocation("t", 1, at_time=1)
+        contributions = ledger.theorem3_contributions(per_release_epsilon=0.1)
+        assert contributions[("t", 1, 0)] == [(2.0, 0.1)]
+        assert contributions[("t", 1, 1)] == [(2.0, 0.1)]
+
+    def test_max_lifetime_emissions(self):
+        ledger = ContributionLedger(omega=2, budget=6)
+        ledger.register_batch("t", 1, n_rows=2)
+        ledger.record_emissions("t", 1, np.asarray([2, 0]))
+        ledger.record_emissions("t", 1, np.asarray([1, 1]))
+        assert ledger.max_lifetime_emissions() == 3
+
+
+class TestJoinViewDefinition:
+    def test_window_invocations(self, tiny_view_def):
+        assert tiny_view_def.window_invocations == 3  # b=6, ω=2
+
+    def test_view_schema_prefixes(self, tiny_view_def):
+        assert tiny_view_def.view_schema.fields == ("p_key", "p_ots", "d_key", "d_sts")
+
+    def test_pair_predicate_window(self, tiny_view_def):
+        probe = np.asarray([1, 10], dtype=np.uint32)
+        assert tiny_view_def.pair_predicate(probe, np.asarray([1, 12], dtype=np.uint32))
+        assert not tiny_view_def.pair_predicate(probe, np.asarray([1, 13], dtype=np.uint32))
+        assert not tiny_view_def.pair_predicate(probe, np.asarray([1, 9], dtype=np.uint32))
+
+    def test_logical_join_count(self, tiny_view_def):
+        probe = np.asarray([[1, 10], [1, 11], [2, 10]], dtype=np.uint32)
+        driver = np.asarray([[1, 12], [2, 15]], dtype=np.uint32)
+        # (1,10)x(1,12): delta 2 ok; (1,11)x(1,12): delta 1 ok; (2,...) delta 5 no.
+        assert tiny_view_def.logical_join_count(probe, driver) == 2
+
+    def test_logical_join_rows_match_count(self, tiny_view_def):
+        probe = np.asarray([[1, 10], [1, 11]], dtype=np.uint32)
+        driver = np.asarray([[1, 12]], dtype=np.uint32)
+        rows = tiny_view_def.logical_join_rows(probe, driver)
+        assert rows.shape == (2, 4)
+
+    def test_empty_inputs(self, tiny_view_def):
+        empty_p = np.zeros((0, 2), dtype=np.uint32)
+        empty_d = np.zeros((0, 2), dtype=np.uint32)
+        assert tiny_view_def.logical_join_count(empty_p, empty_d) == 0
+        assert len(tiny_view_def.logical_join_rows(empty_p, empty_d)) == 0
+
+    def test_validation(self):
+        kwargs = dict(
+            name="x",
+            probe_table="a",
+            probe_schema=Schema(("k", "t")),
+            probe_key="k",
+            probe_ts="t",
+            driver_table="b",
+            driver_schema=Schema(("k", "t")),
+            driver_key="k",
+            driver_ts="t",
+            window_lo=0,
+            window_hi=1,
+        )
+        with pytest.raises(ConfigurationError):
+            JoinViewDefinition(omega=0, budget=1, **kwargs)
+        with pytest.raises(ConfigurationError):
+            JoinViewDefinition(omega=5, budget=3, **kwargs)
+        with pytest.raises(ConfigurationError):
+            JoinViewDefinition(
+                omega=1, budget=1, **{**kwargs, "window_lo": 5, "window_hi": 4}
+            )

@@ -1,0 +1,150 @@
+"""Tests for the IncShrink engine (the full Figure-1 workflow)."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.types import RecordBatch
+from repro.core.engine import EngineConfig, IncShrinkEngine
+
+
+def upload_steps(engine, view_def, steps):
+    """Feed scripted (probe_rows, driver_rows) pairs; query each step."""
+    observations = []
+    for t, (probe_rows, driver_rows) in enumerate(steps, start=1):
+        probe = RecordBatch(
+            view_def.probe_schema,
+            np.asarray(probe_rows, dtype=np.uint32).reshape(-1, 2),
+        ).padded_to(4)
+        driver = RecordBatch(
+            view_def.driver_schema,
+            np.asarray(driver_rows, dtype=np.uint32).reshape(-1, 2),
+        ).padded_to(3)
+        engine.upload(t, probe, driver)
+        engine.process_step(t)
+        observations.append(engine.query_count(t))
+    return observations
+
+
+SCRIPT = [
+    ([[1, 1], [2, 1]], [[1, 2]]),
+    ([[3, 2]], [[2, 3], [3, 3]]),
+    ([], [[3, 4]]),
+    ([[9, 4]], []),
+]
+# Logical qualifying pairs (window 2): (1,1)x(1,2)@t1, (2,1)x(2,3)@t2,
+# (3,2)x(3,3)@t2, (3,2)x(3,4)@t3 → logical counts per step: 1, 3, 4, 4.
+
+
+class TestEngineModes:
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EngineConfig(mode="quantum")
+
+    def test_ep_mode_is_exact_without_truncation(self, tiny_view_def):
+        engine = IncShrinkEngine(tiny_view_def, EngineConfig(mode="ep"))
+        obs = upload_steps(engine, tiny_view_def, SCRIPT)
+        assert [o.logical_answer for o in obs] == [1, 3, 4, 4]
+        assert all(o.l1 == 0 for o in obs)
+
+    def test_nm_mode_is_exact(self, tiny_view_def):
+        engine = IncShrinkEngine(tiny_view_def, EngineConfig(mode="nm"))
+        obs = upload_steps(engine, tiny_view_def, SCRIPT)
+        assert all(o.l1 == 0 for o in obs)
+        # NM has no view at all.
+        assert len(engine.view) == 0
+
+    def test_otm_mode_answers_zero(self, tiny_view_def):
+        engine = IncShrinkEngine(tiny_view_def, EngineConfig(mode="otm"))
+        obs = upload_steps(engine, tiny_view_def, SCRIPT)
+        assert all(o.view_answer == 0 for o in obs)
+        assert obs[-1].relative == 1.0
+
+    def test_dp_timer_converges_with_high_epsilon(self, tiny_view_def):
+        engine = IncShrinkEngine(
+            tiny_view_def,
+            EngineConfig(mode="dp-timer", epsilon=1000.0, timer_interval=1),
+        )
+        obs = upload_steps(engine, tiny_view_def, SCRIPT)
+        # With negligible noise and per-step sync, answers track truth.
+        assert obs[-1].l1 <= 1
+
+    def test_dp_ant_mode_runs(self, tiny_view_def):
+        engine = IncShrinkEngine(
+            tiny_view_def,
+            EngineConfig(mode="dp-ant", epsilon=100.0, ant_threshold=1.0),
+        )
+        obs = upload_steps(engine, tiny_view_def, SCRIPT)
+        assert obs[-1].l1 <= 2
+
+    def test_nm_slower_than_view_modes(self, tiny_view_def):
+        qets = {}
+        for mode in ("nm", "ep"):
+            engine = IncShrinkEngine(tiny_view_def, EngineConfig(mode=mode))
+            obs = upload_steps(engine, tiny_view_def, SCRIPT)
+            qets[mode] = obs[-1].qet_seconds
+        assert qets["nm"] > qets["ep"]
+
+
+class TestEngineAccounting:
+    def test_realized_epsilon_bounded_by_config(self, tiny_view_def):
+        engine = IncShrinkEngine(
+            tiny_view_def,
+            EngineConfig(mode="dp-timer", epsilon=2.0, timer_interval=2),
+        )
+        upload_steps(engine, tiny_view_def, SCRIPT)
+        assert engine.realized_epsilon() <= 2.0 + 1e-9
+        assert engine.realized_epsilon() > 0
+
+    def test_realized_epsilon_zero_for_baselines(self, tiny_view_def):
+        engine = IncShrinkEngine(tiny_view_def, EngineConfig(mode="ep"))
+        upload_steps(engine, tiny_view_def, SCRIPT)
+        assert engine.realized_epsilon() == 0.0
+
+    def test_metrics_populated(self, tiny_view_def):
+        engine = IncShrinkEngine(
+            tiny_view_def, EngineConfig(mode="dp-timer", timer_interval=2)
+        )
+        upload_steps(engine, tiny_view_def, SCRIPT)
+        summary = engine.metrics.summary()
+        assert summary.query_count == len(SCRIPT)
+        assert len(engine.metrics.transform_seconds) == len(SCRIPT)
+        assert len(engine.metrics.view_size_rows) == len(SCRIPT)
+
+    def test_logical_mirror_matches_uploads(self, tiny_view_def):
+        engine = IncShrinkEngine(tiny_view_def, EngineConfig(mode="otm"))
+        upload_steps(engine, tiny_view_def, SCRIPT)
+        probe = engine.logical.instance_at(tiny_view_def.probe_table, 4)
+        assert len(probe) == 4  # only real rows mirrored, not padding
+
+    def test_stores_receive_padded_batches(self, tiny_view_def):
+        engine = IncShrinkEngine(tiny_view_def, EngineConfig(mode="otm"))
+        upload_steps(engine, tiny_view_def, SCRIPT)
+        assert engine.probe_store.total_rows == 4 * 4  # 4 steps × capacity 4
+        assert engine.driver_store.total_rows == 4 * 3
+
+
+class TestEngineTranscriptLeakage:
+    def test_true_counter_never_published(self, tiny_view_def):
+        """The DP guarantee in practice: nothing in the transcript equals
+        the protocol-internal cardinality sequence."""
+        engine = IncShrinkEngine(
+            tiny_view_def,
+            EngineConfig(mode="dp-timer", epsilon=1.5, timer_interval=1),
+        )
+        upload_steps(engine, tiny_view_def, SCRIPT)
+        for event in engine.runtime.transcript:
+            assert "counter" not in event.payload
+            assert "real" not in str(event.payload)
+
+    def test_transform_events_public_sizes_only(self, tiny_view_def):
+        engine = IncShrinkEngine(
+            tiny_view_def, EngineConfig(mode="dp-timer", timer_interval=2)
+        )
+        upload_steps(engine, tiny_view_def, SCRIPT)
+        deltas = {
+            e.payload["cache_delta"]
+            for e in engine.runtime.transcript.of_kind("transform")
+        }
+        # Driver capacity 3 × ω 2 = 6 on every step, data-independent.
+        assert deltas == {6}

@@ -1,0 +1,245 @@
+"""Tests for the Shrink protocols (sDPTimer, sDPANT), flush, baselines."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import spawn
+from repro.common.types import Schema
+from repro.core.baselines import ExhaustivePaddingSync, OneTimeMaterialization
+from repro.core.counter import SharedCounter
+from repro.core.flush import CacheFlusher
+from repro.core.shrink_ant import SDPANT
+from repro.core.shrink_timer import SDPTimer
+from repro.dp.accountant import PrivacyAccountant
+from repro.mpc.runtime import MPCRuntime
+from repro.sharing.shared_value import SharedTable
+from repro.storage.materialized_view import MaterializedView
+from repro.storage.secure_cache import SecureCache
+
+SCHEMA = Schema(("k", "ts"))
+
+
+def setup(seed=0):
+    runtime = MPCRuntime(seed=seed)
+    counter = SharedCounter()
+    cache = SecureCache(SCHEMA)
+    view = MaterializedView(SCHEMA)
+    return runtime, counter, cache, view
+
+
+def fill_cache(runtime, counter, cache, n_real, n_dummy, seed=0):
+    rows = np.asarray(
+        [[i + 1, i + 1] for i in range(n_real)] + [[0, 0]] * n_dummy,
+        dtype=np.uint32,
+    ).reshape(-1, 2)
+    flags = np.asarray([1] * n_real + [0] * n_dummy, dtype=np.uint32)
+    cache.append(
+        SharedTable.from_plain(SCHEMA, rows, flags, spawn(seed, "fill"))
+    )
+    with runtime.protocol("seed-counter") as ctx:
+        counter.add(ctx, n_real)
+
+
+class TestSDPTimer:
+    def test_no_update_off_schedule(self):
+        runtime, counter, cache, view = setup()
+        timer = SDPTimer(runtime, counter, epsilon=1.0, b=2, interval=5)
+        assert timer.step(3, cache, view) is None
+        assert len(view) == 0
+
+    def test_update_on_schedule(self):
+        runtime, counter, cache, view = setup()
+        fill_cache(runtime, counter, cache, n_real=10, n_dummy=10)
+        timer = SDPTimer(runtime, counter, epsilon=50.0, b=1, interval=5)
+        report = timer.step(5, cache, view)
+        assert report is not None
+        # At ε=50 the noise is tiny: the read size ≈ true count.
+        assert report.released_size in (9, 10, 11)
+        assert len(view) == report.released_size
+        assert timer.updates_done == 1
+
+    def test_counter_reset_after_update(self):
+        runtime, counter, cache, view = setup()
+        fill_cache(runtime, counter, cache, 5, 5)
+        timer = SDPTimer(runtime, counter, epsilon=50.0, b=1, interval=1)
+        timer.step(1, cache, view)
+        with runtime.protocol("check") as ctx:
+            assert counter.read(ctx) == 0
+
+    def test_negative_noise_defers_real_tuples(self):
+        """Find a seed where the draw is negative and check deferral."""
+        for seed in range(40):
+            runtime, counter, cache, view = setup(seed=seed)
+            fill_cache(runtime, counter, cache, 10, 0, seed=seed)
+            timer = SDPTimer(runtime, counter, epsilon=0.5, b=2, interval=1)
+            report = timer.step(1, cache, view)
+            if report.released_size < 10:
+                assert report.deferred_real == 10 - report.released_size
+                assert len(cache) == 10 - report.released_size
+                return
+        pytest.fail("no negative-noise draw in 40 seeds (p ≈ 2^-40)")
+
+    def test_update_publishes_only_noised_size(self):
+        runtime, counter, cache, view = setup()
+        fill_cache(runtime, counter, cache, 10, 10)
+        timer = SDPTimer(runtime, counter, epsilon=1.0, b=2, interval=1)
+        timer.step(1, cache, view)
+        events = runtime.transcript.of_kind("view-update")
+        assert len(events) == 1
+        assert set(events[0].payload) == {"size"}
+
+    def test_accountant_charged_per_release(self):
+        runtime, counter, cache, view = setup()
+        acc = PrivacyAccountant()
+        timer = SDPTimer(runtime, counter, epsilon=1.0, b=4, interval=1, accountant=acc)
+        timer.step(1, cache, view)
+        timer.step(2, cache, view)
+        assert acc.parallel_epsilon() == pytest.approx(0.25)  # ε/b per segment
+        assert acc.sequential_epsilon() == pytest.approx(0.5)
+
+    def test_invalid_parameters(self):
+        runtime, counter, _, _ = setup()
+        with pytest.raises(ConfigurationError):
+            SDPTimer(runtime, counter, epsilon=0, b=1, interval=1)
+        with pytest.raises(ConfigurationError):
+            SDPTimer(runtime, counter, epsilon=1, b=0, interval=1)
+        with pytest.raises(ConfigurationError):
+            SDPTimer(runtime, counter, epsilon=1, b=1, interval=0)
+
+
+class TestSDPANT:
+    def test_triggers_when_count_far_above_threshold(self):
+        runtime, counter, cache, view = setup()
+        fill_cache(runtime, counter, cache, 200, 10)
+        ant = SDPANT(runtime, counter, epsilon=20.0, b=1, threshold=10.0)
+        report = ant.step(1, cache, view)
+        assert report is not None
+        assert len(view) > 0
+        assert ant.updates_done == 1
+
+    def test_does_not_trigger_far_below_threshold(self):
+        runtime, counter, cache, view = setup()
+        ant = SDPANT(runtime, counter, epsilon=20.0, b=1, threshold=500.0)
+        assert ant.step(1, cache, view) is None
+        assert len(view) == 0
+        # The non-trigger is still observable (the SVT's ⊥ output).
+        assert len(runtime.transcript.of_kind("ant-check")) == 1
+
+    def test_threshold_rearmed_after_update(self):
+        runtime, counter, cache, view = setup()
+        fill_cache(runtime, counter, cache, 200, 0)
+        ant = SDPANT(runtime, counter, epsilon=20.0, b=1, threshold=10.0)
+        ant.step(1, cache, view)
+        with runtime.protocol("peek") as ctx:
+            first = ant._read_threshold(ctx)
+        fill_cache(runtime, counter, cache, 200, 0, seed=1)
+        ant.step(2, cache, view)
+        with runtime.protocol("peek2") as ctx:
+            second = ant._read_threshold(ctx)
+        assert first != second
+
+    def test_threshold_is_secret_shared(self):
+        runtime, counter, cache, view = setup()
+        ant = SDPANT(runtime, counter, epsilon=20.0, b=1, threshold=10.0)
+        ant.step(1, cache, view)
+        shares = ant._shared_threshold
+        assert shares is not None
+        # Neither share alone decodes to the noisy threshold: the stored
+        # words are uniformly masked.
+        from repro.sharing.fixed_point import decode_fixed
+
+        with runtime.protocol("peek") as ctx:
+            true_threshold = ant._read_threshold(ctx)
+        assert decode_fixed(shares.share0[0]) != pytest.approx(true_threshold, abs=0.01)
+
+    def test_counter_reset_only_on_trigger(self):
+        runtime, counter, cache, view = setup()
+        fill_cache(runtime, counter, cache, 5, 0)
+        ant = SDPANT(runtime, counter, epsilon=20.0, b=1, threshold=1000.0)
+        ant.step(1, cache, view)  # far below: no trigger
+        with runtime.protocol("check") as ctx:
+            assert counter.read(ctx) == 5
+
+    def test_accountant_charged_only_on_release(self):
+        runtime, counter, cache, view = setup()
+        acc = PrivacyAccountant()
+        ant = SDPANT(runtime, counter, epsilon=20.0, b=1, threshold=1000.0, accountant=acc)
+        ant.step(1, cache, view)
+        assert acc.sequential_epsilon() == 0.0
+        fill_cache(runtime, counter, cache, 2000, 0)
+        ant.step(2, cache, view)
+        assert acc.sequential_epsilon() == pytest.approx(20.0)
+
+    def test_invalid_parameters(self):
+        runtime, counter, _, _ = setup()
+        with pytest.raises(ConfigurationError):
+            SDPANT(runtime, counter, epsilon=0, b=1, threshold=1)
+        with pytest.raises(ConfigurationError):
+            SDPANT(runtime, counter, epsilon=1, b=1, threshold=0)
+
+
+class TestCacheFlusher:
+    def test_due_schedule(self):
+        runtime, _, _, _ = setup()
+        flusher = CacheFlusher(runtime, flush_interval=10, flush_size=5)
+        assert not flusher.due(5)
+        assert flusher.due(10)
+        assert flusher.due(20)
+        assert not flusher.due(0)
+
+    def test_flush_moves_prefix_and_recycles_rest(self):
+        runtime, counter, cache, view = setup()
+        fill_cache(runtime, counter, cache, 3, 20)
+        flusher = CacheFlusher(runtime, flush_interval=1, flush_size=5)
+        report = flusher.run(1, cache, view)
+        assert report.flushed_rows == 5
+        assert report.rescued_real == 3
+        assert report.recycled_real == 0
+        assert len(cache) == 0
+        assert len(view) == 5
+        assert view.update_count == 0  # flush is not a view update
+
+    def test_flush_publishes_public_size_only(self):
+        runtime, counter, cache, view = setup()
+        fill_cache(runtime, counter, cache, 1, 1)
+        CacheFlusher(runtime, 1, 2).run(1, cache, view)
+        events = runtime.transcript.of_kind("cache-flush")
+        assert len(events) == 1
+        assert set(events[0].payload) == {"size"}
+
+    def test_undersized_flush_destroys_reals_and_reports_it(self):
+        runtime, counter, cache, view = setup()
+        fill_cache(runtime, counter, cache, 10, 0)
+        report = CacheFlusher(runtime, 1, 4).run(1, cache, view)
+        assert report.rescued_real == 4
+        assert report.recycled_real == 6
+
+
+class TestBaselines:
+    def test_ep_moves_everything_every_step(self):
+        runtime, counter, cache, view = setup()
+        fill_cache(runtime, counter, cache, 3, 7)
+        ep = ExhaustivePaddingSync(runtime, counter)
+        report = ep.step(1, cache, view)
+        assert report.released_size == 10
+        assert report.fetched_real == 3
+        assert len(cache) == 0
+        assert len(view) == 10
+        with runtime.protocol("check") as ctx:
+            assert counter.read(ctx) == 0
+
+    def test_ep_view_keeps_all_padding(self):
+        runtime, counter, cache, view = setup()
+        fill_cache(runtime, counter, cache, 1, 99)
+        ExhaustivePaddingSync(runtime, counter).step(1, cache, view)
+        assert len(view) == 100  # dummies are never removed — EP's cost
+
+    def test_otm_never_updates(self):
+        runtime, counter, cache, view = setup()
+        fill_cache(runtime, counter, cache, 5, 5)
+        otm = OneTimeMaterialization()
+        for t in range(1, 10):
+            assert otm.step(t, cache, view) is None
+        assert len(view) == 0
+        assert len(cache) == 10

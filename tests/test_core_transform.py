@@ -1,0 +1,157 @@
+"""Tests for the Transform protocol (Algorithm 1)."""
+
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ProtocolError
+from repro.common.types import RecordBatch
+from repro.core.budget import ContributionLedger
+from repro.core.transform import TransformProtocol
+from repro.core.view_def import JoinViewDefinition
+from repro.mpc.runtime import MPCRuntime
+from repro.storage.outsourced_table import OutsourcedTable
+from repro.storage.secure_cache import SecureCache
+
+
+@dataclass
+class Pipeline:
+    runtime: MPCRuntime
+    view_def: JoinViewDefinition
+    probe_store: OutsourcedTable
+    driver_store: OutsourcedTable
+    ledger: ContributionLedger
+    transform: TransformProtocol
+    cache: SecureCache
+
+    def upload(self, time, probe_rows, driver_rows, probe_cap=4, driver_cap=3):
+        for store, rows, cap, name in (
+            (self.probe_store, probe_rows, probe_cap, self.view_def.probe_table),
+            (self.driver_store, driver_rows, driver_cap, self.view_def.driver_table),
+        ):
+            batch = RecordBatch(
+                store.schema,
+                np.asarray(rows, dtype=np.uint32).reshape(-1, 2),
+            ).padded_to(cap)
+            shared = self.runtime.owner_share_table(
+                store.schema, batch.rows, batch.is_real.astype(np.uint32)
+            )
+            store.append_batch(shared, time)
+            self.ledger.register_batch(name, time, len(batch))
+
+
+def make_pipeline(view_def, join_impl="sort-merge", seed=0) -> Pipeline:
+    runtime = MPCRuntime(seed=seed)
+    probe_store = OutsourcedTable(view_def.probe_schema, view_def.probe_table)
+    driver_store = OutsourcedTable(view_def.driver_schema, view_def.driver_table)
+    ledger = ContributionLedger(view_def.omega, view_def.budget)
+    transform = TransformProtocol(
+        runtime, view_def, probe_store, driver_store, ledger, join_impl
+    )
+    return Pipeline(
+        runtime, view_def, probe_store, driver_store, ledger, transform,
+        SecureCache(view_def.view_schema),
+    )
+
+
+class TestTransform:
+    def test_counts_and_caches_new_view_entries(self, tiny_view_def):
+        p = make_pipeline(tiny_view_def)
+        p.upload(1, [[1, 1], [2, 1]], [[1, 2]])
+        report = p.transform.run(1, p.cache)
+        assert report.real_entries == 1  # (1,1) ⋈ (1,2) within window 2
+        assert report.counter_value == 1
+        assert report.cache_delta == tiny_view_def.omega * 3  # ω × driver capacity
+        assert len(p.cache) == report.cache_delta
+
+    def test_counter_accumulates_across_invocations(self, tiny_view_def):
+        p = make_pipeline(tiny_view_def)
+        p.upload(1, [[1, 1]], [[1, 1]])
+        p.transform.run(1, p.cache)
+        p.upload(2, [[2, 2]], [[2, 2]])
+        report = p.transform.run(2, p.cache)
+        assert report.counter_value == 2
+
+    def test_probe_window_spans_budgeted_invocations(self, tiny_view_def):
+        """b=6, ω=2 → a probe batch joins drivers for 3 invocations."""
+        p = make_pipeline(tiny_view_def)
+        p.upload(1, [[7, 1]], [])
+        p.transform.run(1, p.cache)
+        p.upload(2, [], [[7, 2]])
+        r2 = p.transform.run(2, p.cache)
+        assert r2.real_entries == 1  # still active at its 2nd invocation
+        p.upload(3, [], [[7, 3]])
+        r3 = p.transform.run(3, p.cache)
+        assert r3.real_entries == 1  # 3rd (final) invocation, Δts=2 ok
+        assert r3.counter_value == 2  # cumulative since no Shrink ran
+
+    def test_retired_probe_no_longer_joins(self, tiny_view_def):
+        p = make_pipeline(tiny_view_def)
+        p.upload(1, [[7, 1]], [])
+        p.transform.run(1, p.cache)
+        for t in (2, 3):
+            p.upload(t, [], [])
+            p.transform.run(t, p.cache)
+        # Budget exhausted after 3 invocations; a 4th-step driver with a
+        # timestamp inside the window must find nothing.
+        p.upload(4, [], [[7, 3]])
+        report = p.transform.run(4, p.cache)
+        assert report.real_entries == 0
+
+    def test_truncation_drops_counted(self, tiny_view_def):
+        """ω=2: a driver matching 3 probes drops one pair."""
+        p = make_pipeline(tiny_view_def)
+        p.upload(1, [[5, 1], [5, 1], [5, 1]], [[5, 2]])
+        report = p.transform.run(1, p.cache)
+        assert report.real_entries == 2
+        assert report.dropped == 1
+
+    def test_transcript_reveals_only_public_delta(self, tiny_view_def):
+        p = make_pipeline(tiny_view_def)
+        p.upload(1, [[1, 1], [2, 1]], [[1, 2]])
+        p.transform.run(1, p.cache)
+        events = p.runtime.transcript.of_protocol("transform")
+        assert len(events) == 1
+        assert set(events[0].payload) == {"cache_delta"}
+        # The published size is the padded length, not the real count.
+        assert events[0].payload["cache_delta"] == tiny_view_def.omega * 3
+
+    def test_padded_delta_size_is_data_independent(self, tiny_view_def):
+        sizes = []
+        for rows in ([[1, 1]], [[1, 1], [2, 1], [3, 1], [4, 1]]):
+            p = make_pipeline(tiny_view_def)
+            p.upload(1, rows, [[1, 2]])
+            report = p.transform.run(1, p.cache)
+            sizes.append(report.cache_delta)
+        assert sizes[0] == sizes[1]
+
+    def test_missing_driver_batch_raises(self, tiny_view_def):
+        p = make_pipeline(tiny_view_def)
+        with pytest.raises(ProtocolError, match="no driver batch"):
+            p.transform.run(1, p.cache)
+
+    def test_nested_loop_impl_produces_same_counts(self, tiny_view_def):
+        reports = []
+        for impl in ("sort-merge", "nested-loop"):
+            p = make_pipeline(tiny_view_def, join_impl=impl)
+            p.upload(1, [[1, 1], [2, 1], [1, 1]], [[1, 2], [2, 3]])
+            reports.append(p.transform.run(1, p.cache))
+        assert reports[0].real_entries == reports[1].real_entries
+        assert reports[0].dropped == reports[1].dropped
+
+    def test_invalid_join_impl_rejected(self, tiny_view_def):
+        p = make_pipeline(tiny_view_def)
+        from repro.common.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            TransformProtocol(
+                p.runtime, tiny_view_def, p.probe_store, p.driver_store,
+                p.ledger, join_impl="hash-join",
+            )
+
+    def test_simulated_seconds_positive(self, tiny_view_def):
+        p = make_pipeline(tiny_view_def)
+        p.upload(1, [[1, 1]], [[1, 2]])
+        report = p.transform.run(1, p.cache)
+        assert report.seconds > 0

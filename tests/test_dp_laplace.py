@@ -1,0 +1,111 @@
+"""Tests for the Laplace mechanism and its analytical helpers."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.rng import spawn
+from repro.dp.laplace import (
+    laplace_cdf,
+    laplace_mechanism,
+    laplace_noise,
+    laplace_quantile,
+    laplace_sum_high_probability_bound,
+    laplace_sum_tail_bound,
+)
+
+
+class TestLaplaceNoise:
+    def test_moments(self):
+        draws = laplace_noise(spawn(0, "lap"), 2.0, size=100_000)
+        assert abs(draws.mean()) < 0.05
+        assert draws.var() == pytest.approx(2 * 4.0, rel=0.05)
+
+    def test_scalar_return_without_size(self):
+        assert isinstance(laplace_noise(spawn(1, "lap"), 1.0), float)
+
+    def test_invalid_scale_raises(self):
+        with pytest.raises(ValueError):
+            laplace_noise(spawn(0, "lap"), 0.0)
+
+    def test_matches_joint_sampler_distribution(self):
+        """The trusted-curator and in-MPC samplers must agree in law —
+        the ablation point the design depends on (same noise, different
+        trust)."""
+        from repro.mpc.joint_noise import laplace_from_u32
+
+        gen = spawn(2, "lap")
+        local = laplace_noise(gen, 1.5, size=40_000)
+        zs = gen.integers(0, 2**32, size=40_000, dtype=np.uint32)
+        joint = np.asarray([laplace_from_u32(z, 1.5) for z in zs])
+        # Compare a few quantiles.
+        for q in (0.1, 0.25, 0.5, 0.75, 0.9):
+            assert np.quantile(local, q) == pytest.approx(
+                np.quantile(joint, q), abs=0.12
+            )
+
+
+class TestLaplaceMechanism:
+    def test_centres_on_value(self):
+        gen = spawn(3, "lap")
+        draws = [laplace_mechanism(gen, 100.0, 1.0, 1.0) for _ in range(20_000)]
+        assert np.mean(draws) == pytest.approx(100.0, abs=0.2)
+
+    def test_parameter_validation(self):
+        gen = spawn(0, "lap")
+        with pytest.raises(ValueError):
+            laplace_mechanism(gen, 0, sensitivity=1, epsilon=0)
+        with pytest.raises(ValueError):
+            laplace_mechanism(gen, 0, sensitivity=-1, epsilon=1)
+
+
+class TestAnalyticalHelpers:
+    @given(st.floats(0.01, 0.99), st.floats(0.1, 10))
+    @settings(max_examples=50, deadline=None)
+    def test_quantile_inverts_cdf(self, q, scale):
+        assert laplace_cdf(laplace_quantile(q, scale), scale) == pytest.approx(
+            q, abs=1e-9
+        )
+
+    def test_cdf_symmetry(self):
+        assert laplace_cdf(0, 1.0) == pytest.approx(0.5)
+        assert laplace_cdf(-3, 2.0) == pytest.approx(1 - laplace_cdf(3, 2.0))
+
+    def test_quantile_domain(self):
+        with pytest.raises(ValueError):
+            laplace_quantile(0.0, 1.0)
+        with pytest.raises(ValueError):
+            laplace_quantile(1.0, 1.0)
+
+    def test_tail_bound_decreases_in_alpha(self):
+        b1 = laplace_sum_tail_bound(10, 1.0, 2.0)
+        b2 = laplace_sum_tail_bound(10, 1.0, 5.0)
+        assert b2 < b1
+
+    def test_tail_bound_formula(self):
+        assert laplace_sum_tail_bound(4, 1.0, 2.0) == pytest.approx(
+            math.exp(-4 / 16)
+        )
+
+    def test_high_probability_bound_formula(self):
+        assert laplace_sum_high_probability_bound(9, 2.0, 0.05) == pytest.approx(
+            2 * 2.0 * math.sqrt(9 * math.log(20))
+        )
+
+    def test_high_probability_bound_empirically_holds(self):
+        """Corollary 11: sum of k Laplace draws exceeds α with prob ≤ β."""
+        gen = spawn(4, "lap")
+        k, scale, beta = 25, 1.0, 0.05
+        alpha = laplace_sum_high_probability_bound(k, scale, beta)
+        trials = 2000
+        sums = laplace_noise(gen, scale, size=(trials * k)).reshape(trials, k).sum(axis=1)
+        assert (sums >= alpha).mean() <= beta
+
+    def test_tail_bound_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            laplace_sum_tail_bound(0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            laplace_sum_high_probability_bound(5, 1.0, 1.5)

@@ -1,0 +1,105 @@
+"""Statistical differential-privacy checks on the release mechanisms.
+
+These tests verify the ε-DP *inequality itself* empirically: run the
+mechanism many times on neighbouring inputs, histogram the (discretised)
+outputs, and check that no output bin's probability ratio exceeds e^ε
+beyond sampling error.  This is the strongest kind of evidence a test
+suite can give that the noise calibration (sensitivity, scale, budget
+splits) is not silently wrong.
+"""
+
+import numpy as np
+import pytest
+
+from repro.common.rng import spawn
+from repro.dp.laplace import laplace_mechanism
+from repro.dp.svt import LocalNoiseSource, NumericAboveNoisyThreshold
+from repro.mpc.joint_noise import laplace_from_u32
+
+
+def empirical_ratio_bound(samples_a, samples_b, bins, min_count=1000):
+    """Worst observed probability ratio across histogram bins.
+
+    Bins where either side has fewer than ``min_count`` samples are
+    skipped: the max-over-bins statistic is biased upward by exactly the
+    bins whose ratio estimate is sampling noise rather than mechanism
+    behaviour.
+    """
+    hist_a, _ = np.histogram(samples_a, bins=bins)
+    hist_b, _ = np.histogram(samples_b, bins=bins)
+    n = len(samples_a)
+    worst = 1.0
+    for ca, cb in zip(hist_a, hist_b):
+        if min(ca, cb) < min_count:
+            continue
+        worst = max(worst, (ca / n) / (cb / n), (cb / n) / (ca / n))
+    return worst
+
+
+class TestLaplaceMechanismDP:
+    @pytest.mark.parametrize("epsilon", [0.5, 1.0, 2.0])
+    def test_likelihood_ratio_bounded_by_exp_epsilon(self, epsilon):
+        gen = spawn(0, "dp-test")
+        n = 200_000
+        a = np.asarray([laplace_mechanism(gen, 10.0, 1.0, epsilon) for _ in range(n)])
+        b = np.asarray([laplace_mechanism(gen, 11.0, 1.0, epsilon) for _ in range(n)])
+        bins = np.linspace(0, 21, 43)
+        worst = empirical_ratio_bound(a, b, bins)
+        # Allow 15% slack for sampling error on top of the exact bound.
+        assert worst <= np.exp(epsilon) * 1.15
+
+    def test_wrong_sensitivity_breaks_the_bound(self):
+        """Negative control: noise calibrated for sensitivity 1 applied
+        to inputs differing by 5 must violate e^ε — if this test ever
+        passes, the checker itself is broken."""
+        gen = spawn(1, "dp-test")
+        epsilon = 1.0
+        n = 250_000
+        a = np.asarray([laplace_mechanism(gen, 10.0, 1.0, epsilon) for _ in range(n)])
+        b = np.asarray([laplace_mechanism(gen, 15.0, 1.0, epsilon) for _ in range(n)])
+        bins = np.linspace(0, 25, 51)
+        worst = empirical_ratio_bound(a, b, bins)
+        assert worst > np.exp(epsilon) * 1.15
+
+
+class TestJointNoiseMechanismDP:
+    def test_joint_sampler_release_satisfies_epsilon(self):
+        """The in-MPC release (value + joint-Laplace) obeys the same
+        likelihood-ratio bound as the trusted-curator mechanism."""
+        gen = spawn(2, "dp-test")
+        epsilon = 1.0
+        n = 150_000
+        zs = gen.integers(0, 2**32, size=2 * n, dtype=np.uint32)
+        noise = np.asarray([laplace_from_u32(z, 1.0 / epsilon) for z in zs])
+        a = 10.0 + noise[:n]
+        b = 11.0 + noise[n:]
+        bins = np.linspace(0, 21, 43)
+        assert empirical_ratio_bound(a, b, bins) <= np.exp(epsilon) * 1.15
+
+
+class TestSVTTriggerDP:
+    def test_trigger_step_distribution_close_on_neighbours(self):
+        """The step at which NANT fires is the mechanism's observable
+        output; for neighbouring count streams (one extra record) the
+        trigger-time distributions must stay within e^ε."""
+        epsilon = 1.0
+        trials = 4000
+
+        def trigger_step(extra: int, seed: int) -> int:
+            nant = NumericAboveNoisyThreshold(
+                epsilon, 1.0, 12.0, LocalNoiseSource(spawn(seed, "svt-dp", extra))
+            )
+            count = 0.0
+            for step in range(1, 40):
+                count += 1.0
+                if step == 5:
+                    count += extra  # the neighbouring stream's extra record
+                if nant.observe(count) is not None:
+                    return step
+            return 40
+
+        a = np.asarray([trigger_step(0, s) for s in range(trials)])
+        b = np.asarray([trigger_step(1, s) for s in range(trials)])
+        bins = np.arange(0.5, 41.5, 2.0)
+        worst = empirical_ratio_bound(a, b, bins, min_count=300)
+        assert worst <= np.exp(epsilon) * 1.35  # wider slack: fewer trials

@@ -1,0 +1,79 @@
+"""Tests for the joint Laplace noise generator (Algorithm 2 lines 4-6)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpc.joint_noise import joint_laplace, joint_noise, laplace_from_u32
+from repro.mpc.runtime import MPCRuntime
+
+
+class TestLaplaceFromU32:
+    def test_msb_determines_sign(self):
+        assert laplace_from_u32(np.uint32(0x00000001), 1.0) > 0
+        assert laplace_from_u32(np.uint32(0x80000001), 1.0) < 0
+
+    @given(st.integers(0, 2**32 - 1), st.floats(0.01, 100))
+    @settings(max_examples=100, deadline=None)
+    def test_magnitude_scales_linearly(self, z, scale):
+        base = laplace_from_u32(np.uint32(z), 1.0)
+        scaled = laplace_from_u32(np.uint32(z), scale)
+        assert scaled == pytest.approx(base * scale, rel=1e-9)
+
+    def test_deterministic_in_seed_word(self):
+        assert laplace_from_u32(np.uint32(12345), 2.0) == laplace_from_u32(
+            np.uint32(12345), 2.0
+        )
+
+    def test_distribution_matches_laplace(self):
+        """Empirical mean/variance of the mapping ≈ Lap(scale) moments."""
+        gen = np.random.default_rng(0)
+        zs = gen.integers(0, 2**32, size=200_000, dtype=np.uint32)
+        draws = np.asarray([laplace_from_u32(z, 3.0) for z in zs[:50_000]])
+        # Lap(b): mean 0, variance 2b².
+        assert abs(draws.mean()) < 0.15
+        assert draws.var() == pytest.approx(2 * 9.0, rel=0.1)
+
+    def test_median_magnitude(self):
+        """|Lap(b)| has median b·ln2 — a quantile check on the sampler."""
+        gen = np.random.default_rng(1)
+        zs = gen.integers(0, 2**32, size=50_000, dtype=np.uint32)
+        mags = np.abs([laplace_from_u32(z, 1.0) for z in zs])
+        assert np.median(mags) == pytest.approx(np.log(2), rel=0.05)
+
+
+class TestJointLaplace:
+    def test_requires_positive_parameters(self):
+        runtime = MPCRuntime(seed=0)
+        with runtime.protocol("p") as ctx:
+            with pytest.raises(ValueError):
+                joint_laplace(ctx, sensitivity=0, epsilon=1)
+            with pytest.raises(ValueError):
+                joint_laplace(ctx, sensitivity=1, epsilon=-1)
+
+    def test_charges_laplace_circuit(self):
+        runtime = MPCRuntime(seed=0)
+        with runtime.protocol("p") as ctx:
+            joint_laplace(ctx, 1.0, 1.0)
+            assert ctx.gates == runtime.cost_model.laplace_gates
+
+    def test_joint_noise_offsets_value(self):
+        runtime = MPCRuntime(seed=0)
+        with runtime.protocol("p") as ctx:
+            noisy = joint_noise(ctx, 1.0, 1.0, 100.0)
+        assert noisy != 100.0  # almost surely
+
+    def test_reproducible_per_runtime_seed(self):
+        draws = []
+        for _ in range(2):
+            runtime = MPCRuntime(seed=42)
+            with runtime.protocol("p") as ctx:
+                draws.append(joint_laplace(ctx, 2.0, 0.5))
+        assert draws[0] == draws[1]
+
+    def test_unbiased_over_many_draws(self):
+        runtime = MPCRuntime(seed=7)
+        with runtime.protocol("p") as ctx:
+            draws = [joint_laplace(ctx, 1.0, 1.0) for _ in range(20_000)]
+        assert abs(np.mean(draws)) < 0.05

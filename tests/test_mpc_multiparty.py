@@ -1,0 +1,175 @@
+"""Tests for the N-server extension (Section 8)."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ProtocolError, SecurityError
+from repro.common.types import Schema
+from repro.mpc.multiparty import NShare, ServerGroup
+
+SCHEMA = Schema(("k", "ts"))
+
+
+def make_group(n=3, seed=0):
+    return ServerGroup(n, seed=seed)
+
+
+class TestNSharing:
+    def test_owner_share_roundtrip(self):
+        group = make_group(4)
+        rows = np.asarray([[1, 2], [3, 4]], dtype=np.uint32)
+        flags = np.asarray([1, 0], dtype=np.uint32)
+        table = group.owner_share_table(SCHEMA, rows, flags)
+        with group.protocol("p") as ctx:
+            out_rows, out_flags = ctx.reveal_table(table)
+        assert (out_rows == rows).all()
+        assert out_flags.tolist() == [True, False]
+
+    def test_in_protocol_reshare_roundtrip(self):
+        group = make_group(5)
+        values = np.arange(16, dtype=np.uint32)
+        with group.protocol("p") as ctx:
+            shared = ctx.share(values)
+            assert shared.n_servers == 5
+            assert (ctx.reveal(shared) == values).all()
+
+    @pytest.mark.parametrize("n", [2, 3, 5])
+    def test_any_strict_coalition_sees_uniform_noise(self, n):
+        """Up to N−1 corrupted servers learn nothing (Lemma 9)."""
+        group = make_group(n)
+        secret = np.full(512, 7, dtype=np.uint32)
+        table = group.owner_share_table(SCHEMA, secret.reshape(-1, 2), np.ones(256))
+        for coalition_size in range(1, n):
+            view = group.corruption_view(
+                table.rows, corrupted=list(range(coalition_size))
+            )
+            # A constant-valued secret must not shine through the XOR of
+            # any strict share subset.
+            assert (view.ravel() == 7).sum() < 16
+
+    def test_full_coalition_rejected(self):
+        group = make_group(3)
+        table = group.owner_share_table(
+            SCHEMA, np.asarray([[1, 2]], dtype=np.uint32), np.ones(1)
+        )
+        with pytest.raises(SecurityError):
+            group.corruption_view(table.rows, corrupted=[0, 1, 2])
+
+    def test_share_count_mismatch_detected(self):
+        group = make_group(3)
+        foreign = ServerGroup(4).owner_share_table(
+            SCHEMA, np.asarray([[1, 2]], dtype=np.uint32), np.ones(1)
+        )
+        with group.protocol("p") as ctx:
+            with pytest.raises(ProtocolError, match="share count"):
+                ctx.reveal(foreign.rows)
+
+    def test_nshare_validation(self):
+        with pytest.raises(ProtocolError):
+            NShare([np.zeros(2, dtype=np.uint32)])
+        with pytest.raises(ProtocolError):
+            NShare([np.zeros(2, dtype=np.uint32), np.zeros(3, dtype=np.uint32)])
+
+
+class TestNPartyProtocolScope:
+    def test_reveal_outside_scope_raises(self):
+        group = make_group(3)
+        table = group.owner_share_table(
+            SCHEMA, np.asarray([[1, 2]], dtype=np.uint32), np.ones(1)
+        )
+        with group.protocol("p") as ctx:
+            pass
+        with pytest.raises(SecurityError):
+            ctx.reveal(table.rows)
+
+    def test_protocols_do_not_nest(self):
+        group = make_group(3)
+        with group.protocol("outer"):
+            with pytest.raises(ProtocolError):
+                with group.protocol("inner"):
+                    pass
+
+    def test_minimum_two_servers(self):
+        with pytest.raises(ProtocolError):
+            ServerGroup(1)
+
+    def test_transcript_records_events(self):
+        group = make_group(3)
+        with group.protocol("shrink-n", time=4) as ctx:
+            ctx.publish("view-update", size=9)
+        assert group.transcript.of_kind("view-update")[0].payload == {"size": 9}
+
+
+class TestNPartyNoise:
+    def test_single_noise_instance_regardless_of_n(self):
+        """Growing the server set must not inject more noise: the draw's
+        distribution is one Lap(Δ/ε) for every N."""
+        stds = {}
+        for n in (2, 3, 6):
+            group = make_group(n, seed=1)
+            with group.protocol("p") as ctx:
+                draws = [ctx.joint_laplace(1.0, 1.0) for _ in range(20_000)]
+            stds[n] = np.std(draws)
+        # Lap(1) has std sqrt(2) ≈ 1.414 for every group size.
+        for n, std in stds.items():
+            assert std == pytest.approx(np.sqrt(2), rel=0.1), f"N={n}"
+
+    def test_noise_parameter_validation(self):
+        group = make_group(2)
+        with group.protocol("p") as ctx:
+            with pytest.raises(ValueError):
+                ctx.joint_laplace(0.0, 1.0)
+
+    def test_noise_charges_cost(self):
+        group = make_group(3)
+        with group.protocol("p") as ctx:
+            ctx.joint_laplace(1.0, 1.0)
+            assert ctx.gates == group.cost_model.laplace_gates
+            assert ctx.seconds > 0
+
+
+class TestNPartyViewUpdateFlow:
+    def test_dp_sized_cache_read_across_n_servers(self):
+        """A miniature Shrink over an N-shared cache: sort real-first,
+        fetch a noised prefix, re-share the remainder — end to end with
+        no party ever holding plaintext outside the scope."""
+        from repro.oblivious.sort import composite_key, oblivious_sort
+
+        group = make_group(4, seed=2)
+        rows = np.asarray(
+            [[1, 1], [0, 0], [2, 2], [0, 0], [3, 3]], dtype=np.uint32
+        )
+        flags = np.asarray([1, 0, 1, 0, 1], dtype=np.uint32)
+        cache = group.owner_share_table(SCHEMA, rows, flags)
+
+        class _CtxAdapter:
+            """Adapts the N-party context to the 2-party sort helper."""
+
+            def __init__(self, ctx):
+                self._ctx = ctx
+
+            def charge_compare_exchanges(self, count, words):
+                self._ctx.charge_gates(
+                    count * group.cost_model.compare_exchange_gates(words)
+                )
+
+        with group.protocol("shrink-n", time=1) as ctx:
+            plain_rows, plain_flags = ctx.reveal_table(cache)
+            keys = composite_key(
+                np.where(plain_flags, 0, 1).astype(np.uint32),
+                np.arange(len(plain_rows), dtype=np.uint32),
+            )
+            _, [sorted_rows, sorted_flags] = oblivious_sort(
+                _CtxAdapter(ctx), keys, [plain_rows, plain_flags.astype(np.uint32)], 3
+            )
+            size = max(0, round(3 + ctx.joint_laplace(1.0, 100.0)))
+            fetched = ctx.share_table(
+                SCHEMA, sorted_rows[:size], sorted_flags[:size]
+            )
+            ctx.publish("view-update", size=size)
+
+        with group.protocol("audit") as ctx:
+            fetched_rows, fetched_flags = ctx.reveal_table(fetched)
+        # At ε=100 the noise is negligible: all three reals fetched first.
+        assert fetched_flags[:3].all()
+        assert {int(r[0]) for r in fetched_rows[:3]} == {1, 2, 3}

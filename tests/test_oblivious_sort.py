@@ -1,0 +1,140 @@
+"""Tests for the Batcher sorting network: correctness, obliviousness, cost."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpc.runtime import MPCRuntime
+from repro.oblivious.sort import (
+    apply_network,
+    batcher_network,
+    composite_key,
+    network_comparator_count,
+    oblivious_sort,
+)
+
+
+class TestNetworkConstruction:
+    def test_power_of_two_required(self):
+        with pytest.raises(ValueError):
+            batcher_network(6)
+
+    def test_trivial_sizes(self):
+        assert batcher_network(1) == ()
+        assert len(batcher_network(2)) == 1
+
+    def test_comparator_count_known_values(self):
+        # Batcher odd-even mergesort comparator counts for small n.
+        assert network_comparator_count(2) == 1
+        assert network_comparator_count(4) == 5
+        assert network_comparator_count(8) == 19
+
+    def test_comparator_count_pads_to_pow2(self):
+        assert network_comparator_count(5) == network_comparator_count(8)
+
+    def test_stages_are_disjoint(self):
+        """Comparators within one stage must touch disjoint positions —
+        that is what makes them parallelisable (and our vectorised
+        application correct)."""
+        for n in (4, 8, 16, 32):
+            for lo, hi in batcher_network(n):
+                touched = np.concatenate([lo, hi])
+                assert len(np.unique(touched)) == len(touched)
+
+    def test_network_is_data_independent(self):
+        """The comparator sequence depends only on n — the core oblivious
+        property.  (The network is cached, so identity equality holds.)"""
+        assert batcher_network(16) is batcher_network(16)
+
+
+class TestApplyNetwork:
+    @given(
+        st.lists(st.integers(0, 2**32 - 1), min_size=0, max_size=64)
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_sorts_any_input(self, values):
+        keys = np.asarray(values, dtype=np.uint64)
+        sorted_keys, perm = apply_network(keys)
+        assert (sorted_keys == np.sort(keys)).all()
+        assert (keys[perm] == sorted_keys).all()
+
+    def test_permutation_is_bijection(self):
+        keys = np.asarray([5, 3, 3, 1, 9, 0, 3], dtype=np.uint64)
+        _, perm = apply_network(keys)
+        assert sorted(perm.tolist()) == list(range(len(keys)))
+
+    def test_non_power_of_two_padding_removed(self):
+        keys = np.asarray([9, 1, 5], dtype=np.uint64)
+        sorted_keys, perm = apply_network(keys)
+        assert len(sorted_keys) == 3
+        assert sorted_keys.tolist() == [1, 5, 9]
+
+    def test_empty_input(self):
+        sorted_keys, perm = apply_network(np.zeros(0, dtype=np.uint64))
+        assert len(sorted_keys) == 0
+        assert len(perm) == 0
+
+
+class TestObliviousSort:
+    def test_payloads_follow_keys(self):
+        runtime = MPCRuntime(seed=0)
+        keys = np.asarray([3, 1, 2], dtype=np.uint64)
+        payload = np.asarray([[30], [10], [20]], dtype=np.uint32)
+        flags = np.asarray([1, 0, 1], dtype=np.uint32)
+        with runtime.protocol("p") as ctx:
+            sorted_keys, [rows, out_flags] = oblivious_sort(
+                ctx, keys, [payload, flags], payload_words=2
+            )
+        assert rows[:, 0].tolist() == [10, 20, 30]
+        assert out_flags.tolist() == [0, 1, 1]
+
+    def test_charges_comparator_count(self):
+        runtime = MPCRuntime(seed=0)
+        keys = np.arange(8, dtype=np.uint64)
+        with runtime.protocol("p") as ctx:
+            oblivious_sort(ctx, keys, [keys.astype(np.uint32)], payload_words=1)
+            expected = network_comparator_count(8) * runtime.cost_model.compare_exchange_gates(1)
+            assert ctx.gates == expected
+
+    def test_cost_depends_only_on_length(self):
+        """Two different inputs of the same size must charge identical
+        gates — the execution-time side of obliviousness."""
+        costs = []
+        for seed, data in ((0, [5, 1, 4, 2]), (0, [0, 0, 0, 0])):
+            runtime = MPCRuntime(seed=seed)
+            with runtime.protocol("p") as ctx:
+                oblivious_sort(
+                    ctx,
+                    np.asarray(data, dtype=np.uint64),
+                    [np.asarray(data, dtype=np.uint32)],
+                    payload_words=1,
+                )
+                costs.append(ctx.gates)
+        assert costs[0] == costs[1]
+
+
+class TestCompositeKey:
+    def test_primary_dominates(self):
+        keys = composite_key(
+            np.asarray([1, 2], dtype=np.uint32), np.asarray([999, 0], dtype=np.uint32)
+        )
+        assert keys[0] < keys[1]
+
+    def test_secondary_breaks_ties(self):
+        keys = composite_key(
+            np.asarray([7, 7], dtype=np.uint32), np.asarray([2, 1], dtype=np.uint32)
+        )
+        assert keys[1] < keys[0]
+
+    @given(
+        st.integers(0, 2**32 - 1),
+        st.integers(0, 2**32 - 1),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_injective(self, a, b):
+        key = composite_key(
+            np.asarray([a], dtype=np.uint32), np.asarray([b], dtype=np.uint32)
+        )[0]
+        assert int(key) >> 32 == a
+        assert int(key) & 0xFFFFFFFF == b

@@ -1,0 +1,120 @@
+"""Tests for the query layer: AST predicates, rewriting, execution."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import SchemaError
+from repro.common.rng import spawn
+from repro.common.types import Schema
+from repro.core.view_def import JoinViewDefinition
+from repro.mpc.runtime import MPCRuntime
+from repro.query.ast import (
+    LogicalJoinCountQuery,
+    ViewCountQuery,
+    column_equals,
+    column_in_range,
+)
+from repro.query.executor import execute_view_count
+from repro.query.rewrite import can_answer, rewrite
+from repro.sharing.shared_value import SharedTable
+from repro.storage.materialized_view import MaterializedView
+
+
+def make_logical_query(**overrides):
+    base = dict(
+        probe_table="orders",
+        driver_table="shipments",
+        probe_key="key",
+        driver_key="key",
+        probe_ts="ots",
+        driver_ts="sts",
+        window_lo=0,
+        window_hi=2,
+    )
+    base.update(overrides)
+    return LogicalJoinCountQuery(**base)
+
+
+class TestPredicates:
+    SCHEMA = Schema(("a", "b"))
+    ROWS = np.asarray([[1, 10], [2, 20], [1, 30]], dtype=np.uint32)
+
+    def test_column_equals(self):
+        pred = column_equals(self.SCHEMA, "a", 1)
+        assert pred(self.ROWS).tolist() == [True, False, True]
+
+    def test_column_in_range(self):
+        pred = column_in_range(self.SCHEMA, "b", 15, 30)
+        assert pred(self.ROWS).tolist() == [False, True, True]
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(SchemaError):
+            column_in_range(self.SCHEMA, "b", 5, 4)
+
+    def test_empty_rows(self):
+        pred = column_equals(self.SCHEMA, "a", 1)
+        assert len(pred(np.zeros((0, 2), dtype=np.uint32))) == 0
+
+
+class TestRewrite:
+    def test_matching_query_rewrites(self, tiny_view_def):
+        query = make_logical_query()
+        assert can_answer(query, tiny_view_def)
+        view_query = rewrite(query, tiny_view_def)
+        assert view_query.view_name == tiny_view_def.name
+
+    def test_mismatched_window_rejected(self, tiny_view_def):
+        query = make_logical_query(window_hi=5)
+        assert not can_answer(query, tiny_view_def)
+        with pytest.raises(SchemaError, match="does not materialize"):
+            rewrite(query, tiny_view_def)
+
+    def test_mismatched_tables_rejected(self, tiny_view_def):
+        query = make_logical_query(probe_table="users")
+        with pytest.raises(SchemaError):
+            rewrite(query, tiny_view_def)
+
+
+class TestExecutor:
+    def _view_with(self, schema, rows, flags):
+        view = MaterializedView(schema)
+        view.append(
+            SharedTable.from_plain(
+                schema,
+                np.asarray(rows, dtype=np.uint32),
+                np.asarray(flags, dtype=np.uint32),
+                spawn(0, "exec"),
+            )
+        )
+        return view
+
+    def test_counts_real_rows(self, tiny_view_def):
+        schema = tiny_view_def.view_schema
+        view = self._view_with(
+            schema,
+            [[1, 1, 1, 2], [0, 0, 0, 0], [2, 1, 2, 3]],
+            [1, 0, 1],
+        )
+        runtime = MPCRuntime(seed=0)
+        count, qet = execute_view_count(runtime, 1, view, ViewCountQuery("v"))
+        assert count == 2
+        assert qet > 0
+
+    def test_residual_predicate_applies(self, tiny_view_def):
+        schema = tiny_view_def.view_schema
+        view = self._view_with(
+            schema,
+            [[1, 1, 1, 2], [2, 1, 2, 3]],
+            [1, 1],
+        )
+        runtime = MPCRuntime(seed=0)
+        query = ViewCountQuery("v", predicate=column_equals(schema, "p_key", 2))
+        count, _ = execute_view_count(runtime, 1, view, query)
+        assert count == 1
+
+    def test_empty_view_counts_zero_in_zero_time(self, tiny_view_def):
+        view = MaterializedView(tiny_view_def.view_schema)
+        runtime = MPCRuntime(seed=0)
+        count, qet = execute_view_count(runtime, 1, view, ViewCountQuery("v"))
+        assert count == 0
+        assert qet == 0.0

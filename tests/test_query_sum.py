@@ -1,0 +1,117 @@
+"""Tests for SUM aggregation over materialized views."""
+
+import numpy as np
+import pytest
+
+from repro.common.rng import spawn
+from repro.mpc.runtime import MPCRuntime
+from repro.oblivious.filter import oblivious_sum
+from repro.query.ast import ViewSumQuery, column_equals
+from repro.query.executor import execute_view_sum
+from repro.sharing.shared_value import SharedTable
+from repro.storage.materialized_view import MaterializedView
+
+
+class TestObliviousSum:
+    ROWS = np.asarray([[1, 10], [2, 20], [3, 30], [9, 999]], dtype=np.uint32)
+    FLAGS = np.asarray([True, True, True, False])
+
+    def test_sums_real_rows_only(self):
+        """The dummy row's 999 must not leak into the total."""
+        runtime = MPCRuntime(seed=0)
+        with runtime.protocol("p") as ctx:
+            assert oblivious_sum(ctx, self.ROWS, self.FLAGS, 1, None, 2) == 60
+
+    def test_predicate_restricts_sum(self):
+        runtime = MPCRuntime(seed=0)
+        with runtime.protocol("p") as ctx:
+            total = oblivious_sum(
+                ctx, self.ROWS, self.FLAGS, 1, self.ROWS[:, 0] >= 2, 2
+            )
+        assert total == 50
+
+    def test_empty_input(self):
+        runtime = MPCRuntime(seed=0)
+        with runtime.protocol("p") as ctx:
+            assert (
+                oblivious_sum(
+                    ctx,
+                    np.zeros((0, 2), dtype=np.uint32),
+                    np.zeros(0, dtype=bool),
+                    1,
+                    None,
+                    2,
+                )
+                == 0
+            )
+
+    def test_sum_costs_more_than_count(self):
+        """The 64-bit accumulator makes SUM strictly pricier per row."""
+        from repro.oblivious.filter import oblivious_count
+
+        runtime = MPCRuntime(seed=0)
+        with runtime.protocol("a") as ctx:
+            oblivious_count(ctx, self.ROWS, self.FLAGS, None, 2)
+            count_gates = ctx.gates
+        with runtime.protocol("b") as ctx:
+            oblivious_sum(ctx, self.ROWS, self.FLAGS, 1, None, 2)
+            sum_gates = ctx.gates
+        assert sum_gates > count_gates
+
+    def test_large_values_do_not_overflow(self):
+        rows = np.asarray([[1, 2**31], [2, 2**31]], dtype=np.uint32)
+        flags = np.ones(2, dtype=bool)
+        runtime = MPCRuntime(seed=0)
+        with runtime.protocol("p") as ctx:
+            assert oblivious_sum(ctx, rows, flags, 1, None, 2) == 2**32
+
+
+class TestExecuteViewSum:
+    def _view(self, tiny_view_def, rows, flags):
+        view = MaterializedView(tiny_view_def.view_schema)
+        view.append(
+            SharedTable.from_plain(
+                tiny_view_def.view_schema,
+                np.asarray(rows, dtype=np.uint32),
+                np.asarray(flags, dtype=np.uint32),
+                spawn(0, "sum"),
+            )
+        )
+        return view
+
+    def test_sum_over_view_column(self, tiny_view_def):
+        view = self._view(
+            tiny_view_def,
+            [[1, 1, 1, 5], [2, 1, 2, 7], [0, 0, 0, 0]],
+            [1, 1, 0],
+        )
+        runtime = MPCRuntime(seed=0)
+        total, qet = execute_view_sum(
+            runtime, 1, view, ViewSumQuery("v", column="d_sts")
+        )
+        assert total == 12
+        assert qet > 0
+
+    def test_sum_with_residual_predicate(self, tiny_view_def):
+        schema = tiny_view_def.view_schema
+        view = self._view(
+            tiny_view_def,
+            [[1, 1, 1, 5], [2, 1, 2, 7]],
+            [1, 1],
+        )
+        runtime = MPCRuntime(seed=0)
+        total, _ = execute_view_sum(
+            runtime,
+            1,
+            view,
+            ViewSumQuery("v", column="d_sts", predicate=column_equals(schema, "p_key", 2)),
+        )
+        assert total == 7
+
+    def test_unknown_column_raises(self, tiny_view_def):
+        view = MaterializedView(tiny_view_def.view_schema)
+        runtime = MPCRuntime(seed=0)
+        from repro.common.errors import SchemaError
+
+        with pytest.raises(SchemaError):
+            execute_view_sum(runtime, 1, view, ViewSumQuery("v", column="ghost"))
