@@ -27,10 +27,18 @@ from .core import (
     SDPANT,
     SDPTimer,
 )
-from .experiments.harness import RunConfig, RunResult, run_experiment
+from .experiments.harness import (
+    MultiViewRunConfig,
+    MultiViewRunResult,
+    RunConfig,
+    RunResult,
+    run_experiment,
+    run_multiview_experiment,
+)
 from .mpc import CostModel, MPCRuntime
+from .server import IncShrinkDatabase, ViewRegistration
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "MetricSummary",
@@ -42,10 +50,15 @@ __all__ = [
     "JoinViewDefinition",
     "SDPANT",
     "SDPTimer",
+    "MultiViewRunConfig",
+    "MultiViewRunResult",
     "RunConfig",
     "RunResult",
     "run_experiment",
+    "run_multiview_experiment",
     "CostModel",
     "MPCRuntime",
+    "IncShrinkDatabase",
+    "ViewRegistration",
     "__version__",
 ]

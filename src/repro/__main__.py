@@ -6,9 +6,12 @@ Usage::
     python -m repro figure5 --dataset cpdb --steps 160
     python -m repro figure8 --steps 120
     python -m repro run --dataset tpcds --mode dp-ant --epsilon 0.5
+    python -m repro multiview --dataset tpcds --steps 96 --epsilon 3.0
 
-``run`` executes a single deployment and prints its summary; the named
-experiments print the corresponding paper table/figure.
+``run`` executes a single deployment and prints its summary;
+``multiview`` runs one multi-view database (three views over the shared
+base-table pair, planner-routed COUNT/SUM queries, composed privacy);
+the named experiments print the corresponding paper table/figure.
 """
 
 from __future__ import annotations
@@ -17,7 +20,12 @@ import argparse
 import sys
 
 from .experiments import figure4, figure5, figure6, figure7, figure8, figure9, table2
-from .experiments.harness import RunConfig, run_experiment
+from .experiments.harness import (
+    MultiViewRunConfig,
+    RunConfig,
+    run_experiment,
+    run_multiview_experiment,
+)
 
 _BOTH_DATASET_EXPERIMENTS = {
     "figure5": (figure5.run_figure5, figure5.format_figure5),
@@ -65,7 +73,58 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--epsilon", type=float, default=1.5)
     run.add_argument("--steps", type=int, default=120)
     run.add_argument("--seed", type=int, default=0)
+
+    mv = sub.add_parser(
+        "multiview",
+        help="run one multi-view database with planner-routed queries",
+    )
+    mv.add_argument("--dataset", choices=["tpcds", "cpdb"], default="tpcds")
+    mv.add_argument("--epsilon", type=float, default=3.0, help="total DB budget")
+    mv.add_argument("--steps", type=int, default=96)
+    mv.add_argument("--seed", type=int, default=0)
+    mv.add_argument("--query-every", type=int, default=4)
     return parser
+
+
+def _format_multiview(result) -> str:
+    lines = []
+    cfg = result.config
+    lines.append(
+        f"multi-view database: {cfg.dataset}, {cfg.n_steps} steps, "
+        f"total epsilon {cfg.total_epsilon}"
+    )
+    lines.append(
+        "base uploads (once per table per step): "
+        + ", ".join(f"{t}={n}" for t, n in sorted(result.upload_counts.items()))
+    )
+    lines.append(
+        f"transform invocations: {result.transform_runs} "
+        f"({len(result.database.groups)} shared circuits/step, "
+        f"{len(result.view_modes)} views)"
+    )
+    lines.append("")
+    header = f"{'view':<22} {'mode':<9} {'eps_i':>6} {'realized':>9} {'rows':>7} {'queries':>8} {'avg L1':>8}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name, mode in result.view_modes.items():
+        vr = result.database.views[name]
+        summary = result.per_view[name]
+        eps_i = result.allocation.get(name, 0.0)
+        realized = result.database.view_realized_epsilon(name)
+        lines.append(
+            f"{name:<22} {mode:<9} {eps_i:>6.3f} {realized:>9.4f} "
+            f"{len(vr.view):>7} {summary.query_count:>8} {summary.avg_l1_error:>8.2f}"
+        )
+    lines.append("")
+    lines.append(
+        "planner routing: "
+        + ", ".join(f"{k}×{v}" for k, v in sorted(result.plan_counts.items()))
+    )
+    lines.append(
+        f"composed realized epsilon: {result.realized_epsilon:.4f} "
+        f"<= {cfg.total_epsilon} (configured total)"
+    )
+    return "\n".join(lines)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -84,6 +143,17 @@ def main(argv: list[str] | None = None) -> int:
     elif args.command in _BOTH_DATASET_EXPERIMENTS:
         run_fn, format_fn = _BOTH_DATASET_EXPERIMENTS[args.command]
         print(format_fn(args.dataset, run_fn(args.dataset, n_steps=args.steps)))
+    elif args.command == "multiview":
+        result = run_multiview_experiment(
+            MultiViewRunConfig(
+                dataset=args.dataset,
+                n_steps=args.steps,
+                seed=args.seed,
+                total_epsilon=args.epsilon,
+                query_every=args.query_every,
+            )
+        )
+        print(_format_multiview(result))
     elif args.command == "run":
         result = run_experiment(
             RunConfig(

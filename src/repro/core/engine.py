@@ -1,6 +1,13 @@
 """The IncShrink engine: the full workflow of Figure 1.
 
-One engine instance wires together, for a single view definition:
+One engine instance is a **single-view façade** over the multi-view
+:class:`~repro.server.database.IncShrinkDatabase`: it registers exactly
+one join view, forwards the three verbs ``upload``, ``process_step`` and
+``query_count`` (plus ``query_sum``), and exposes the wired per-view
+state — stores, cache, view, ledger, policy, flusher, metrics — under
+the attribute names a one-view deployment reads naturally.  For a single
+view the database layer degenerates to exactly the paper's Figure-1
+pipeline:
 
 * owner-side upload of padded, secret-shared batches (plus the plaintext
   logical mirror used exclusively for ground-truth scoring);
@@ -8,13 +15,14 @@ One engine instance wires together, for a single view definition:
 * a view-update policy — sDPTimer, sDPANT, EP, or OTM — moving data from
   the cache to the materialized view;
 * the periodic cache flush (DP modes);
-* view-based COUNT query answering, with the NM (non-materialization)
-  mode recomputing the join from the outsourced stores instead;
+* view-based COUNT/SUM query answering, with the NM
+  (non-materialization) mode recomputing the join from the outsourced
+  stores instead;
 * metric and privacy-accounting ledgers.
 
 The simulation loop itself (workload streaming, per-step queries) lives
-in :mod:`repro.experiments.harness`; the engine only exposes the three
-verbs ``upload``, ``process_step`` and ``query_count``.
+in :mod:`repro.experiments.harness`; multi-view deployments talk to the
+database directly.
 """
 
 from __future__ import annotations
@@ -22,26 +30,52 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..common.errors import ConfigurationError
-from ..common.metrics import MetricLog, QueryObservation
+from ..common.metrics import QueryObservation
 from ..common.types import RecordBatch
-from ..dp.accountant import PrivacyAccountant
 from ..mpc.cost_model import CostModel
 from ..mpc.runtime import MPCRuntime
-from ..query.ast import ViewCountQuery
-from ..query.executor import execute_nm_count, execute_view_count
-from ..storage.growing_db import GrowingDatabase
-from ..storage.materialized_view import MaterializedView
-from ..storage.outsourced_table import OutsourcedTable
-from ..storage.secure_cache import SecureCache
-from .baselines import ExhaustivePaddingSync, OneTimeMaterialization
-from .budget import ContributionLedger
-from .flush import CacheFlusher
-from .shrink_ant import SDPANT
-from .shrink_timer import SDPTimer
-from .transform import TransformProtocol
+from .transform import JOIN_IMPLS
 from .view_def import JoinViewDefinition
 
 MODES = ("dp-timer", "dp-ant", "ep", "otm", "nm")
+
+
+def validate_policy_knobs(
+    mode: str,
+    join_impl: str,
+    timer_interval: int,
+    ant_threshold: float,
+    flush_interval: int,
+    flush_size: int,
+) -> None:
+    """Validate the per-view policy knobs every deployment shape shares.
+
+    Called by both :class:`EngineConfig` (single-view façade) and
+    :class:`repro.server.database.ViewRegistration` (multi-view) so the
+    two config surfaces cannot drift apart.
+    """
+    if mode not in MODES:
+        raise ConfigurationError(f"mode must be one of {MODES}, got {mode!r}")
+    if join_impl not in JOIN_IMPLS:
+        raise ConfigurationError(
+            f"join_impl must be one of {JOIN_IMPLS}, got {join_impl!r}"
+        )
+    if timer_interval < 1:
+        raise ConfigurationError(
+            f"timer_interval must be >= 1, got {timer_interval}"
+        )
+    if ant_threshold <= 0:
+        raise ConfigurationError(
+            f"ant_threshold must be positive, got {ant_threshold}"
+        )
+    if flush_interval <= 0:
+        raise ConfigurationError(
+            f"flush_interval must be positive, got {flush_interval}"
+        )
+    if flush_size <= 0:
+        raise ConfigurationError(
+            f"flush_size must be positive, got {flush_size}"
+        )
 
 
 @dataclass(frozen=True)
@@ -59,8 +93,18 @@ class EngineConfig:
     cost_model: CostModel | None = None
 
     def __post_init__(self) -> None:
-        if self.mode not in MODES:
-            raise ConfigurationError(f"mode must be one of {MODES}, got {self.mode!r}")
+        validate_policy_knobs(
+            self.mode,
+            self.join_impl,
+            self.timer_interval,
+            self.ant_threshold,
+            self.flush_interval,
+            self.flush_size,
+        )
+        if self.epsilon <= 0:
+            raise ConfigurationError(
+                f"epsilon must be positive, got {self.epsilon}"
+            )
 
 
 @dataclass
@@ -86,70 +130,48 @@ class IncShrinkEngine:
         config: EngineConfig | None = None,
         runtime: MPCRuntime | None = None,
     ) -> None:
+        # Imported here: the server layer builds on core protocol modules,
+        # and this façade closes the loop back onto it.
+        from ..server.database import IncShrinkDatabase, ViewRegistration
+
         self.view_def = view_def
         self.config = config or EngineConfig()
-        self.runtime = runtime or MPCRuntime(
-            seed=self.config.seed, cost_model=self.config.cost_model
-        )
-
-        # server-side state
-        self.probe_store = OutsourcedTable(view_def.probe_schema, view_def.probe_table)
-        self.driver_store = OutsourcedTable(
-            view_def.driver_schema, view_def.driver_table
-        )
-        self.cache = SecureCache(view_def.view_schema)
-        self.view = MaterializedView(view_def.view_schema)
-
-        # accounting
-        self.ledger = ContributionLedger(view_def.omega, view_def.budget)
-        self.accountant = PrivacyAccountant()
-        self.metrics = MetricLog()
-
-        # logical mirror (owners' plaintext; scoring only)
-        self.logical = GrowingDatabase()
-        self.logical.create_table(view_def.probe_table, view_def.probe_schema)
-        self.logical.create_table(view_def.driver_table, view_def.driver_schema)
-
-        self._wire_protocols()
-
-    def _wire_protocols(self) -> None:
         cfg = self.config
-        self.transform: TransformProtocol | None = None
-        self.policy = None
-        self.flusher: CacheFlusher | None = None
-        if cfg.mode in ("dp-timer", "dp-ant", "ep"):
-            self.transform = TransformProtocol(
-                self.runtime,
-                self.view_def,
-                self.probe_store,
-                self.driver_store,
-                self.ledger,
+
+        self.database = IncShrinkDatabase(
+            total_epsilon=cfg.epsilon,
+            seed=cfg.seed,
+            cost_model=cfg.cost_model,
+            runtime=runtime,
+        )
+        self.database.register_view(
+            ViewRegistration(
+                view_def,
+                mode=cfg.mode,
+                timer_interval=cfg.timer_interval,
+                ant_threshold=cfg.ant_threshold,
+                flush_interval=cfg.flush_interval,
+                flush_size=cfg.flush_size,
                 join_impl=cfg.join_impl,
             )
-        if cfg.mode == "dp-timer":
-            self.policy = SDPTimer(
-                self.runtime,
-                self.transform.counter,
-                cfg.epsilon,
-                self.view_def.budget,
-                cfg.timer_interval,
-                self.accountant,
-            )
-            self.flusher = CacheFlusher(self.runtime, cfg.flush_interval, cfg.flush_size)
-        elif cfg.mode == "dp-ant":
-            self.policy = SDPANT(
-                self.runtime,
-                self.transform.counter,
-                cfg.epsilon,
-                self.view_def.budget,
-                cfg.ant_threshold,
-                self.accountant,
-            )
-            self.flusher = CacheFlusher(self.runtime, cfg.flush_interval, cfg.flush_size)
-        elif cfg.mode == "ep":
-            self.policy = ExhaustivePaddingSync(self.runtime, self.transform.counter)
-        elif cfg.mode == "otm":
-            self.policy = OneTimeMaterialization()
+        )
+        self.database.finalize()
+
+        # Single-view aliases: the same objects the database wired, under
+        # the names the paper's one-instance deployment uses.
+        vr = self.database.views[view_def.name]
+        self.runtime = self.database.runtime
+        self.probe_store = vr.group.probe_scope
+        self.driver_store = vr.group.driver_scope
+        self.cache = vr.cache
+        self.view = vr.view
+        self.ledger = vr.group.ledger
+        self.accountant = self.database.accountant
+        self.metrics = vr.metrics
+        self.logical = self.database.logical
+        self.transform = vr.group.transform
+        self.policy = vr.policy
+        self.flusher = vr.flusher
 
     # -- owner-side -------------------------------------------------------------
     def upload(
@@ -157,45 +179,15 @@ class IncShrinkEngine:
     ) -> None:
         """Owners secret-share and submit this step's padded batches."""
         vd = self.view_def
-        for name, store, batch in (
-            (vd.probe_table, self.probe_store, probe_batch),
-            (vd.driver_table, self.driver_store, driver_batch),
-        ):
-            shared = self.runtime.owner_share_table(
-                batch.schema, batch.rows, batch.is_real.astype("uint32")
-            )
-            store.append_batch(shared, time)
-            self.ledger.register_batch(name, time, len(batch))
-            real = batch.real_rows()
-            if len(real):
-                self.logical.insert(time, name, real)
+        self.database.upload(
+            time,
+            [(vd.probe_table, probe_batch), (vd.driver_table, driver_batch)],
+        )
 
     # -- server-side step ----------------------------------------------------------
     def process_step(self, time: int) -> StepReport:
         """Run Transform, the view-update policy, and any due flush."""
-        report = StepReport(time=time)
-        if self.transform is not None:
-            t_rep = self.transform.run(time, self.cache)
-            report.transform_seconds = t_rep.seconds
-            report.truncation_dropped = t_rep.dropped
-            self.metrics.transform_seconds.append(t_rep.seconds)
-        if self.policy is not None:
-            s_rep = self.policy.step(time, self.cache, self.view)
-            if s_rep is not None:
-                report.shrink_seconds += s_rep.seconds
-                report.view_updated = True
-                report.deferred_real = s_rep.deferred_real
-                self.metrics.shrink_seconds.append(s_rep.seconds)
-                self.metrics.deferred_counts.append(s_rep.deferred_real)
-        if self.flusher is not None and self.flusher.due(time):
-            f_rep = self.flusher.run(time, self.cache, self.view)
-            report.flushed = True
-            report.shrink_seconds += f_rep.seconds
-            self.metrics.shrink_seconds.append(f_rep.seconds)
-        self.metrics.view_size_rows.append(len(self.view))
-        self.metrics.view_size_bytes.append(self.view.byte_size)
-        self.metrics.cache_size_rows.append(len(self.cache))
-        return report
+        return self.database.step(time).view(self.view_def.name)
 
     # -- analyst side ------------------------------------------------------------
     def query_count(self, time: int) -> QueryObservation:
@@ -205,28 +197,18 @@ class IncShrinkEngine:
         served answer comes from the materialized view (or, under NM,
         from an oblivious join over the full outsourced stores).
         """
-        vd = self.view_def
-        probe_rows = self.logical.instance_at(vd.probe_table, time)
-        driver_rows = self.logical.instance_at(vd.driver_table, time)
-        logical_answer = vd.logical_join_count(probe_rows, driver_rows)
+        return self.database.answer_registered_count(self.view_def.name, time)
 
-        if self.config.mode == "nm":
-            answer, qet = execute_nm_count(
-                self.runtime, time, self.probe_store, self.driver_store, vd
-            )
-        else:
-            answer, qet = execute_view_count(
-                self.runtime, time, self.view, ViewCountQuery(vd.name)
-            )
+    def query_sum(self, time: int, sum_table: str, sum_column: str) -> QueryObservation:
+        """Answer the registered SUM over one logical column and score it.
 
-        obs = QueryObservation(
-            time=time,
-            logical_answer=float(logical_answer),
-            view_answer=float(answer),
-            qet_seconds=qet,
+        ``sum_table``/``sum_column`` name the column on either side of
+        the join; the rewrite to the prefixed view column (and, under NM,
+        the full oblivious join-sum) happens in the database layer.
+        """
+        return self.database.answer_registered_sum(
+            self.view_def.name, time, sum_table, sum_column
         )
-        self.metrics.record_query(obs)
-        return obs
 
     # -- privacy introspection ---------------------------------------------------
     def realized_epsilon(self) -> float:
@@ -236,10 +218,4 @@ class IncShrinkEngine:
         (budget-bounded) participation; for a run that respects the
         configured parameters this never exceeds ``config.epsilon``.
         """
-        from ..dp.accountant import theorem3_epsilon
-
-        if self.config.mode not in ("dp-timer", "dp-ant"):
-            return 0.0
-        per_release = self.config.epsilon / self.view_def.budget
-        contributions = self.ledger.theorem3_contributions(per_release)
-        return theorem3_epsilon(contributions)
+        return self.database.view_realized_epsilon(self.view_def.name)

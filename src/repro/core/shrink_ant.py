@@ -46,6 +46,7 @@ class SDPANT:
         b: int,
         threshold: float,
         accountant: PrivacyAccountant | None = None,
+        label: str = "ant",
     ) -> None:
         if epsilon <= 0:
             raise ConfigurationError(f"epsilon must be positive, got {epsilon}")
@@ -61,6 +62,9 @@ class SDPANT:
         self.b = b
         self.threshold = threshold
         self.accountant = accountant
+        #: Namespaces this policy's accountant segments so releases of
+        #: different views sharing one accountant never collide.
+        self.label = label
         self.updates_done = 0
         self._shared_threshold: SharedArray | None = None
 
@@ -111,7 +115,7 @@ class SDPANT:
             # One SVT round (threshold + comparisons + release) over the
             # disjoint segment since the previous update.
             self.accountant.spend(
-                "sDPANT-release", self.epsilon / self.b, segment=("ant", time)
+                "sDPANT-release", self.epsilon / self.b, segment=(self.label, time)
             )
         return ShrinkReport(
             time=time,

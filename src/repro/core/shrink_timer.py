@@ -54,6 +54,7 @@ class SDPTimer:
         b: int,
         interval: int,
         accountant: PrivacyAccountant | None = None,
+        label: str = "timer",
     ) -> None:
         if epsilon <= 0:
             raise ConfigurationError(f"epsilon must be positive, got {epsilon}")
@@ -67,6 +68,9 @@ class SDPTimer:
         self.b = b
         self.interval = interval
         self.accountant = accountant
+        #: Namespaces this policy's accountant segments so releases of
+        #: different views sharing one accountant never collide.
+        self.label = label
         self.updates_done = 0
 
     def step(
@@ -92,7 +96,7 @@ class SDPTimer:
             # update: parallel composition across segments, ε/b per unit
             # of cached-count sensitivity, b-stable Transform upstream.
             self.accountant.spend(
-                "sDPTimer-release", self.epsilon / self.b, segment=("timer", time)
+                "sDPTimer-release", self.epsilon / self.b, segment=(self.label, time)
             )
         return ShrinkReport(
             time=time,

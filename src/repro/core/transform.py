@@ -76,7 +76,21 @@ class TransformProtocol:
         self.driver_store = driver_store
         self.ledger = ledger
         self.join_impl = join_impl
-        self.counter = SharedCounter()
+        #: One cardinality counter per consuming view-update policy.  A
+        #: single-view deployment has exactly one; when several views share
+        #: this Transform (same join, different Shrink policies), each
+        #: policy resets its own counter on its own update schedule, so the
+        #: invocation increments every counter inside the same circuit.
+        self.counters: list[SharedCounter] = [SharedCounter()]
+
+    @property
+    def counter(self) -> SharedCounter:
+        """The first (single-view) counter — the engine façade's view."""
+        return self.counters[0]
+
+    def attach_counter(self, counter: SharedCounter) -> None:
+        """Register an additional policy's counter for joint increments."""
+        self.counters.append(counter)
 
     def run(self, time: int, cache: SecureCache) -> TransformReport:
         """Execute one invocation for the batches uploaded at ``time``."""
@@ -107,7 +121,11 @@ class TransformProtocol:
             )
 
             self._settle_budgets(time, probe_batches, offsets, driver_batch, join)
-            counter_value = self.counter.add(ctx, join.real_count)
+            counter_value = 0
+            for i, counter in enumerate(self.counters):
+                value = counter.add(ctx, join.real_count)
+                if i == 0:
+                    counter_value = value
 
             delta = ctx.share_table(vd.view_schema, join.rows, join.flags)
             cache.append(delta)

@@ -25,7 +25,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..common.errors import ConfigurationError
+from ..common.errors import ConfigurationError, SchemaError
 from ..common.types import Schema
 
 
@@ -122,6 +122,42 @@ class JoinViewDefinition:
                 if self.window_lo <= d_ts - p_ts <= self.window_hi:
                     count += 1
         return count
+
+    def logical_join_sum(
+        self,
+        probe_rows: np.ndarray,
+        driver_rows: np.ndarray,
+        sum_table: str,
+        sum_column: str,
+    ) -> int:
+        """Exact, truncation-free SUM of one column over qualifying pairs.
+
+        ``sum_table`` names which side the column lives on; the ground
+        truth for :class:`~repro.query.ast.LogicalJoinSumQuery` scoring.
+        """
+        if sum_table == self.probe_table:
+            from_probe, col = True, self.probe_schema.index(sum_column)
+        elif sum_table == self.driver_table:
+            from_probe, col = False, self.driver_schema.index(sum_column)
+        else:
+            raise SchemaError(
+                f"sum_table {sum_table!r} is neither side of the join "
+                f"({self.probe_table} ⋈ {self.driver_table})"
+            )
+        if len(probe_rows) == 0 or len(driver_rows) == 0:
+            return 0
+        pk, pt = self.probe_key_col, self.probe_ts_col
+        dk, dt = self.driver_key_col, self.driver_ts_col
+        by_key: dict[int, list[int]] = defaultdict(list)
+        for i, key in enumerate(probe_rows[:, pk]):
+            by_key[int(key)].append(i)
+        total = 0
+        for row in driver_rows:
+            d_ts = int(row[dt])
+            for i in by_key.get(int(row[dk]), ()):
+                if self.window_lo <= d_ts - int(probe_rows[i, pt]) <= self.window_hi:
+                    total += int(probe_rows[i, col]) if from_probe else int(row[col])
+        return total
 
     def logical_join_rows(
         self, probe_rows: np.ndarray, driver_rows: np.ndarray

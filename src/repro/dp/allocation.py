@@ -113,3 +113,27 @@ def allocate_budget(
             best_alloc = alloc
     assert best_alloc is not None  # grid always contains the uniform split
     return best_alloc, best_eff
+
+
+def view_operator_spec(
+    name: str,
+    budget: int,
+    expected_updates: int,
+    input_size: int,
+    output_size: int | None = None,
+) -> OperatorSpec:
+    """An :class:`OperatorSpec` for one materialized join view.
+
+    Used by the multi-view database to cast each registered DP view as
+    one join operator of a composite plan so :func:`allocate_budget` can
+    split the database's total ε across views (Eq. 15): views with a
+    larger contribution bound ``b`` inject more Laplace-overshoot dummies
+    per unit ε and therefore attract a larger slice.
+    """
+    return OperatorSpec(
+        name=name,
+        kind="join",
+        input_sizes=(input_size, input_size),
+        dummy_models=(expected_dummy_volume(budget, expected_updates), None),
+        output_size=input_size if output_size is None else output_size,
+    )

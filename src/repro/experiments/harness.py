@@ -6,6 +6,11 @@ replays the stream step by step — owners upload, servers Transform and
 Shrink, the analyst queries — and returns the aggregated metrics every
 table and figure of the paper is built from.
 
+``run_multiview_experiment`` is the multi-query counterpart: one
+:class:`~repro.server.database.IncShrinkDatabase` hosting several views
+over the workload's two shared base tables, with every logical query
+routed by the cost-based planner and privacy composed across views.
+
 Default parameters mirror the paper's (Section 7, "Default setting"):
 ε = 1.5, flush f = 2000 / s = 15, θ = 30, T = ⌊θ/rate⌋, ω and b per
 dataset.  Experiment modules override exactly the knob their figure
@@ -15,13 +20,15 @@ sweeps.
 from __future__ import annotations
 
 import json
-from dataclasses import asdict, dataclass, replace
+from dataclasses import asdict, dataclass, field, replace
 
 from ..common.errors import ConfigurationError
 from ..common.metrics import MetricLog, MetricSummary
 from ..core.engine import EngineConfig, IncShrinkEngine
 from ..dp.bounds import recommended_flush_size
 from ..mpc.cost_model import CostModel
+from ..query.ast import LogicalJoinCountQuery, LogicalJoinSumQuery
+from ..server.database import IncShrinkDatabase, ViewRegistration
 from ..workload.variants import make_workload
 
 #: ε at which the default flush size is derived — a public deployment
@@ -169,4 +176,162 @@ def run_experiment(config: RunConfig) -> RunResult:
         realized_epsilon=engine.realized_epsilon(),
         truncation_dropped_total=dropped_total,
         engine=engine,
+    )
+
+
+# -- multi-view runs ---------------------------------------------------------
+@dataclass(frozen=True)
+class MultiViewRunConfig:
+    """One multi-view database deployment over a shared base-table pair.
+
+    Three views are derived from the dataset's canonical join: the full
+    window under sDPTimer, a narrower "recent" window under sDPANT, and
+    an EP audit mirror of the full window (which shares the canonical
+    view's Transform circuit — same signature, different policy).
+    """
+
+    dataset: str = "tpcds"
+    n_steps: int = 96
+    seed: int = 0
+    total_epsilon: float = 3.0
+    variant: str = "standard"
+    scale: float = 1.0
+    theta: float = 30.0
+    query_every: int = 4
+    join_impl: str = "sort-merge"
+    flush_interval: int = 30
+    nm_fallback: bool = True
+    cost_model: CostModel | None = None
+
+    def with_overrides(self, **kwargs) -> "MultiViewRunConfig":
+        return replace(self, **kwargs)
+
+
+@dataclass
+class MultiViewRunResult:
+    """One completed multi-view run: routing, accuracy, privacy."""
+
+    config: MultiViewRunConfig
+    database: IncShrinkDatabase
+    view_modes: dict[str, str]
+    per_view: dict[str, MetricSummary]
+    summary: MetricSummary
+    plan_counts: dict[str, int] = field(default_factory=dict)
+    allocation: dict[str, float] = field(default_factory=dict)
+    realized_epsilon: float = 0.0
+    upload_counts: dict[str, int] = field(default_factory=dict)
+    transform_runs: int = 0
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable record (no key material or share stores)."""
+        return {
+            "config": {
+                k: v for k, v in asdict(self.config).items() if k != "cost_model"
+            },
+            "view_modes": dict(self.view_modes),
+            "per_view": {k: asdict(v) for k, v in self.per_view.items()},
+            "summary": asdict(self.summary),
+            "plan_counts": dict(self.plan_counts),
+            "allocation": dict(self.allocation),
+            "realized_epsilon": self.realized_epsilon,
+            "total_epsilon": self.config.total_epsilon,
+            "upload_counts": dict(self.upload_counts),
+            "transform_runs": self.transform_runs,
+        }
+
+    def to_json(self, **dumps_kwargs) -> str:
+        return json.dumps(self.to_dict(), **dumps_kwargs)
+
+
+def run_multiview_experiment(config: MultiViewRunConfig) -> MultiViewRunResult:
+    """Execute one multi-view database deployment over one workload.
+
+    Per queried step the analyst issues a COUNT on the full window, a
+    COUNT on the recent window, and a SUM over the driver timestamp on
+    the full window; on the final step an additional COUNT with a window
+    no view materializes exercises the NM fallback.
+    """
+    if config.query_every < 1:
+        raise ConfigurationError("query_every must be >= 1")
+    workload = make_workload(
+        config.dataset,
+        seed=config.seed,
+        n_steps=config.n_steps,
+        variant=config.variant,
+        scale=config.scale,
+    )
+    vd = workload.view_def
+    recent_vd = replace(
+        vd,
+        name=f"{vd.name}-recent",
+        window_hi=max(vd.window_lo, vd.window_lo + (vd.window_hi - vd.window_lo) // 2),
+    )
+    audit_vd = replace(vd, name=f"{vd.name}-audit")
+
+    timer_interval = workload.recommended_timer_interval(config.theta)
+    expected_updates = max(1, config.n_steps // timer_interval)
+    flush_size = recommended_flush_size(
+        DEFAULT_FLUSH_EPSILON, vd.budget, max(1, config.flush_interval // timer_interval),
+        beta=0.02,
+    )
+    size_hint = max(1, int(workload.average_view_rate() * config.n_steps))
+
+    database = IncShrinkDatabase(
+        total_epsilon=config.total_epsilon,
+        seed=config.seed,
+        cost_model=config.cost_model,
+        nm_fallback=config.nm_fallback,
+    )
+    common = dict(
+        timer_interval=timer_interval,
+        ant_threshold=config.theta,
+        flush_interval=config.flush_interval,
+        flush_size=flush_size,
+        join_impl=config.join_impl,
+        size_hint=size_hint,
+        updates_hint=expected_updates,
+    )
+    database.register_view(ViewRegistration(vd, mode="dp-timer", **common))
+    database.register_view(ViewRegistration(recent_vd, mode="dp-ant", **common))
+    database.register_view(ViewRegistration(audit_vd, mode="ep", **common))
+    view_modes = {vd.name: "dp-timer", recent_vd.name: "dp-ant", audit_vd.name: "ep"}
+
+    count_full = LogicalJoinCountQuery.for_view(vd)
+    count_recent = LogicalJoinCountQuery.for_view(recent_vd)
+    sum_full = LogicalJoinSumQuery.for_view(vd, vd.driver_table, vd.driver_ts)
+    count_unmatched = replace(count_full, window_hi=vd.window_hi + 5)
+
+    plan_counts: dict[str, int] = {}
+    transform_runs = 0
+    last_time = workload.steps[-1].time
+    for step in workload.steps:
+        database.upload(
+            step.time,
+            [(vd.probe_table, step.probe), (vd.driver_table, step.driver)],
+        )
+        report = database.step(step.time)
+        transform_runs += report.transform_runs
+        queries = []
+        if step.time % config.query_every == 0:
+            queries = [count_full, count_recent, sum_full]
+        if step.time == last_time and config.nm_fallback:
+            queries.append(count_unmatched)
+        for query in queries:
+            result = database.query(query, step.time)
+            key = result.plan.view_name or "nm-fallback"
+            plan_counts[key] = plan_counts.get(key, 0) + 1
+
+    return MultiViewRunResult(
+        config=config,
+        database=database,
+        view_modes=view_modes,
+        per_view={
+            name: vr.metrics.summary() for name, vr in database.views.items()
+        },
+        summary=database.metrics.summary(),
+        plan_counts=plan_counts,
+        allocation=database.epsilon_allocation(),
+        realized_epsilon=database.realized_epsilon(),
+        upload_counts=database.upload_counts(),
+        transform_runs=transform_runs,
     )

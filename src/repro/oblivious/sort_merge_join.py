@@ -158,7 +158,7 @@ def truncated_sort_merge_join(
     )
 
 
-def oblivious_join_count(
+def _join_aggregate_scan(
     ctx: ProtocolContext,
     left_rows: np.ndarray,
     left_flags: np.ndarray,
@@ -166,15 +166,16 @@ def oblivious_join_count(
     right_rows: np.ndarray,
     right_flags: np.ndarray,
     right_key_col: int,
-    pair_predicate: PairPredicate | None = None,
+    pair_predicate: PairPredicate | None,
+    pair_value,
+    accumulator_bits: int = 0,
 ) -> int:
-    """Exact COUNT of the full (untruncated) join, inside the circuit.
+    """Shared sort-and-scan kernel of the untruncated NM aggregates.
 
-    This is the query path of the non-materialization baseline: sort the
-    union of the *entire* outsourced tables, scan, and accumulate the
-    count.  Nothing but the final aggregate leaves the protocol — but the
-    circuit size grows with the whole database, which is precisely the
-    redundant-computation overhead IncShrink's materialized view removes.
+    Sorts the tagged union of both tables, scans it, and accumulates
+    ``pair_value(i, j)`` over every qualifying pair.  ``accumulator_bits``
+    charges the extra per-pair accumulate gates a wider-than-unit
+    aggregate needs (0 for COUNT, 64 for SUM).
     """
     n_left, w_left = left_rows.shape if left_rows.size else (0, left_rows.shape[1])
     n_right, w_right = right_rows.shape if right_rows.size else (0, right_rows.shape[1])
@@ -193,7 +194,7 @@ def oblivious_join_count(
     payload_words = max(w_left, w_right) + 2
     oblivious_sort(ctx, sort_keys, [side], payload_words)
 
-    count = 0
+    total = 0
     groups_left: dict[int, list[int]] = defaultdict(list)
     for i in range(n_left):
         if left_flags[i]:
@@ -204,8 +205,80 @@ def oblivious_join_count(
         key = int(right_rows[j, right_key_col])
         partners = groups_left.get(key, [])
         ctx.charge_join_probes(len(partners), out_width)
+        if accumulator_bits:
+            ctx.charge_gates(len(partners) * accumulator_bits)
         for i in partners:
             if pair_predicate is None or pair_predicate(left_rows[i], right_rows[j]):
-                count += 1
+                total += pair_value(i, j)
     ctx.charge_scan(n_left + n_right, payload_words)
-    return count
+    return total
+
+
+def oblivious_join_count(
+    ctx: ProtocolContext,
+    left_rows: np.ndarray,
+    left_flags: np.ndarray,
+    left_key_col: int,
+    right_rows: np.ndarray,
+    right_flags: np.ndarray,
+    right_key_col: int,
+    pair_predicate: PairPredicate | None = None,
+) -> int:
+    """Exact COUNT of the full (untruncated) join, inside the circuit.
+
+    This is the query path of the non-materialization baseline: sort the
+    union of the *entire* outsourced tables, scan, and accumulate the
+    count.  Nothing but the final aggregate leaves the protocol — but the
+    circuit size grows with the whole database, which is precisely the
+    redundant-computation overhead IncShrink's materialized view removes.
+    """
+    return _join_aggregate_scan(
+        ctx,
+        left_rows,
+        left_flags,
+        left_key_col,
+        right_rows,
+        right_flags,
+        right_key_col,
+        pair_predicate,
+        pair_value=lambda i, j: 1,
+    )
+
+
+def oblivious_join_sum(
+    ctx: ProtocolContext,
+    left_rows: np.ndarray,
+    left_flags: np.ndarray,
+    left_key_col: int,
+    right_rows: np.ndarray,
+    right_flags: np.ndarray,
+    right_key_col: int,
+    value_side: str,
+    value_col: int,
+    pair_predicate: PairPredicate | None = None,
+) -> int:
+    """Exact SUM over the full (untruncated) join, inside the circuit.
+
+    The NM baseline's SUM path: the same sort-and-scan as
+    :func:`oblivious_join_count`, but each qualifying pair contributes
+    the value of ``value_col`` taken from ``value_side`` (``"left"`` or
+    ``"right"``) into a 64-bit accumulator instead of a unit increment.
+    """
+    if value_side not in ("left", "right"):
+        raise ValueError(f"value_side must be 'left' or 'right', got {value_side!r}")
+    if value_side == "left":
+        pair_value = lambda i, j: int(left_rows[i, value_col])
+    else:
+        pair_value = lambda i, j: int(right_rows[j, value_col])
+    return _join_aggregate_scan(
+        ctx,
+        left_rows,
+        left_flags,
+        left_key_col,
+        right_rows,
+        right_flags,
+        right_key_col,
+        pair_predicate,
+        pair_value=pair_value,
+        accumulator_bits=64,
+    )

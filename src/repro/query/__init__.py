@@ -1,24 +1,42 @@
-"""Query layer: AST, logical→view rewriting, secure execution."""
+"""Query layer: AST, logical→view rewriting, planning, secure execution."""
 
 from .ast import (
     LogicalJoinCountQuery,
+    LogicalJoinQuery,
+    LogicalJoinSumQuery,
     ViewCountQuery,
     ViewSumQuery,
     column_equals,
     column_in_range,
 )
-from .executor import execute_nm_count, execute_view_count, execute_view_sum
-from .rewrite import can_answer, rewrite
+from .executor import (
+    execute_nm_count,
+    execute_nm_sum,
+    execute_view_count,
+    execute_view_sum,
+)
+from .planner import NM_JOIN, VIEW_SCAN, QueryPlan, ViewCandidate, plan_query
+from .rewrite import can_answer, rewrite, rewrite_logical, rewrite_sum
 
 __all__ = [
     "LogicalJoinCountQuery",
+    "LogicalJoinQuery",
+    "LogicalJoinSumQuery",
     "ViewCountQuery",
     "ViewSumQuery",
     "column_equals",
     "column_in_range",
     "execute_nm_count",
+    "execute_nm_sum",
     "execute_view_count",
     "execute_view_sum",
+    "NM_JOIN",
+    "VIEW_SCAN",
+    "QueryPlan",
+    "ViewCandidate",
+    "plan_query",
     "can_answer",
     "rewrite",
+    "rewrite_logical",
+    "rewrite_sum",
 ]

@@ -1,10 +1,15 @@
-"""Query representation: logical COUNT queries and their view rewrites.
+"""Query representation: logical aggregate queries and their view rewrites.
 
 The paper's evaluation queries (Q1, Q2) are COUNT aggregates over a
 temporal join — precisely the shape a join view materializes.  A
 :class:`LogicalJoinCountQuery` describes the analyst's intent against the
 *logical* tables; :mod:`repro.query.rewrite` turns it into a
 :class:`ViewCountQuery` against a matching view definition.
+:class:`LogicalJoinSumQuery` is the SUM counterpart ("total value of
+products returned within 10 days"), rewritten to a
+:class:`ViewSumQuery`; both share the join structure captured by
+:class:`LogicalJoinQuery`, which is what view matching and planning key
+on.
 
 View queries may carry an additional residual predicate (e.g. "only
 officer 17"), evaluated obliviously during the padded view scan.
@@ -13,23 +18,29 @@ officer 17"), evaluated obliviously during the padded view scan.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
 from ..common.errors import SchemaError
 from ..common.types import Schema
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.view_def import JoinViewDefinition
+
 #: Residual predicate over view rows: (n, width) array -> boolean mask.
 ViewPredicate = Callable[[np.ndarray], np.ndarray]
 
 
 @dataclass(frozen=True)
-class LogicalJoinCountQuery:
-    """``SELECT COUNT(*) FROM probe JOIN driver ON key WHERE ts-window``.
+class LogicalJoinQuery:
+    """The join structure every logical aggregate query shares.
 
     Field names refer to the logical tables; ``window_lo``/``window_hi``
     bound ``driver.ts − probe.ts`` exactly as in the view definitions.
+    A view can answer a query iff these eight fields match its
+    definition — the aggregate on top (COUNT, SUM) is then one padded
+    scan either way.
     """
 
     probe_table: str
@@ -40,6 +51,51 @@ class LogicalJoinCountQuery:
     driver_ts: str
     window_lo: int
     window_hi: int
+
+    @staticmethod
+    def _join_fields(view_def: "JoinViewDefinition") -> dict:
+        return dict(
+            probe_table=view_def.probe_table,
+            driver_table=view_def.driver_table,
+            probe_key=view_def.probe_key,
+            driver_key=view_def.driver_key,
+            probe_ts=view_def.probe_ts,
+            driver_ts=view_def.driver_ts,
+            window_lo=view_def.window_lo,
+            window_hi=view_def.window_hi,
+        )
+
+
+@dataclass(frozen=True)
+class LogicalJoinCountQuery(LogicalJoinQuery):
+    """``SELECT COUNT(*) FROM probe JOIN driver ON key WHERE ts-window``."""
+
+    @classmethod
+    def for_view(cls, view_def: "JoinViewDefinition") -> "LogicalJoinCountQuery":
+        """The COUNT query a view definition's query class answers."""
+        return cls(**cls._join_fields(view_def))
+
+
+@dataclass(frozen=True)
+class LogicalJoinSumQuery(LogicalJoinQuery):
+    """``SELECT SUM(table.column) FROM probe JOIN driver ON key ...``.
+
+    ``sum_table`` names which side of the join the summed column lives on
+    (it must equal ``probe_table`` or ``driver_table``); the rewriter maps
+    it onto the prefixed view column (``p_…`` / ``d_…``).
+    """
+
+    sum_table: str
+    sum_column: str
+
+    @classmethod
+    def for_view(
+        cls, view_def: "JoinViewDefinition", sum_table: str, sum_column: str
+    ) -> "LogicalJoinSumQuery":
+        """A SUM over one logical column of a view's query class."""
+        return cls(
+            **cls._join_fields(view_def), sum_table=sum_table, sum_column=sum_column
+        )
 
 
 @dataclass(frozen=True)

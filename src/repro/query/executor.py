@@ -13,10 +13,11 @@ Both return the answer together with the simulated QET.
 
 from __future__ import annotations
 
+from ..common.errors import SchemaError
 from ..core.view_def import JoinViewDefinition
 from ..mpc.runtime import MPCRuntime
 from ..oblivious.filter import oblivious_count, oblivious_sum
-from ..oblivious.sort_merge_join import oblivious_join_count
+from ..oblivious.sort_merge_join import oblivious_join_count, oblivious_join_sum
 from ..storage.materialized_view import MaterializedView
 from ..storage.outsourced_table import OutsourcedTable
 from .ast import ViewCountQuery, ViewSumQuery
@@ -96,3 +97,48 @@ def execute_nm_count(
         )
         seconds = ctx.seconds
     return count, seconds
+
+
+def execute_nm_sum(
+    runtime: MPCRuntime,
+    time: int,
+    probe_store: OutsourcedTable,
+    driver_store: OutsourcedTable,
+    view_def: JoinViewDefinition,
+    sum_table: str,
+    sum_column: str,
+) -> tuple[int, float]:
+    """NM baseline for SUM: recompute the join, accumulate one column.
+
+    ``sum_table``/``sum_column`` name the logical column being summed —
+    the same terms a :class:`~repro.query.ast.LogicalJoinSumQuery`
+    carries, resolved here against the join sides.
+    """
+    if sum_table == view_def.probe_table:
+        value_side, value_col = "left", view_def.probe_schema.index(sum_column)
+    elif sum_table == view_def.driver_table:
+        value_side, value_col = "right", view_def.driver_schema.index(sum_column)
+    else:
+        raise SchemaError(
+            f"sum_table {sum_table!r} is neither side of the join "
+            f"({view_def.probe_table} ⋈ {view_def.driver_table})"
+        )
+    probe = probe_store.full_table()
+    driver = driver_store.full_table()
+    with runtime.protocol("query-nm", time) as ctx:
+        p_rows, p_flags = ctx.reveal_table(probe)
+        d_rows, d_flags = ctx.reveal_table(driver)
+        total = oblivious_join_sum(
+            ctx,
+            p_rows,
+            p_flags,
+            view_def.probe_key_col,
+            d_rows,
+            d_flags,
+            view_def.driver_key_col,
+            value_side,
+            value_col,
+            view_def.pair_predicate,
+        )
+        seconds = ctx.seconds
+    return total, seconds

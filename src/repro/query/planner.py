@@ -1,0 +1,200 @@
+"""Cost-based routing of logical queries to views (or the NM fallback).
+
+The paper deploys one IncShrink instance per pre-specified query class;
+a multi-view database instead hosts many materialized views over shared
+outsourced tables and must route each incoming logical query to the
+cheapest physical plan.  Two plan shapes exist, mirroring the two
+execution paths in :mod:`repro.query.executor`:
+
+* **view scan** — one padded oblivious pass over a matching materialized
+  view; cost is linear in the view's *total* (real + dummy) size, which
+  is public;
+* **NM join** — a full oblivious sort-merge join over the entire
+  outsourced base tables, recomputed for this query.
+
+Both costs are functions of public sizes only (padded view length,
+padded store lengths), so planning itself leaks nothing beyond what the
+transcript already contains.  The estimators below charge exactly the
+same gate formulas the executors charge, so the planner's ranking agrees
+with the simulated runtime ranking by construction; the one
+data-dependent term (how many candidate pairs an NM scan probes) is
+approximated by a public multiplicity hint.
+
+This module is the database-independent core: scoring and plan
+selection over explicit candidate descriptions.  The server layer's
+:class:`repro.server.planner.DatabasePlanner` binds it to a live
+:class:`~repro.server.database.IncShrinkDatabase`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..common.errors import SchemaError
+from ..core.view_def import JoinViewDefinition
+from ..mpc.cost_model import CostModel
+from ..oblivious.sort import network_comparator_count
+from .ast import (
+    LogicalJoinQuery,
+    LogicalJoinSumQuery,
+    ViewCountQuery,
+    ViewSumQuery,
+)
+from .rewrite import can_answer, rewrite_logical
+
+#: Plan shapes the planner can emit.
+VIEW_SCAN = "view-scan"
+NM_JOIN = "nm-join"
+
+
+# -- cost estimation ----------------------------------------------------------
+def view_scan_gates(
+    model: CostModel,
+    n_rows: int,
+    payload_words: int,
+    predicate_words: int = 1,
+    is_sum: bool = False,
+) -> int:
+    """Gates of one padded aggregate scan over ``n_rows`` view slots.
+
+    Matches :func:`repro.oblivious.filter.oblivious_count` /
+    :func:`~repro.oblivious.filter.oblivious_sum` exactly: per-row scan
+    gates plus, for SUM, the 64-bit accumulate.
+    """
+    gates = n_rows * model.scan_row_gates(payload_words, predicate_words)
+    if is_sum:
+        gates += n_rows * 64
+    return gates
+
+
+def nm_join_gates(
+    model: CostModel,
+    n_probe: int,
+    n_driver: int,
+    probe_width: int,
+    driver_width: int,
+    multiplicity: float = 1.0,
+    is_sum: bool = False,
+) -> int:
+    """Estimated gates of the NM recomputation over the full stores.
+
+    The sort and scan terms are exact (they depend only on public sizes);
+    the probe term depends on how many same-key candidate pairs the data
+    contains, estimated as ``multiplicity`` pairs per driver row — the
+    public per-query-class join multiplicity (1 for TPC-ds Q1, >1 for
+    CPDB Q2).
+    """
+    n = n_probe + n_driver
+    if n == 0:
+        return 0
+    payload_words = max(probe_width, driver_width) + 2
+    out_width = probe_width + driver_width
+    gates = network_comparator_count(n) * model.compare_exchange_gates(payload_words)
+    gates += n * model.scan_row_gates(payload_words)
+    est_pairs = int(round(multiplicity * n_driver))
+    gates += est_pairs * model.join_probe_gates(out_width)
+    if is_sum:
+        gates += est_pairs * 64
+    return gates
+
+
+# -- candidates and plans ------------------------------------------------------
+@dataclass(frozen=True)
+class ViewCandidate:
+    """One registered view as the planner sees it: definition + public size."""
+
+    view_def: JoinViewDefinition
+    padded_rows: int
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """The chosen physical plan for one logical query."""
+
+    kind: str  # VIEW_SCAN | NM_JOIN
+    view_name: str | None
+    view_query: ViewCountQuery | ViewSumQuery | None
+    estimated_gates: int
+    estimated_seconds: float
+
+
+def plan_query(
+    query: LogicalJoinQuery,
+    candidates: list[ViewCandidate],
+    n_probe_store: int,
+    n_driver_store: int,
+    model: CostModel,
+    nm_allowed: bool = True,
+    multiplicity: float = 1.0,
+    predicate_words: int = 1,
+    probe_width: int | None = None,
+    driver_width: int | None = None,
+) -> QueryPlan:
+    """Score every answering view plus the NM fallback; return the cheapest.
+
+    ``n_probe_store``/``n_driver_store`` are the padded total sizes of the
+    base tables the NM path would recompute over.  Raises
+    :class:`~repro.common.errors.SchemaError` when no view matches and NM
+    is not allowed — the single-view behaviour of
+    :func:`repro.query.rewrite.rewrite`.
+    """
+    is_sum = isinstance(query, LogicalJoinSumQuery)
+    plans: list[QueryPlan] = []
+    for cand in candidates:
+        if not can_answer(query, cand.view_def):
+            continue
+        view_query = rewrite_logical(query, cand.view_def)
+        gates = view_scan_gates(
+            model,
+            cand.padded_rows,
+            cand.view_def.view_schema.width,
+            predicate_words,
+            is_sum=is_sum,
+        )
+        plans.append(
+            QueryPlan(
+                kind=VIEW_SCAN,
+                view_name=cand.view_def.name,
+                view_query=view_query,
+                estimated_gates=gates,
+                estimated_seconds=model.seconds(gates),
+            )
+        )
+    if nm_allowed:
+        # The NM estimate needs base-table widths; when the caller does
+        # not supply them, take them from any candidate's schemas (all
+        # views over the same pair share them), falling back to the
+        # minimal two-column shape.
+        if probe_width is None:
+            probe_width = (
+                candidates[0].view_def.probe_schema.width if candidates else 2
+            )
+        if driver_width is None:
+            driver_width = (
+                candidates[0].view_def.driver_schema.width if candidates else 2
+            )
+        gates = nm_join_gates(
+            model,
+            n_probe_store,
+            n_driver_store,
+            probe_width,
+            driver_width,
+            multiplicity=multiplicity,
+            is_sum=is_sum,
+        )
+        plans.append(
+            QueryPlan(
+                kind=NM_JOIN,
+                view_name=None,
+                view_query=None,
+                estimated_gates=gates,
+                estimated_seconds=model.seconds(gates),
+            )
+        )
+    if not plans:
+        raise SchemaError(
+            f"no registered view materializes the join "
+            f"({query.probe_table} ⋈ {query.driver_table}) and the NM "
+            "fallback is disabled; register a matching view first"
+        )
+    return min(plans, key=lambda p: p.estimated_gates)

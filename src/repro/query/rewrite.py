@@ -3,18 +3,27 @@
 IncShrink registers a view per *pre-specified* query class; an incoming
 logical query is answerable from a view exactly when its join structure
 (tables, keys, timestamp window) matches the view definition.  The
-rewriter checks that match and emits the view-side COUNT; a mismatch is
-an error — the paper's framework does not fall back to NM silently.
+rewriter checks that match and emits the view-side aggregate; a mismatch
+is an error — the paper's framework does not fall back to NM silently.
+Cost-based routing across many registered views (with an explicit NM
+fallback) lives one layer up, in :mod:`repro.query.planner` and
+:mod:`repro.server.planner`.
 """
 
 from __future__ import annotations
 
 from ..common.errors import SchemaError
 from ..core.view_def import JoinViewDefinition
-from .ast import LogicalJoinCountQuery, ViewCountQuery
+from .ast import (
+    LogicalJoinCountQuery,
+    LogicalJoinQuery,
+    LogicalJoinSumQuery,
+    ViewCountQuery,
+    ViewSumQuery,
+)
 
 
-def can_answer(query: LogicalJoinCountQuery, view: JoinViewDefinition) -> bool:
+def can_answer(query: LogicalJoinQuery, view: JoinViewDefinition) -> bool:
     """Whether ``view`` materializes exactly ``query``'s join."""
     return (
         query.probe_table == view.probe_table
@@ -28,12 +37,48 @@ def can_answer(query: LogicalJoinCountQuery, view: JoinViewDefinition) -> bool:
     )
 
 
-def rewrite(query: LogicalJoinCountQuery, view: JoinViewDefinition) -> ViewCountQuery:
-    """Rewrite ``q_t(D_t)`` into ``q̃_t(V_t)`` or raise if incompatible."""
+def _require_answerable(query: LogicalJoinQuery, view: JoinViewDefinition) -> None:
     if not can_answer(query, view):
         raise SchemaError(
             f"view {view.name!r} does not materialize the join of query "
             f"({query.probe_table} ⋈ {query.driver_table}); register a "
             "matching view first"
         )
+
+
+def sum_view_column(query: LogicalJoinSumQuery, view: JoinViewDefinition) -> str:
+    """Map the logical summed column onto its prefixed view column."""
+    if query.sum_table == view.probe_table:
+        column = f"p_{query.sum_column}"
+    elif query.sum_table == view.driver_table:
+        column = f"d_{query.sum_column}"
+    else:
+        raise SchemaError(
+            f"sum_table {query.sum_table!r} is neither side of the join "
+            f"({view.probe_table} ⋈ {view.driver_table})"
+        )
+    view.view_schema.index(column)  # raises SchemaError if absent
+    return column
+
+
+def rewrite(query: LogicalJoinCountQuery, view: JoinViewDefinition) -> ViewCountQuery:
+    """Rewrite ``q_t(D_t)`` into ``q̃_t(V_t)`` or raise if incompatible."""
+    _require_answerable(query, view)
     return ViewCountQuery(view_name=view.name)
+
+
+def rewrite_sum(query: LogicalJoinSumQuery, view: JoinViewDefinition) -> ViewSumQuery:
+    """Rewrite a logical SUM into a view-side SUM or raise if incompatible."""
+    _require_answerable(query, view)
+    return ViewSumQuery(view_name=view.name, column=sum_view_column(query, view))
+
+
+def rewrite_logical(
+    query: LogicalJoinQuery, view: JoinViewDefinition
+) -> ViewCountQuery | ViewSumQuery:
+    """Dispatch a logical aggregate to its matching view-query form."""
+    if isinstance(query, LogicalJoinSumQuery):
+        return rewrite_sum(query, view)
+    if isinstance(query, LogicalJoinCountQuery):
+        return rewrite(query, view)
+    raise SchemaError(f"unsupported logical query type {type(query).__name__}")

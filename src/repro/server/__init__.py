@@ -1,0 +1,37 @@
+"""Server layer: the multi-view IncShrink database.
+
+Hosts N materialized join views over shared outsourced base tables,
+schedules one Transform per shared table pair per step, routes logical
+queries through a cost-based planner, and composes privacy across views
+through a single accountant.
+"""
+
+from .database import (
+    DP_MODES,
+    VIEW_MODES,
+    DatabaseQueryResult,
+    IncShrinkDatabase,
+    ViewRegistration,
+    ViewRuntime,
+)
+from .planner import DatabasePlanner
+from .scheduler import (
+    DatabaseStepReport,
+    StepScheduler,
+    TransformGroup,
+    transform_signature,
+)
+
+__all__ = [
+    "DP_MODES",
+    "VIEW_MODES",
+    "DatabaseQueryResult",
+    "IncShrinkDatabase",
+    "ViewRegistration",
+    "ViewRuntime",
+    "DatabasePlanner",
+    "DatabaseStepReport",
+    "StepScheduler",
+    "TransformGroup",
+    "transform_signature",
+]

@@ -1,0 +1,575 @@
+"""The multi-view IncShrink database server.
+
+The paper deploys one IncShrink instance per pre-specified query class.
+An :class:`IncShrinkDatabase` hosts **many** materialized join views over
+**shared** outsourced base tables, the multi-query setting Shrinkwrap
+and DP-Sync motivate for private data federations:
+
+* owners upload each base-table batch **once**; every view family scopes
+  the same secret shares through its own contribution-budget wrappers,
+  so no view multiplies the upload or storage cost;
+* a per-step :class:`~repro.server.scheduler.StepScheduler` executes the
+  Transform circuit once per shared table pair (transform signature) and
+  fans the padded delta out to every consuming view's cache, then drives
+  each view's own Shrink policy and flusher;
+* incoming logical COUNT/SUM queries are routed by a cost-based
+  :class:`~repro.server.planner.DatabasePlanner` to the cheapest
+  matching view scan, or to the NM join fallback when that is cheaper
+  (or nothing matches and the fallback is enabled);
+* privacy composes through a single shared
+  :class:`~repro.dp.accountant.PrivacyAccountant`: the database's total ε
+  is split across DP views by the operator-level allocation of
+  :mod:`repro.dp.allocation` (Eq. 15), and :meth:`realized_epsilon`
+  reports the sequential-within / parallel-across composition over
+  groups of views that observe the same base tables.
+
+:class:`~repro.core.engine.IncShrinkEngine` is a thin single-view façade
+over this class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from ..common.errors import ConfigurationError, SchemaError
+from ..common.metrics import MetricLog, QueryObservation
+from ..common.types import RecordBatch, Schema
+from ..core.baselines import ExhaustivePaddingSync, OneTimeMaterialization
+from ..core.counter import SharedCounter
+from ..core.engine import MODES, validate_policy_knobs
+from ..core.flush import CacheFlusher
+from ..core.shrink_ant import SDPANT
+from ..core.shrink_timer import SDPTimer
+from ..core.view_def import JoinViewDefinition
+from ..dp.accountant import PrivacyAccountant, theorem3_epsilon
+from ..dp.allocation import allocate_budget, view_operator_spec
+from ..mpc.cost_model import CostModel
+from ..mpc.runtime import MPCRuntime
+from ..query.ast import (
+    LogicalJoinCountQuery,
+    LogicalJoinQuery,
+    LogicalJoinSumQuery,
+    ViewCountQuery,
+    ViewSumQuery,
+)
+from ..query.executor import (
+    execute_nm_count,
+    execute_nm_sum,
+    execute_view_count,
+    execute_view_sum,
+)
+from ..query.planner import VIEW_SCAN, QueryPlan
+from ..storage.growing_db import GrowingDatabase
+from ..storage.materialized_view import MaterializedView
+from ..storage.outsourced_table import OutsourcedTable
+from ..storage.secure_cache import SecureCache
+from .planner import DatabasePlanner
+from .scheduler import (
+    TRANSFORM_MODES,
+    DatabaseStepReport,
+    StepScheduler,
+    TransformGroup,
+    transform_signature,
+)
+
+#: View-update policies a registered view may run (= the engine's modes).
+VIEW_MODES = MODES
+#: Modes that consume privacy budget.
+DP_MODES = ("dp-timer", "dp-ant")
+
+
+@dataclass(frozen=True)
+class ViewRegistration:
+    """Declarative spec of one view: definition plus policy knobs."""
+
+    view_def: JoinViewDefinition
+    mode: str = "dp-timer"
+    timer_interval: int = 10
+    ant_threshold: float = 30.0
+    flush_interval: int = 2000
+    flush_size: int = 15
+    join_impl: str = "sort-merge"
+    #: Expected real input rows over the deployment horizon, used only to
+    #: weight the ε allocation across DP views (public planning hint).
+    size_hint: int = 1000
+    #: Expected Shrink updates over the horizon (ε-allocation hint).
+    updates_hint: int = 16
+
+    def __post_init__(self) -> None:
+        validate_policy_knobs(
+            self.mode,
+            self.join_impl,
+            self.timer_interval,
+            self.ant_threshold,
+            self.flush_interval,
+            self.flush_size,
+        )
+        if self.size_hint < 1 or self.updates_hint < 1:
+            raise ConfigurationError("size_hint and updates_hint must be >= 1")
+
+
+@dataclass
+class ViewRuntime:
+    """Wired state of one registered view inside the database."""
+
+    name: str
+    view_def: JoinViewDefinition
+    mode: str
+    epsilon: float
+    group: TransformGroup
+    cache: SecureCache
+    view: MaterializedView
+    counter: SharedCounter | None
+    policy: object | None
+    flusher: CacheFlusher | None
+    metrics: MetricLog = field(default_factory=MetricLog)
+
+
+@dataclass
+class DatabaseQueryResult:
+    """One planned-and-executed logical query."""
+
+    plan: QueryPlan
+    observation: QueryObservation
+
+    @property
+    def answer(self) -> float:
+        return self.observation.view_answer
+
+
+class IncShrinkDatabase:
+    """A multi-view outsourced database over shared base tables."""
+
+    def __init__(
+        self,
+        total_epsilon: float = 1.5,
+        seed: int = 0,
+        cost_model: CostModel | None = None,
+        runtime: MPCRuntime | None = None,
+        nm_fallback: bool = True,
+        grid_steps: int = 20,
+        multiplicity_hint: float = 1.0,
+    ) -> None:
+        if total_epsilon <= 0:
+            raise ConfigurationError(
+                f"total_epsilon must be positive, got {total_epsilon}"
+            )
+        self.total_epsilon = total_epsilon
+        self.nm_fallback = nm_fallback
+        self.grid_steps = grid_steps
+        self.runtime = runtime or MPCRuntime(seed=seed, cost_model=cost_model)
+        # One ledger for every view's releases; segments are namespaced
+        # per view.  Its parallel/sequential compositions are per-release
+        # bounds over the *transformed* streams — the record-level number
+        # across views is :meth:`realized_epsilon` (Theorem 3), since a
+        # record over shared tables feeds several views' segments.
+        self.accountant = PrivacyAccountant()
+        #: owners' plaintext mirror (ground truth scoring only)
+        self.logical = GrowingDatabase()
+        #: physical secret-shared base tables — one per relation, shared
+        #: by every view registered over it
+        self.tables: dict[str, OutsourcedTable] = {}
+        self.views: dict[str, ViewRuntime] = {}
+        self.groups: dict[tuple, TransformGroup] = {}
+        self.scheduler = StepScheduler(self.groups, self.views)
+        self.planner = DatabasePlanner(self, multiplicity=multiplicity_hint)
+        #: database-level query log (every planner-routed query)
+        self.metrics = MetricLog()
+        self._registrations: list[ViewRegistration] = []
+        self._allocation: dict[str, float] = {}
+        self._finalized = False
+
+    # -- registration -----------------------------------------------------------
+    def register_table(self, name: str, schema: Schema) -> None:
+        """Declare one shared base relation (idempotent when consistent)."""
+        existing = self.tables.get(name)
+        if existing is not None:
+            if existing.schema != schema:
+                raise SchemaError(
+                    f"table {name!r} already registered with schema "
+                    f"{existing.schema.fields}, got {schema.fields}"
+                )
+            return
+        self.tables[name] = OutsourcedTable(schema, name)
+        self.logical.create_table(name, schema)
+
+    def register_view(self, registration: ViewRegistration) -> str:
+        """Register one materialized view; returns its name.
+
+        All views must be registered before the first upload — the ε
+        allocation across DP views is computed once, when the deployment
+        goes live, exactly like the paper's per-instance ε is fixed at
+        setup.
+        """
+        if self._finalized:
+            raise ConfigurationError(
+                "views must be registered before the first upload/step/query"
+            )
+        vd = registration.view_def
+        if vd.name in {r.view_def.name for r in self._registrations}:
+            raise ConfigurationError(f"view {vd.name!r} already registered")
+        self.register_table(vd.probe_table, vd.probe_schema)
+        self.register_table(vd.driver_table, vd.driver_schema)
+        self._registrations.append(registration)
+        return vd.name
+
+    # -- finalization -----------------------------------------------------------
+    def finalize(self) -> None:
+        if self._finalized:
+            return
+        if not self._registrations:
+            raise ConfigurationError("register at least one view before use")
+        self._finalized = True
+        self._allocation = self._allocate_epsilon()
+        for spec in self._registrations:
+            self._wire(spec)
+
+    def _allocate_epsilon(self) -> dict[str, float]:
+        """Split the total ε across DP views via Eq. 15's grid search."""
+        dp_specs = [s for s in self._registrations if s.mode in DP_MODES]
+        if not dp_specs:
+            return {}
+        operators = [
+            view_operator_spec(
+                s.view_def.name,
+                s.view_def.budget,
+                s.updates_hint,
+                s.size_hint,
+            )
+            for s in dp_specs
+        ]
+        allocation, _efficiency = allocate_budget(
+            operators, self.total_epsilon, grid_steps=self.grid_steps
+        )
+        return {
+            spec.view_def.name: eps for spec, eps in zip(dp_specs, allocation)
+        }
+
+    def _wire(self, spec: ViewRegistration) -> None:
+        vd = spec.view_def
+        signature = transform_signature(vd, spec.join_impl)
+        group = self.groups.get(signature)
+        if group is None:
+            group = TransformGroup(signature, vd)
+            self.groups[signature] = group
+        cache = SecureCache(vd.view_schema)
+        view = MaterializedView(vd.view_schema)
+        epsilon = self._allocation.get(vd.name, 0.0)
+
+        counter: SharedCounter | None = None
+        policy = None
+        flusher: CacheFlusher | None = None
+        if spec.mode in TRANSFORM_MODES:
+            group.ensure_transform(self.runtime, spec.join_impl)
+            counter = group.claim_counter()
+            group.sinks.append(cache)
+        if spec.mode == "dp-timer":
+            policy = SDPTimer(
+                self.runtime,
+                counter,
+                epsilon,
+                vd.budget,
+                spec.timer_interval,
+                self.accountant,
+                label=vd.name,
+            )
+            flusher = CacheFlusher(
+                self.runtime, spec.flush_interval, spec.flush_size
+            )
+        elif spec.mode == "dp-ant":
+            policy = SDPANT(
+                self.runtime,
+                counter,
+                epsilon,
+                vd.budget,
+                spec.ant_threshold,
+                self.accountant,
+                label=vd.name,
+            )
+            flusher = CacheFlusher(
+                self.runtime, spec.flush_interval, spec.flush_size
+            )
+        elif spec.mode == "ep":
+            policy = ExhaustivePaddingSync(self.runtime, counter)
+        elif spec.mode == "otm":
+            policy = OneTimeMaterialization()
+
+        vr = ViewRuntime(
+            name=vd.name,
+            view_def=vd,
+            mode=spec.mode,
+            epsilon=epsilon,
+            group=group,
+            cache=cache,
+            view=view,
+            counter=counter,
+            policy=policy,
+            flusher=flusher,
+        )
+        group.member_names.append(vd.name)
+        self.views[vd.name] = vr
+
+    # -- owner side -------------------------------------------------------------
+    def upload(
+        self,
+        time: int,
+        batches: Mapping[str, RecordBatch] | Iterable[tuple[str, RecordBatch]],
+    ) -> None:
+        """Owners secret-share this step's padded batches, **once each**.
+
+        ``batches`` maps relation name → padded batch (or an ordered
+        sequence of pairs).  Each batch is shared and appended to the
+        physical store exactly once; every transform group over the
+        relation then scopes the same shares through its own budget
+        wrapper — no per-view re-upload, no share duplication.
+        """
+        self.finalize()
+        items = batches.items() if isinstance(batches, Mapping) else batches
+        for name, batch in items:
+            store = self.tables.get(name)
+            if store is None:
+                raise SchemaError(
+                    f"no registered base table {name!r}; known tables: "
+                    f"{sorted(self.tables)}"
+                )
+            shared = self.runtime.owner_share_table(
+                batch.schema, batch.rows, batch.is_real.astype("uint32")
+            )
+            store.append_batch(shared, time)
+            real = batch.real_rows()
+            if len(real):
+                self.logical.insert(time, name, real)
+            for group in self.groups.values():
+                group.register_upload(name, shared, time, len(batch))
+
+    # -- server step ------------------------------------------------------------
+    def step(self, time: int) -> DatabaseStepReport:
+        """Run one scheduled step: shared Transforms, per-view policies."""
+        self.finalize()
+        return self.scheduler.run_step(time)
+
+    # -- analyst side -----------------------------------------------------------
+    def query(
+        self, query: LogicalJoinQuery, time: int, predicate_words: int = 1
+    ) -> DatabaseQueryResult:
+        """Plan, execute, and score one logical aggregate query."""
+        self.finalize()
+        plan = self.planner.plan(query, predicate_words=predicate_words)
+        logical_answer = self._logical_answer(query, time)
+        if plan.kind == VIEW_SCAN:
+            vr = self.views[plan.view_name]
+            if isinstance(plan.view_query, ViewSumQuery):
+                answer, qet = execute_view_sum(
+                    self.runtime, time, vr.view, plan.view_query
+                )
+            else:
+                answer, qet = execute_view_count(
+                    self.runtime, time, vr.view, plan.view_query
+                )
+        else:
+            spec = self._join_spec(query)
+            probe_store = self.tables[query.probe_table]
+            driver_store = self.tables[query.driver_table]
+            if isinstance(query, LogicalJoinSumQuery):
+                answer, qet = execute_nm_sum(
+                    self.runtime,
+                    time,
+                    probe_store,
+                    driver_store,
+                    spec,
+                    query.sum_table,
+                    query.sum_column,
+                )
+            else:
+                answer, qet = execute_nm_count(
+                    self.runtime, time, probe_store, driver_store, spec
+                )
+        obs = QueryObservation(
+            time=time,
+            logical_answer=float(logical_answer),
+            view_answer=float(answer),
+            qet_seconds=qet,
+        )
+        self.metrics.record_query(obs)
+        if plan.view_name is not None:
+            self.views[plan.view_name].metrics.record_query(obs)
+        return DatabaseQueryResult(plan=plan, observation=obs)
+
+    def query_count(
+        self, query: LogicalJoinCountQuery, time: int
+    ) -> DatabaseQueryResult:
+        return self.query(query, time)
+
+    def query_sum(
+        self, query: LogicalJoinSumQuery, time: int
+    ) -> DatabaseQueryResult:
+        return self.query(query, time)
+
+    # -- registered-view execution (the engine façade's direct path) -----------
+    def answer_registered_count(
+        self, view_name: str, time: int, query: ViewCountQuery | None = None
+    ) -> QueryObservation:
+        """Answer the registered COUNT of one view, bypassing the planner.
+
+        NM-mode views recompute the join over the group's store scopes;
+        everything else scans the materialized view.  This is exactly the
+        single-view engine's query path.
+        """
+        self.finalize()
+        vr = self.views[view_name]
+        vd = vr.view_def
+        probe_rows = self.logical.instance_at(vd.probe_table, time)
+        driver_rows = self.logical.instance_at(vd.driver_table, time)
+        logical_answer = vd.logical_join_count(probe_rows, driver_rows)
+        if vr.mode == "nm":
+            answer, qet = execute_nm_count(
+                self.runtime,
+                time,
+                vr.group.probe_scope,
+                vr.group.driver_scope,
+                vd,
+            )
+        else:
+            answer, qet = execute_view_count(
+                self.runtime, time, vr.view, query or ViewCountQuery(vd.name)
+            )
+        obs = QueryObservation(
+            time=time,
+            logical_answer=float(logical_answer),
+            view_answer=float(answer),
+            qet_seconds=qet,
+        )
+        vr.metrics.record_query(obs)
+        return obs
+
+    def answer_registered_sum(
+        self,
+        view_name: str,
+        time: int,
+        sum_table: str,
+        sum_column: str,
+        query: ViewSumQuery | None = None,
+    ) -> QueryObservation:
+        """SUM counterpart of :meth:`answer_registered_count`."""
+        self.finalize()
+        vr = self.views[view_name]
+        vd = vr.view_def
+        probe_rows = self.logical.instance_at(vd.probe_table, time)
+        driver_rows = self.logical.instance_at(vd.driver_table, time)
+        logical_answer = vd.logical_join_sum(
+            probe_rows, driver_rows, sum_table, sum_column
+        )
+        if vr.mode == "nm":
+            answer, qet = execute_nm_sum(
+                self.runtime,
+                time,
+                vr.group.probe_scope,
+                vr.group.driver_scope,
+                vd,
+                sum_table,
+                sum_column,
+            )
+        else:
+            if query is None:
+                from ..query.rewrite import sum_view_column
+
+                logical_query = LogicalJoinSumQuery.for_view(vd, sum_table, sum_column)
+                query = ViewSumQuery(
+                    vd.name, column=sum_view_column(logical_query, vd)
+                )
+            answer, qet = execute_view_sum(self.runtime, time, vr.view, query)
+        obs = QueryObservation(
+            time=time,
+            logical_answer=float(logical_answer),
+            view_answer=float(answer),
+            qet_seconds=qet,
+        )
+        vr.metrics.record_query(obs)
+        return obs
+
+    # -- privacy ----------------------------------------------------------------
+    def epsilon_allocation(self) -> dict[str, float]:
+        """Per-DP-view ε split chosen by :func:`repro.dp.allocation`."""
+        self.finalize()
+        return dict(self._allocation)
+
+    def view_realized_epsilon(self, view_name: str) -> float:
+        """Theorem-3 realized ε of one view against its allocated slice."""
+        self.finalize()
+        vr = self.views[view_name]
+        if vr.mode not in DP_MODES:
+            return 0.0
+        per_release = vr.epsilon / vr.view_def.budget
+        contributions = vr.group.ledger.theorem3_contributions(per_release)
+        return theorem3_epsilon(contributions)
+
+    def realized_epsilon(self) -> float:
+        """Composed end-to-end ε across every view of the database.
+
+        Views observing the *same* base tables compose sequentially (a
+        record feeds each view family's Transform, so its losses add —
+        Theorem 3 over the union of transformation families); views over
+        disjoint base tables compose in parallel (a record lives in one
+        component only, so the database-wide loss is the worst
+        component's total).  For a run respecting the allocation this
+        never exceeds ``total_epsilon``.
+        """
+        self.finalize()
+        components = self._table_components()
+        worst = 0.0
+        for tables in components:
+            component_eps = sum(
+                self.view_realized_epsilon(vr.name)
+                for vr in self.views.values()
+                if vr.view_def.probe_table in tables
+                or vr.view_def.driver_table in tables
+            )
+            worst = max(worst, component_eps)
+        return worst
+
+    def _table_components(self) -> list[set[str]]:
+        """Connected components of base tables linked by registered views."""
+        components: list[set[str]] = []
+        for vr in self.views.values():
+            linked = {vr.view_def.probe_table, vr.view_def.driver_table}
+            merged = [c for c in components if c & linked]
+            for c in merged:
+                components.remove(c)
+                linked |= c
+            components.append(linked)
+        return components
+
+    # -- introspection ----------------------------------------------------------
+    def upload_counts(self) -> dict[str, int]:
+        """Physical batches shared per base table (one per upload step)."""
+        return {name: len(store.batches) for name, store in self.tables.items()}
+
+    # -- helpers ----------------------------------------------------------------
+    def _join_spec(self, query: LogicalJoinQuery) -> JoinViewDefinition:
+        """A transient join definition for NM execution of ``query``."""
+        return JoinViewDefinition(
+            name=f"nm:{query.probe_table}⋈{query.driver_table}",
+            probe_table=query.probe_table,
+            probe_schema=self.tables[query.probe_table].schema,
+            probe_key=query.probe_key,
+            probe_ts=query.probe_ts,
+            driver_table=query.driver_table,
+            driver_schema=self.tables[query.driver_table].schema,
+            driver_key=query.driver_key,
+            driver_ts=query.driver_ts,
+            window_lo=query.window_lo,
+            window_hi=query.window_hi,
+            omega=1,
+            budget=1,
+        )
+
+    def _logical_answer(self, query: LogicalJoinQuery, time: int) -> int:
+        spec = self._join_spec(query)
+        probe_rows = self.logical.instance_at(query.probe_table, time)
+        driver_rows = self.logical.instance_at(query.driver_table, time)
+        if isinstance(query, LogicalJoinSumQuery):
+            return spec.logical_join_sum(
+                probe_rows, driver_rows, query.sum_table, query.sum_column
+            )
+        return spec.logical_join_count(probe_rows, driver_rows)

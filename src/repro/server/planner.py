@@ -1,0 +1,75 @@
+"""Database-bound query planning: live candidates, live store sizes.
+
+:mod:`repro.query.planner` scores plans over explicit candidate
+descriptions; this module binds that core to a running
+:class:`~repro.server.database.IncShrinkDatabase` — enumerating the
+registered views that can answer a logical query, reading the public
+padded sizes the cost formulas need, and deciding whether the NM
+fallback is on the table (either globally enabled, or because an
+NM-mode view was explicitly registered for this query class).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..common.errors import SchemaError
+from ..query.ast import LogicalJoinQuery
+from ..query.planner import QueryPlan, ViewCandidate, plan_query
+from ..query.rewrite import can_answer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .database import IncShrinkDatabase
+
+#: Modes whose materialized view is a usable scan target.  NM views have
+#: no view at all; OTM views are frozen at their (empty) setup state and
+#: would win every cost comparison while answering nothing.
+SCANNABLE_MODES = ("dp-timer", "dp-ant", "ep")
+
+
+class DatabasePlanner:
+    """Routes logical queries over one database's registered views."""
+
+    def __init__(self, database: "IncShrinkDatabase", multiplicity: float = 1.0) -> None:
+        self._db = database
+        self.multiplicity = multiplicity
+
+    def candidates(self, query: LogicalJoinQuery) -> list[ViewCandidate]:
+        """Every registered view whose join structure answers ``query``."""
+        return [
+            ViewCandidate(vr.view_def, len(vr.view))
+            for vr in self._db.views.values()
+            if vr.mode in SCANNABLE_MODES and can_answer(query, vr.view_def)
+        ]
+
+    def nm_allowed(self, query: LogicalJoinQuery) -> bool:
+        if self._db.nm_fallback:
+            return True
+        return any(
+            vr.mode == "nm" and can_answer(query, vr.view_def)
+            for vr in self._db.views.values()
+        )
+
+    def plan(self, query: LogicalJoinQuery, predicate_words: int = 1) -> QueryPlan:
+        """Choose the cheapest plan for ``query`` at the current sizes."""
+        db = self._db
+        for table in (query.probe_table, query.driver_table):
+            if table not in db.tables:
+                raise SchemaError(
+                    f"query references unregistered table {table!r}; known "
+                    f"tables: {sorted(db.tables)}"
+                )
+        probe_store = db.tables[query.probe_table]
+        driver_store = db.tables[query.driver_table]
+        return plan_query(
+            query,
+            self.candidates(query),
+            probe_store.total_rows,
+            driver_store.total_rows,
+            db.runtime.cost_model,
+            nm_allowed=self.nm_allowed(query),
+            multiplicity=self.multiplicity,
+            predicate_words=predicate_words,
+            probe_width=probe_store.schema.width,
+            driver_width=driver_store.schema.width,
+        )

@@ -36,10 +36,45 @@ SCRIPT = [
 # (3,2)x(3,3)@t2, (3,2)x(3,4)@t3 → logical counts per step: 1, 3, 4, 4.
 
 
-class TestEngineModes:
+class TestEngineConfigValidation:
     def test_invalid_mode_rejected(self):
-        with pytest.raises(ConfigurationError):
+        with pytest.raises(ConfigurationError, match="mode"):
             EngineConfig(mode="quantum")
+
+    @pytest.mark.parametrize("epsilon", [0.0, -1.5])
+    def test_nonpositive_epsilon_rejected(self, epsilon):
+        with pytest.raises(ConfigurationError, match="epsilon"):
+            EngineConfig(epsilon=epsilon)
+
+    @pytest.mark.parametrize("interval", [0, -3])
+    def test_timer_interval_below_one_rejected(self, interval):
+        with pytest.raises(ConfigurationError, match="timer_interval"):
+            EngineConfig(timer_interval=interval)
+
+    @pytest.mark.parametrize("threshold", [0.0, -30.0])
+    def test_nonpositive_ant_threshold_rejected(self, threshold):
+        with pytest.raises(ConfigurationError, match="ant_threshold"):
+            EngineConfig(ant_threshold=threshold)
+
+    @pytest.mark.parametrize("interval", [0, -2000])
+    def test_nonpositive_flush_interval_rejected(self, interval):
+        with pytest.raises(ConfigurationError, match="flush_interval"):
+            EngineConfig(flush_interval=interval)
+
+    @pytest.mark.parametrize("size", [0, -15])
+    def test_nonpositive_flush_size_rejected(self, size):
+        with pytest.raises(ConfigurationError, match="flush_size"):
+            EngineConfig(flush_size=size)
+
+    def test_unknown_join_impl_rejected(self):
+        with pytest.raises(ConfigurationError, match="join_impl"):
+            EngineConfig(join_impl="hash")
+
+    def test_paper_defaults_are_valid(self):
+        assert EngineConfig().mode == "dp-timer"
+
+
+class TestEngineModes:
 
     def test_ep_mode_is_exact_without_truncation(self, tiny_view_def):
         engine = IncShrinkEngine(tiny_view_def, EngineConfig(mode="ep"))
@@ -96,10 +131,40 @@ class TestEngineAccounting:
         assert engine.realized_epsilon() <= 2.0 + 1e-9
         assert engine.realized_epsilon() > 0
 
-    def test_realized_epsilon_zero_for_baselines(self, tiny_view_def):
-        engine = IncShrinkEngine(tiny_view_def, EngineConfig(mode="ep"))
+    @pytest.mark.parametrize(
+        "config",
+        [
+            EngineConfig(mode="dp-timer", epsilon=2.0, timer_interval=2),
+            EngineConfig(mode="dp-ant", epsilon=2.0, ant_threshold=2.0),
+        ],
+    )
+    def test_realized_epsilon_positive_and_bounded_per_dp_mode(
+        self, tiny_view_def, config
+    ):
+        engine = IncShrinkEngine(tiny_view_def, config)
+        upload_steps(engine, tiny_view_def, SCRIPT)
+        assert 0 < engine.realized_epsilon() <= config.epsilon + 1e-9
+
+    @pytest.mark.parametrize("mode", ["ep", "otm", "nm"])
+    def test_realized_epsilon_zero_for_baselines(self, tiny_view_def, mode):
+        engine = IncShrinkEngine(tiny_view_def, EngineConfig(mode=mode))
         upload_steps(engine, tiny_view_def, SCRIPT)
         assert engine.realized_epsilon() == 0.0
+
+    def test_facade_epsilon_matches_database_composition(self, tiny_view_def):
+        """The single-view façade's ε is the database-level composed ε —
+        one DP view gets the whole budget, so they coincide."""
+        engine = IncShrinkEngine(
+            tiny_view_def,
+            EngineConfig(mode="dp-timer", epsilon=2.0, timer_interval=2),
+        )
+        upload_steps(engine, tiny_view_def, SCRIPT)
+        assert engine.database.epsilon_allocation() == {
+            tiny_view_def.name: pytest.approx(2.0)
+        }
+        assert engine.database.realized_epsilon() == pytest.approx(
+            engine.realized_epsilon()
+        )
 
     def test_metrics_populated(self, tiny_view_def):
         engine = IncShrinkEngine(
@@ -122,6 +187,42 @@ class TestEngineAccounting:
         upload_steps(engine, tiny_view_def, SCRIPT)
         assert engine.probe_store.total_rows == 4 * 4  # 4 steps × capacity 4
         assert engine.driver_store.total_rows == 4 * 3
+
+
+class TestEngineSumQueries:
+    """The logical SUM path reaches the view layer through the façade."""
+
+    def test_ep_sum_is_exact(self, tiny_view_def):
+        engine = IncShrinkEngine(tiny_view_def, EngineConfig(mode="ep"))
+        upload_steps(engine, tiny_view_def, SCRIPT)
+        obs = engine.query_sum(4, "shipments", "sts")
+        # Qualifying pairs at t=4 carry driver ts 2, 3, 3, 4 → sum 12.
+        assert obs.logical_answer == 12
+        assert obs.l1 == 0
+
+    def test_nm_sum_is_exact(self, tiny_view_def):
+        engine = IncShrinkEngine(tiny_view_def, EngineConfig(mode="nm"))
+        upload_steps(engine, tiny_view_def, SCRIPT)
+        obs = engine.query_sum(4, "orders", "ots")
+        assert obs.l1 == 0
+
+    def test_dp_sum_converges_with_high_epsilon(self, tiny_view_def):
+        engine = IncShrinkEngine(
+            tiny_view_def,
+            EngineConfig(mode="dp-timer", epsilon=1000.0, timer_interval=1),
+        )
+        upload_steps(engine, tiny_view_def, SCRIPT)
+        obs = engine.query_sum(4, "shipments", "sts")
+        # One deferred pair at most; driver ts values are <= 4.
+        assert obs.l1 <= 4
+
+    def test_foreign_sum_table_rejected(self, tiny_view_def):
+        from repro.common.errors import SchemaError
+
+        engine = IncShrinkEngine(tiny_view_def, EngineConfig(mode="ep"))
+        upload_steps(engine, tiny_view_def, SCRIPT)
+        with pytest.raises(SchemaError, match="neither side"):
+            engine.query_sum(4, "users", "x")
 
 
 class TestEngineTranscriptLeakage:

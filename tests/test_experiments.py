@@ -13,7 +13,12 @@ from repro.experiments.figure6 import format_figure6, run_figure6
 from repro.experiments.figure7 import format_figure7, run_figure7
 from repro.experiments.figure8 import format_figure8, run_figure8
 from repro.experiments.figure9 import format_figure9, run_figure9
-from repro.experiments.harness import RunConfig, run_experiment
+from repro.experiments.harness import (
+    MultiViewRunConfig,
+    RunConfig,
+    run_experiment,
+    run_multiview_experiment,
+)
 from repro.experiments.reporting import format_table, format_value
 from repro.experiments.table2 import format_table2, run_table2
 
@@ -43,6 +48,41 @@ class TestHarness:
             RunConfig(dataset="tpcds", mode="otm", n_steps=30, query_every=10)
         )
         assert res.summary.query_count == 3
+
+
+class TestMultiViewHarness:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_multiview_experiment(
+            MultiViewRunConfig(dataset="tpcds", n_steps=24, query_every=6)
+        )
+
+    def test_three_views_over_two_shared_tables(self, result):
+        assert len(result.view_modes) == 3
+        assert result.upload_counts == {"sales": 24, "returns": 24}
+
+    def test_transform_shared_across_same_signature_views(self, result):
+        # full + EP audit share a circuit; recent runs its own: 2 per step.
+        assert result.transform_runs == 2 * 24
+
+    def test_mixed_count_and_sum_queries_planned(self, result):
+        # 4 queried steps × (2 COUNTs + 1 SUM) + 1 final NM fallback.
+        assert result.summary.query_count == 13
+        assert result.plan_counts.get("nm-fallback") == 1
+        assert sum(result.plan_counts.values()) == 13
+
+    def test_composed_epsilon_within_total(self, result):
+        assert 0 < result.realized_epsilon <= result.config.total_epsilon + 1e-9
+        assert sum(result.allocation.values()) <= result.config.total_epsilon + 1e-9
+
+    def test_result_serializes_without_shares(self, result):
+        payload = result.to_json()
+        assert "share" not in payload
+        assert '"realized_epsilon"' in payload
+
+    def test_query_every_validated(self):
+        with pytest.raises(ConfigurationError):
+            run_multiview_experiment(MultiViewRunConfig(query_every=0))
 
     def test_invalid_query_every(self):
         with pytest.raises(ConfigurationError):

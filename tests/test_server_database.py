@@ -1,0 +1,355 @@
+"""Tests for the multi-view database layer (server package).
+
+The headline scenario mirrors the acceptance criteria of the multi-view
+refactor: a database hosting three views over two shared base tables
+answers mixed COUNT/SUM logical queries with the planner choosing
+per-query between view scan and NM, uploads each base batch exactly
+once, and reports a composed realized ε within the configured total.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError, SchemaError
+from repro.common.types import RecordBatch, Schema
+from repro.core.view_def import JoinViewDefinition
+from repro.dp.allocation import allocate_budget, view_operator_spec
+from repro.query.ast import LogicalJoinCountQuery, LogicalJoinSumQuery
+from repro.query.planner import NM_JOIN, VIEW_SCAN
+from repro.server.database import IncShrinkDatabase, ViewRegistration
+
+PROBE_SCHEMA = Schema(("key", "ots"))
+DRIVER_SCHEMA = Schema(("key", "sts"))
+
+SCRIPT = [
+    ([[1, 1], [2, 1]], [[1, 2]]),
+    ([[3, 2]], [[2, 3], [3, 3]]),
+    ([], [[3, 4]]),
+    ([[9, 4]], []),
+]
+# Window [0, 2] qualifying pairs per step: 1, 3, 4, 4 (see test_core_engine).
+# Window [0, 1] qualifying pairs per step: 1, 2, 2, 2.
+
+
+def make_view(name: str, window_hi: int) -> JoinViewDefinition:
+    return JoinViewDefinition(
+        name=name,
+        probe_table="orders",
+        probe_schema=PROBE_SCHEMA,
+        probe_key="key",
+        probe_ts="ots",
+        driver_table="shipments",
+        driver_schema=DRIVER_SCHEMA,
+        driver_key="key",
+        driver_ts="sts",
+        window_lo=0,
+        window_hi=window_hi,
+        omega=2,
+        budget=6,
+    )
+
+
+def make_count(view: JoinViewDefinition) -> LogicalJoinCountQuery:
+    return LogicalJoinCountQuery(
+        probe_table=view.probe_table,
+        driver_table=view.driver_table,
+        probe_key=view.probe_key,
+        driver_key=view.driver_key,
+        probe_ts=view.probe_ts,
+        driver_ts=view.driver_ts,
+        window_lo=view.window_lo,
+        window_hi=view.window_hi,
+    )
+
+
+def make_sum(view: JoinViewDefinition, table: str, column: str) -> LogicalJoinSumQuery:
+    count = make_count(view)
+    return LogicalJoinSumQuery(
+        **{f: getattr(count, f) for f in (
+            "probe_table", "driver_table", "probe_key", "driver_key",
+            "probe_ts", "driver_ts", "window_lo", "window_hi",
+        )},
+        sum_table=table,
+        sum_column=column,
+    )
+
+
+@pytest.fixture
+def database():
+    """Three views over the shared orders/shipments pair, fully replayed.
+
+    * ``full`` — EP over window [0, 2] (exact, no DP budget);
+    * ``audit`` — sDPTimer over the *same* signature as ``full`` (shares
+      its Transform circuit), per-step updates at high ε so it converges;
+    * ``recent`` — sDPTimer over the narrower window [0, 1].
+    """
+    db = IncShrinkDatabase(total_epsilon=2000.0, seed=7)
+    db.register_view(ViewRegistration(make_view("full", 2), mode="ep"))
+    db.register_view(
+        ViewRegistration(make_view("audit", 2), mode="dp-timer", timer_interval=1)
+    )
+    db.register_view(
+        ViewRegistration(make_view("recent", 1), mode="dp-timer", timer_interval=1)
+    )
+    for t, (probe_rows, driver_rows) in enumerate(SCRIPT, start=1):
+        probe = RecordBatch(
+            PROBE_SCHEMA, np.asarray(probe_rows, dtype=np.uint32).reshape(-1, 2)
+        ).padded_to(4)
+        driver = RecordBatch(
+            DRIVER_SCHEMA, np.asarray(driver_rows, dtype=np.uint32).reshape(-1, 2)
+        ).padded_to(3)
+        db.upload(t, {"orders": probe, "shipments": driver})
+        db.step(t)
+    return db
+
+
+class TestSharedUploads:
+    def test_each_base_batch_shared_exactly_once(self, database):
+        assert database.upload_counts() == {"orders": 4, "shipments": 4}
+
+    def test_group_scopes_reference_the_same_shares(self, database):
+        """Per-group budget wrappers must wrap the *same* uploaded shares
+        — three views, one upload, zero duplication."""
+        physical = database.tables["orders"]
+        for group in database.groups.values():
+            for i, batch in enumerate(group.probe_scope.batches):
+                assert batch.table is physical.batches[i].table
+
+    def test_transform_runs_once_per_signature(self, database):
+        """full+audit share one circuit; recent has its own: 2 per step."""
+        assert len(database.groups) == 2
+        transform_events = database.runtime.transcript.of_kind("transform")
+        assert len(transform_events) == 2 * len(SCRIPT)
+
+    def test_budgets_drain_per_group_not_globally(self, database):
+        """Sharing uploads must not make one view's Transform charge
+        another family's contribution budget."""
+        groups = list(database.groups.values())
+        for group in groups:
+            # b=6, ω=2 → 3 invocations per batch; the t=1 batch is retired.
+            assert group.ledger.remaining_uses("orders", 1) == 0
+            assert group.ledger.remaining_uses("orders", 4) > 0
+
+
+class TestPlannerRouting:
+    def test_count_routes_to_matching_view(self, database):
+        result = database.query_count(make_count(make_view("q", 2)), time=4)
+        assert result.plan.kind == VIEW_SCAN
+        assert result.plan.view_name in ("full", "audit")
+        assert result.observation.logical_answer == 4
+
+    def test_recent_window_routes_to_recent_view(self, database):
+        result = database.query_count(make_count(make_view("q", 1)), time=4)
+        assert result.plan.kind == VIEW_SCAN
+        assert result.plan.view_name == "recent"
+        assert result.observation.logical_answer == 2
+
+    def test_unmatched_window_falls_back_to_nm(self, database):
+        result = database.query_count(make_count(make_view("q", 5)), time=4)
+        assert result.plan.kind == NM_JOIN
+        # NM recomputes the exact join, so the answer is exact.
+        assert result.observation.l1 == 0
+
+    def test_sum_routes_to_view_and_is_exact_on_ep(self, database):
+        query = make_sum(make_view("q", 2), "shipments", "sts")
+        result = database.query_sum(query, time=4)
+        assert result.plan.kind == VIEW_SCAN
+        # Window [0,2] pairs at t=4 have driver ts 2,3,3,4 → sum 12.
+        assert result.observation.logical_answer == 12
+
+    def test_sum_falls_back_to_nm_exactly(self, database):
+        query = make_sum(make_view("q", 5), "orders", "ots")
+        result = database.query_sum(query, time=4)
+        assert result.plan.kind == NM_JOIN
+        assert result.observation.l1 == 0
+
+    def test_nm_fallback_can_be_disabled(self):
+        db = IncShrinkDatabase(total_epsilon=1.5, nm_fallback=False)
+        db.register_view(ViewRegistration(make_view("only", 2), mode="ep"))
+        db.finalize()
+        with pytest.raises(SchemaError, match="fallback is disabled"):
+            db.query_count(make_count(make_view("q", 5)), time=1)
+
+    def test_registered_nm_view_enables_nm_for_its_class(self):
+        db = IncShrinkDatabase(total_epsilon=1.5, nm_fallback=False)
+        db.register_view(ViewRegistration(make_view("nm-class", 2), mode="nm"))
+        probe = RecordBatch(
+            PROBE_SCHEMA, np.asarray([[1, 1]], dtype=np.uint32)
+        ).padded_to(4)
+        driver = RecordBatch(
+            DRIVER_SCHEMA, np.asarray([[1, 2]], dtype=np.uint32)
+        ).padded_to(3)
+        db.upload(1, {"orders": probe, "shipments": driver})
+        db.step(1)
+        result = db.query_count(make_count(make_view("q", 2)), time=2)
+        assert result.plan.kind == NM_JOIN
+        assert result.observation.l1 == 0
+
+
+class TestAccuracy:
+    def test_ep_and_high_epsilon_views_track_truth(self, database):
+        count_full = make_count(make_view("q", 2))
+        result = database.query_count(count_full, time=4)
+        assert result.observation.l1 <= 1
+
+    def test_per_view_metrics_populated(self, database):
+        for vr in database.views.values():
+            assert len(vr.metrics.view_size_rows) == len(SCRIPT)
+
+
+class TestScheduler:
+    def test_step_report_aggregates_views(self, database):
+        # Replay one more step to inspect a fresh report.
+        probe = RecordBatch.empty(PROBE_SCHEMA).padded_to(4)
+        driver = RecordBatch.empty(DRIVER_SCHEMA).padded_to(3)
+        db = database
+        db.upload(5, {"orders": probe, "shipments": driver})
+        report = db.step(5)
+        assert set(report.views) == {"full", "audit", "recent"}
+        assert report.transform_runs == 2
+        assert report.transform_seconds > 0
+        # The EP view syncs every step; the timer views update at t=5 too.
+        assert report.views_updated >= 1
+
+    def test_step_without_driver_upload_skips_transform(self):
+        db = IncShrinkDatabase(total_epsilon=1.5)
+        db.register_view(ViewRegistration(make_view("v", 2), mode="ep"))
+        db.finalize()
+        report = db.step(1)
+        assert report.transform_runs == 0
+        assert report.views["v"].transform_seconds == 0.0
+
+
+class TestPrivacyComposition:
+    def test_realized_epsilon_within_total(self, database):
+        assert database.realized_epsilon() <= database.total_epsilon + 1e-9
+
+    def test_allocation_matches_dp_allocation_module(self):
+        """The database's ε split must be exactly what Eq. 15's grid
+        search over :mod:`repro.dp.allocation` operator specs returns."""
+        db = IncShrinkDatabase(total_epsilon=4.0, seed=1)
+        regs = [
+            ViewRegistration(
+                make_view("a", 2), mode="dp-timer", size_hint=500, updates_hint=8
+            ),
+            ViewRegistration(
+                replace(make_view("b", 1), omega=2, budget=8),
+                mode="dp-ant",
+                size_hint=2000,
+                updates_hint=16,
+            ),
+        ]
+        for reg in regs:
+            db.register_view(reg)
+        db.finalize()
+        operators = [
+            view_operator_spec(
+                r.view_def.name, r.view_def.budget, r.updates_hint, r.size_hint
+            )
+            for r in regs
+        ]
+        expected, _ = allocate_budget(operators, 4.0, grid_steps=db.grid_steps)
+        allocation = db.epsilon_allocation()
+        assert allocation == {"a": pytest.approx(expected[0]), "b": pytest.approx(expected[1])}
+        assert sum(allocation.values()) <= 4.0 + 1e-9
+
+    def test_dp_views_realize_at_most_their_slice(self, database):
+        allocation = database.epsilon_allocation()
+        for name, eps_i in allocation.items():
+            assert database.view_realized_epsilon(name) <= eps_i + 1e-9
+
+    def test_non_dp_views_realize_zero(self, database):
+        assert database.view_realized_epsilon("full") == 0.0
+
+    def test_disjoint_view_families_compose_in_parallel(self):
+        """Views over disjoint base tables take the max, not the sum."""
+        db = IncShrinkDatabase(total_epsilon=2.0, seed=3)
+        db.register_view(
+            ViewRegistration(make_view("a", 2), mode="dp-timer", timer_interval=1)
+        )
+        other = JoinViewDefinition(
+            name="b",
+            probe_table="users",
+            probe_schema=PROBE_SCHEMA,
+            probe_key="key",
+            probe_ts="ots",
+            driver_table="events",
+            driver_schema=DRIVER_SCHEMA,
+            driver_key="key",
+            driver_ts="sts",
+            window_lo=0,
+            window_hi=2,
+            omega=2,
+            budget=6,
+        )
+        db.register_view(ViewRegistration(other, mode="dp-timer", timer_interval=1))
+        probe = RecordBatch(
+            PROBE_SCHEMA, np.asarray([[1, 1]], dtype=np.uint32)
+        ).padded_to(4)
+        driver = RecordBatch(
+            DRIVER_SCHEMA, np.asarray([[1, 2]], dtype=np.uint32)
+        ).padded_to(3)
+        db.upload(
+            1,
+            [("orders", probe), ("shipments", driver),
+             ("users", probe), ("events", driver)],
+        )
+        db.step(1)
+        per_view = [db.view_realized_epsilon("a"), db.view_realized_epsilon("b")]
+        assert db.realized_epsilon() == pytest.approx(max(per_view))
+        assert db.realized_epsilon() < sum(per_view)
+
+
+class TestRegistrationValidation:
+    def test_duplicate_view_name_rejected(self):
+        db = IncShrinkDatabase()
+        db.register_view(ViewRegistration(make_view("v", 2), mode="ep"))
+        with pytest.raises(ConfigurationError, match="already registered"):
+            db.register_view(ViewRegistration(make_view("v", 1), mode="ep"))
+
+    def test_registration_after_finalize_rejected(self):
+        db = IncShrinkDatabase()
+        db.register_view(ViewRegistration(make_view("v", 2), mode="ep"))
+        db.finalize()
+        with pytest.raises(ConfigurationError, match="before the first"):
+            db.register_view(ViewRegistration(make_view("w", 1), mode="ep"))
+
+    def test_unknown_upload_table_rejected(self):
+        db = IncShrinkDatabase()
+        db.register_view(ViewRegistration(make_view("v", 2), mode="ep"))
+        batch = RecordBatch.empty(PROBE_SCHEMA).padded_to(2)
+        with pytest.raises(SchemaError, match="no registered base table"):
+            db.upload(1, {"ghost": batch})
+
+    def test_conflicting_table_schema_rejected(self):
+        db = IncShrinkDatabase()
+        db.register_table("orders", PROBE_SCHEMA)
+        with pytest.raises(SchemaError, match="already registered"):
+            db.register_table("orders", Schema(("key", "ots", "extra")))
+
+    def test_use_without_views_rejected(self):
+        db = IncShrinkDatabase()
+        with pytest.raises(ConfigurationError, match="at least one view"):
+            db.step(1)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"mode": "quantum"},
+            {"join_impl": "hash"},
+            {"timer_interval": 0},
+            {"ant_threshold": 0.0},
+            {"flush_interval": 0},
+            {"flush_size": -1},
+            {"size_hint": 0},
+        ],
+    )
+    def test_bad_registration_knobs_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ViewRegistration(make_view("v", 2), **kwargs)
+
+    def test_nonpositive_total_epsilon_rejected(self):
+        with pytest.raises(ConfigurationError, match="total_epsilon"):
+            IncShrinkDatabase(total_epsilon=0.0)
