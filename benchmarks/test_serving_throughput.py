@@ -1,0 +1,143 @@
+"""Serving-runtime throughput baseline — the repo's first perf trajectory.
+
+Unlike the table/figure benchmarks (which reproduce *simulated* paper
+numbers), this one measures the **wall clock** of the serving runtime
+itself: how fast the background ingestion loop advances the stream while
+concurrent read sessions query, and how long a full snapshot/restore
+cycle takes.  The measured rates are written to ``BENCH_serving.json``
+at the repo root so future PRs optimizing the hot paths have a recorded
+baseline to beat.
+
+Correctness is asserted alongside the timing: the database restored
+from the mid-run snapshot must answer the registered queries with the
+byte-identical values and report the byte-identical realized ε — the
+no-double-spend acceptance criterion of the persistence layer.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time as _time
+from pathlib import Path
+
+from conftest import emit
+
+from repro.experiments.harness import MultiViewRunConfig, build_multiview_deployment
+from repro.server.persistence import restore_database
+from repro.server.runtime import DatabaseServer
+
+BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_serving.json"
+
+DATASET = "tpcds"
+N_STEPS = 32
+CLIENTS = 3
+QUERY_EVERY = 4
+
+
+def _run_serving(tmp_path: Path) -> dict:
+    config = MultiViewRunConfig(
+        dataset=DATASET, n_steps=N_STEPS, seed=11, query_every=QUERY_EVERY
+    )
+    deployment = build_multiview_deployment(config)
+    snapshot_path = str(tmp_path / "serving-bench.snap")
+    server = DatabaseServer(deployment.database, snapshot_path=snapshot_path)
+    server.start()
+
+    stop = threading.Event()
+    client_errors: list[BaseException] = []
+
+    def client_loop(session):
+        try:
+            while not stop.is_set():
+                if server.last_time:
+                    for query in deployment.step_queries:
+                        # time=None binds the watermark under the read lock
+                        session.query(query, time=None)
+                stop.wait(0.0005)
+        except BaseException as exc:
+            client_errors.append(exc)
+
+    threads = [
+        threading.Thread(
+            target=client_loop, args=(server.session(f"bench-{i}"),), daemon=True
+        )
+        for i in range(CLIENTS)
+    ]
+    for t in threads:
+        t.start()
+    for step in deployment.workload.steps:
+        server.submit(step.time, deployment.upload_items(step))
+    server.drain()
+    stop.set()
+    for t in threads:
+        t.join()
+    assert not client_errors, client_errors
+
+    # Snapshot + restore latency, with the equivalence check inline.
+    t0 = _time.perf_counter()
+    info = server.snapshot()
+    snapshot_seconds = _time.perf_counter() - t0
+
+    t0 = _time.perf_counter()
+    restored = restore_database(snapshot_path)
+    restore_seconds = _time.perf_counter() - t0
+
+    db = server.database
+    final_time = server.last_time
+    original = [
+        db.query(q, final_time).answer for q in deployment.step_queries
+    ]
+    recovered = [
+        restored.database.query(q, final_time).answer
+        for q in deployment.step_queries
+    ]
+    assert recovered == original, "restored answers must be byte-identical"
+    assert restored.database.realized_epsilon() == db.realized_epsilon()
+
+    server.stop()
+    stats = server.stats
+    return {
+        "benchmark": "serving_throughput",
+        "dataset": DATASET,
+        "steps": N_STEPS,
+        "clients": CLIENTS,
+        "uploads": stats.uploads,
+        "queries": stats.queries,
+        "uploads_per_second": stats.uploads_per_second(),
+        "queries_per_second": stats.queries_per_second(),
+        "snapshot_seconds": snapshot_seconds,
+        "restore_seconds": restore_seconds,
+        "snapshot_bytes": info.bytes_written,
+        "realized_epsilon": db.realized_epsilon(),
+    }
+
+
+def test_bench_serving_throughput(benchmark, tmp_path):
+    result = benchmark.pedantic(
+        _run_serving, args=(tmp_path,), rounds=1, iterations=1
+    )
+
+    # A serving runtime that cannot outpace one upload per simulated step
+    # per second would be useless; these floors are loose sanity bounds,
+    # not targets (the recorded JSON is the real trajectory).
+    assert result["uploads_per_second"] > 1.0
+    assert result["queries_per_second"] > 1.0
+    assert result["queries"] >= CLIENTS  # every session got answers
+    assert result["snapshot_seconds"] < 60.0
+    assert result["restore_seconds"] < 60.0
+
+    BENCH_PATH.write_text(json.dumps(result, indent=2) + "\n", encoding="utf8")
+
+    emit(
+        "serving throughput baseline (wall clock)\n"
+        f"  ingestion : {result['uploads']} uploads in total, "
+        f"{result['uploads_per_second']:.1f} uploads/s\n"
+        f"  queries   : {result['queries']} answered across {CLIENTS} "
+        f"sessions, {result['queries_per_second']:.1f} queries/s\n"
+        f"  snapshot  : {result['snapshot_bytes']} bytes in "
+        f"{result['snapshot_seconds']*1000:.1f} ms\n"
+        f"  restore   : {result['restore_seconds']*1000:.1f} ms "
+        "(byte-identical answers + realized epsilon verified)\n"
+        f"  -> recorded to {BENCH_PATH.name}"
+    )

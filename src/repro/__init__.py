@@ -36,9 +36,16 @@ from .experiments.harness import (
     run_multiview_experiment,
 )
 from .mpc import CostModel, MPCRuntime
-from .server import IncShrinkDatabase, ViewRegistration
+from .server import (
+    DatabaseServer,
+    IncShrinkDatabase,
+    ReadSession,
+    ViewRegistration,
+    restore_database,
+    snapshot_database,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "MetricSummary",
@@ -58,7 +65,11 @@ __all__ = [
     "run_multiview_experiment",
     "CostModel",
     "MPCRuntime",
+    "DatabaseServer",
     "IncShrinkDatabase",
+    "ReadSession",
     "ViewRegistration",
+    "restore_database",
+    "snapshot_database",
     "__version__",
 ]

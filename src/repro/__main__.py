@@ -7,25 +7,35 @@ Usage::
     python -m repro figure8 --steps 120
     python -m repro run --dataset tpcds --mode dp-ant --epsilon 0.5
     python -m repro multiview --dataset tpcds --steps 96 --epsilon 3.0
+    python -m repro serve --steps 48 --snapshot deploy.snap --clients 2
+    python -m repro resume --snapshot deploy.snap
 
 ``run`` executes a single deployment and prints its summary;
 ``multiview`` runs one multi-view database (three views over the shared
 base-table pair, planner-routed COUNT/SUM queries, composed privacy);
-the named experiments print the corresponding paper table/figure.
+``serve`` runs the same deployment through the concurrent serving
+runtime (background ingestion loop, parallel read sessions, periodic
+snapshots) and ``resume`` restores a snapshotted deployment and
+continues its stream from where it stopped; the named experiments print
+the corresponding paper table/figure.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import threading
+from dataclasses import asdict
 
 from .experiments import figure4, figure5, figure6, figure7, figure8, figure9, table2
 from .experiments.harness import (
     MultiViewRunConfig,
     RunConfig,
+    build_multiview_deployment,
     run_experiment,
     run_multiview_experiment,
 )
+from .server.runtime import DatabaseServer
 
 _BOTH_DATASET_EXPERIMENTS = {
     "figure5": (figure5.run_figure5, figure5.format_figure5),
@@ -83,6 +93,39 @@ def _build_parser() -> argparse.ArgumentParser:
     mv.add_argument("--steps", type=int, default=96)
     mv.add_argument("--seed", type=int, default=0)
     mv.add_argument("--query-every", type=int, default=4)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the concurrent serving runtime and snapshot its state",
+    )
+    serve.add_argument("--dataset", choices=["tpcds", "cpdb"], default="tpcds")
+    serve.add_argument("--epsilon", type=float, default=3.0, help="total DB budget")
+    serve.add_argument("--steps", type=int, default=48)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--query-every", type=int, default=4)
+    serve.add_argument("--clients", type=int, default=2, help="read sessions")
+    serve.add_argument("--snapshot", default=None, help="snapshot file path")
+    serve.add_argument(
+        "--snapshot-every", type=int, default=None,
+        help="checkpoint every N ingested steps (requires --snapshot)",
+    )
+    serve.add_argument(
+        "--stop-after", type=int, default=None,
+        help="stop serving after this step (default: the full stream); "
+        "combined with --snapshot this leaves a mid-stream checkpoint "
+        "that `resume` continues from",
+    )
+
+    res = sub.add_parser(
+        "resume",
+        help="restore a snapshotted deployment and continue its stream",
+    )
+    res.add_argument("--snapshot", required=True, help="snapshot file path")
+    res.add_argument("--clients", type=int, default=2, help="read sessions")
+    res.add_argument(
+        "--snapshot-every", type=int, default=None,
+        help="checkpoint every N ingested steps while resumed",
+    )
     return parser
 
 
@@ -127,6 +170,146 @@ def _format_multiview(result) -> str:
     return "\n".join(lines)
 
 
+def _serve_stream(server, deployment, steps, clients: int) -> None:
+    """Feed ``steps`` through the server while client sessions query.
+
+    The main thread is the producer (owners); each client thread holds
+    one read session and keeps issuing the standard query mix against
+    the current watermark until the stream is fully ingested.
+    """
+    stop = threading.Event()
+    client_errors: list[BaseException] = []
+
+    def client_loop(session) -> None:
+        try:
+            while not stop.is_set():
+                if server.last_time == 0:
+                    stop.wait(0.001)
+                    continue
+                for query in deployment.step_queries:
+                    # time=None resolves to the watermark *under the read
+                    # lock*, pairing the logical ground truth with the
+                    # exact view state the scan observes.
+                    session.query(query, time=None)
+                stop.wait(0.001)
+        except BaseException as exc:
+            client_errors.append(exc)
+
+    sessions = [server.session(f"client-{i}") for i in range(clients)]
+    threads = [
+        threading.Thread(target=client_loop, args=(s,), daemon=True)
+        for s in sessions
+    ]
+    for t in threads:
+        t.start()
+    for step in steps:
+        server.submit(step.time, deployment.upload_items(step))
+    server.drain()
+    stop.set()
+    for t in threads:
+        t.join()
+    if client_errors:
+        raise client_errors[0]
+
+
+def _format_serving(server, deployment, resumed_from: int | None = None) -> str:
+    db = server.database
+    stats = server.stats
+    lines = []
+    cfg = deployment.config
+    head = (
+        f"serving runtime: {cfg.dataset}, ingested through step "
+        f"{server.last_time}/{cfg.n_steps}, total epsilon {cfg.total_epsilon}"
+    )
+    if resumed_from is not None:
+        head += f" (resumed from step {resumed_from})"
+    lines.append(head)
+    lines.append(
+        f"ingestion : {stats.steps} steps / {stats.uploads} uploads "
+        f"({stats.uploads_per_second():.1f} uploads/s wall)"
+    )
+    lines.append(
+        f"queries   : {stats.queries} answered "
+        f"({stats.queries_per_second():.1f} queries/s wall)"
+    )
+    if stats.snapshots:
+        lines.append(
+            f"snapshots : {stats.snapshots} written, last "
+            f"{stats.last_snapshot_bytes} bytes in "
+            f"{stats.last_snapshot_seconds*1000:.1f} ms"
+        )
+    lines.append("")
+    header = f"{'view':<22} {'mode':<9} {'rows':>7} {'realized eps':>13}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name, mode in deployment.view_modes.items():
+        vr = db.views[name]
+        lines.append(
+            f"{name:<22} {mode:<9} {len(vr.view):>7} "
+            f"{db.view_realized_epsilon(name):>13.4f}"
+        )
+    lines.append("")
+    lines.append(
+        f"composed realized epsilon: {db.realized_epsilon():.4f} "
+        f"<= {cfg.total_epsilon} (configured total)"
+    )
+    return "\n".join(lines)
+
+
+def _cmd_serve(args) -> None:
+    config = MultiViewRunConfig(
+        dataset=args.dataset,
+        n_steps=args.steps,
+        seed=args.seed,
+        total_epsilon=args.epsilon,
+        query_every=args.query_every,
+    )
+    deployment = build_multiview_deployment(config)
+    server = DatabaseServer(
+        deployment.database,
+        snapshot_path=args.snapshot,
+        snapshot_every=args.snapshot_every,
+    )
+    # The snapshot must be self-describing: resume rebuilds the workload
+    # stream and query mix from these parameters alone.
+    server.metadata["serving_config"] = {
+        k: v for k, v in asdict(config).items() if k != "cost_model"
+    }
+    server.start()
+    steps = deployment.workload.steps
+    if args.stop_after is not None:
+        steps = [s for s in steps if s.time <= args.stop_after]
+    _serve_stream(server, deployment, steps, clients=args.clients)
+    server.stop(final_snapshot=args.snapshot is not None)
+    print(_format_serving(server, deployment))
+    if args.snapshot is not None:
+        print(f"snapshot written to {args.snapshot}")
+
+
+def _cmd_resume(args) -> None:
+    server = DatabaseServer.resume(
+        args.snapshot, snapshot_every=args.snapshot_every
+    )
+    serving_config = server.resume_metadata.get("serving_config")
+    if serving_config is None:
+        raise SystemExit(
+            "snapshot has no serving_config metadata; it was not written "
+            "by `python -m repro serve`"
+        )
+    config = MultiViewRunConfig(**serving_config)
+    deployment = build_multiview_deployment(config)
+    deployment.database = server.database  # the restored one, not a fresh build
+    resumed_from = server.last_time
+    server.start()
+    remaining = [
+        s for s in deployment.workload.steps if s.time > resumed_from
+    ]
+    _serve_stream(server, deployment, remaining, clients=args.clients)
+    server.stop(final_snapshot=True)
+    print(_format_serving(server, deployment, resumed_from=resumed_from))
+    print(f"snapshot updated at {server.snapshot_path}")
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
 
@@ -154,6 +337,10 @@ def main(argv: list[str] | None = None) -> int:
             )
         )
         print(_format_multiview(result))
+    elif args.command == "serve":
+        _cmd_serve(args)
+    elif args.command == "resume":
+        _cmd_resume(args)
     elif args.command == "run":
         result = run_experiment(
             RunConfig(

@@ -41,3 +41,14 @@ class ProtocolError(ReproError):
 
 class ConfigurationError(ReproError):
     """An experiment or engine configuration is invalid."""
+
+
+class PersistenceError(ReproError):
+    """A snapshot file is missing, corrupt, or from an unknown format.
+
+    Raised by :mod:`repro.server.persistence` when the on-disk envelope
+    fails its magic/version/digest checks or the decoded state does not
+    match the database it is being restored into.  A failed integrity
+    check must abort the restore: resuming from tampered or truncated
+    state could silently double-spend privacy budget.
+    """

@@ -34,6 +34,13 @@ class ExhaustivePaddingSync:
         self.counter = counter
         self.updates_done = 0
 
+    # -- persistence hooks ----------------------------------------------------
+    def snapshot_state(self) -> dict:
+        return {"updates_done": self.updates_done}
+
+    def restore_state(self, state: dict) -> None:
+        self.updates_done = int(state["updates_done"])
+
     def step(
         self, time: int, cache: SecureCache, view: MaterializedView
     ) -> ShrinkReport | None:
@@ -66,6 +73,13 @@ class OneTimeMaterialization:
 
     def __init__(self) -> None:
         self.updates_done = 0
+
+    # -- persistence hooks ----------------------------------------------------
+    def snapshot_state(self) -> dict:
+        return {"updates_done": self.updates_done}
+
+    def restore_state(self, state: dict) -> None:
+        self.updates_done = int(state["updates_done"])
 
     def step(
         self, time: int, cache: SecureCache, view: MaterializedView

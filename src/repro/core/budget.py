@@ -93,6 +93,45 @@ class ContributionLedger:
             )
         group.emitted = new_totals
 
+    # -- persistence hooks ----------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Full per-batch budget state, in registration order."""
+        return {
+            "omega": self.omega,
+            "budget": self.budget,
+            "groups": [
+                {
+                    "table": table,
+                    "time": time,
+                    "n_rows": group.n_rows,
+                    "emitted": group.emitted,
+                    "invocations": list(group.invocations),
+                }
+                for (table, time), group in self._groups.items()
+            ],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        if int(state["omega"]) != self.omega or int(state["budget"]) != self.budget:
+            raise ContributionBudgetError(
+                f"snapshot ledger has omega={state['omega']}, "
+                f"budget={state['budget']}; this ledger was configured with "
+                f"omega={self.omega}, budget={self.budget}"
+            )
+        groups: dict[tuple[str, int], _RecordGroup] = {}
+        for g in state["groups"]:
+            emitted = np.asarray(g["emitted"], dtype=np.int64)
+            n_rows = int(g["n_rows"])
+            if len(emitted) != n_rows:
+                raise ContributionBudgetError(
+                    f"snapshot ledger group ({g['table']!r}, t={g['time']}) "
+                    f"has {len(emitted)} emission counters for {n_rows} rows"
+                )
+            groups[(str(g["table"]), int(g["time"]))] = _RecordGroup(
+                n_rows, emitted, [int(t) for t in g["invocations"]]
+            )
+        self._groups = groups
+
     # -- accounting exports --------------------------------------------------
     def max_lifetime_emissions(self) -> int:
         """Largest realised lifetime contribution of any record."""

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..common.errors import ProtocolError
 from ..mpc.runtime import ProtocolContext
 from ..sharing.shared_value import SharedArray
 
@@ -49,3 +50,20 @@ class SharedCounter:
         """Set the counter back to 0 and re-share (Algorithm 2, line 9)."""
         self._shares = ctx.share_array(np.zeros(1, dtype=np.uint32))
         ctx.charge_counter_update()
+
+    # -- persistence hooks ----------------------------------------------------
+    def snapshot_state(self) -> SharedArray:
+        """The counter's current shares (by reference, never recombined).
+
+        Persisting the *shares* rather than the value keeps the secrecy
+        model intact: each server durably stores its own half, and a
+        restore hands each server its half back.
+        """
+        return self._shares
+
+    def restore_state(self, shares: SharedArray) -> None:
+        if shares.shape != (1,):
+            raise ProtocolError(
+                f"counter shares must have shape (1,), got {shares.shape}"
+            )
+        self._shares = shares

@@ -68,6 +68,28 @@ class SDPANT:
         self.updates_done = 0
         self._shared_threshold: SharedArray | None = None
 
+    # -- persistence hooks ----------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Update count plus the armed noisy threshold θ̃ (as shares).
+
+        θ̃ must round-trip as *shares*: it is the SVT's secret state, and
+        recovering it for storage would leak exactly what the fixed-point
+        sharing exists to hide.
+        """
+        return {
+            "updates_done": self.updates_done,
+            "threshold_shares": self._shared_threshold,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.updates_done = int(state["updates_done"])
+        shares = state["threshold_shares"]
+        if shares is not None and shares.shape != (1,):
+            raise ConfigurationError(
+                f"ANT threshold shares must have shape (1,), got {shares.shape}"
+            )
+        self._shared_threshold = shares
+
     # -- noisy threshold management -------------------------------------------
     def _arm_threshold(self, ctx: ProtocolContext) -> float:
         """Draw a fresh θ̃ and store it secret-shared (Alg. 3 lines 2-3, 11-12)."""

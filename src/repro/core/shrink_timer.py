@@ -73,6 +73,14 @@ class SDPTimer:
         self.label = label
         self.updates_done = 0
 
+    # -- persistence hooks ----------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """The timer is memoryless between ticks: only the update count."""
+        return {"updates_done": self.updates_done}
+
+    def restore_state(self, state: dict) -> None:
+        self.updates_done = int(state["updates_done"])
+
     def step(
         self, time: int, cache: SecureCache, view: MaterializedView
     ) -> ShrinkReport | None:

@@ -44,6 +44,22 @@ class PrivacyAccountant:
             raise PrivacyBudgetError(f"epsilon must be positive, got {epsilon}")
         self.events.append(MechanismEvent(name, epsilon, segment))
 
+    # -- persistence hooks --------------------------------------------------
+    def snapshot_state(self) -> list[tuple[str, float, Hashable]]:
+        """Every recorded mechanism event, oldest first.
+
+        The spent-ε ledger **must** survive restarts: replaying releases
+        against a fresh accountant would silently double-spend privacy
+        budget (the Shrinkwrap/DP-Sync durability argument).
+        """
+        return [(e.name, e.epsilon, e.segment) for e in self.events]
+
+    def restore_state(self, events: list[tuple[str, float, Hashable]]) -> None:
+        self.events = [
+            MechanismEvent(str(name), float(epsilon), segment)
+            for name, epsilon, segment in events
+        ]
+
     # -- composition -------------------------------------------------------
     def sequential_epsilon(self) -> float:
         """Worst-case bound: sum over all events (Theorem 31 of [31])."""

@@ -243,13 +243,35 @@ class MultiViewRunResult:
         return json.dumps(self.to_dict(), **dumps_kwargs)
 
 
-def run_multiview_experiment(config: MultiViewRunConfig) -> MultiViewRunResult:
-    """Execute one multi-view database deployment over one workload.
+@dataclass
+class MultiViewDeployment:
+    """A wired-but-unreplayed multi-view deployment: database + stream.
 
-    Per queried step the analyst issues a COUNT on the full window, a
-    COUNT on the recent window, and a SUM over the driver timestamp on
-    the full window; on the final step an additional COUNT with a window
-    no view materializes exercises the NM fallback.
+    Shared by :func:`run_multiview_experiment` (which replays the stream
+    inline) and the ``serve``/``resume`` CLI modes (which feed the same
+    stream through a :class:`~repro.server.runtime.DatabaseServer`).
+    """
+
+    config: MultiViewRunConfig
+    database: IncShrinkDatabase
+    workload: object
+    view_modes: dict[str, str]
+    #: the standard per-step query mix (COUNT full, COUNT recent, SUM full)
+    step_queries: list
+    #: a COUNT whose window no view materializes — the NM fallback probe
+    unmatched_query: LogicalJoinCountQuery
+
+    def upload_items(self, step) -> list[tuple[str, object]]:
+        vd = self.workload.view_def
+        return [(vd.probe_table, step.probe), (vd.driver_table, step.driver)]
+
+
+def build_multiview_deployment(config: MultiViewRunConfig) -> MultiViewDeployment:
+    """Wire the canonical three-view deployment over one workload.
+
+    Three views are derived from the dataset's canonical join: the full
+    window under sDPTimer, a narrower "recent" window under sDPANT, and
+    an EP audit mirror sharing the full view's Transform circuit.
     """
     if config.query_every < 1:
         raise ConfigurationError("query_every must be >= 1")
@@ -300,22 +322,41 @@ def run_multiview_experiment(config: MultiViewRunConfig) -> MultiViewRunResult:
     count_recent = LogicalJoinCountQuery.for_view(recent_vd)
     sum_full = LogicalJoinSumQuery.for_view(vd, vd.driver_table, vd.driver_ts)
     count_unmatched = replace(count_full, window_hi=vd.window_hi + 5)
+    return MultiViewDeployment(
+        config=config,
+        database=database,
+        workload=workload,
+        view_modes=view_modes,
+        step_queries=[count_full, count_recent, sum_full],
+        unmatched_query=count_unmatched,
+    )
+
+
+def run_multiview_experiment(config: MultiViewRunConfig) -> MultiViewRunResult:
+    """Execute one multi-view database deployment over one workload.
+
+    Per queried step the analyst issues a COUNT on the full window, a
+    COUNT on the recent window, and a SUM over the driver timestamp on
+    the full window; on the final step an additional COUNT with a window
+    no view materializes exercises the NM fallback.
+    """
+    deployment = build_multiview_deployment(config)
+    database = deployment.database
+    workload = deployment.workload
+    view_modes = deployment.view_modes
 
     plan_counts: dict[str, int] = {}
     transform_runs = 0
     last_time = workload.steps[-1].time
     for step in workload.steps:
-        database.upload(
-            step.time,
-            [(vd.probe_table, step.probe), (vd.driver_table, step.driver)],
-        )
+        database.upload(step.time, deployment.upload_items(step))
         report = database.step(step.time)
         transform_runs += report.transform_runs
         queries = []
         if step.time % config.query_every == 0:
-            queries = [count_full, count_recent, sum_full]
+            queries = list(deployment.step_queries)
         if step.time == last_time and config.nm_fallback:
-            queries.append(count_unmatched)
+            queries.append(deployment.unmatched_query)
         for query in queries:
             result = database.query(query, step.time)
             key = result.plan.view_name or "nm-fallback"

@@ -1,9 +1,13 @@
-"""Server layer: the multi-view IncShrink database.
+"""Server layer: the multi-view IncShrink database and its runtime.
 
 Hosts N materialized join views over shared outsourced base tables,
 schedules one Transform per shared table pair per step, routes logical
 queries through a cost-based planner, and composes privacy across views
-through a single accountant.
+through a single accountant.  On top of the passive database sit the
+serving runtime (:class:`DatabaseServer` — background ingestion,
+concurrent read sessions) and the persistence layer
+(:func:`snapshot_database` / :func:`restore_database` — versioned,
+integrity-checked snapshots that resume byte-identically).
 """
 
 from .database import (
@@ -14,7 +18,16 @@ from .database import (
     ViewRegistration,
     ViewRuntime,
 )
+from .persistence import (
+    SNAPSHOT_MAGIC,
+    SNAPSHOT_VERSION,
+    RestoredDatabase,
+    SnapshotInfo,
+    restore_database,
+    snapshot_database,
+)
 from .planner import DatabasePlanner
+from .runtime import DatabaseServer, ReadSession, ReadWriteLock, ServingStats
 from .scheduler import (
     DatabaseStepReport,
     StepScheduler,
@@ -29,7 +42,17 @@ __all__ = [
     "IncShrinkDatabase",
     "ViewRegistration",
     "ViewRuntime",
+    "SNAPSHOT_MAGIC",
+    "SNAPSHOT_VERSION",
+    "RestoredDatabase",
+    "SnapshotInfo",
+    "restore_database",
+    "snapshot_database",
     "DatabasePlanner",
+    "DatabaseServer",
+    "ReadSession",
+    "ReadWriteLock",
+    "ServingStats",
     "DatabaseStepReport",
     "StepScheduler",
     "TransformGroup",

@@ -105,8 +105,14 @@ class ViewRegistration:
             self.flush_interval,
             self.flush_size,
         )
-        if self.size_hint < 1 or self.updates_hint < 1:
-            raise ConfigurationError("size_hint and updates_hint must be >= 1")
+        if self.size_hint < 1:
+            raise ConfigurationError(
+                f"size_hint must be >= 1, got {self.size_hint}"
+            )
+        if self.updates_hint < 1:
+            raise ConfigurationError(
+                f"updates_hint must be >= 1, got {self.updates_hint}"
+            )
 
 
 @dataclass
@@ -222,6 +228,34 @@ class IncShrinkDatabase:
             raise ConfigurationError("register at least one view before use")
         self._finalized = True
         self._allocation = self._allocate_epsilon()
+        for spec in self._registrations:
+            self._wire(spec)
+
+    def finalize_with_allocation(self, allocation: Mapping[str, float]) -> None:
+        """Wire registered views against a previously computed ε split.
+
+        The restore path of :mod:`repro.server.persistence` uses this to
+        finalize a freshly constructed database with the *exact* split
+        the snapshotted deployment went live with, instead of re-running
+        the grid search (which is deterministic, but replaying it would
+        couple restore correctness to solver internals).
+        """
+        if self._finalized:
+            raise ConfigurationError(
+                "finalize_with_allocation must run before any upload/step/query"
+            )
+        if not self._registrations:
+            raise ConfigurationError("register at least one view before use")
+        dp_names = {
+            s.view_def.name for s in self._registrations if s.mode in DP_MODES
+        }
+        if set(allocation) != dp_names:
+            raise ConfigurationError(
+                f"allocation names {sorted(allocation)} do not match the "
+                f"registered DP views {sorted(dp_names)}"
+            )
+        self._finalized = True
+        self._allocation = {name: float(eps) for name, eps in allocation.items()}
         for spec in self._registrations:
             self._wire(spec)
 
@@ -351,11 +385,21 @@ class IncShrinkDatabase:
 
     # -- analyst side -----------------------------------------------------------
     def query(
-        self, query: LogicalJoinQuery, time: int, predicate_words: int = 1
+        self,
+        query: LogicalJoinQuery,
+        time: int,
+        predicate_words: int = 1,
+        plan: QueryPlan | None = None,
     ) -> DatabaseQueryResult:
-        """Plan, execute, and score one logical aggregate query."""
+        """Plan, execute, and score one logical aggregate query.
+
+        ``plan`` lets a caller that already planned the query (e.g. the
+        serving runtime, which plans before taking the target view's
+        session guard) skip re-planning.
+        """
         self.finalize()
-        plan = self.planner.plan(query, predicate_words=predicate_words)
+        if plan is None:
+            plan = self.planner.plan(query, predicate_words=predicate_words)
         logical_answer = self._logical_answer(query, time)
         if plan.kind == VIEW_SCAN:
             vr = self.views[plan.view_name]
@@ -541,6 +585,11 @@ class IncShrinkDatabase:
         return components
 
     # -- introspection ----------------------------------------------------------
+    @property
+    def registrations(self) -> tuple[ViewRegistration, ...]:
+        """Every registered view spec, in registration order."""
+        return tuple(self._registrations)
+
     def upload_counts(self) -> dict[str, int]:
         """Physical batches shared per base table (one per upload step)."""
         return {name: len(store.batches) for name, store in self.tables.items()}

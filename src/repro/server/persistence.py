@@ -1,0 +1,623 @@
+"""Snapshot/restore persistence for the multi-view database.
+
+A deployed :class:`~repro.server.database.IncShrinkDatabase` is meant to
+run forever — owners upload, Transform feeds caches, Shrink updates
+views, the accountant tallies spent ε.  All of that is server-side state
+that must survive a process restart (the DP-Sync framing of
+synchronization state as durable), and one piece of it is *privacy
+critical*: replaying releases against a fresh accountant would silently
+double-spend budget, so the realized-ε ledger must round-trip exactly.
+
+This module serializes the full outsourced state to a **versioned,
+integrity-checked** single-file format:
+
+* secret shares are persisted as *shares* — each server durably stores
+  its own half; nothing is ever recombined on the way to disk;
+* share aliasing is preserved: the physical base-table store and every
+  transform group's budget scope wrap the *same* uploaded
+  :class:`~repro.sharing.shared_value.SharedTable` objects, and the
+  snapshot interns each object once so a restore re-creates exactly the
+  same sharing structure (uploads are stored once, not per view);
+* both MPC servers' RNG states and the owner-side sharing generator are
+  captured, so a restored database continues the *identical* randomness
+  streams — byte-identical Shrink noise, resharing, and query answers;
+* the envelope carries a magic string, a format version, and a SHA-256
+  digest over the canonical body; any mismatch raises
+  :class:`~repro.common.errors.PersistenceError` and aborts the restore.
+
+What is deliberately **not** persisted: the adversary-observable
+transcript and the per-protocol run ledger (append-only observation
+logs — a fresh process starts fresh observation logs; they do not feed
+back into any answer or privacy computation).
+
+Usage::
+
+    info = snapshot_database(db, "deploy.snap", metadata={"last_time": t})
+    restored = restore_database("deploy.snap")
+    restored.database.query(...)          # identical answers
+    restored.metadata["last_time"]        # caller-provided position
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import os
+import tempfile
+import time as _time
+from dataclasses import asdict, dataclass
+from typing import Any, Hashable
+
+import numpy as np
+
+from ..common.errors import PersistenceError
+from ..common.metrics import MetricLog, QueryObservation
+from ..common.types import Schema
+from ..core.view_def import JoinViewDefinition
+from ..mpc.cost_model import CostModel
+from ..sharing.shared_value import SharedArray, SharedTable
+from .database import IncShrinkDatabase, ViewRegistration
+
+#: File magic — identifies an IncShrink database snapshot.
+SNAPSHOT_MAGIC = "incshrink-snapshot"
+#: Bump on any incompatible change to the body layout.
+SNAPSHOT_VERSION = 1
+
+#: ``ViewRegistration`` fields that are plain scalars (everything but the
+#: view definition itself).
+_REGISTRATION_SCALARS = (
+    "mode",
+    "timer_interval",
+    "ant_threshold",
+    "flush_interval",
+    "flush_size",
+    "join_impl",
+    "size_hint",
+    "updates_hint",
+)
+
+_VIEW_DEF_SCALARS = (
+    "name",
+    "probe_table",
+    "probe_key",
+    "probe_ts",
+    "driver_table",
+    "driver_key",
+    "driver_ts",
+    "window_lo",
+    "window_hi",
+    "omega",
+    "budget",
+    "driver_public",
+)
+
+
+@dataclass(frozen=True)
+class SnapshotInfo:
+    """Receipt of one written snapshot."""
+
+    path: str
+    bytes_written: int
+    sha256: str
+    created_at: float
+
+
+@dataclass
+class RestoredDatabase:
+    """A database reconstructed from disk plus the caller's metadata."""
+
+    database: IncShrinkDatabase
+    metadata: dict
+    info: SnapshotInfo
+
+
+# -- low-level codecs ---------------------------------------------------------
+def _encode_array(arr: np.ndarray) -> dict:
+    arr = np.ascontiguousarray(arr)
+    return {
+        "dtype": str(arr.dtype),
+        "shape": list(arr.shape),
+        "data": base64.b64encode(arr.tobytes()).decode("ascii"),
+    }
+
+
+def _decode_array(entry: dict) -> np.ndarray:
+    try:
+        raw = base64.b64decode(entry["data"].encode("ascii"))
+        arr = np.frombuffer(raw, dtype=np.dtype(entry["dtype"]))
+        return arr.reshape(tuple(int(d) for d in entry["shape"])).copy()
+    except (KeyError, ValueError, TypeError) as exc:
+        raise PersistenceError(f"malformed array entry: {exc}") from exc
+
+
+def _encode_shared_array(sa: SharedArray) -> dict:
+    return {"s0": _encode_array(sa.share0), "s1": _encode_array(sa.share1)}
+
+
+def _decode_shared_array(entry: dict) -> SharedArray:
+    return SharedArray(_decode_array(entry["s0"]), _decode_array(entry["s1"]))
+
+
+def _encode_segment(segment: Hashable) -> Any:
+    """Encode an accountant segment key (scalars and nested tuples)."""
+    if isinstance(segment, tuple):
+        return {"tuple": [_encode_segment(s) for s in segment]}
+    if segment is None or isinstance(segment, (bool, int, float, str)):
+        return {"value": segment}
+    raise PersistenceError(
+        f"cannot persist accountant segment of type {type(segment).__name__}"
+    )
+
+
+def _decode_segment(entry: Any) -> Hashable:
+    if not isinstance(entry, dict):
+        raise PersistenceError(f"malformed segment entry: {entry!r}")
+    if "tuple" in entry:
+        return tuple(_decode_segment(s) for s in entry["tuple"])
+    return entry["value"]
+
+
+def _encode_metric_log(log: MetricLog) -> dict:
+    return {
+        "queries": [
+            [q.time, q.logical_answer, q.view_answer, q.qet_seconds]
+            for q in log.queries
+        ],
+        "transform_seconds": list(log.transform_seconds),
+        "shrink_seconds": list(log.shrink_seconds),
+        "view_size_rows": list(log.view_size_rows),
+        "view_size_bytes": list(log.view_size_bytes),
+        "cache_size_rows": list(log.cache_size_rows),
+        "deferred_counts": list(log.deferred_counts),
+    }
+
+
+def _decode_metric_log(entry: dict) -> MetricLog:
+    log = MetricLog()
+    log.queries = [
+        QueryObservation(int(t), float(la), float(va), float(qet))
+        for t, la, va, qet in entry["queries"]
+    ]
+    log.transform_seconds = [float(x) for x in entry["transform_seconds"]]
+    log.shrink_seconds = [float(x) for x in entry["shrink_seconds"]]
+    log.view_size_rows = [int(x) for x in entry["view_size_rows"]]
+    log.view_size_bytes = [int(x) for x in entry["view_size_bytes"]]
+    log.cache_size_rows = [int(x) for x in entry["cache_size_rows"]]
+    log.deferred_counts = [int(x) for x in entry["deferred_counts"]]
+    return log
+
+
+class _TableInterner:
+    """Encode each distinct :class:`SharedTable` object exactly once.
+
+    The physical base-table store and every transform group's budget
+    scope hold references to the *same* uploaded share objects.  The
+    interner maps object identity to an index into one shared pool, so
+    the on-disk format stores every upload once and a restore rebuilds
+    the exact aliasing graph.
+    """
+
+    def __init__(self) -> None:
+        self.pool: list[dict] = []
+        self._index: dict[int, int] = {}
+
+    def ref(self, table: SharedTable) -> int:
+        key = id(table)
+        idx = self._index.get(key)
+        if idx is None:
+            idx = len(self.pool)
+            self._index[key] = idx
+            self.pool.append(
+                {
+                    "fields": list(table.schema.fields),
+                    "rows": _encode_shared_array(table.rows),
+                    "flags": _encode_shared_array(table.flags),
+                }
+            )
+        return idx
+
+
+def _decode_table_pool(entries: list[dict]) -> list[SharedTable]:
+    pool = []
+    for e in entries:
+        pool.append(
+            SharedTable(
+                Schema(tuple(e["fields"])),
+                _decode_shared_array(e["rows"]),
+                _decode_shared_array(e["flags"]),
+            )
+        )
+    return pool
+
+
+def _encode_registration(spec: ViewRegistration) -> dict:
+    vd = spec.view_def
+    entry = {f: getattr(spec, f) for f in _REGISTRATION_SCALARS}
+    entry["view_def"] = {f: getattr(vd, f) for f in _VIEW_DEF_SCALARS}
+    entry["view_def"]["probe_schema"] = list(vd.probe_schema.fields)
+    entry["view_def"]["driver_schema"] = list(vd.driver_schema.fields)
+    return entry
+
+
+def _decode_registration(entry: dict) -> ViewRegistration:
+    vd_entry = dict(entry["view_def"])
+    vd_entry["probe_schema"] = Schema(tuple(vd_entry["probe_schema"]))
+    vd_entry["driver_schema"] = Schema(tuple(vd_entry["driver_schema"]))
+    view_def = JoinViewDefinition(**vd_entry)
+    return ViewRegistration(
+        view_def, **{f: entry[f] for f in _REGISTRATION_SCALARS}
+    )
+
+
+# -- body assembly ------------------------------------------------------------
+def _snapshot_body(db: IncShrinkDatabase, metadata: dict | None) -> dict:
+    db.finalize()
+    intern = _TableInterner()
+
+    tables = {}
+    for name, store in db.tables.items():
+        tables[name] = {
+            "schema": list(store.schema.fields),
+            "batches": [
+                {
+                    "time": b["time"],
+                    "table": intern.ref(b["table"]),
+                    "invocations_used": b["invocations_used"],
+                    "emitted": _encode_array(b["emitted"]),
+                }
+                for b in store.snapshot_state()
+            ],
+        }
+
+    groups = []
+    for group in db.groups.values():
+        groups.append(
+            {
+                "signature": list(group.signature),
+                "probe_scope": [
+                    {
+                        "time": b["time"],
+                        "table": intern.ref(b["table"]),
+                        "invocations_used": b["invocations_used"],
+                        "emitted": _encode_array(b["emitted"]),
+                    }
+                    for b in group.probe_scope.snapshot_state()
+                ],
+                "driver_scope": [
+                    {
+                        "time": b["time"],
+                        "table": intern.ref(b["table"]),
+                        "invocations_used": b["invocations_used"],
+                        "emitted": _encode_array(b["emitted"]),
+                    }
+                    for b in group.driver_scope.snapshot_state()
+                ],
+                "ledger": _encode_ledger(group.ledger.snapshot_state()),
+            }
+        )
+
+    views = []
+    for name, vr in db.views.items():
+        view_state = vr.view.snapshot_state()
+        policy_state = None
+        if vr.policy is not None:
+            policy_state = dict(vr.policy.snapshot_state())
+            shares = policy_state.pop("threshold_shares", None)
+            policy_state["threshold_shares"] = (
+                None if shares is None else _encode_shared_array(shares)
+            )
+        views.append(
+            {
+                "name": name,
+                "cache": intern.ref(vr.cache.snapshot_state()),
+                "view": {
+                    "table": intern.ref(view_state["table"]),
+                    "update_count": view_state["update_count"],
+                },
+                "counter": (
+                    None
+                    if vr.counter is None
+                    else _encode_shared_array(vr.counter.snapshot_state())
+                ),
+                "policy": policy_state,
+                "metrics": _encode_metric_log(vr.metrics),
+            }
+        )
+
+    logical = {
+        name: {
+            "fields": entry["fields"],
+            "times": entry["times"],
+            "batches": [_encode_array(b) for b in entry["batches"]],
+        }
+        for name, entry in db.logical.snapshot_state().items()
+    }
+
+    runtime = db.runtime
+    return {
+        "config": {
+            "total_epsilon": db.total_epsilon,
+            "nm_fallback": db.nm_fallback,
+            "grid_steps": db.grid_steps,
+            "multiplicity": db.planner.multiplicity,
+            "cost_model": asdict(runtime.cost_model),
+        },
+        "registrations": [_encode_registration(s) for s in db.registrations],
+        "allocation": db.epsilon_allocation(),
+        "shared_tables": intern.pool,
+        "tables": tables,
+        "logical": logical,
+        "groups": groups,
+        "views": views,
+        "accountant": [
+            [name, eps, _encode_segment(segment)]
+            for name, eps, segment in db.accountant.snapshot_state()
+        ],
+        "metrics": _encode_metric_log(db.metrics),
+        "rng": {
+            "server0": runtime.server0.gen.bit_generator.state,
+            "server1": runtime.server1.gen.bit_generator.state,
+            "owner": runtime.owner_gen.bit_generator.state,
+        },
+        "metadata": dict(metadata or {}),
+    }
+
+
+def _encode_ledger(state: dict) -> dict:
+    return {
+        "omega": state["omega"],
+        "budget": state["budget"],
+        "groups": [
+            {
+                "table": g["table"],
+                "time": g["time"],
+                "n_rows": g["n_rows"],
+                "emitted": _encode_array(g["emitted"]),
+                "invocations": g["invocations"],
+            }
+            for g in state["groups"]
+        ],
+    }
+
+
+def _decode_ledger(entry: dict) -> dict:
+    return {
+        "omega": entry["omega"],
+        "budget": entry["budget"],
+        "groups": [
+            {
+                "table": g["table"],
+                "time": g["time"],
+                "n_rows": g["n_rows"],
+                "emitted": _decode_array(g["emitted"]),
+                "invocations": g["invocations"],
+            }
+            for g in entry["groups"]
+        ],
+    }
+
+
+def _canonical_bytes(body: dict) -> bytes:
+    return json.dumps(body, sort_keys=True, separators=(",", ":")).encode("utf8")
+
+
+# -- public API ---------------------------------------------------------------
+def snapshot_database(
+    db: IncShrinkDatabase, path: str | os.PathLike, metadata: dict | None = None
+) -> SnapshotInfo:
+    """Serialize the database's full outsourced state to ``path``.
+
+    ``metadata`` is an arbitrary JSON-serializable dict stored verbatim
+    and handed back by :func:`restore_database` — the serving runtime
+    uses it for its stream position and throughput counters.  The write
+    is atomic (temp file + rename), so a crash mid-snapshot leaves any
+    previous snapshot at ``path`` intact.
+    """
+    body = _snapshot_body(db, metadata)
+    digest = hashlib.sha256(_canonical_bytes(body)).hexdigest()
+    created = _time.time()
+    document = {
+        "magic": SNAPSHOT_MAGIC,
+        "version": SNAPSHOT_VERSION,
+        "sha256": digest,
+        "created_at": created,
+        "body": body,
+    }
+    path = os.fspath(path)
+    directory = os.path.dirname(path) or "."
+    fd, tmp_path = tempfile.mkstemp(prefix=".snapshot-", dir=directory)
+    try:
+        with os.fdopen(fd, "w", encoding="utf8") as fh:
+            json.dump(document, fh)
+        os.replace(tmp_path, path)
+    except BaseException:
+        if os.path.exists(tmp_path):
+            os.unlink(tmp_path)
+        raise
+    return SnapshotInfo(
+        path=path,
+        bytes_written=os.path.getsize(path),
+        sha256=digest,
+        created_at=created,
+    )
+
+
+def restore_database(path: str | os.PathLike) -> RestoredDatabase:
+    """Reconstruct a database (and the caller's metadata) from ``path``.
+
+    The restored instance answers queries byte-identically to the
+    snapshotted one and reports the identical realized ε — the spent
+    budget cannot be double-spent by a restart.
+    """
+    path = os.fspath(path)
+    try:
+        with open(path, encoding="utf8") as fh:
+            document = json.load(fh)
+    except OSError as exc:
+        raise PersistenceError(f"cannot read snapshot {path!r}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise PersistenceError(f"snapshot {path!r} is not valid JSON: {exc}") from exc
+
+    if not isinstance(document, dict) or document.get("magic") != SNAPSHOT_MAGIC:
+        raise PersistenceError(f"{path!r} is not an IncShrink snapshot")
+    version = document.get("version")
+    if version != SNAPSHOT_VERSION:
+        raise PersistenceError(
+            f"snapshot {path!r} has format version {version!r}; this build "
+            f"reads version {SNAPSHOT_VERSION}"
+        )
+    body = document.get("body")
+    if not isinstance(body, dict):
+        raise PersistenceError(f"snapshot {path!r} has no body")
+    digest = hashlib.sha256(_canonical_bytes(body)).hexdigest()
+    if digest != document.get("sha256"):
+        raise PersistenceError(
+            f"snapshot {path!r} failed its integrity check (stored digest "
+            f"{document.get('sha256')!r}, computed {digest!r}); refusing to "
+            "restore — resuming from corrupt state could double-spend budget"
+        )
+
+    try:
+        db = _rebuild(body)
+    except PersistenceError:
+        raise
+    except Exception as exc:  # malformed-but-authentic bodies
+        raise PersistenceError(
+            f"snapshot {path!r} decoded but could not be applied: {exc}"
+        ) from exc
+
+    info = SnapshotInfo(
+        path=path,
+        bytes_written=os.path.getsize(path),
+        sha256=digest,
+        created_at=float(document.get("created_at", 0.0)),
+    )
+    return RestoredDatabase(
+        database=db, metadata=dict(body.get("metadata", {})), info=info
+    )
+
+
+def _rebuild(body: dict) -> IncShrinkDatabase:
+    pool = _decode_table_pool(body["shared_tables"])
+    cfg = body["config"]
+
+    db = IncShrinkDatabase(
+        total_epsilon=float(cfg["total_epsilon"]),
+        cost_model=CostModel(**cfg["cost_model"]),
+        nm_fallback=bool(cfg["nm_fallback"]),
+        grid_steps=int(cfg["grid_steps"]),
+        multiplicity_hint=float(cfg["multiplicity"]),
+    )
+    for entry in body["registrations"]:
+        db.register_view(_decode_registration(entry))
+    db.finalize_with_allocation(body["allocation"])
+
+    # Physical base tables (shares from the interned pool).
+    if set(body["tables"]) != set(db.tables):
+        raise PersistenceError(
+            f"snapshot tables {sorted(body['tables'])} do not match the "
+            f"registered tables {sorted(db.tables)}"
+        )
+    for name, entry in body["tables"].items():
+        db.tables[name].restore_state(_decode_batches(entry["batches"], pool))
+
+    # Owners' logical mirror.
+    db.logical.restore_state(
+        {
+            name: {
+                "fields": entry["fields"],
+                "times": entry["times"],
+                "batches": [_decode_array(b) for b in entry["batches"]],
+            }
+            for name, entry in body["logical"].items()
+        }
+    )
+
+    # Transform groups: scopes alias the pool (same objects as the
+    # physical store), ledgers restore their budget history.
+    live_groups = list(db.groups.values())
+    if len(live_groups) != len(body["groups"]):
+        raise PersistenceError(
+            f"snapshot has {len(body['groups'])} transform groups, the "
+            f"re-registered database wired {len(live_groups)}"
+        )
+    for group, entry in zip(live_groups, body["groups"]):
+        if list(group.signature) != entry["signature"]:
+            raise PersistenceError(
+                f"transform-group signature mismatch: snapshot "
+                f"{entry['signature']!r} vs wired {list(group.signature)!r}"
+            )
+        group.probe_scope.restore_state(_decode_batches(entry["probe_scope"], pool))
+        group.driver_scope.restore_state(
+            _decode_batches(entry["driver_scope"], pool)
+        )
+        group.ledger.restore_state(_decode_ledger(entry["ledger"]))
+
+    # Per-view runtime state.
+    live_views = list(db.views.items())
+    if [name for name, _ in live_views] != [v["name"] for v in body["views"]]:
+        raise PersistenceError("snapshot views do not match the wired views")
+    for (name, vr), entry in zip(live_views, body["views"]):
+        vr.cache.restore_state(pool[entry["cache"]])
+        vr.view.restore_state(
+            {
+                "table": pool[entry["view"]["table"]],
+                "update_count": entry["view"]["update_count"],
+            }
+        )
+        counter_entry = entry["counter"]
+        if (vr.counter is None) != (counter_entry is None):
+            raise PersistenceError(
+                f"snapshot counter presence for view {name!r} does not match "
+                "its registered mode"
+            )
+        if vr.counter is not None:
+            vr.counter.restore_state(_decode_shared_array(counter_entry))
+        policy_entry = entry["policy"]
+        if (vr.policy is None) != (policy_entry is None):
+            raise PersistenceError(
+                f"snapshot policy presence for view {name!r} does not match "
+                "its registered mode"
+            )
+        if vr.policy is not None:
+            state = dict(policy_entry)
+            shares = state.get("threshold_shares")
+            if shares is not None:
+                state["threshold_shares"] = _decode_shared_array(shares)
+            vr.policy.restore_state(state)
+        vr.metrics = _decode_metric_log(entry["metrics"])
+
+    # Privacy ledger and database-level query log.
+    db.accountant.restore_state(
+        [
+            (name, eps, _decode_segment(segment))
+            for name, eps, segment in body["accountant"]
+        ]
+    )
+    db.metrics = _decode_metric_log(body["metrics"])
+
+    # Both servers' and the owners' RNG streams continue exactly where
+    # the snapshotted process stopped.
+    rng = body["rng"]
+    db.runtime.server0.gen.bit_generator.state = rng["server0"]
+    db.runtime.server1.gen.bit_generator.state = rng["server1"]
+    db.runtime.owner_gen.bit_generator.state = rng["owner"]
+    return db
+
+
+def _decode_batches(entries: list[dict], pool: list[SharedTable]) -> list[dict]:
+    decoded = []
+    for e in entries:
+        idx = int(e["table"])
+        if not 0 <= idx < len(pool):
+            raise PersistenceError(f"batch references unknown share blob {idx}")
+        decoded.append(
+            {
+                "time": e["time"],
+                "table": pool[idx],
+                "invocations_used": e["invocations_used"],
+                "emitted": _decode_array(e["emitted"]),
+            }
+        )
+    return decoded

@@ -1,0 +1,452 @@
+"""The persistent, concurrent serving runtime around the database.
+
+:class:`~repro.server.database.IncShrinkDatabase` is a passive object:
+callers invoke ``upload``/``step``/``query`` one at a time.  A real
+deployment (the paper's Figure 1 read end-to-end) is a *server*: owners
+stream batches in forever, many analysts hold open read sessions, and
+the whole thing survives restarts.  :class:`DatabaseServer` provides
+that shape:
+
+* a **background ingestion loop** — submitted uploads queue up and a
+  dedicated thread applies them in order, coalescing whatever is
+  already queued into one exclusive critical section (batched uploads:
+  one writer-lock acquisition covers many upload+step pairs);
+* **concurrent read sessions** — queries run under a shared read lock
+  (so they never observe a half-applied step) plus a per-view session
+  guard; planning and ground-truth scoring parallelise freely, while
+  circuit execution serialises on the simulated 2PC backend exactly as
+  the paper's two servers evaluate one garbled circuit at a time;
+* **snapshot/resume** — :meth:`snapshot` quiesces ingestion at a step
+  boundary and persists the full outsourced state through
+  :mod:`repro.server.persistence`; :meth:`resume` reconstructs a server
+  from disk that continues the identical randomness streams, answers
+  queries byte-identically, and cannot double-spend the ε already
+  recorded in the snapshotted accountant.
+
+Queries never advance the servers' randomness streams (they only reveal
+and charge gates), so read concurrency — however the OS schedules the
+sessions — cannot perturb the deterministic state evolution of the
+stream.  Only the ingestion order matters, and the queue fixes it.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time as _time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+from ..common.errors import ConfigurationError, ProtocolError
+from ..common.types import RecordBatch
+from ..query.ast import LogicalJoinQuery
+from .database import DatabaseQueryResult, IncShrinkDatabase
+from .persistence import SnapshotInfo, restore_database, snapshot_database
+
+
+class ReadWriteLock:
+    """A writer-preferring read/write lock.
+
+    Many readers (query sessions) may hold the lock simultaneously; the
+    single writer (the ingestion loop, or a snapshot) excludes them all.
+    Writer preference keeps a steady query load from starving the
+    stream: once a writer is waiting, new readers queue behind it.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    def acquire_read(self) -> None:
+        with self._cond:
+            while self._writer_active or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    def acquire_write(self) -> None:
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer_active = True
+
+    def release_write(self) -> None:
+        with self._cond:
+            self._writer_active = False
+            self._cond.notify_all()
+
+    @contextmanager
+    def read_locked(self) -> Iterator[None]:
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write_locked(self) -> Iterator[None]:
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()
+
+
+@dataclass
+class ServingStats:
+    """Wall-clock throughput counters of one serving run."""
+
+    uploads: int = 0
+    steps: int = 0
+    queries: int = 0
+    ingest_seconds: float = 0.0
+    query_seconds: float = 0.0
+    snapshots: int = 0
+    last_snapshot_seconds: float = 0.0
+    last_snapshot_bytes: int = 0
+
+    def uploads_per_second(self) -> float:
+        return self.uploads / self.ingest_seconds if self.ingest_seconds else 0.0
+
+    def queries_per_second(self) -> float:
+        return self.queries / self.query_seconds if self.query_seconds else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "uploads": self.uploads,
+            "steps": self.steps,
+            "queries": self.queries,
+            "ingest_seconds": self.ingest_seconds,
+            "query_seconds": self.query_seconds,
+            "uploads_per_second": self.uploads_per_second(),
+            "queries_per_second": self.queries_per_second(),
+            "snapshots": self.snapshots,
+            "last_snapshot_seconds": self.last_snapshot_seconds,
+            "last_snapshot_bytes": self.last_snapshot_bytes,
+        }
+
+
+class ReadSession:
+    """One analyst's handle onto a running server.
+
+    Sessions are cheap: they add per-session bookkeeping (issued queries
+    and their results) on top of the server's thread-safe query path.
+    Many sessions may query concurrently from different threads.
+    """
+
+    def __init__(self, server: "DatabaseServer", name: str) -> None:
+        self.server = server
+        self.name = name
+        self.results: list[DatabaseQueryResult] = []
+
+    def query(
+        self,
+        query: LogicalJoinQuery,
+        time: int | None = None,
+        predicate_words: int = 1,
+    ) -> DatabaseQueryResult:
+        result = self.server.query(query, time=time, predicate_words=predicate_words)
+        self.results.append(result)
+        return result
+
+    @property
+    def query_count(self) -> int:
+        return len(self.results)
+
+    def answers(self) -> list[float]:
+        return [r.answer for r in self.results]
+
+
+_SHUTDOWN = object()
+
+
+class DatabaseServer:
+    """Long-lived serving process state around one database."""
+
+    def __init__(
+        self,
+        database: IncShrinkDatabase,
+        snapshot_path: str | None = None,
+        snapshot_every: int | None = None,
+        max_pending: int = 1024,
+        ingest_batch: int = 32,
+    ) -> None:
+        if snapshot_every is not None and snapshot_every < 1:
+            raise ConfigurationError(
+                f"snapshot_every must be >= 1, got {snapshot_every}"
+            )
+        if snapshot_every is not None and snapshot_path is None:
+            raise ConfigurationError(
+                "snapshot_every requires a snapshot_path to write to"
+            )
+        if ingest_batch < 1:
+            raise ConfigurationError(
+                f"ingest_batch must be >= 1, got {ingest_batch}"
+            )
+        self.database = database
+        self.snapshot_path = snapshot_path
+        self.snapshot_every = snapshot_every
+        self.ingest_batch = ingest_batch
+        self.stats = ServingStats()
+        #: metadata merged into every snapshot (callers may add keys,
+        #: e.g. the CLI records its workload parameters for ``resume``)
+        self.metadata: dict = {}
+        #: metadata recovered from the snapshot this server resumed from
+        #: (empty for a freshly constructed server)
+        self.resume_metadata: dict = {}
+
+        self._queue: queue.Queue = queue.Queue(maxsize=max_pending)
+        self._rw = ReadWriteLock()
+        self._mpc_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+        self._view_locks: dict[str, threading.Lock] = {}
+        self._nm_lock = threading.Lock()
+        self._thread: threading.Thread | None = None
+        self._started = False
+        self._stopping = False
+        self._ingest_error: BaseException | None = None
+        self._last_time = 0
+        self._session_counter = 0
+        self._steps_since_snapshot = 0
+
+    # -- lifecycle --------------------------------------------------------------
+    @property
+    def last_time(self) -> int:
+        """Highest upload step the ingestion loop has fully applied."""
+        return self._last_time
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> "DatabaseServer":
+        """Finalize the deployment and launch the ingestion loop."""
+        if self._started:
+            raise ConfigurationError("server already started")
+        self.database.finalize()
+        self._view_locks = {
+            name: threading.Lock() for name in self.database.views
+        }
+        self._started = True
+        self._thread = threading.Thread(
+            target=self._ingest_loop, name="incshrink-ingest", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def submit(
+        self,
+        time: int,
+        batches: Mapping[str, RecordBatch] | list[tuple[str, RecordBatch]],
+    ) -> None:
+        """Enqueue one step's uploads for the background loop.
+
+        Blocks when the queue is full (backpressure toward the owners),
+        exactly like a bounded ingest buffer in front of a real server.
+        """
+        self._require_running()
+        item = dict(batches) if isinstance(batches, Mapping) else list(batches)
+        self._queue.put((int(time), item))
+
+    def drain(self) -> None:
+        """Block until every submitted upload has been applied."""
+        self._queue.join()
+        self._raise_ingest_error()
+
+    def stop(self, final_snapshot: bool = False) -> None:
+        """Drain the queue, stop the loop, optionally snapshot."""
+        if not self._started or self._stopping:
+            return
+        self._stopping = True
+        self._queue.put(_SHUTDOWN)
+        assert self._thread is not None
+        self._thread.join()
+        self._raise_ingest_error()
+        if final_snapshot:
+            self.snapshot()
+
+    # -- ingestion loop -----------------------------------------------------------
+    def _ingest_loop(self) -> None:
+        shutdown = False
+        while not shutdown:
+            item = self._queue.get()
+            if item is _SHUTDOWN:
+                self._queue.task_done()
+                return
+            pending = [item]
+            # Coalesce whatever else is already queued into this same
+            # exclusive section — batched ingestion.
+            while len(pending) < self.ingest_batch:
+                try:
+                    nxt = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if nxt is _SHUTDOWN:
+                    shutdown = True
+                    break
+                pending.append(nxt)
+            try:
+                self._apply(pending)
+            except BaseException as exc:  # surface to the foreground
+                self._ingest_error = exc
+            finally:
+                for _ in pending:
+                    self._queue.task_done()
+                if shutdown:
+                    self._queue.task_done()
+            if self._ingest_error is not None:
+                self._drain_after_error()
+                return
+
+    def _apply(self, pending: list[tuple[int, object]]) -> None:
+        t0 = _time.perf_counter()
+        with self._rw.write_locked():
+            for step_time, batches in pending:
+                if step_time <= self._last_time:
+                    raise ProtocolError(
+                        f"upload at step {step_time} does not advance the "
+                        f"stream (last applied step is {self._last_time})"
+                    )
+                self.database.upload(step_time, batches)
+                self.database.step(step_time)
+                self._last_time = step_time
+                self._steps_since_snapshot += 1
+                with self._stats_lock:
+                    self.stats.uploads += len(batches)
+                    self.stats.steps += 1
+            # Counted against steps-since-last-checkpoint, not a modulus
+            # of the total: coalesced applies advance many steps at once
+            # and must not jump over the configured interval.
+            if (
+                self.snapshot_every is not None
+                and self._steps_since_snapshot >= self.snapshot_every
+            ):
+                self._snapshot_locked()
+        with self._stats_lock:
+            self.stats.ingest_seconds += _time.perf_counter() - t0
+
+    def _drain_after_error(self) -> None:
+        """After a failed step, unblock producers waiting on join()."""
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                return
+            self._queue.task_done()
+            if item is _SHUTDOWN:
+                return
+
+    def _require_running(self) -> None:
+        if not self._started:
+            raise ConfigurationError("server not started; call start() first")
+        if self._stopping:
+            raise ConfigurationError("server is stopping; no new submissions")
+        self._raise_ingest_error()
+
+    def _raise_ingest_error(self) -> None:
+        if self._ingest_error is not None:
+            raise self._ingest_error
+
+    # -- analyst side -------------------------------------------------------------
+    def session(self, name: str | None = None) -> ReadSession:
+        """Open one concurrent read session."""
+        self._session_counter += 1
+        return ReadSession(self, name or f"session-{self._session_counter}")
+
+    def query(
+        self,
+        query: LogicalJoinQuery,
+        time: int | None = None,
+        predicate_words: int = 1,
+    ) -> DatabaseQueryResult:
+        """Plan and execute one logical query against a consistent state.
+
+        The read lock guarantees no step is mid-application; the per-view
+        guard serialises sessions scanning the same view; the MPC lock
+        serialises circuit evaluation on the simulated 2PC backend.
+        """
+        self._raise_ingest_error()
+        t0 = _time.perf_counter()
+        with self._rw.read_locked():
+            at_time = self._last_time if time is None else int(time)
+            plan = self.database.planner.plan(
+                query, predicate_words=predicate_words
+            )
+            guard = self._view_locks.get(plan.view_name or "", self._nm_lock)
+            with guard, self._mpc_lock:
+                result = self.database.query(
+                    query, at_time, predicate_words=predicate_words, plan=plan
+                )
+        with self._stats_lock:
+            self.stats.queries += 1
+            self.stats.query_seconds += _time.perf_counter() - t0
+        return result
+
+    # -- persistence --------------------------------------------------------------
+    def snapshot(self, path: str | None = None) -> SnapshotInfo:
+        """Quiesce at a step boundary and persist the full state."""
+        target = path or self.snapshot_path
+        if target is None:
+            raise ConfigurationError(
+                "no snapshot path: pass one here or configure snapshot_path"
+            )
+        with self._rw.write_locked():
+            return self._snapshot_locked(target)
+
+    def _snapshot_locked(self, path: str | None = None) -> SnapshotInfo:
+        target = path or self.snapshot_path
+        assert target is not None
+        t0 = _time.perf_counter()
+        metadata = dict(self.metadata)
+        metadata["last_time"] = self._last_time
+        metadata["stats"] = self.stats.to_dict()
+        info = snapshot_database(self.database, target, metadata=metadata)
+        self._steps_since_snapshot = 0
+        with self._stats_lock:
+            self.stats.snapshots += 1
+            self.stats.last_snapshot_seconds = _time.perf_counter() - t0
+            self.stats.last_snapshot_bytes = info.bytes_written
+        return info
+
+    @classmethod
+    def resume(
+        cls,
+        path: str,
+        snapshot_path: str | None = None,
+        snapshot_every: int | None = None,
+        **kwargs,
+    ) -> "DatabaseServer":
+        """Reconstruct a server from a snapshot written by :meth:`snapshot`.
+
+        The resumed server keeps checkpointing to the same file unless a
+        different ``snapshot_path`` is given.  The restored metadata is
+        exposed as :attr:`resume_metadata` (and the caller-added keys are
+        carried forward into future snapshots).
+        """
+        restored = restore_database(path)
+        server = cls(
+            restored.database,
+            snapshot_path=snapshot_path or path,
+            snapshot_every=snapshot_every,
+            **kwargs,
+        )
+        server.resume_metadata = dict(restored.metadata)
+        server.metadata = {
+            k: v
+            for k, v in restored.metadata.items()
+            if k not in ("last_time", "stats")
+        }
+        server._last_time = int(restored.metadata.get("last_time", 0))
+        return server

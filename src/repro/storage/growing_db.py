@@ -65,6 +65,33 @@ class GrowingDatabase:
         log.times.append(time)
         log.batches.append(rows)
 
+    # -- persistence hooks ----------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Per-table insertion log (plaintext — this is the owners' data)."""
+        return {
+            name: {
+                "fields": list(log.schema.fields),
+                "times": list(log.times),
+                "batches": list(log.batches),
+            }
+            for name, log in self._tables.items()
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Refill already-created tables with a snapshotted insertion log."""
+        for name, entry in state.items():
+            log = self._log(name)
+            if tuple(entry["fields"]) != log.schema.fields:
+                raise SchemaError(
+                    f"snapshot of logical table {name!r} has fields "
+                    f"{tuple(entry['fields'])}, expected {log.schema.fields}"
+                )
+            log.times = [int(t) for t in entry["times"]]
+            log.batches = [
+                np.asarray(b, dtype=np.uint32).reshape(-1, log.schema.width)
+                for b in entry["batches"]
+            ]
+
     def instance_at(self, name: str, time: int) -> np.ndarray:
         """All rows of ``name`` inserted at or before ``time`` (D_t)."""
         log = self._log(name)

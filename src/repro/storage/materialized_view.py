@@ -9,6 +9,7 @@ flush.
 
 from __future__ import annotations
 
+from ..common.errors import ProtocolError
 from ..common.types import Schema
 from ..mpc.runtime import ProtocolContext
 from ..sharing.shared_value import SharedTable
@@ -38,6 +39,21 @@ class MaterializedView:
         self.table = self.table.concat(delta)
         if count_as_update:
             self.update_count += 1
+
+    # -- persistence hooks ----------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """View content plus the public update counter."""
+        return {"table": self.table, "update_count": self.update_count}
+
+    def restore_state(self, state: dict) -> None:
+        table: SharedTable = state["table"]
+        if table.schema != self.schema:
+            raise ProtocolError(
+                f"snapshot view schema {table.schema.fields} does not match "
+                f"view schema {self.schema.fields}"
+            )
+        self.table = table
+        self.update_count = int(state["update_count"])
 
     def real_count(self, ctx: ProtocolContext) -> int:
         """MPC-internal true cardinality (used for scoring, never leaked)."""

@@ -63,6 +63,51 @@ class OutsourcedTable:
         self.batches.append(batch)
         return batch
 
+    # -- persistence hooks ----------------------------------------------------
+    def snapshot_state(self) -> list[dict]:
+        """Per-batch persistable state, shares passed through by reference.
+
+        The returned dicts carry the live :class:`SharedTable` objects —
+        :mod:`repro.server.persistence` encodes them (and preserves the
+        aliasing between the physical store and per-group budget scopes,
+        which wrap the *same* share objects).
+        """
+        return [
+            {
+                "time": b.time,
+                "table": b.table,
+                "invocations_used": b.invocations_used,
+                "emitted": b.emitted,
+            }
+            for b in self.batches
+        ]
+
+    def restore_state(self, entries: list[dict]) -> None:
+        """Replace the batch log with previously snapshotted state."""
+        restored: list[OutsourcedBatch] = []
+        for e in entries:
+            table: SharedTable = e["table"]
+            if table.schema != self.schema:
+                raise SchemaError(
+                    f"snapshot batch schema {table.schema.fields} does not "
+                    f"match table {self.name!r} schema {self.schema.fields}"
+                )
+            emitted = np.asarray(e["emitted"], dtype=np.int64)
+            if len(emitted) != len(table):
+                raise ProtocolError(
+                    f"snapshot batch of {self.name!r} at t={e['time']} has "
+                    f"{len(emitted)} emission counters for {len(table)} rows"
+                )
+            restored.append(
+                OutsourcedBatch(
+                    time=int(e["time"]),
+                    table=table,
+                    invocations_used=int(e["invocations_used"]),
+                    emitted=emitted,
+                )
+            )
+        self.batches = restored
+
     # -- budget-aware access ------------------------------------------------
     def active_batches(self, omega: int, budget: int) -> list[OutsourcedBatch]:
         """Batches that still have contribution budget to spend.

@@ -42,6 +42,20 @@ class SecureCache:
         beyond the public delta length)."""
         self.table = self.table.concat(delta)
 
+    # -- persistence hooks ----------------------------------------------------
+    def snapshot_state(self) -> SharedTable:
+        """The cache's entire secret-shared content (shares by reference)."""
+        return self.table
+
+    def restore_state(self, table: SharedTable) -> None:
+        """Adopt previously snapshotted cache content."""
+        if table.schema != self.schema:
+            raise ProtocolError(
+                f"snapshot cache schema {table.schema.fields} does not match "
+                f"cache schema {self.schema.fields}"
+            )
+        self.table = table
+
     # -- protocol-scope operations ------------------------------------------
     def sorted_read(
         self, ctx: ProtocolContext, size: int, discard_rest: bool = False

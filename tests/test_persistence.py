@@ -1,0 +1,394 @@
+"""Snapshot/restore round-trips for the persistence layer.
+
+The acceptance criterion: a database snapshotted mid-stream and restored
+(in this process or a fresh one) must answer queries **byte-identically**
+to the uninterrupted run and report the identical ``realized_epsilon()``
+— restarting the server must never double-spend privacy budget.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.common.errors import PersistenceError
+from repro.common.types import RecordBatch, Schema
+from repro.core.view_def import JoinViewDefinition
+from repro.query.ast import LogicalJoinCountQuery, LogicalJoinSumQuery
+from repro.server.database import IncShrinkDatabase, ViewRegistration
+from repro.server.persistence import (
+    SNAPSHOT_MAGIC,
+    restore_database,
+    snapshot_database,
+)
+
+PROBE_SCHEMA = Schema(("key", "ots"))
+DRIVER_SCHEMA = Schema(("key", "sts"))
+
+SCRIPT = [
+    ([[1, 1], [2, 1]], [[1, 2]]),
+    ([[3, 2]], [[2, 3], [3, 3]]),
+    ([], [[3, 4]]),
+    ([[9, 4]], []),
+    ([[3, 5]], [[9, 5]]),
+    ([], [[3, 6]]),
+]
+
+
+def make_view(name: str, window_hi: int, omega: int = 2, budget: int = 6):
+    return JoinViewDefinition(
+        name=name,
+        probe_table="orders",
+        probe_schema=PROBE_SCHEMA,
+        probe_key="key",
+        probe_ts="ots",
+        driver_table="shipments",
+        driver_schema=DRIVER_SCHEMA,
+        driver_key="key",
+        driver_ts="sts",
+        window_lo=0,
+        window_hi=window_hi,
+        omega=omega,
+        budget=budget,
+    )
+
+
+def build_database(flush_interval: int = 2000, **view_kwargs) -> IncShrinkDatabase:
+    """Three views covering all three persistent policy shapes."""
+    db = IncShrinkDatabase(total_epsilon=2000.0, seed=7)
+    db.register_view(
+        ViewRegistration(
+            make_view("full", 2, **view_kwargs),
+            mode="ep",
+            flush_interval=flush_interval,
+        )
+    )
+    db.register_view(
+        ViewRegistration(
+            make_view("audit", 2, **view_kwargs),
+            mode="dp-timer",
+            timer_interval=1,
+            flush_interval=flush_interval,
+        )
+    )
+    db.register_view(
+        ViewRegistration(
+            make_view("recent", 1, **view_kwargs),
+            mode="dp-ant",
+            ant_threshold=1.0,
+            flush_interval=flush_interval,
+        )
+    )
+    return db
+
+
+def feed(db: IncShrinkDatabase, time: int) -> None:
+    probe_rows, driver_rows = SCRIPT[time - 1]
+    probe = RecordBatch(
+        PROBE_SCHEMA, np.asarray(probe_rows, dtype=np.uint32).reshape(-1, 2)
+    ).padded_to(4)
+    driver = RecordBatch(
+        DRIVER_SCHEMA, np.asarray(driver_rows, dtype=np.uint32).reshape(-1, 2)
+    ).padded_to(3)
+    db.upload(time, {"orders": probe, "shipments": driver})
+    db.step(time)
+
+
+def count_query(window_hi: int = 2) -> LogicalJoinCountQuery:
+    return LogicalJoinCountQuery(
+        probe_table="orders",
+        driver_table="shipments",
+        probe_key="key",
+        driver_key="key",
+        probe_ts="ots",
+        driver_ts="sts",
+        window_lo=0,
+        window_hi=window_hi,
+    )
+
+
+def sum_query() -> LogicalJoinSumQuery:
+    count = count_query()
+    return LogicalJoinSumQuery(
+        **{
+            f: getattr(count, f)
+            for f in (
+                "probe_table", "driver_table", "probe_key", "driver_key",
+                "probe_ts", "driver_ts", "window_lo", "window_hi",
+            )
+        },
+        sum_table="shipments",
+        sum_column="sts",
+    )
+
+
+def answer_mix(db: IncShrinkDatabase, time: int) -> list[float]:
+    """The full query surface: two view scans, a SUM, and the NM fallback."""
+    return [
+        db.query(count_query(2), time).answer,
+        db.query(count_query(1), time).answer,
+        db.query(sum_query(), time).answer,
+        db.query(count_query(7), time).answer,  # no matching view → NM
+    ]
+
+
+def fingerprint(db: IncShrinkDatabase) -> dict:
+    return {
+        "realized": db.realized_epsilon(),
+        "per_view": {
+            name: db.view_realized_epsilon(name) for name in db.views
+        },
+        "sequential": db.accountant.sequential_epsilon(),
+        "events": db.accountant.snapshot_state(),
+        "upload_counts": db.upload_counts(),
+        "view_rows": {name: len(vr.view) for name, vr in db.views.items()},
+        "cache_rows": {name: len(vr.cache) for name, vr in db.views.items()},
+    }
+
+
+@pytest.mark.parametrize("snapshot_at", [1, 2, 4])
+def test_mid_stream_roundtrip_is_byte_identical(tmp_path, snapshot_at):
+    """Stop at any step, restore, continue: identical answers and ε."""
+    n_steps = len(SCRIPT)
+    uninterrupted = build_database()
+    for t in range(1, n_steps + 1):
+        feed(uninterrupted, t)
+    expected_answers = answer_mix(uninterrupted, n_steps)
+
+    interrupted = build_database()
+    for t in range(1, snapshot_at + 1):
+        feed(interrupted, t)
+    path = tmp_path / "mid.snap"
+    snapshot_database(interrupted, path)
+
+    restored = restore_database(path).database
+    for t in range(snapshot_at + 1, n_steps + 1):
+        feed(restored, t)
+
+    assert answer_mix(restored, n_steps) == expected_answers
+    assert fingerprint(restored) == fingerprint(uninterrupted)
+
+
+def test_queries_do_not_perturb_the_stream(tmp_path):
+    """Read load is RNG-neutral: a replica that answered hundreds of
+    queries evolves identically to one that answered none — the property
+    that lets the serving runtime run reads concurrently with ingestion."""
+    chatty = build_database()
+    quiet = build_database()
+    for t in range(1, len(SCRIPT) + 1):
+        feed(chatty, t)
+        answer_mix(chatty, t)  # extra reads between every step
+        feed(quiet, t)
+    assert answer_mix(chatty, len(SCRIPT)) == answer_mix(quiet, len(SCRIPT))
+    assert fingerprint(chatty)["events"] == fingerprint(quiet)["events"]
+
+
+def test_mid_flush_roundtrip(tmp_path):
+    """Snapshot between two flushes: the pending flush fires identically."""
+    n_steps = len(SCRIPT)
+
+    def build():
+        return build_database(flush_interval=2)
+
+    uninterrupted = build()
+    for t in range(1, n_steps + 1):
+        feed(uninterrupted, t)
+
+    interrupted = build()
+    for t in range(1, 4):  # t=3: flush ran at 2, next due at 4
+        feed(interrupted, t)
+    assert any(len(vr.cache) for vr in interrupted.views.values()), (
+        "the mid-flush scenario needs a non-empty cache at snapshot time"
+    )
+    path = tmp_path / "midflush.snap"
+    snapshot_database(interrupted, path)
+    restored = restore_database(path).database
+    for t in range(4, n_steps + 1):
+        feed(restored, t)
+
+    assert answer_mix(restored, n_steps) == answer_mix(uninterrupted, n_steps)
+    assert fingerprint(restored) == fingerprint(uninterrupted)
+
+
+def test_empty_cache_roundtrip(tmp_path):
+    """Snapshot a finalized deployment that has not ingested anything."""
+    fresh = build_database()
+    fresh.finalize()
+    path = tmp_path / "empty.snap"
+    snapshot_database(fresh, path)
+    restored = restore_database(path).database
+    assert all(len(vr.cache) == 0 for vr in restored.views.values())
+
+    baseline = build_database()
+    for t in range(1, len(SCRIPT) + 1):
+        feed(baseline, t)
+        feed(restored, t)
+    assert answer_mix(restored, len(SCRIPT)) == answer_mix(baseline, len(SCRIPT))
+    assert fingerprint(restored) == fingerprint(baseline)
+
+
+def test_exhausted_budget_roundtrip(tmp_path):
+    """Retired batches stay retired: restoring must not refill the
+    contribution budget a batch already spent."""
+    n_steps = len(SCRIPT)
+    # omega == budget → every batch participates in exactly one Transform.
+    uninterrupted = build_database(omega=2, budget=2)
+    for t in range(1, n_steps + 1):
+        feed(uninterrupted, t)
+
+    interrupted = build_database(omega=2, budget=2)
+    for t in range(1, 4):
+        feed(interrupted, t)
+    exhausted = [
+        b.time
+        for g in interrupted.groups.values()
+        for b in g.probe_scope.batches
+        if b.invocations_used >= 1
+    ]
+    assert exhausted, "scenario must contain budget-exhausted batches"
+
+    path = tmp_path / "budget.snap"
+    snapshot_database(interrupted, path)
+    restored = restore_database(path).database
+
+    for live_g, rest_g in zip(
+        interrupted.groups.values(), restored.groups.values()
+    ):
+        live = [(b.time, b.invocations_used) for b in live_g.probe_scope.batches]
+        rest = [(b.time, b.invocations_used) for b in rest_g.probe_scope.batches]
+        assert live == rest
+        assert len(rest_g.probe_scope.active_batches(2, 2)) == len(
+            live_g.probe_scope.active_batches(2, 2)
+        )
+
+    for t in range(4, n_steps + 1):
+        feed(restored, t)
+    assert answer_mix(restored, n_steps) == answer_mix(uninterrupted, n_steps)
+    assert fingerprint(restored) == fingerprint(uninterrupted)
+
+
+def test_share_aliasing_is_preserved(tmp_path):
+    db = build_database()
+    for t in range(1, 3):
+        feed(db, t)
+    path = tmp_path / "alias.snap"
+    snapshot_database(db, path)
+    restored = restore_database(path).database
+    physical = restored.tables["orders"]
+    for group in restored.groups.values():
+        for i, batch in enumerate(group.probe_scope.batches):
+            assert batch.table is physical.batches[i].table, (
+                "scope batches must wrap the same share objects as the "
+                "physical store — uploads are stored once"
+            )
+
+
+def test_metadata_roundtrip(tmp_path):
+    db = build_database()
+    feed(db, 1)
+    path = tmp_path / "meta.snap"
+    metadata = {"last_time": 1, "note": "hello", "nested": {"k": [1, 2]}}
+    info = snapshot_database(db, path, metadata=metadata)
+    restored = restore_database(path)
+    assert restored.metadata == metadata
+    assert restored.info.sha256 == info.sha256
+    assert restored.info.bytes_written == info.bytes_written
+
+
+class TestIntegrity:
+    def _snapshot(self, tmp_path) -> Path:
+        db = build_database()
+        feed(db, 1)
+        path = tmp_path / "ok.snap"
+        snapshot_database(db, path)
+        return path
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(PersistenceError, match="cannot read"):
+            restore_database(tmp_path / "nope.snap")
+
+    def test_not_json(self, tmp_path):
+        path = tmp_path / "garbage.snap"
+        path.write_text("not json {", encoding="utf8")
+        with pytest.raises(PersistenceError, match="not valid JSON"):
+            restore_database(path)
+
+    def test_wrong_magic(self, tmp_path):
+        path = self._snapshot(tmp_path)
+        doc = json.loads(path.read_text(encoding="utf8"))
+        doc["magic"] = "some-other-format"
+        path.write_text(json.dumps(doc), encoding="utf8")
+        with pytest.raises(PersistenceError, match="not an IncShrink snapshot"):
+            restore_database(path)
+
+    def test_unknown_version(self, tmp_path):
+        path = self._snapshot(tmp_path)
+        doc = json.loads(path.read_text(encoding="utf8"))
+        doc["version"] = 99
+        path.write_text(json.dumps(doc), encoding="utf8")
+        with pytest.raises(PersistenceError, match="format version"):
+            restore_database(path)
+
+    def test_tampered_body_fails_digest(self, tmp_path):
+        path = self._snapshot(tmp_path)
+        doc = json.loads(path.read_text(encoding="utf8"))
+        # An attacker refunding spent budget must be caught by the digest.
+        doc["body"]["accountant"] = []
+        path.write_text(json.dumps(doc), encoding="utf8")
+        with pytest.raises(PersistenceError, match="integrity check"):
+            restore_database(path)
+
+    def test_magic_constant_is_stable(self, tmp_path):
+        path = self._snapshot(tmp_path)
+        doc = json.loads(path.read_text(encoding="utf8"))
+        assert doc["magic"] == SNAPSHOT_MAGIC == "incshrink-snapshot"
+
+
+def test_restore_in_fresh_process(tmp_path):
+    """The acceptance scenario end-to-end: restore in a *fresh process*
+    and compare answers and realized ε against the uninterrupted run."""
+    n_steps = len(SCRIPT)
+    uninterrupted = build_database()
+    for t in range(1, n_steps + 1):
+        feed(uninterrupted, t)
+    expected = {
+        "answers": answer_mix(uninterrupted, n_steps),
+        "realized": uninterrupted.realized_epsilon(),
+    }
+
+    interrupted = build_database()
+    for t in range(1, 3):
+        feed(interrupted, t)
+    path = tmp_path / "fresh-process.snap"
+    snapshot_database(interrupted, path)
+
+    repo_root = Path(__file__).resolve().parents[1]
+    script = (
+        "import json, sys; sys.path.insert(0, 'tests');"
+        "from test_persistence import SCRIPT, answer_mix, feed;"
+        "from repro.server.persistence import restore_database;"
+        f"db = restore_database({str(path)!r}).database;"
+        f"[feed(db, t) for t in range(3, {n_steps} + 1)];"
+        "print(json.dumps({'answers': answer_mix(db, len(SCRIPT)),"
+        " 'realized': db.realized_epsilon()}))"
+    )
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(repo_root / "src"), env.get("PYTHONPATH", "")]
+    ).rstrip(os.pathsep)
+    proc = subprocess.run(
+        [sys.executable, "-c", script],
+        cwd=repo_root,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert json.loads(proc.stdout.strip().splitlines()[-1]) == expected

@@ -1,0 +1,381 @@
+"""Tests for the concurrent serving runtime (``repro.server.runtime``).
+
+The headline claims: many clients can query while the stream advances
+(and observe only step-consistent state), ingestion order fully
+determines the database's evolution, and a server resumed from a
+checkpoint converges to the identical state as one that never stopped.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError, ProtocolError, SchemaError
+from repro.common.types import RecordBatch, Schema
+from repro.core.engine import EngineConfig
+from repro.core.view_def import JoinViewDefinition
+from repro.query.ast import LogicalJoinCountQuery
+from repro.server.database import IncShrinkDatabase, ViewRegistration
+from repro.server.runtime import DatabaseServer, ReadWriteLock
+
+PROBE_SCHEMA = Schema(("key", "ots"))
+DRIVER_SCHEMA = Schema(("key", "sts"))
+
+SCRIPT = [
+    ([[1, 1], [2, 1]], [[1, 2]]),
+    ([[3, 2]], [[2, 3], [3, 3]]),
+    ([], [[3, 4]]),
+    ([[9, 4]], []),
+    ([[3, 5]], [[9, 5]]),
+    ([], [[3, 6]]),
+]
+
+
+def make_view(name: str, window_hi: int) -> JoinViewDefinition:
+    return JoinViewDefinition(
+        name=name,
+        probe_table="orders",
+        probe_schema=PROBE_SCHEMA,
+        probe_key="key",
+        probe_ts="ots",
+        driver_table="shipments",
+        driver_schema=DRIVER_SCHEMA,
+        driver_key="key",
+        driver_ts="sts",
+        window_lo=0,
+        window_hi=window_hi,
+        omega=2,
+        budget=6,
+    )
+
+
+def build_database() -> IncShrinkDatabase:
+    db = IncShrinkDatabase(total_epsilon=2000.0, seed=7)
+    db.register_view(ViewRegistration(make_view("full", 2), mode="ep"))
+    db.register_view(
+        ViewRegistration(make_view("audit", 2), mode="dp-timer", timer_interval=1)
+    )
+    db.register_view(
+        ViewRegistration(make_view("recent", 1), mode="dp-timer", timer_interval=1)
+    )
+    return db
+
+
+def batches_at(time: int) -> dict[str, RecordBatch]:
+    probe_rows, driver_rows = SCRIPT[time - 1]
+    return {
+        "orders": RecordBatch(
+            PROBE_SCHEMA, np.asarray(probe_rows, dtype=np.uint32).reshape(-1, 2)
+        ).padded_to(4),
+        "shipments": RecordBatch(
+            DRIVER_SCHEMA, np.asarray(driver_rows, dtype=np.uint32).reshape(-1, 2)
+        ).padded_to(3),
+    }
+
+
+def count_query(window_hi: int = 2) -> LogicalJoinCountQuery:
+    return LogicalJoinCountQuery(
+        probe_table="orders",
+        driver_table="shipments",
+        probe_key="key",
+        driver_key="key",
+        probe_ts="ots",
+        driver_ts="sts",
+        window_lo=0,
+        window_hi=window_hi,
+    )
+
+
+def sequential_reference() -> tuple[list[float], float]:
+    """The same stream replayed inline, no server involved."""
+    db = build_database()
+    for t in range(1, len(SCRIPT) + 1):
+        db.upload(t, batches_at(t))
+        db.step(t)
+    answers = [
+        db.query(count_query(2), len(SCRIPT)).answer,
+        db.query(count_query(1), len(SCRIPT)).answer,
+    ]
+    return answers, db.realized_epsilon()
+
+
+class TestIngestion:
+    def test_background_ingestion_matches_inline_replay(self):
+        expected_answers, expected_eps = sequential_reference()
+        server = DatabaseServer(build_database()).start()
+        for t in range(1, len(SCRIPT) + 1):
+            server.submit(t, batches_at(t))
+        server.drain()
+        assert server.last_time == len(SCRIPT)
+        got = [
+            server.query(count_query(2)).answer,
+            server.query(count_query(1)).answer,
+        ]
+        server.stop()
+        assert got == expected_answers
+        assert server.database.realized_epsilon() == expected_eps
+
+    def test_batched_ingestion_coalesces_queued_steps(self):
+        """Submitting the whole stream before the loop wakes must still
+        apply every step, in order, exactly once."""
+        server = DatabaseServer(build_database(), ingest_batch=4)
+        for t in range(1, len(SCRIPT) + 1):
+            server._queue.put((t, batches_at(t)))  # pre-load before start
+        server.start()
+        server.drain()
+        server.stop()
+        assert server.stats.steps == len(SCRIPT)
+        assert server.database.upload_counts() == {
+            "orders": len(SCRIPT),
+            "shipments": len(SCRIPT),
+        }
+
+    def test_non_advancing_upload_surfaces_as_error(self):
+        server = DatabaseServer(build_database()).start()
+        server.submit(1, batches_at(1))
+        server.drain()
+        server.submit(1, batches_at(1))  # same step again
+        with pytest.raises(ProtocolError, match="does not advance"):
+            server.drain()
+        # The server is now poisoned: further submissions are refused.
+        with pytest.raises(ProtocolError):
+            server.submit(2, batches_at(2))
+
+    def test_bad_table_name_surfaces_as_error(self):
+        server = DatabaseServer(build_database()).start()
+        server.submit(1, {"unknown": batches_at(1)["orders"]})
+        with pytest.raises(SchemaError, match="unknown"):
+            server.drain()
+
+    def test_submit_requires_start(self):
+        server = DatabaseServer(build_database())
+        with pytest.raises(ConfigurationError, match="not started"):
+            server.submit(1, batches_at(1))
+
+    def test_double_start_rejected(self):
+        server = DatabaseServer(build_database()).start()
+        with pytest.raises(ConfigurationError, match="already started"):
+            server.start()
+        server.stop()
+
+
+class TestConcurrentReads:
+    def test_many_sessions_query_while_stream_advances(self):
+        expected_answers, expected_eps = sequential_reference()
+        server = DatabaseServer(build_database()).start()
+        stop = threading.Event()
+        errors: list[BaseException] = []
+
+        def client(session):
+            try:
+                while not stop.is_set():
+                    watermark = server.last_time
+                    if watermark:
+                        result = session.query(count_query(2), time=watermark)
+                        assert result.answer >= 0.0
+            except BaseException as exc:  # surfaced after join
+                errors.append(exc)
+
+        sessions = [server.session() for _ in range(4)]
+        threads = [
+            threading.Thread(target=client, args=(s,), daemon=True)
+            for s in sessions
+        ]
+        for t in threads:
+            t.start()
+        for t in range(1, len(SCRIPT) + 1):
+            server.submit(t, batches_at(t))
+        server.drain()
+        stop.set()
+        for t in threads:
+            t.join()
+        assert not errors, errors
+
+        # Read load perturbed nothing: final answers equal the quiet replay.
+        got = [
+            server.query(count_query(2)).answer,
+            server.query(count_query(1)).answer,
+        ]
+        server.stop()
+        assert got == expected_answers
+        assert server.database.realized_epsilon() == expected_eps
+        assert server.stats.queries >= sum(s.query_count for s in sessions)
+
+    def test_sessions_record_their_own_results(self):
+        server = DatabaseServer(build_database()).start()
+        server.submit(1, batches_at(1))
+        server.drain()
+        a, b = server.session("alice"), server.session("bob")
+        a.query(count_query(2))
+        a.query(count_query(1))
+        b.query(count_query(2))
+        server.stop()
+        assert a.query_count == 2 and b.query_count == 1
+        assert a.answers()[0] == b.answers()[0]
+
+
+class TestSnapshotResume:
+    def test_periodic_checkpoint_and_resume_matches_uninterrupted(self, tmp_path):
+        expected_answers, expected_eps = sequential_reference()
+        path = str(tmp_path / "serve.snap")
+
+        first = DatabaseServer(
+            build_database(), snapshot_path=path, snapshot_every=1
+        ).start()
+        for t in range(1, 4):
+            first.submit(t, batches_at(t))
+        first.drain()
+        first.stop()
+        assert first.stats.snapshots >= 1
+
+        resumed = DatabaseServer.resume(path)
+        assert resumed.last_time == 3
+        resumed.start()
+        for t in range(4, len(SCRIPT) + 1):
+            resumed.submit(t, batches_at(t))
+        resumed.drain()
+        got = [
+            resumed.query(count_query(2)).answer,
+            resumed.query(count_query(1)).answer,
+        ]
+        resumed.stop(final_snapshot=True)
+        assert got == expected_answers
+        assert resumed.database.realized_epsilon() == expected_eps
+
+        # And the final snapshot can be picked up once more.
+        again = DatabaseServer.resume(path)
+        assert again.last_time == len(SCRIPT)
+        assert again.database.realized_epsilon() == expected_eps
+
+    def test_checkpoint_interval_survives_coalesced_ingestion(self, tmp_path):
+        """Coalescing many steps into one apply must not jump over the
+        snapshot interval (regression: ``steps % every`` skipped it)."""
+        path = str(tmp_path / "coalesced.snap")
+        server = DatabaseServer(
+            build_database(),
+            snapshot_path=path,
+            snapshot_every=5,
+            ingest_batch=4,
+        )
+        for t in range(1, len(SCRIPT) + 1):  # 6 steps, applied as 4 + 2
+            server._queue.put((t, batches_at(t)))
+        server.start()
+        server.drain()
+        server.stop()
+        assert server.stats.snapshots == 1
+        assert DatabaseServer.resume(path).last_time >= 5
+
+    def test_resume_rejects_stale_steps(self, tmp_path):
+        path = str(tmp_path / "stale.snap")
+        first = DatabaseServer(build_database(), snapshot_path=path).start()
+        first.submit(1, batches_at(1))
+        first.drain()
+        first.stop(final_snapshot=True)
+
+        resumed = DatabaseServer.resume(path).start()
+        resumed.submit(1, batches_at(1))  # already ingested before the stop
+        with pytest.raises(ProtocolError, match="does not advance"):
+            resumed.drain()
+
+    def test_snapshot_requires_a_path(self):
+        server = DatabaseServer(build_database()).start()
+        with pytest.raises(ConfigurationError, match="snapshot path"):
+            server.snapshot()
+        server.stop()
+
+    def test_snapshot_every_requires_path(self):
+        with pytest.raises(ConfigurationError, match="snapshot_path"):
+            DatabaseServer(build_database(), snapshot_every=2)
+
+
+class TestReadWriteLock:
+    def test_readers_share_writers_exclude(self):
+        lock = ReadWriteLock()
+        held = []
+
+        lock.acquire_read()
+        lock.acquire_read()  # second reader enters freely
+        t = threading.Thread(
+            target=lambda: (lock.acquire_write(), held.append("w")),
+            daemon=True,
+        )
+        t.start()
+        t.join(timeout=0.2)
+        assert not held, "writer must wait for readers"
+        lock.release_read()
+        lock.release_read()
+        t.join(timeout=2.0)
+        assert held == ["w"]
+        lock.release_write()
+
+    def test_waiting_writer_blocks_new_readers(self):
+        lock = ReadWriteLock()
+        lock.acquire_read()
+        writer = threading.Thread(target=lock.acquire_write, daemon=True)
+        writer.start()
+        # Give the writer time to queue up.
+        for _ in range(100):
+            if lock._writers_waiting:
+                break
+            threading.Event().wait(0.005)
+        reader_entered = []
+        reader = threading.Thread(
+            target=lambda: (lock.acquire_read(), reader_entered.append(True)),
+            daemon=True,
+        )
+        reader.start()
+        reader.join(timeout=0.2)
+        assert not reader_entered, "new readers queue behind a waiting writer"
+        lock.release_read()
+        writer.join(timeout=2.0)
+        lock.release_write()
+        reader.join(timeout=2.0)
+        assert reader_entered
+        lock.release_read()
+
+
+class TestConfigErrorMessages:
+    """Every invalid knob names itself and the offending value."""
+
+    @pytest.mark.parametrize(
+        "kwargs,field,value",
+        [
+            ({"mode": "bogus"}, "mode", "bogus"),
+            ({"join_impl": "hash"}, "join_impl", "hash"),
+            ({"timer_interval": 0}, "timer_interval", "0"),
+            ({"ant_threshold": -1.0}, "ant_threshold", "-1.0"),
+            ({"flush_interval": 0}, "flush_interval", "0"),
+            ({"flush_size": -3}, "flush_size", "-3"),
+            ({"size_hint": 0}, "size_hint", "0"),
+            ({"updates_hint": -2}, "updates_hint", "-2"),
+        ],
+    )
+    def test_view_registration_messages(self, kwargs, field, value):
+        with pytest.raises(ConfigurationError) as exc_info:
+            ViewRegistration(make_view("v", 2), **kwargs)
+        message = str(exc_info.value)
+        assert field in message and value in message
+
+    @pytest.mark.parametrize(
+        "kwargs,field,value",
+        [
+            ({"mode": "bogus"}, "mode", "bogus"),
+            ({"epsilon": 0.0}, "epsilon", "0.0"),
+            ({"timer_interval": -5}, "timer_interval", "-5"),
+            ({"flush_size": 0}, "flush_size", "0"),
+        ],
+    )
+    def test_engine_config_messages(self, kwargs, field, value):
+        with pytest.raises(ConfigurationError) as exc_info:
+            EngineConfig(**kwargs)
+        message = str(exc_info.value)
+        assert field in message and value in message
+
+    def test_server_knob_messages(self):
+        with pytest.raises(ConfigurationError, match="snapshot_every.*0"):
+            DatabaseServer(build_database(), snapshot_path="x", snapshot_every=0)
+        with pytest.raises(ConfigurationError, match="ingest_batch.*-1"):
+            DatabaseServer(build_database(), ingest_batch=-1)

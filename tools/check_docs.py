@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""Documentation checks: link integrity and executable examples.
+
+Two checks, both run by the CI docs job and by ``tests/test_docs.py``:
+
+1. **Links** — every intra-repo markdown link (``[text](relative/path)``)
+   in every tracked ``*.md`` file must resolve to an existing file or
+   directory.  External (``http(s)://``, ``mailto:``) and pure-anchor
+   (``#...``) links are skipped; a trailing ``#anchor`` on a file link is
+   stripped before the existence check.
+2. **Doctests** — every ``docs/*.md`` file runs through
+   :mod:`doctest`, so the code examples embedded in the documentation
+   stay executable as the API evolves (run with ``PYTHONPATH=src``).
+
+Usage::
+
+    PYTHONPATH=src python tools/check_docs.py
+"""
+
+from __future__ import annotations
+
+import doctest
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+DOCS_DIR = REPO_ROOT / "docs"
+
+#: ``[text](target)`` — target captured without closing paren or spaces.
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+#: Directories never scanned for markdown.
+_SKIP_DIRS = {".git", ".ruff_cache", "__pycache__", ".pytest_benchmarks"}
+
+
+def markdown_files(root: Path = REPO_ROOT) -> list[Path]:
+    files = []
+    for path in sorted(root.rglob("*.md")):
+        if any(part in _SKIP_DIRS for part in path.relative_to(root).parts):
+            continue
+        files.append(path)
+    return files
+
+
+def _is_external(target: str) -> bool:
+    return target.startswith(("http://", "https://", "mailto:")) or (
+        "://" in target.split("#", 1)[0]
+    )
+
+
+def check_links(files: list[Path] | None = None) -> list[str]:
+    """Return one failure message per broken intra-repo link."""
+    failures = []
+    for path in files if files is not None else markdown_files():
+        text = path.read_text(encoding="utf8")
+        for match in _LINK_RE.finditer(text):
+            target = match.group(1)
+            if _is_external(target) or target.startswith("#"):
+                continue
+            relative = target.split("#", 1)[0]
+            if not relative:
+                continue
+            resolved = (path.parent / relative).resolve()
+            if not resolved.exists():
+                failures.append(
+                    f"{path.relative_to(REPO_ROOT)}: broken link "
+                    f"[{target}] -> {resolved}"
+                )
+    return failures
+
+
+def run_doc_doctests(docs_dir: Path = DOCS_DIR) -> tuple[list[str], int]:
+    """Run doctest over every docs/*.md once.
+
+    Returns ``(failure_summaries, examples_attempted)``.
+    """
+    failures = []
+    attempted = 0
+    for path in sorted(docs_dir.glob("*.md")):
+        results = doctest.testfile(
+            str(path), module_relative=False, verbose=False
+        )
+        attempted += results.attempted
+        if results.failed:
+            failures.append(
+                f"{path.relative_to(REPO_ROOT)}: {results.failed} of "
+                f"{results.attempted} doctest examples failed"
+            )
+    return failures, attempted
+
+
+def main() -> int:
+    files = markdown_files()
+    link_failures = check_links(files)
+    doctest_failures, n_examples = run_doc_doctests()
+    for failure in link_failures + doctest_failures:
+        print(f"FAIL {failure}", file=sys.stderr)
+    if link_failures or doctest_failures:
+        return 1
+    print(
+        f"docs ok: {len(files)} markdown files linked correctly, "
+        f"{n_examples} doc examples pass"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
