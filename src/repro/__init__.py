@@ -36,6 +36,12 @@ from .experiments.harness import (
     run_multiview_experiment,
 )
 from .mpc import CostModel, MPCRuntime
+from .query import (
+    AggregateSpec,
+    GroupBySpec,
+    LogicalQuery,
+    QueryAnswer,
+)
 from .server import (
     DatabaseServer,
     IncShrinkDatabase,
@@ -45,7 +51,7 @@ from .server import (
     snapshot_database,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "MetricSummary",
@@ -65,6 +71,10 @@ __all__ = [
     "run_multiview_experiment",
     "CostModel",
     "MPCRuntime",
+    "AggregateSpec",
+    "GroupBySpec",
+    "LogicalQuery",
+    "QueryAnswer",
     "DatabaseServer",
     "IncShrinkDatabase",
     "ReadSession",

@@ -9,6 +9,11 @@ Usage::
     python -m repro multiview --dataset tpcds --steps 96 --epsilon 3.0
     python -m repro serve --steps 48 --snapshot deploy.snap --clients 2
     python -m repro resume --snapshot deploy.snap
+    python -m repro query --steps 24 --count --sum Returns:return_date \
+        --group-by Sales:product_id:0,1,2,3
+    python -m repro query --snapshot deploy.snap --json '{"aggregates": \
+        [{"kind": "count"}, {"kind": "avg", "table": "Returns", \
+        "column": "return_date"}]}'
 
 ``run`` executes a single deployment and prints its summary;
 ``multiview`` runs one multi-view database (three views over the shared
@@ -16,16 +21,21 @@ base-table pair, planner-routed COUNT/SUM queries, composed privacy);
 ``serve`` runs the same deployment through the concurrent serving
 runtime (background ingestion loop, parallel read sessions, periodic
 snapshots) and ``resume`` restores a snapshotted deployment and
-continues its stream from where it stopped; the named experiments print
-the corresponding paper table/figure.
+continues its stream from where it stopped; ``query`` compiles one
+logical query (flag- or JSON-specified aggregates, GROUP BY, residual
+predicate) and runs it against a freshly built deployment or a restored
+snapshot; the named experiments print the corresponding paper
+table/figure.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import threading
 from dataclasses import asdict
+from pathlib import Path
 
 from .experiments import figure4, figure5, figure6, figure7, figure8, figure9, table2
 from .experiments.harness import (
@@ -35,6 +45,16 @@ from .experiments.harness import (
     run_experiment,
     run_multiview_experiment,
 )
+from .common.errors import SchemaError
+from .query.ast import (
+    AggregateSpec,
+    And,
+    ColumnEquals,
+    ColumnRange,
+    GroupBySpec,
+    LogicalQuery,
+)
+from .server.persistence import restore_database
 from .server.runtime import DatabaseServer
 
 _BOTH_DATASET_EXPERIMENTS = {
@@ -125,6 +145,49 @@ def _build_parser() -> argparse.ArgumentParser:
     res.add_argument(
         "--snapshot-every", type=int, default=None,
         help="checkpoint every N ingested steps while resumed",
+    )
+
+    qp = sub.add_parser(
+        "query",
+        help="compile and run one logical query (live build or snapshot)",
+    )
+    qp.add_argument(
+        "--snapshot", default=None,
+        help="restore this snapshot instead of building a live deployment",
+    )
+    qp.add_argument("--dataset", choices=["tpcds", "cpdb"], default="tpcds")
+    qp.add_argument("--steps", type=int, default=24, help="live-build stream length")
+    qp.add_argument("--seed", type=int, default=0)
+    qp.add_argument(
+        "--view", default=None,
+        help="registered view naming the join to query (default: first registered)",
+    )
+    qp.add_argument(
+        "--count", action="store_true", help="add a COUNT(*) aggregate"
+    )
+    qp.add_argument(
+        "--sum", action="append", default=[], metavar="TABLE:COLUMN",
+        help="add a SUM aggregate (repeatable)",
+    )
+    qp.add_argument(
+        "--avg", action="append", default=[], metavar="TABLE:COLUMN",
+        help="add an AVG aggregate (repeatable)",
+    )
+    qp.add_argument(
+        "--group-by", default=None, metavar="TABLE:COLUMN:V1,V2,...",
+        help="GROUP BY one column over a small public domain",
+    )
+    qp.add_argument(
+        "--where", action="append", default=[], metavar="TABLE:COLUMN:V|LO-HI",
+        help="residual predicate clause, equality or inclusive range (repeatable)",
+    )
+    qp.add_argument(
+        "--epsilon", type=float, default=None,
+        help="release with per-aggregate Laplace noise under this budget",
+    )
+    qp.add_argument(
+        "--json", default=None, dest="json_spec",
+        help="JSON query spec (inline string or file path); overrides the flags",
     )
     return parser
 
@@ -310,6 +373,197 @@ def _cmd_resume(args) -> None:
     print(f"snapshot updated at {server.snapshot_path}")
 
 
+def _split_spec(value: str, parts: int, what: str) -> list[str]:
+    pieces = value.split(":", parts - 1)
+    if len(pieces) != parts or not all(pieces):
+        raise SystemExit(
+            f"malformed {what} {value!r}; expected {parts} colon-separated parts"
+        )
+    return pieces
+
+
+def _query_from_flags(args) -> tuple[list, object, object]:
+    """(aggregates, group_by, predicate) from the flag surface."""
+    aggregates = []
+    if args.count:
+        aggregates.append(AggregateSpec.count())
+    for spec in args.sum:
+        table, column = _split_spec(spec, 2, "--sum")
+        aggregates.append(AggregateSpec.sum_of(table, column))
+    for spec in args.avg:
+        table, column = _split_spec(spec, 2, "--avg")
+        aggregates.append(AggregateSpec.avg_of(table, column))
+    group_by = None
+    if args.group_by:
+        table, column, domain = _split_spec(args.group_by, 3, "--group-by")
+        values = domain.split(",")
+        if not all(v.isdigit() for v in values):
+            raise SystemExit(
+                f"malformed --group-by domain {domain!r}; expected "
+                "comma-separated non-negative integers"
+            )
+        group_by = GroupBySpec(table, column, tuple(int(v) for v in values))
+    clauses = []
+    for spec in args.where:
+        table, column, value = _split_spec(spec, 3, "--where")
+        if value.isdigit():
+            clauses.append(ColumnEquals(table, column, int(value)))
+        elif value.count("-") == 1 and all(p.isdigit() for p in value.split("-")):
+            lo, hi = value.split("-")
+            clauses.append(ColumnRange(table, column, int(lo), int(hi)))
+        else:
+            raise SystemExit(
+                f"malformed --where value {value!r}; expected a non-negative "
+                "integer or an inclusive LO-HI range"
+            )
+    predicate = None
+    if len(clauses) == 1:
+        predicate = clauses[0]
+    elif clauses:
+        predicate = And(tuple(clauses))
+    return aggregates, group_by, predicate
+
+
+def _query_from_json(spec_text: str) -> tuple[list, object, object, str | None]:
+    """(aggregates, group_by, predicate, view) from a JSON query spec."""
+    path = Path(spec_text)
+    if path.exists():
+        spec_text = path.read_text(encoding="utf8")
+    try:
+        spec = json.loads(spec_text)
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"--json is neither a readable file nor valid JSON: {exc}")
+    try:
+        aggregates = []
+        for entry in spec.get("aggregates", []):
+            kwargs = {
+                k: entry[k]
+                for k in ("table", "column", "alias", "sensitivity")
+                if k in entry
+            }
+            aggregates.append(AggregateSpec(entry.get("kind", "count"), **kwargs))
+        group_by = None
+        if "group_by" in spec:
+            g = spec["group_by"]
+            group_by = GroupBySpec(g["table"], g["column"], tuple(g["domain"]))
+        clauses = []
+        for c in spec.get("predicate", []):
+            if "equals" in c:
+                clauses.append(
+                    ColumnEquals(c["table"], c["column"], int(c["equals"]))
+                )
+            else:
+                clauses.append(
+                    ColumnRange(c["table"], c["column"], int(c["lo"]), int(c["hi"]))
+                )
+    except (KeyError, TypeError, ValueError, AttributeError, SchemaError) as exc:
+        raise SystemExit(f"malformed --json query spec: {exc!r}")
+    predicate = None
+    if len(clauses) == 1:
+        predicate = clauses[0]
+    elif clauses:
+        predicate = And(tuple(clauses))
+    return aggregates, group_by, predicate, spec.get("view")
+
+
+def _format_answer_table(result) -> str:
+    answers = result.answers
+    logical = result.logical_answers
+    lines = []
+    group_header = ["group"] if answers.group_keys is not None else []
+    header_cells = group_header + [f"{c:>18}" for c in answers.columns]
+    header = "  ".join(f"{c:>8}" if c == "group" else c for c in header_cells)
+    lines.append(header)
+    lines.append("-" * len(header))
+    keys = answers.group_keys or (None,)
+    for g, key in enumerate(keys):
+        cells = [] if key is None else [f"{key:>8}"]
+        for value in answers.rows[g]:
+            text = f"{value:.3f}" if isinstance(value, float) else str(value)
+            cells.append(f"{text:>18}")
+        lines.append("  ".join(cells))
+    lines.append("")
+    lines.append(
+        "ground truth (plaintext mirror): "
+        + "; ".join(
+            ", ".join(
+                f"{col}={val}" for col, val in zip(logical.columns, row)
+            )
+            for row in logical.rows
+        )
+    )
+    return "\n".join(lines)
+
+
+def _cmd_query(args) -> None:
+    if args.json_spec is not None:
+        aggregates, group_by, predicate, json_view = _query_from_json(args.json_spec)
+        view_name = args.view or json_view
+    else:
+        aggregates, group_by, predicate = _query_from_flags(args)
+        view_name = args.view
+    if not aggregates:
+        aggregates = [AggregateSpec.count()]
+    if args.epsilon is not None and args.epsilon <= 0:
+        raise SystemExit(
+            f"--epsilon must be positive, got {args.epsilon}"
+        )
+
+    if args.snapshot is not None:
+        restored = restore_database(args.snapshot)
+        db = restored.database
+        time_at = int(restored.metadata.get("last_time", 0))
+        source = f"snapshot {args.snapshot} (step {time_at})"
+    else:
+        config = MultiViewRunConfig(
+            dataset=args.dataset, n_steps=args.steps, seed=args.seed
+        )
+        deployment = build_multiview_deployment(config)
+        db = deployment.database
+        for step in deployment.workload.steps:
+            db.upload(step.time, deployment.upload_items(step))
+            db.step(step.time)
+        time_at = deployment.workload.steps[-1].time
+        source = f"live build: {args.dataset}, {args.steps} steps"
+
+    registrations = {r.view_def.name: r.view_def for r in db.registrations}
+    if view_name is None:
+        view_def = db.registrations[0].view_def
+    elif view_name in registrations:
+        view_def = registrations[view_name]
+    else:
+        raise SystemExit(
+            f"no registered view {view_name!r}; known views: "
+            f"{sorted(registrations)}"
+        )
+
+    query = LogicalQuery.for_view(
+        view_def, *aggregates, group_by=group_by, predicate=predicate
+    )
+    result = db.query(query, time_at, epsilon=args.epsilon)
+
+    print(f"queried {source}")
+    print(
+        f"join: {view_def.probe_table} ⋈ {view_def.driver_table} "
+        f"(window [{view_def.window_lo}, {view_def.window_hi}], "
+        f"via view class {view_def.name!r})"
+    )
+    plan = result.plan
+    target = plan.view_name or "NM join over base stores"
+    print(
+        f"plan: {plan.kind} -> {target} "
+        f"({plan.estimated_gates} est. gates); "
+        f"QET {result.observation.qet_seconds:.6f} s (simulated)"
+    )
+    if args.epsilon is not None:
+        print(
+            f"released with epsilon={args.epsilon} "
+            f"(database total query spend now {db.query_epsilon():.4f})"
+        )
+    print()
+    print(_format_answer_table(result))
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
 
@@ -341,6 +595,8 @@ def main(argv: list[str] | None = None) -> int:
         _cmd_serve(args)
     elif args.command == "resume":
         _cmd_resume(args)
+    elif args.command == "query":
+        _cmd_query(args)
     elif args.command == "run":
         result = run_experiment(
             RunConfig(

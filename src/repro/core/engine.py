@@ -210,6 +210,18 @@ class IncShrinkEngine:
             self.view_def.name, time, sum_table, sum_column
         )
 
+    def run_query(self, query, time: int, epsilon: float | None = None):
+        """Execute one unified :class:`~repro.query.ast.LogicalQuery`.
+
+        The façade's door into the query compiler: any mix of
+        COUNT/SUM/AVG aggregates, residual predicate, and GROUP BY is
+        planned (view scan vs NM fallback) and answered in one oblivious
+        pass; see :meth:`repro.server.database.IncShrinkDatabase.query`.
+        Returns the full :class:`~repro.server.database.
+        DatabaseQueryResult` (``.answers`` for the result table).
+        """
+        return self.database.query(query, time, epsilon=epsilon)
+
     # -- privacy introspection ---------------------------------------------------
     def realized_epsilon(self) -> float:
         """End-to-end ε realised so far, via Theorem 3.

@@ -115,6 +115,38 @@ def allocate_budget(
     return best_alloc, best_eff
 
 
+def split_query_epsilon(
+    sensitivities: Sequence[float], total_epsilon: float
+) -> tuple[float, ...]:
+    """Split one query's ε across its aggregates' Laplace releases.
+
+    A multi-aggregate query released with noise runs one Laplace
+    mechanism per aggregate over the *same* scanned data, so the
+    aggregates compose sequentially: ``Σ ε_i = ε``.  Splitting to
+    minimise the total noise variance ``Σ 2·(s_i/ε_i)²`` gives the
+    classic closed form ``ε_i ∝ s_i^{2/3}`` — higher-sensitivity
+    aggregates (SUMs over large value bounds) attract more of the budget
+    than COUNTs, exactly as Eq. 15 skews the view split toward
+    higher-``b`` operators.
+
+    Used by the database's noisy-query path with the per-aggregate
+    sensitivities carried on :class:`repro.query.ast.AggregateSpec`.
+    """
+    if total_epsilon <= 0:
+        raise ConfigurationError(
+            f"query epsilon must be positive, got {total_epsilon}"
+        )
+    if not sensitivities:
+        raise ConfigurationError("a query releases at least one aggregate")
+    if any(s <= 0 for s in sensitivities):
+        raise ConfigurationError(
+            f"sensitivities must be positive, got {tuple(sensitivities)}"
+        )
+    weights = [s ** (2.0 / 3.0) for s in sensitivities]
+    total_weight = sum(weights)
+    return tuple(total_epsilon * w / total_weight for w in weights)
+
+
 def view_operator_spec(
     name: str,
     budget: int,

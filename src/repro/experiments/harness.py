@@ -27,7 +27,12 @@ from ..common.metrics import MetricLog, MetricSummary
 from ..core.engine import EngineConfig, IncShrinkEngine
 from ..dp.bounds import recommended_flush_size
 from ..mpc.cost_model import CostModel
-from ..query.ast import LogicalJoinCountQuery, LogicalJoinSumQuery
+from ..query.ast import (
+    AggregateSpec,
+    LogicalJoinCountQuery,
+    LogicalJoinSumQuery,
+    LogicalQuery,
+)
 from ..server.database import IncShrinkDatabase, ViewRegistration
 from ..workload.variants import make_workload
 
@@ -256,7 +261,8 @@ class MultiViewDeployment:
     database: IncShrinkDatabase
     workload: object
     view_modes: dict[str, str]
-    #: the standard per-step query mix (COUNT full, COUNT recent, SUM full)
+    #: the standard per-step query mix: COUNT full, COUNT recent, SUM
+    #: full, and a 3-aggregate dashboard (COUNT+SUM+AVG in one scan)
     step_queries: list
     #: a COUNT whose window no view materializes — the NM fallback probe
     unmatched_query: LogicalJoinCountQuery
@@ -321,13 +327,21 @@ def build_multiview_deployment(config: MultiViewRunConfig) -> MultiViewDeploymen
     count_full = LogicalJoinCountQuery.for_view(vd)
     count_recent = LogicalJoinCountQuery.for_view(recent_vd)
     sum_full = LogicalJoinSumQuery.for_view(vd, vd.driver_table, vd.driver_ts)
+    # The unified-AST representative of the mix: three aggregates of the
+    # full window folded in one oblivious scan by the query compiler.
+    dashboard = LogicalQuery.for_view(
+        vd,
+        AggregateSpec.count(),
+        AggregateSpec.sum_of(vd.driver_table, vd.driver_ts),
+        AggregateSpec.avg_of(vd.driver_table, vd.driver_ts),
+    )
     count_unmatched = replace(count_full, window_hi=vd.window_hi + 5)
     return MultiViewDeployment(
         config=config,
         database=database,
         workload=workload,
         view_modes=view_modes,
-        step_queries=[count_full, count_recent, sum_full],
+        step_queries=[count_full, count_recent, sum_full, dashboard],
         unmatched_query=count_unmatched,
     )
 
@@ -336,9 +350,10 @@ def run_multiview_experiment(config: MultiViewRunConfig) -> MultiViewRunResult:
     """Execute one multi-view database deployment over one workload.
 
     Per queried step the analyst issues a COUNT on the full window, a
-    COUNT on the recent window, and a SUM over the driver timestamp on
-    the full window; on the final step an additional COUNT with a window
-    no view materializes exercises the NM fallback.
+    COUNT on the recent window, a SUM over the driver timestamp on the
+    full window, and a 3-aggregate dashboard query (COUNT+SUM+AVG,
+    answered in one scan); on the final step an additional COUNT with a
+    window no view materializes exercises the NM fallback.
     """
     deployment = build_multiview_deployment(config)
     database = deployment.database

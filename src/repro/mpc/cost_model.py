@@ -80,6 +80,53 @@ class CostModel:
         """Gates to recover, increment, and re-share the cardinality counter."""
         return 4 * RING_BITS
 
+    def predicate_eval_gates(self, n_clauses: int) -> int:
+        """Gates to evaluate ``n_clauses`` residual interval clauses once.
+
+        One ring-word comparison per clause — the same per-word charge
+        the padded scan's ``predicate_words`` term and the join probe's
+        temporal predicate use, so residual predicates cost the same
+        wherever they are evaluated (view scan row or NM join pair).
+        """
+        return n_clauses * RING_BITS * self.compare_gates_per_bit
+
+    def aggregate_slot_gates(
+        self,
+        need_count: bool,
+        n_sum_columns: int,
+        n_groups: int = 1,
+        grouped: bool = False,
+    ) -> int:
+        """Extra per-row gates of a multi-aggregate scan beyond the base touch.
+
+        :meth:`scan_row_gates` already includes one 32-bit accumulator —
+        the COUNT slot of the paper's original padded counting scan.  A
+        unified scan computing several aggregates over several GROUP BY
+        cells in one pass pays, per row, for everything beyond that:
+
+        * one further 32-bit count accumulator per *additional* group
+          (the first group's count rides on the base charge);
+        * one 64-bit accumulator per distinct summed column per group
+          (sums live in Z_{2^64}, exactly the :func:`repro.oblivious.
+          filter.oblivious_sum` charge);
+        * when grouping, one ring-word equality test per group cell to
+          obliviously route the row into its accumulator set (the group
+          key is secret, so every row is tested against every public
+          domain value).
+
+        COUNT, SUM and AVG aggregates of one query share these slots: AVG
+        is SUM/COUNT over the same accumulators, and any number of COUNTs
+        costs one slot — that sharing is where the single-scan
+        multi-aggregate speedup comes from.
+        """
+        gates = 0
+        if need_count and n_groups > 1:
+            gates += (n_groups - 1) * RING_BITS
+        gates += 64 * n_sum_columns * n_groups
+        if grouped:
+            gates += n_groups * RING_BITS * self.compare_gates_per_bit
+        return gates
+
     # -- conversion --------------------------------------------------------
     def seconds(self, gates: int | float) -> float:
         """Simulated wall-clock seconds for ``gates`` AND gates."""

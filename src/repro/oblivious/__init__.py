@@ -1,6 +1,6 @@
 """Data-oblivious operators: sorting network, selection, truncated joins."""
 
-from .filter import oblivious_count, oblivious_select
+from .filter import oblivious_count, oblivious_multi_aggregate, oblivious_select
 from .join_common import JoinResult, match_pairs_truncated
 from .nested_loop_join import truncated_nested_loop_join
 from .shuffle import oblivious_shuffle
@@ -12,10 +12,16 @@ from .sort import (
     network_comparator_count,
     oblivious_sort,
 )
-from .sort_merge_join import oblivious_join_count, truncated_sort_merge_join
+from .sort_merge_join import (
+    oblivious_join_count,
+    oblivious_join_multi_aggregate,
+    oblivious_join_sum,
+    truncated_sort_merge_join,
+)
 
 __all__ = [
     "oblivious_count",
+    "oblivious_multi_aggregate",
     "oblivious_select",
     "JoinResult",
     "match_pairs_truncated",
@@ -28,5 +34,7 @@ __all__ = [
     "network_comparator_count",
     "oblivious_sort",
     "oblivious_join_count",
+    "oblivious_join_multi_aggregate",
+    "oblivious_join_sum",
     "truncated_sort_merge_join",
 ]

@@ -1,4 +1,4 @@
-"""Oblivious selection (Appendix A.1.1) and padded counting scans.
+"""Oblivious selection (Appendix A.1.1) and padded aggregate scans.
 
 Selection has stability 1 — each input row appears at most once in the
 output — so no truncation machinery is needed.  Obliviousness is achieved
@@ -10,9 +10,16 @@ leaks.
 The counting scan is the query-side workhorse: every query in the paper's
 evaluation is a COUNT over the materialized view, evaluated by one padded
 linear pass that touches every row (real or dummy) exactly once.
+:func:`oblivious_multi_aggregate` generalizes that pass: **one** scan
+folds any number of COUNT/SUM accumulators across any number of public
+GROUP BY cells, paying the row-touch cost once and only per-accumulator
+gates on top — the single-scan amortization the unified query compiler
+is built on.
 """
 
 from __future__ import annotations
+
+from typing import Sequence
 
 import numpy as np
 
@@ -61,6 +68,98 @@ def oblivious_count(
     if predicate_mask is not None:
         live = live & np.asarray(predicate_mask, dtype=bool)
     return int(live.sum())
+
+
+def fold_aggregates(
+    rows: np.ndarray,
+    live: np.ndarray,
+    sum_columns: Sequence[int],
+    need_count: bool,
+    group_column: int | None,
+    group_domain: Sequence[int] | None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """The accumulation semantics of one multi-aggregate pass.
+
+    Pure (no protocol scope, no charging): folds ``live`` rows into per
+    GROUP-BY-cell count and per-column sum accumulators.  Both the
+    oblivious scan (:func:`oblivious_multi_aggregate`) and the
+    plaintext ground-truth path (:func:`repro.query.executor.
+    aggregate_plain`) delegate here, so served answers and the logical
+    answers the L1 error compares against can never drift.
+    """
+    grouped = group_column is not None
+    n_groups = len(group_domain) if grouped else 1
+    counts = np.zeros(n_groups, dtype=np.int64)
+    sums = np.zeros((n_groups, len(sum_columns)), dtype=np.uint64)
+    if len(rows) == 0:
+        return counts, sums
+    # Widen only the summed columns — a COUNT-only scan (the paper's
+    # whole workload) allocates nothing beyond its selection masks.
+    summed = (
+        np.asarray(rows)[:, list(sum_columns)].astype(np.uint64)
+        if sum_columns
+        else None
+    )
+    if grouped:
+        keys = np.asarray(rows, dtype=np.uint32)[:, group_column]
+        selections = [
+            live & (keys == np.uint32(value)) for value in group_domain
+        ]
+    else:
+        selections = [live]
+    for g, sel in enumerate(selections):
+        if need_count:
+            counts[g] = int(sel.sum())
+        for s in range(len(sum_columns)):
+            sums[g, s] = summed[sel, s].sum(dtype=np.uint64)
+    return counts, sums
+
+
+def oblivious_multi_aggregate(
+    ctx: ProtocolContext,
+    rows: np.ndarray,
+    flags: np.ndarray,
+    sum_columns: Sequence[int],
+    need_count: bool,
+    group_column: int | None,
+    group_domain: Sequence[int] | None,
+    predicate_mask: np.ndarray | None,
+    payload_words: int,
+    predicate_words: int = 1,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Fold counts and column sums over groups in **one** padded scan.
+
+    Returns ``(counts, sums)`` with ``counts.shape == (n_groups,)`` and
+    ``sums.shape == (n_groups, len(sum_columns))``; ungrouped scans are
+    the ``n_groups == 1`` case.  Every row — real or dummy — is touched
+    exactly once, whatever the number of accumulators; the charge is the
+    base row-touch of :func:`oblivious_count` plus
+    :meth:`~repro.mpc.cost_model.CostModel.aggregate_slot_gates` per row
+    for the extra accumulators and the oblivious group routing.
+
+    The degenerate cases charge exactly what the historical
+    single-aggregate scans charged: one COUNT equals
+    :func:`oblivious_count`, one SUM equals :func:`oblivious_sum` —
+    planner estimates and shim-API timings stay byte-identical.
+    """
+    grouped = group_column is not None
+    if grouped and not group_domain:
+        raise ValueError("grouped scan needs a non-empty public domain")
+    n_groups = len(group_domain) if grouped else 1
+    n = len(rows)
+    ctx.charge_scan(n, payload_words, predicate_words)
+    ctx.charge_gates(
+        n
+        * ctx.cost_model.aggregate_slot_gates(
+            need_count, len(sum_columns), n_groups, grouped
+        )
+    )
+    live = np.asarray(flags, dtype=bool)
+    if predicate_mask is not None:
+        live = live & np.asarray(predicate_mask, dtype=bool)
+    return fold_aggregates(
+        rows, live, sum_columns, need_count, group_column, group_domain
+    )
 
 
 def oblivious_sum(

@@ -58,7 +58,7 @@ class JoinResult:
 
 def match_pairs_truncated(
     driver_order: np.ndarray,
-    candidate_lists: list[list[int]],
+    candidate_lists: "list[list[int] | np.ndarray]",
     omega: int,
     driver_caps: np.ndarray,
     probe_caps: np.ndarray,
@@ -82,6 +82,17 @@ def match_pairs_truncated(
     The greedy in-scan-order assignment mirrors the linear pass of the
     sort-merge construction: earlier tuples claim contribution slots
     first; every candidate pair blocked by a cap counts as dropped.
+
+    The per-candidate loop is vectorized per driver when the driver's
+    candidates are distinct probe rows (always true for the in-repo join
+    scans, whose candidates come from per-key position groups): "which
+    probes still have allowance" is then one mask against the running
+    ``probe_emitted`` state and "how many fit" one slice against the
+    driver's remaining room.  A candidate list with repeated probe
+    indices falls back to the sequential per-pair rule, where a probe's
+    own earlier take can exhaust its cap mid-list.  The greedy order —
+    and therefore the output — is identical to the historical per-pair
+    loop in both regimes (pinned by a regression test).
     """
     driver_emitted = np.zeros(len(driver_caps), dtype=np.int64)
     probe_emitted = np.zeros(len(probe_caps), dtype=np.int64)
@@ -91,14 +102,28 @@ def match_pairs_truncated(
     dropped = 0
     for k, d in enumerate(driver_order):
         d = int(d)
-        matches: list[int] = []
-        for p in candidate_lists[k]:
-            p = int(p)
-            if driver_emitted[d] >= driver_allow[d] or probe_emitted[p] >= probe_allow[p]:
-                dropped += 1
-                continue
-            matches.append(p)
-            driver_emitted[d] += 1
-            probe_emitted[p] += 1
-        assigned.append(matches)
+        cands = np.asarray(candidate_lists[k], dtype=np.int64)
+        if cands.size == 0:
+            assigned.append([])
+            continue
+        room = max(int(driver_allow[d] - driver_emitted[d]), 0)
+        if cands.size != np.unique(cands).size:
+            matches: list[int] = []
+            for p in cands:
+                p = int(p)
+                if len(matches) >= room or probe_emitted[p] >= probe_allow[p]:
+                    dropped += 1
+                    continue
+                matches.append(p)
+                probe_emitted[p] += 1
+            driver_emitted[d] += len(matches)
+            assigned.append(matches)
+            continue
+        open_probe = probe_emitted[cands] < probe_allow[cands]
+        available = cands[open_probe]
+        taken = available[:room]
+        probe_emitted[taken] += 1
+        driver_emitted[d] += taken.size
+        dropped += int(cands.size - taken.size)
+        assigned.append(taken.tolist())
     return assigned, driver_emitted, probe_emitted, dropped

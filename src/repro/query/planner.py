@@ -36,11 +36,12 @@ from ..mpc.cost_model import CostModel
 from ..oblivious.sort import network_comparator_count
 from .ast import (
     LogicalJoinQuery,
-    LogicalJoinSumQuery,
-    ViewCountQuery,
-    ViewSumQuery,
+    LogicalQuery,
+    ViewScanPlan,
+    as_logical,
+    predicate_clauses,
 )
-from .rewrite import can_answer, rewrite_logical
+from .rewrite import can_answer, lower_to_view_scan
 
 #: Plan shapes the planner can emit.
 VIEW_SCAN = "view-scan"
@@ -55,16 +56,47 @@ def view_scan_gates(
     predicate_words: int = 1,
     is_sum: bool = False,
 ) -> int:
-    """Gates of one padded aggregate scan over ``n_rows`` view slots.
+    """Gates of one padded *single-aggregate* scan over ``n_rows`` slots.
 
-    Matches :func:`repro.oblivious.filter.oblivious_count` /
-    :func:`~repro.oblivious.filter.oblivious_sum` exactly: per-row scan
-    gates plus, for SUM, the 64-bit accumulate.
+    The historical per-class estimate, kept as sugar over
+    :func:`multi_scan_gates`: a COUNT charges the base row touch, a SUM
+    adds the 64-bit accumulate — matching
+    :func:`repro.oblivious.filter.oblivious_count` /
+    :func:`~repro.oblivious.filter.oblivious_sum` exactly.
     """
-    gates = n_rows * model.scan_row_gates(payload_words, predicate_words)
-    if is_sum:
-        gates += n_rows * 64
-    return gates
+    return multi_scan_gates(
+        model,
+        n_rows,
+        payload_words,
+        need_count=not is_sum,
+        n_sum_columns=1 if is_sum else 0,
+        predicate_words=predicate_words,
+    )
+
+
+def multi_scan_gates(
+    model: CostModel,
+    n_rows: int,
+    payload_words: int,
+    need_count: bool,
+    n_sum_columns: int,
+    n_groups: int = 1,
+    grouped: bool = False,
+    predicate_words: int = 1,
+) -> int:
+    """Gates of one padded multi-aggregate scan over ``n_rows`` slots.
+
+    Matches :func:`repro.oblivious.filter.oblivious_multi_aggregate`
+    exactly: the base row touch once, plus
+    :meth:`~repro.mpc.cost_model.CostModel.aggregate_slot_gates` per row
+    for the additional accumulators and the GROUP BY routing.  This is
+    what makes a 3-aggregate query cost one scan, not three.
+    """
+    per_row = model.scan_row_gates(payload_words, predicate_words)
+    per_row += model.aggregate_slot_gates(
+        need_count, n_sum_columns, n_groups, grouped
+    )
+    return n_rows * per_row
 
 
 def nm_join_gates(
@@ -75,6 +107,11 @@ def nm_join_gates(
     driver_width: int,
     multiplicity: float = 1.0,
     is_sum: bool = False,
+    need_count: bool | None = None,
+    n_sum_columns: int | None = None,
+    n_groups: int = 1,
+    grouped: bool = False,
+    n_clauses: int = 0,
 ) -> int:
     """Estimated gates of the NM recomputation over the full stores.
 
@@ -82,8 +119,16 @@ def nm_join_gates(
     the probe term depends on how many same-key candidate pairs the data
     contains, estimated as ``multiplicity`` pairs per driver row — the
     public per-query-class join multiplicity (1 for TPC-ds Q1, >1 for
-    CPDB Q2).
+    CPDB Q2).  Each estimated pair additionally pays the same
+    per-aggregate accumulator/routing gates the view scan pays per row
+    (``is_sum`` is legacy sugar for one SUM slot) plus one ring
+    comparison per residual clause; this matches
+    :func:`repro.oblivious.sort_merge_join.oblivious_join_multi_aggregate`.
     """
+    if need_count is None:
+        need_count = not is_sum
+    if n_sum_columns is None:
+        n_sum_columns = 1 if is_sum else 0
     n = n_probe + n_driver
     if n == 0:
         return 0
@@ -93,8 +138,10 @@ def nm_join_gates(
     gates += n * model.scan_row_gates(payload_words)
     est_pairs = int(round(multiplicity * n_driver))
     gates += est_pairs * model.join_probe_gates(out_width)
-    if is_sum:
-        gates += est_pairs * 64
+    gates += est_pairs * model.aggregate_slot_gates(
+        need_count, n_sum_columns, n_groups, grouped
+    )
+    gates += est_pairs * model.predicate_eval_gates(n_clauses)
     return gates
 
 
@@ -109,17 +156,22 @@ class ViewCandidate:
 
 @dataclass(frozen=True)
 class QueryPlan:
-    """The chosen physical plan for one logical query."""
+    """The chosen physical plan for one logical query.
+
+    ``view_query`` is the lowered single-scan plan when ``kind`` is
+    :data:`VIEW_SCAN`; NM plans carry no lowering (the executor joins the
+    base stores directly from the logical query).
+    """
 
     kind: str  # VIEW_SCAN | NM_JOIN
     view_name: str | None
-    view_query: ViewCountQuery | ViewSumQuery | None
+    view_query: ViewScanPlan | None
     estimated_gates: int
     estimated_seconds: float
 
 
 def plan_query(
-    query: LogicalJoinQuery,
+    query: LogicalQuery | LogicalJoinQuery,
     candidates: list[ViewCandidate],
     n_probe_store: int,
     n_driver_store: int,
@@ -132,24 +184,35 @@ def plan_query(
 ) -> QueryPlan:
     """Score every answering view plus the NM fallback; return the cheapest.
 
-    ``n_probe_store``/``n_driver_store`` are the padded total sizes of the
-    base tables the NM path would recompute over.  Raises
-    :class:`~repro.common.errors.SchemaError` when no view matches and NM
-    is not allowed — the single-view behaviour of
+    Any query form is normalized through
+    :func:`repro.query.ast.as_logical` first, so shim and unified queries
+    price identically.  ``n_probe_store``/``n_driver_store`` are the
+    padded total sizes of the base tables the NM path would recompute
+    over.  Raises :class:`~repro.common.errors.SchemaError` when no view
+    matches and NM is not allowed — the single-view behaviour of
     :func:`repro.query.rewrite.rewrite`.
     """
-    is_sum = isinstance(query, LogicalJoinSumQuery)
+    lq = as_logical(query)
+    need_count = lq.need_count
+    n_sum_columns = len(lq.sum_columns)
+    n_groups = lq.n_groups
+    grouped = lq.group_by is not None
+    n_clauses = len(predicate_clauses(lq.predicate))
+    predicate_words = max(predicate_words, lq.predicate_words)
     plans: list[QueryPlan] = []
     for cand in candidates:
-        if not can_answer(query, cand.view_def):
+        if not can_answer(lq, cand.view_def):
             continue
-        view_query = rewrite_logical(query, cand.view_def)
-        gates = view_scan_gates(
+        view_query = lower_to_view_scan(lq, cand.view_def)
+        gates = multi_scan_gates(
             model,
             cand.padded_rows,
             cand.view_def.view_schema.width,
-            predicate_words,
-            is_sum=is_sum,
+            need_count=need_count,
+            n_sum_columns=n_sum_columns,
+            n_groups=n_groups,
+            grouped=grouped,
+            predicate_words=predicate_words,
         )
         plans.append(
             QueryPlan(
@@ -180,7 +243,11 @@ def plan_query(
             probe_width,
             driver_width,
             multiplicity=multiplicity,
-            is_sum=is_sum,
+            need_count=need_count,
+            n_sum_columns=n_sum_columns,
+            n_groups=n_groups,
+            grouped=grouped,
+            n_clauses=n_clauses,
         )
         plans.append(
             QueryPlan(
@@ -194,7 +261,7 @@ def plan_query(
     if not plans:
         raise SchemaError(
             f"no registered view materializes the join "
-            f"({query.probe_table} ⋈ {query.driver_table}) and the NM "
+            f"({lq.probe_table} ⋈ {lq.driver_table}) and the NM "
             "fallback is disabled; register a matching view first"
         )
     return min(plans, key=lambda p: p.estimated_gates)

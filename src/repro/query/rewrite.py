@@ -3,14 +3,24 @@
 IncShrink registers a view per *pre-specified* query class; an incoming
 logical query is answerable from a view exactly when its join structure
 (tables, keys, timestamp window) matches the view definition.  The
-rewriter checks that match and emits the view-side aggregate; a mismatch
-is an error — the paper's framework does not fall back to NM silently.
-Cost-based routing across many registered views (with an explicit NM
-fallback) lives one layer up, in :mod:`repro.query.planner` and
-:mod:`repro.server.planner`.
+rewriter checks that match and **lowers** the unified
+:class:`~repro.query.ast.LogicalQuery` to one
+:class:`~repro.query.ast.ViewScanPlan` — every aggregate resolved onto
+its prefixed view column, the GROUP BY key and residual predicate
+likewise — so the executor can answer everything in a single padded
+scan.  A mismatch is an error — the paper's framework does not fall back
+to NM silently.  Cost-based routing across many registered views (with
+an explicit NM fallback) lives one layer up, in
+:mod:`repro.query.planner` and :mod:`repro.server.planner`.
+
+The single-aggregate rewrites (:func:`rewrite`, :func:`rewrite_sum`)
+remain as shims over the same matching logic for callers addressing one
+view directly.
 """
 
 from __future__ import annotations
+
+from functools import lru_cache
 
 from ..common.errors import SchemaError
 from ..core.view_def import JoinViewDefinition
@@ -18,26 +28,37 @@ from .ast import (
     LogicalJoinCountQuery,
     LogicalJoinQuery,
     LogicalJoinSumQuery,
+    LogicalQuery,
+    ScanAggregate,
+    ScanClause,
     ViewCountQuery,
+    ViewScanPlan,
     ViewSumQuery,
+    as_logical,
+    predicate_clauses,
 )
 
 
-def can_answer(query: LogicalJoinQuery, view: JoinViewDefinition) -> bool:
+def can_answer(
+    query: LogicalQuery | LogicalJoinQuery, view: JoinViewDefinition
+) -> bool:
     """Whether ``view`` materializes exactly ``query``'s join."""
+    join = as_logical(query).join
     return (
-        query.probe_table == view.probe_table
-        and query.driver_table == view.driver_table
-        and query.probe_key == view.probe_key
-        and query.driver_key == view.driver_key
-        and query.probe_ts == view.probe_ts
-        and query.driver_ts == view.driver_ts
-        and query.window_lo == view.window_lo
-        and query.window_hi == view.window_hi
+        join.probe_table == view.probe_table
+        and join.driver_table == view.driver_table
+        and join.probe_key == view.probe_key
+        and join.driver_key == view.driver_key
+        and join.probe_ts == view.probe_ts
+        and join.driver_ts == view.driver_ts
+        and join.window_lo == view.window_lo
+        and join.window_hi == view.window_hi
     )
 
 
-def _require_answerable(query: LogicalJoinQuery, view: JoinViewDefinition) -> None:
+def _require_answerable(
+    query: LogicalQuery | LogicalJoinQuery, view: JoinViewDefinition
+) -> None:
     if not can_answer(query, view):
         raise SchemaError(
             f"view {view.name!r} does not materialize the join of query "
@@ -48,17 +69,12 @@ def _require_answerable(query: LogicalJoinQuery, view: JoinViewDefinition) -> No
 
 def sum_view_column(query: LogicalJoinSumQuery, view: JoinViewDefinition) -> str:
     """Map the logical summed column onto its prefixed view column."""
-    if query.sum_table == view.probe_table:
-        column = f"p_{query.sum_column}"
-    elif query.sum_table == view.driver_table:
-        column = f"d_{query.sum_column}"
-    else:
+    if query.sum_table not in (view.probe_table, view.driver_table):
         raise SchemaError(
             f"sum_table {query.sum_table!r} is neither side of the join "
             f"({view.probe_table} ⋈ {view.driver_table})"
         )
-    view.view_schema.index(column)  # raises SchemaError if absent
-    return column
+    return view_column(query.sum_table, query.sum_column, view)
 
 
 def rewrite(query: LogicalJoinCountQuery, view: JoinViewDefinition) -> ViewCountQuery:
@@ -73,12 +89,86 @@ def rewrite_sum(query: LogicalJoinSumQuery, view: JoinViewDefinition) -> ViewSum
     return ViewSumQuery(view_name=view.name, column=sum_view_column(query, view))
 
 
+def view_column(table: str, column: str, view: JoinViewDefinition) -> str:
+    """Map one logical ``table.column`` onto its prefixed view column."""
+    if table == view.probe_table:
+        name = f"p_{column}"
+    elif table == view.driver_table:
+        name = f"d_{column}"
+    else:
+        raise SchemaError(
+            f"table {table!r} is neither side of the join "
+            f"({view.probe_table} ⋈ {view.driver_table})"
+        )
+    view.view_schema.index(name)  # raises SchemaError if absent
+    return name
+
+
+def lower_to_view_scan(
+    query: LogicalQuery | LogicalJoinQuery, view: JoinViewDefinition
+) -> ViewScanPlan:
+    """Lower a logical query to the single padded scan that answers it.
+
+    Every aggregate, the GROUP BY key, and every predicate clause is
+    resolved onto the view's prefixed columns; the resulting
+    :class:`~repro.query.ast.ViewScanPlan` is self-contained (plus the
+    public view name) and hashable, so planners can cache it.  Lowering
+    is purely structural (no live sizes), so it is itself memoized over
+    the frozen ``(query, view)`` pair — replanning a hot query shape
+    against the same registered views costs a cache lookup.
+    """
+    return _lower_cached(as_logical(query), view)
+
+
+@lru_cache(maxsize=4096)
+def _lower_cached(lq: LogicalQuery, view: JoinViewDefinition) -> ViewScanPlan:
+    _require_answerable(lq.join, view)
+    aggregates = tuple(
+        ScanAggregate(
+            kind=agg.kind,
+            name=agg.output_name,
+            column=(
+                None
+                if agg.kind == "count"
+                else view_column(agg.table, agg.column, view)
+            ),
+        )
+        for agg in lq.aggregates
+    )
+    group_column = group_domain = None
+    if lq.group_by is not None:
+        group_column = view_column(lq.group_by.table, lq.group_by.column, view)
+        group_domain = lq.group_by.domain
+    clauses = tuple(
+        ScanClause(
+            column=view_column(clause.table, clause.column, view),
+            lo=clause.bounds()[0],
+            hi=clause.bounds()[1],
+        )
+        for clause in predicate_clauses(lq.predicate)
+    )
+    return ViewScanPlan(
+        view_name=view.name,
+        aggregates=aggregates,
+        group_column=group_column,
+        group_domain=group_domain,
+        clauses=clauses,
+    )
+
+
 def rewrite_logical(
-    query: LogicalJoinQuery, view: JoinViewDefinition
-) -> ViewCountQuery | ViewSumQuery:
-    """Dispatch a logical aggregate to its matching view-query form."""
-    if isinstance(query, LogicalJoinSumQuery):
-        return rewrite_sum(query, view)
-    if isinstance(query, LogicalJoinCountQuery):
-        return rewrite(query, view)
-    raise SchemaError(f"unsupported logical query type {type(query).__name__}")
+    query: LogicalQuery | LogicalJoinQuery, view: JoinViewDefinition
+) -> ViewScanPlan:
+    """Lower any logical query form to its unified view-scan plan.
+
+    Historically this dispatched between :class:`ViewCountQuery` and
+    :class:`ViewSumQuery`; the compiler now lowers every form — shim or
+    unified — to one :class:`~repro.query.ast.ViewScanPlan`.
+    """
+    if not isinstance(
+        query, (LogicalQuery, LogicalJoinCountQuery, LogicalJoinSumQuery)
+    ):
+        raise SchemaError(
+            f"unsupported logical query type {type(query).__name__}"
+        )
+    return lower_to_view_scan(query, view)

@@ -12,10 +12,15 @@ and DP-Sync motivate for private data federations:
   Transform circuit once per shared table pair (transform signature) and
   fans the padded delta out to every consuming view's cache, then drives
   each view's own Shrink policy and flusher;
-* incoming logical COUNT/SUM queries are routed by a cost-based
+* incoming logical queries — the unified
+  :class:`~repro.query.ast.LogicalQuery` AST with any mix of
+  COUNT/SUM/AVG aggregates, a residual predicate, and an optional
+  GROUP BY, or the deprecated per-class shims — are routed by a
+  cost-based (structure-cached)
   :class:`~repro.server.planner.DatabasePlanner` to the cheapest
   matching view scan, or to the NM join fallback when that is cheaper
-  (or nothing matches and the fallback is enabled);
+  (or nothing matches and the fallback is enabled); either path answers
+  **all aggregates and all groups in one oblivious pass**;
 * privacy composes through a single shared
   :class:`~repro.dp.accountant.PrivacyAccountant`: the database's total ε
   is split across DP views by the operator-level allocation of
@@ -34,6 +39,7 @@ from typing import Iterable, Mapping
 
 from ..common.errors import ConfigurationError, SchemaError
 from ..common.metrics import MetricLog, QueryObservation
+from ..common.rng import spawn
 from ..common.types import RecordBatch, Schema
 from ..core.baselines import ExhaustivePaddingSync, OneTimeMaterialization
 from ..core.counter import SharedCounter
@@ -43,23 +49,31 @@ from ..core.shrink_ant import SDPANT
 from ..core.shrink_timer import SDPTimer
 from ..core.view_def import JoinViewDefinition
 from ..dp.accountant import PrivacyAccountant, theorem3_epsilon
-from ..dp.allocation import allocate_budget, view_operator_spec
+from ..dp.allocation import allocate_budget, split_query_epsilon, view_operator_spec
+from ..dp.laplace import laplace_noise
 from ..mpc.cost_model import CostModel
 from ..mpc.runtime import MPCRuntime
 from ..query.ast import (
     LogicalJoinCountQuery,
     LogicalJoinQuery,
     LogicalJoinSumQuery,
+    LogicalQuery,
+    QueryAnswer,
     ViewCountQuery,
     ViewSumQuery,
+    as_logical,
 )
 from ..query.executor import (
+    aggregate_plain,
     execute_nm_count,
+    execute_nm_query,
     execute_nm_sum,
     execute_view_count,
+    execute_view_scan,
     execute_view_sum,
 )
 from ..query.planner import VIEW_SCAN, QueryPlan
+from ..query.rewrite import lower_to_view_scan
 from ..storage.growing_db import GrowingDatabase
 from ..storage.materialized_view import MaterializedView
 from ..storage.outsourced_table import OutsourcedTable
@@ -134,10 +148,21 @@ class ViewRuntime:
 
 @dataclass
 class DatabaseQueryResult:
-    """One planned-and-executed logical query."""
+    """One planned-and-executed logical query.
+
+    ``answers`` is the full released result table (all aggregates × all
+    groups, noisy when the query was released with an ε);
+    ``logical_answers`` is the plaintext-mirror ground truth in the same
+    shape.  ``answer`` keeps the historical scalar surface: the first
+    cell, which for the deprecated single-aggregate shims *is* the whole
+    answer.
+    """
 
     plan: QueryPlan
     observation: QueryObservation
+    answers: QueryAnswer | None = None
+    logical_answers: QueryAnswer | None = None
+    epsilon_spent: float = 0.0
 
     @property
     def answer(self) -> float:
@@ -182,9 +207,17 @@ class IncShrinkDatabase:
         self.planner = DatabasePlanner(self, multiplicity=multiplicity_hint)
         #: database-level query log (every planner-routed query)
         self.metrics = MetricLog()
+        #: server-side randomness for noisy query releases.  Kept apart
+        #: from the protocol servers' streams so read-side traffic never
+        #: perturbs the deterministic ingestion-state evolution; captured
+        #: by :mod:`repro.server.persistence` so a restored database
+        #: continues the identical noise stream.
+        self.query_noise_gen = spawn(seed, "query-noise")
         self._registrations: list[ViewRegistration] = []
         self._allocation: dict[str, float] = {}
         self._finalized = False
+        self._state_version = 0
+        self._query_seq = 0
 
     # -- registration -----------------------------------------------------------
     def register_table(self, name: str, schema: Schema) -> None:
@@ -376,69 +409,93 @@ class IncShrinkDatabase:
                 self.logical.insert(time, name, real)
             for group in self.groups.values():
                 group.register_upload(name, shared, time, len(batch))
+        self._state_version += 1
 
     # -- server step ------------------------------------------------------------
     def step(self, time: int) -> DatabaseStepReport:
         """Run one scheduled step: shared Transforms, per-view policies."""
         self.finalize()
-        return self.scheduler.run_step(time)
+        report = self.scheduler.run_step(time)
+        self._state_version += 1
+        return report
+
+    @property
+    def state_version(self) -> int:
+        """Monotone counter bumped whenever public sizes may change.
+
+        Uploads grow the outsourced stores, steps grow the views — both
+        invalidate every cached cost comparison, so the planner keys its
+        plan cache on this counter.
+        """
+        return self._state_version
 
     # -- analyst side -----------------------------------------------------------
     def query(
         self,
-        query: LogicalJoinQuery,
+        query: LogicalQuery | LogicalJoinQuery,
         time: int,
         predicate_words: int = 1,
         plan: QueryPlan | None = None,
+        epsilon: float | None = None,
     ) -> DatabaseQueryResult:
-        """Plan, execute, and score one logical aggregate query.
+        """Plan, execute, and score one logical query (any AST form).
+
+        Every query form — the unified :class:`~repro.query.ast.
+        LogicalQuery` or a deprecated single-aggregate shim — normalizes
+        through :func:`~repro.query.ast.as_logical` and runs the same
+        compiled pipeline: plan (cached by structure), then **one**
+        oblivious pass computing every aggregate of every group, either
+        over the cheapest matching view or via the NM join fallback.
 
         ``plan`` lets a caller that already planned the query (e.g. the
         serving runtime, which plans before taking the target view's
-        session guard) skip re-planning.
+        session guard) skip re-planning.  ``epsilon`` releases the
+        answers with per-aggregate Laplace noise: the budget splits
+        across the query's aggregates by sensitivity
+        (:func:`repro.dp.allocation.split_query_epsilon`), each spend is
+        composed in the shared accountant, and the observation scores the
+        *released* (noisy) values.
         """
         self.finalize()
+        lq = as_logical(query)
         if plan is None:
-            plan = self.planner.plan(query, predicate_words=predicate_words)
-        logical_answer = self._logical_answer(query, time)
+            plan = self.planner.plan(lq, predicate_words=predicate_words)
+        logical = self._logical_answer_query(lq, time)
         if plan.kind == VIEW_SCAN:
             vr = self.views[plan.view_name]
-            if isinstance(plan.view_query, ViewSumQuery):
-                answer, qet = execute_view_sum(
-                    self.runtime, time, vr.view, plan.view_query
-                )
-            else:
-                answer, qet = execute_view_count(
-                    self.runtime, time, vr.view, plan.view_query
-                )
+            answers, qet = execute_view_scan(
+                self.runtime, time, vr.view, plan.view_query
+            )
         else:
-            spec = self._join_spec(query)
-            probe_store = self.tables[query.probe_table]
-            driver_store = self.tables[query.driver_table]
-            if isinstance(query, LogicalJoinSumQuery):
-                answer, qet = execute_nm_sum(
-                    self.runtime,
-                    time,
-                    probe_store,
-                    driver_store,
-                    spec,
-                    query.sum_table,
-                    query.sum_column,
-                )
-            else:
-                answer, qet = execute_nm_count(
-                    self.runtime, time, probe_store, driver_store, spec
-                )
+            spec = self._join_spec(lq)
+            answers, qet = execute_nm_query(
+                self.runtime,
+                time,
+                self.tables[lq.probe_table],
+                self.tables[lq.driver_table],
+                spec,
+                lq,
+            )
+        epsilon_spent = 0.0
+        if epsilon is not None:
+            answers = self._noise_answers(lq, answers, epsilon)
+            epsilon_spent = epsilon
         obs = QueryObservation(
             time=time,
-            logical_answer=float(logical_answer),
-            view_answer=float(answer),
+            logical_answer=float(logical.rows[0][0]),
+            view_answer=float(answers.rows[0][0]),
             qet_seconds=qet,
         )
         self.metrics.record_query(obs)
         if plan.view_name is not None:
             self.views[plan.view_name].metrics.record_query(obs)
-        return DatabaseQueryResult(plan=plan, observation=obs)
+        return DatabaseQueryResult(
+            plan=plan,
+            observation=obs,
+            answers=answers,
+            logical_answers=logical,
+            epsilon_spent=epsilon_spent,
+        )
 
     def query_count(
         self, query: LogicalJoinCountQuery, time: int
@@ -449,6 +506,73 @@ class IncShrinkDatabase:
         self, query: LogicalJoinSumQuery, time: int
     ) -> DatabaseQueryResult:
         return self.query(query, time)
+
+    def _noise_answers(
+        self, lq: LogicalQuery, answers: QueryAnswer, epsilon: float
+    ) -> QueryAnswer:
+        """Laplace-release one query's answer table under ``epsilon``.
+
+        One mechanism per *released* aggregate over the same scanned
+        data, so the per-aggregate slices compose sequentially
+        (Σ ε_i = ε, split by sensitivity).  Within one aggregate, the
+        GROUP BY cells also compose sequentially — a record may feed
+        pairs into several cells through different join partners, so the
+        parallel-composition shortcut would under-count — giving each
+        cell ε_i / n_groups.  An AVG whose SUM column and a COUNT are
+        both part of the same query is **derived** from their noisy
+        cells (free post-processing) instead of spending a slice of its
+        own; a standalone AVG is noised directly at its declared
+        sensitivity.
+        """
+        aggregates = lq.aggregates
+        count_idx = next(
+            (i for i, a in enumerate(aggregates) if a.kind == "count"), None
+        )
+        derived: dict[int, tuple[int, int]] = {}
+        if count_idx is not None:
+            for i, agg in enumerate(aggregates):
+                if agg.kind != "avg":
+                    continue
+                sum_idx = next(
+                    (
+                        j
+                        for j, b in enumerate(aggregates)
+                        if b.kind == "sum"
+                        and (b.table, b.column) == (agg.table, agg.column)
+                    ),
+                    None,
+                )
+                if sum_idx is not None:
+                    derived[i] = (sum_idx, count_idx)
+        released = [i for i in range(len(aggregates)) if i not in derived]
+        split = split_query_epsilon(
+            [aggregates[i].sensitivity for i in released], epsilon
+        )
+        self._query_seq += 1
+        segment = ("query", self._query_seq)
+        n_groups = len(answers.rows)
+        noisy_rows = [list(row) for row in answers.rows]
+        for a, eps_i in zip(released, split):
+            agg = aggregates[a]
+            scale = agg.sensitivity * n_groups / eps_i
+            for g in range(n_groups):
+                noisy_rows[g][a] = float(noisy_rows[g][a]) + laplace_noise(
+                    self.query_noise_gen, scale
+                )
+            self.accountant.spend(f"query:{agg.output_name}", eps_i, segment)
+        for a, (sum_idx, cnt_idx) in derived.items():
+            for g in range(n_groups):
+                noisy_count = noisy_rows[g][cnt_idx]
+                noisy_rows[g][a] = (
+                    noisy_rows[g][sum_idx] / noisy_count
+                    if noisy_count > 0
+                    else 0.0
+                )
+        return QueryAnswer(
+            columns=answers.columns,
+            group_keys=answers.group_keys,
+            rows=tuple(tuple(row) for row in noisy_rows),
+        )
 
     # -- registered-view execution (the engine façade's direct path) -----------
     def answer_registered_count(
@@ -548,6 +672,20 @@ class IncShrinkDatabase:
         contributions = vr.group.ledger.theorem3_contributions(per_release)
         return theorem3_epsilon(contributions)
 
+    def query_epsilon(self) -> float:
+        """Total ε spent by noisy query releases (0 for pre-noise runs).
+
+        Every aggregate of every ε-released query spends its slice into
+        the shared accountant under a per-invocation ``("query", seq)``
+        segment; queries touch the whole scanned state, so across
+        invocations they compose sequentially — a plain sum.
+        """
+        return sum(
+            e.epsilon
+            for e in self.accountant.events
+            if isinstance(e.segment, tuple) and e.segment[:1] == ("query",)
+        )
+
     def realized_epsilon(self) -> float:
         """Composed end-to-end ε across every view of the database.
 
@@ -556,8 +694,10 @@ class IncShrinkDatabase:
         Theorem 3 over the union of transformation families); views over
         disjoint base tables compose in parallel (a record lives in one
         component only, so the database-wide loss is the worst
-        component's total).  For a run respecting the allocation this
-        never exceeds ``total_epsilon``.
+        component's total).  Noisy query releases add sequentially on
+        top (:meth:`query_epsilon`).  For a run respecting the
+        allocation and issuing no noisy queries this never exceeds
+        ``total_epsilon``.
         """
         self.finalize()
         components = self._table_components()
@@ -570,7 +710,7 @@ class IncShrinkDatabase:
                 or vr.view_def.driver_table in tables
             )
             worst = max(worst, component_eps)
-        return worst
+        return worst + self.query_epsilon()
 
     def _table_components(self) -> list[set[str]]:
         """Connected components of base tables linked by registered views."""
@@ -595,30 +735,41 @@ class IncShrinkDatabase:
         return {name: len(store.batches) for name, store in self.tables.items()}
 
     # -- helpers ----------------------------------------------------------------
-    def _join_spec(self, query: LogicalJoinQuery) -> JoinViewDefinition:
+    def _join_spec(
+        self, query: LogicalQuery | LogicalJoinQuery
+    ) -> JoinViewDefinition:
         """A transient join definition for NM execution of ``query``."""
+        join = as_logical(query).join
         return JoinViewDefinition(
-            name=f"nm:{query.probe_table}⋈{query.driver_table}",
-            probe_table=query.probe_table,
-            probe_schema=self.tables[query.probe_table].schema,
-            probe_key=query.probe_key,
-            probe_ts=query.probe_ts,
-            driver_table=query.driver_table,
-            driver_schema=self.tables[query.driver_table].schema,
-            driver_key=query.driver_key,
-            driver_ts=query.driver_ts,
-            window_lo=query.window_lo,
-            window_hi=query.window_hi,
+            name=f"nm:{join.probe_table}⋈{join.driver_table}",
+            probe_table=join.probe_table,
+            probe_schema=self.tables[join.probe_table].schema,
+            probe_key=join.probe_key,
+            probe_ts=join.probe_ts,
+            driver_table=join.driver_table,
+            driver_schema=self.tables[join.driver_table].schema,
+            driver_key=join.driver_key,
+            driver_ts=join.driver_ts,
+            window_lo=join.window_lo,
+            window_hi=join.window_hi,
             omega=1,
             budget=1,
         )
 
-    def _logical_answer(self, query: LogicalJoinQuery, time: int) -> int:
-        spec = self._join_spec(query)
-        probe_rows = self.logical.instance_at(query.probe_table, time)
-        driver_rows = self.logical.instance_at(query.driver_table, time)
-        if isinstance(query, LogicalJoinSumQuery):
-            return spec.logical_join_sum(
-                probe_rows, driver_rows, query.sum_table, query.sum_column
-            )
-        return spec.logical_join_count(probe_rows, driver_rows)
+    def _logical_answer_query(
+        self, lq: LogicalQuery, time: int
+    ) -> QueryAnswer:
+        """Ground-truth answer table over the plaintext mirror D_t.
+
+        Materializes the exact (truncation-free) join rows in view-schema
+        layout and folds the *same* lowered plan the secure paths
+        execute, so logical and served answers are aggregated through
+        identical code.
+        """
+        spec = self._join_spec(lq)
+        probe_rows = self.logical.instance_at(lq.probe_table, time)
+        driver_rows = self.logical.instance_at(lq.driver_table, time)
+        joined = spec.logical_join_rows(probe_rows, driver_rows)
+        return aggregate_plain(
+            lower_to_view_scan(lq, spec), spec.view_schema, joined
+        )

@@ -359,6 +359,7 @@ def _snapshot_body(db: IncShrinkDatabase, metadata: dict | None) -> dict:
             "server0": runtime.server0.gen.bit_generator.state,
             "server1": runtime.server1.gen.bit_generator.state,
             "owner": runtime.owner_gen.bit_generator.state,
+            "query_noise": db.query_noise_gen.bit_generator.state,
         },
         "metadata": dict(metadata or {}),
     }
@@ -598,11 +599,26 @@ def _rebuild(body: dict) -> IncShrinkDatabase:
     db.metrics = _decode_metric_log(body["metrics"])
 
     # Both servers' and the owners' RNG streams continue exactly where
-    # the snapshotted process stopped.
+    # the snapshotted process stopped, as does the query-release noise
+    # stream (absent in pre-compiler snapshots, which never released a
+    # noisy query — the fresh seed-0 stream is then exactly right).
     rng = body["rng"]
     db.runtime.server0.gen.bit_generator.state = rng["server0"]
     db.runtime.server1.gen.bit_generator.state = rng["server1"]
     db.runtime.owner_gen.bit_generator.state = rng["owner"]
+    if "query_noise" in rng:
+        db.query_noise_gen.bit_generator.state = rng["query_noise"]
+    # Continue query-release segments past the restored spends; the plan
+    # cache is deliberately not persisted (state_version starts fresh and
+    # the first planned query repopulates it from the restored sizes).
+    db._query_seq = max(
+        (
+            int(e.segment[1])
+            for e in db.accountant.events
+            if isinstance(e.segment, tuple) and e.segment[:1] == ("query",)
+        ),
+        default=0,
+    )
     return db
 
 

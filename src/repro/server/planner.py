@@ -7,6 +7,17 @@ registered views that can answer a logical query, reading the public
 padded sizes the cost formulas need, and deciding whether the NM
 fallback is on the table (either globally enabled, or because an
 NM-mode view was explicitly registered for this query class).
+
+Planned queries are cached **by query structure**: the unified
+:class:`~repro.query.ast.LogicalQuery` AST is fully hashable (join spec,
+aggregate list, GROUP BY domain, structural predicate), so a dashboard
+re-issuing the same query shape pays the candidate enumeration and cost
+scoring once per database state.  The cache is invalidated wholesale
+whenever the database's :attr:`~repro.server.database.IncShrinkDatabase.
+state_version` advances (uploads and steps change the public sizes every
+cost formula reads), and it is deliberately **not** persisted — a
+restored database replans from its restored sizes
+(:mod:`repro.server.persistence` round-trips plan-cache-free).
 """
 
 from __future__ import annotations
@@ -14,7 +25,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from ..common.errors import SchemaError
-from ..query.ast import LogicalJoinQuery
+from ..query.ast import LogicalJoinQuery, LogicalQuery, as_logical
 from ..query.planner import QueryPlan, ViewCandidate, plan_query
 from ..query.rewrite import can_answer
 
@@ -33,8 +44,12 @@ class DatabasePlanner:
     def __init__(self, database: "IncShrinkDatabase", multiplicity: float = 1.0) -> None:
         self._db = database
         self.multiplicity = multiplicity
+        self._cache: dict = {}
+        self._cache_version: int | None = None
+        self.cache_hits = 0
+        self.cache_misses = 0
 
-    def candidates(self, query: LogicalJoinQuery) -> list[ViewCandidate]:
+    def candidates(self, query: LogicalQuery | LogicalJoinQuery) -> list[ViewCandidate]:
         """Every registered view whose join structure answers ``query``."""
         return [
             ViewCandidate(vr.view_def, len(vr.view))
@@ -42,7 +57,7 @@ class DatabasePlanner:
             if vr.mode in SCANNABLE_MODES and can_answer(query, vr.view_def)
         ]
 
-    def nm_allowed(self, query: LogicalJoinQuery) -> bool:
+    def nm_allowed(self, query: LogicalQuery | LogicalJoinQuery) -> bool:
         if self._db.nm_fallback:
             return True
         return any(
@@ -50,26 +65,58 @@ class DatabasePlanner:
             for vr in self._db.views.values()
         )
 
-    def plan(self, query: LogicalJoinQuery, predicate_words: int = 1) -> QueryPlan:
-        """Choose the cheapest plan for ``query`` at the current sizes."""
+    def plan(
+        self,
+        query: LogicalQuery | LogicalJoinQuery,
+        predicate_words: int = 1,
+    ) -> QueryPlan:
+        """Choose the cheapest plan for ``query`` at the current sizes.
+
+        Structurally identical queries hit the plan cache until the next
+        upload/step bumps the database's state version.  Cache access is
+        benign under concurrent read sessions: a race costs at most one
+        redundant (deterministic, identical) planning pass.
+        """
         db = self._db
-        for table in (query.probe_table, query.driver_table):
+        lq = as_logical(query)
+        for table in (lq.probe_table, lq.driver_table):
             if table not in db.tables:
                 raise SchemaError(
                     f"query references unregistered table {table!r}; known "
                     f"tables: {sorted(db.tables)}"
                 )
-        probe_store = db.tables[query.probe_table]
-        driver_store = db.tables[query.driver_table]
-        return plan_query(
-            query,
-            self.candidates(query),
+        version = db.state_version
+        if version != self._cache_version:
+            self._cache = {}
+            self._cache_version = version
+        key = (lq.structure_key(), predicate_words)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.cache_hits += 1
+            return cached
+        self.cache_misses += 1
+        probe_store = db.tables[lq.probe_table]
+        driver_store = db.tables[lq.driver_table]
+        plan = plan_query(
+            lq,
+            self.candidates(lq),
             probe_store.total_rows,
             driver_store.total_rows,
             db.runtime.cost_model,
-            nm_allowed=self.nm_allowed(query),
+            nm_allowed=self.nm_allowed(lq),
             multiplicity=self.multiplicity,
             predicate_words=predicate_words,
             probe_width=probe_store.schema.width,
             driver_width=driver_store.schema.width,
         )
+        self._cache[key] = plan
+        return plan
+
+    def cache_info(self) -> dict:
+        """Hit/miss counters and current cache size (benchmark surface)."""
+        return {
+            "hits": self.cache_hits,
+            "misses": self.cache_misses,
+            "entries": len(self._cache),
+            "version": self._cache_version,
+        }

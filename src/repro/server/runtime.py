@@ -40,7 +40,7 @@ from typing import Iterator, Mapping
 
 from ..common.errors import ConfigurationError, ProtocolError
 from ..common.types import RecordBatch
-from ..query.ast import LogicalJoinQuery
+from ..query.ast import LogicalJoinQuery, LogicalQuery
 from .database import DatabaseQueryResult, IncShrinkDatabase
 from .persistence import SnapshotInfo, restore_database, snapshot_database
 
@@ -153,11 +153,14 @@ class ReadSession:
 
     def query(
         self,
-        query: LogicalJoinQuery,
+        query: LogicalQuery | LogicalJoinQuery,
         time: int | None = None,
         predicate_words: int = 1,
+        epsilon: float | None = None,
     ) -> DatabaseQueryResult:
-        result = self.server.query(query, time=time, predicate_words=predicate_words)
+        result = self.server.query(
+            query, time=time, predicate_words=predicate_words, epsilon=epsilon
+        )
         self.results.append(result)
         return result
 
@@ -367,15 +370,18 @@ class DatabaseServer:
 
     def query(
         self,
-        query: LogicalJoinQuery,
+        query: LogicalQuery | LogicalJoinQuery,
         time: int | None = None,
         predicate_words: int = 1,
+        epsilon: float | None = None,
     ) -> DatabaseQueryResult:
         """Plan and execute one logical query against a consistent state.
 
         The read lock guarantees no step is mid-application; the per-view
         guard serialises sessions scanning the same view; the MPC lock
-        serialises circuit evaluation on the simulated 2PC backend.
+        serialises circuit evaluation on the simulated 2PC backend (and
+        the noisy-release sampling of an ε-released query, whose noise
+        stream is separate from the ingestion streams).
         """
         self._raise_ingest_error()
         t0 = _time.perf_counter()
@@ -387,7 +393,11 @@ class DatabaseServer:
             guard = self._view_locks.get(plan.view_name or "", self._nm_lock)
             with guard, self._mpc_lock:
                 result = self.database.query(
-                    query, at_time, predicate_words=predicate_words, plan=plan
+                    query,
+                    at_time,
+                    predicate_words=predicate_words,
+                    plan=plan,
+                    epsilon=epsilon,
                 )
         with self._stats_lock:
             self.stats.queries += 1

@@ -42,6 +42,96 @@ class TestCli:
             main(["run", "--mode", "quantum"])
 
 
+class TestQueryCli:
+    LIVE = ["query", "--dataset", "tpcds", "--steps", "8"]
+
+    def test_flag_specified_multi_aggregate_group_by(self, capsys):
+        assert (
+            main(
+                self.LIVE
+                + [
+                    "--count",
+                    "--sum", "returns:return_ts",
+                    "--avg", "returns:return_ts",
+                    "--group-by", "sales:pid:0,1,2,3",
+                    "--where", "sales:pid:0-30",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "plan: " in out
+        assert "count" in out and "avg_returns_return_ts" in out
+        assert "ground truth" in out
+
+    def test_json_specified_query(self, capsys):
+        spec = (
+            '{"aggregates": [{"kind": "count"},'
+            ' {"kind": "sum", "table": "returns", "column": "return_ts"}],'
+            ' "predicate": [{"table": "sales", "column": "pid", "lo": 0,'
+            ' "hi": 99}]}'
+        )
+        assert main(self.LIVE + ["--json", spec]) == 0
+        assert "sum_returns_return_ts" in capsys.readouterr().out
+
+    def test_defaults_to_count(self, capsys):
+        assert main(self.LIVE) == 0
+        assert "count" in capsys.readouterr().out
+
+    def test_snapshot_roundtrip(self, capsys, tmp_path):
+        snap = str(tmp_path / "cli-query.snap")
+        assert (
+            main(
+                ["serve", "--dataset", "tpcds", "--steps", "8", "--clients",
+                 "1", "--snapshot", snap]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["query", "--snapshot", snap, "--count"]) == 0
+        out = capsys.readouterr().out
+        assert "queried snapshot" in out and "(step 8)" in out
+
+    def test_epsilon_release_reports_spend(self, capsys):
+        assert main(self.LIVE + ["--count", "--epsilon", "0.5"]) == 0
+        assert "released with epsilon=0.5" in capsys.readouterr().out
+
+    def test_unknown_view_rejected(self):
+        with pytest.raises(SystemExit, match="no registered view"):
+            main(self.LIVE + ["--view", "ghost", "--count"])
+
+    def test_malformed_flag_rejected(self):
+        with pytest.raises(SystemExit, match="malformed"):
+            main(self.LIVE + ["--sum", "no-colon"])
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(SystemExit, match="valid JSON"):
+            main(self.LIVE + ["--json", "{nope"])
+
+    def test_malformed_where_value_rejected(self):
+        for bad in ("-5", "10-", "5--3", "x"):
+            with pytest.raises(SystemExit, match="malformed --where"):
+                main(self.LIVE + ["--count", "--where", f"sales:pid:{bad}"])
+
+    def test_malformed_group_by_domain_rejected(self):
+        with pytest.raises(SystemExit, match="malformed --group-by"):
+            main(self.LIVE + ["--count", "--group-by", "sales:pid:1,x"])
+
+    def test_nonpositive_epsilon_rejected(self):
+        with pytest.raises(SystemExit, match="epsilon must be positive"):
+            main(self.LIVE + ["--count", "--epsilon", "0"])
+
+    def test_structurally_invalid_json_rejected_cleanly(self):
+        for bad in (
+            '{"predicate": [{"table": "sales", "column": "pid", "lo": 0}]}',
+            '{"aggregates": [{"kind": "sum"}]}',
+            '{"group_by": {"table": "sales"}}',
+            '{"aggregates": ["count"]}',
+        ):
+            with pytest.raises(SystemExit, match="malformed --json"):
+                main(self.LIVE + ["--json", bad])
+
+
 class TestObliviousShuffle:
     def _shuffle(self, rows, flags, seed=0):
         runtime = MPCRuntime(seed=seed)

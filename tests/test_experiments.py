@@ -65,11 +65,12 @@ class TestMultiViewHarness:
         # full + EP audit share a circuit; recent runs its own: 2 per step.
         assert result.transform_runs == 2 * 24
 
-    def test_mixed_count_and_sum_queries_planned(self, result):
-        # 4 queried steps × (2 COUNTs + 1 SUM) + 1 final NM fallback.
-        assert result.summary.query_count == 13
+    def test_mixed_aggregate_queries_planned(self, result):
+        # 4 queried steps × (2 COUNTs + 1 SUM + 1 three-aggregate
+        # dashboard) + 1 final NM fallback.
+        assert result.summary.query_count == 17
         assert result.plan_counts.get("nm-fallback") == 1
-        assert sum(result.plan_counts.values()) == 13
+        assert sum(result.plan_counts.values()) == 17
 
     def test_composed_epsilon_within_total(self, result):
         assert 0 < result.realized_epsilon <= result.config.total_epsilon + 1e-9

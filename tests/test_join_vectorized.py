@@ -1,0 +1,279 @@
+"""Regression: vectorized join grouping/matching ≡ the historical loops.
+
+The argsort-based ``_group_by_key``, the per-driver vectorized
+``match_pairs_truncated``, and the fancy-indexed padded emission must
+produce byte-identical :class:`~repro.oblivious.join_common.JoinResult`
+outputs — and charge byte-identical gates — to the per-pair Python loops
+they replaced.  The reference implementations below are verbatim copies
+of the pre-vectorization code paths.
+"""
+
+from collections import defaultdict
+
+import numpy as np
+import pytest
+
+from repro.common.types import Schema
+from repro.core.view_def import JoinViewDefinition
+from repro.mpc.runtime import MPCRuntime
+from repro.oblivious.join_common import JoinResult, match_pairs_truncated
+from repro.oblivious.sort import composite_key, oblivious_sort
+from repro.oblivious.sort_merge_join import (
+    _group_by_key,
+    truncated_sort_merge_join,
+)
+
+VIEW = JoinViewDefinition(
+    name="reg",
+    probe_table="orders",
+    probe_schema=Schema(("key", "ots")),
+    probe_key="key",
+    probe_ts="ots",
+    driver_table="shipments",
+    driver_schema=Schema(("key", "sts")),
+    driver_key="key",
+    driver_ts="sts",
+    window_lo=0,
+    window_hi=3,
+    omega=2,
+    budget=6,
+)
+
+
+# -- reference (loop) implementations, verbatim from the pre-vectorized code --
+def _loop_group_by_key(keys) -> dict[int, list[int]]:
+    groups: dict[int, list[int]] = defaultdict(list)
+    for pos, key in enumerate(keys):
+        groups[int(key)].append(pos)
+    return groups
+
+
+def _loop_match_pairs(driver_order, candidate_lists, omega, driver_caps, probe_caps):
+    driver_emitted = np.zeros(len(driver_caps), dtype=np.int64)
+    probe_emitted = np.zeros(len(probe_caps), dtype=np.int64)
+    driver_allow = np.minimum(omega, np.asarray(driver_caps)).astype(np.int64)
+    probe_allow = np.minimum(omega, np.asarray(probe_caps)).astype(np.int64)
+    assigned: list[list[int]] = []
+    dropped = 0
+    for k, d in enumerate(driver_order):
+        d = int(d)
+        matches: list[int] = []
+        for p in candidate_lists[k]:
+            p = int(p)
+            if driver_emitted[d] >= driver_allow[d] or probe_emitted[p] >= probe_allow[p]:
+                dropped += 1
+                continue
+            matches.append(p)
+            driver_emitted[d] += 1
+            probe_emitted[p] += 1
+        assigned.append(matches)
+    return assigned, driver_emitted, probe_emitted, dropped
+
+
+def _loop_sort_merge_join(
+    ctx, probe_rows, probe_flags, probe_key_col, probe_caps,
+    driver_rows, driver_flags, driver_key_col, driver_caps,
+    omega, pair_predicate=None, output_left="probe",
+):
+    n_probe, w_probe = probe_rows.shape if probe_rows.size else (0, probe_rows.shape[1])
+    n_driver, w_driver = (
+        driver_rows.shape if driver_rows.size else (0, driver_rows.shape[1])
+    )
+    out_width = w_probe + w_driver
+    union_keys = np.concatenate(
+        [
+            probe_rows[:, probe_key_col] if n_probe else np.zeros(0, dtype=np.uint32),
+            driver_rows[:, driver_key_col] if n_driver else np.zeros(0, dtype=np.uint32),
+        ]
+    )
+    side = np.concatenate(
+        [np.zeros(n_probe, dtype=np.uint32), np.ones(n_driver, dtype=np.uint32)]
+    )
+    position = np.concatenate(
+        [np.arange(n_probe, dtype=np.uint32), np.arange(n_driver, dtype=np.uint32)]
+    )
+    tiebreak = (side << np.uint32(24)) | (position & np.uint32(0xFFFFFF))
+    sort_keys = composite_key(union_keys, tiebreak)
+    union_payload_words = max(w_probe, w_driver) + 2
+    _, [sorted_side, sorted_pos] = oblivious_sort(
+        ctx, sort_keys, [side, position], union_payload_words
+    )
+    groups = _loop_group_by_key(union_keys)
+    candidate_lists: list[list[int]] = []
+    driver_order: list[int] = []
+    for s, pos in zip(sorted_side, sorted_pos):
+        if s != 1:
+            continue
+        d = int(pos)
+        driver_order.append(d)
+        if not driver_flags[d]:
+            candidate_lists.append([])
+            continue
+        key = int(driver_rows[d, driver_key_col])
+        cands: list[int] = []
+        for upos in groups.get(key, []):
+            if upos >= n_probe:
+                continue
+            p = upos
+            if not probe_flags[p]:
+                continue
+            if pair_predicate is None or pair_predicate(probe_rows[p], driver_rows[d]):
+                cands.append(p)
+        candidate_lists.append(cands)
+        ctx.charge_join_probes(max(len(groups.get(key, [])) - 1, 0), out_width)
+    assigned, driver_emitted, probe_emitted, dropped = _loop_match_pairs(
+        np.asarray(driver_order, dtype=np.int64),
+        candidate_lists,
+        omega,
+        driver_caps,
+        probe_caps,
+    )
+    out_rows = np.zeros((n_driver * omega, out_width), dtype=np.uint32)
+    out_flags = np.zeros(n_driver * omega, dtype=bool)
+    ctx.charge_scan(n_driver * omega, out_width)
+    for k, d in enumerate(driver_order):
+        base = int(d) * omega
+        for j, p in enumerate(assigned[k]):
+            if output_left == "probe":
+                out_rows[base + j, :w_probe] = probe_rows[p]
+                out_rows[base + j, w_probe:] = driver_rows[d]
+            else:
+                out_rows[base + j, :w_driver] = driver_rows[d]
+                out_rows[base + j, w_driver:] = probe_rows[p]
+            out_flags[base + j] = True
+    return JoinResult(
+        rows=out_rows,
+        flags=out_flags,
+        left_emitted=probe_emitted,
+        right_emitted=driver_emitted,
+        dropped=dropped,
+    )
+
+
+def _random_inputs(rng, n_probe, n_driver, n_keys):
+    probe = np.column_stack(
+        [
+            rng.integers(0, n_keys, n_probe),
+            rng.integers(0, 6, n_probe),
+        ]
+    ).astype(np.uint32)
+    driver = np.column_stack(
+        [
+            rng.integers(0, n_keys, n_driver),
+            rng.integers(0, 8, n_driver),
+        ]
+    ).astype(np.uint32)
+    probe_flags = rng.random(n_probe) < 0.8
+    driver_flags = rng.random(n_driver) < 0.8
+    probe_caps = rng.integers(0, 7, n_probe)
+    driver_caps = rng.integers(0, 7, n_driver)
+    return probe, probe_flags, probe_caps, driver, driver_flags, driver_caps
+
+
+class TestGroupByKey:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_loop_reference(self, seed):
+        rng = np.random.default_rng(seed)
+        keys = rng.integers(0, 9, 64).astype(np.uint32)
+        fast = _group_by_key(keys)
+        slow = _loop_group_by_key(keys)
+        assert set(fast) == set(slow)
+        for key, positions in slow.items():
+            assert fast[key].tolist() == positions
+
+    def test_empty_keys(self):
+        assert _group_by_key(np.zeros(0, dtype=np.uint32)) == {}
+
+
+class TestMatchPairs:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_matches_loop_reference_under_binding_caps(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        n_driver, n_probe = 12, 16
+        driver_order = rng.permutation(n_driver).astype(np.int64)
+        candidate_lists = [
+            rng.choice(n_probe, size=rng.integers(0, 6), replace=False).tolist()
+            for _ in range(n_driver)
+        ]
+        driver_caps = rng.integers(0, 4, n_driver)
+        probe_caps = rng.integers(0, 4, n_probe)
+        omega = int(rng.integers(1, 4))
+        got = match_pairs_truncated(
+            driver_order, candidate_lists, omega, driver_caps, probe_caps
+        )
+        want = _loop_match_pairs(
+            driver_order, candidate_lists, omega, driver_caps, probe_caps
+        )
+        assert got[0] == want[0]
+        assert np.array_equal(got[1], want[1])
+        assert np.array_equal(got[2], want[2])
+        assert got[3] == want[3]
+
+
+class TestMatchPairsDuplicateCandidates:
+    def test_duplicate_probe_in_one_list_matches_loop_semantics(self):
+        """A repeated probe index must honor the sequential rule: its
+        first occurrence can exhaust the cap, dropping the second."""
+        driver_order = np.asarray([0], dtype=np.int64)
+        candidate_lists = [[4, 4, 2]]
+        got = match_pairs_truncated(
+            driver_order,
+            candidate_lists,
+            omega=5,
+            driver_caps=np.asarray([5]),
+            probe_caps=np.asarray([5, 5, 5, 5, 1]),
+        )
+        want = _loop_match_pairs(
+            driver_order,
+            candidate_lists,
+            5,
+            np.asarray([5]),
+            np.asarray([5, 5, 5, 5, 1]),
+        )
+        assert got[0] == want[0] == [[4, 2]]
+        assert np.array_equal(got[2], want[2])
+        assert got[3] == want[3] == 1
+
+
+class TestFullJoinRegression:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_join_result_and_gates_match_loop_version(self, seed):
+        rng = np.random.default_rng(200 + seed)
+        probe, p_flags, p_caps, driver, d_flags, d_caps = _random_inputs(
+            rng, n_probe=20, n_driver=12, n_keys=6
+        )
+        results = []
+        gates = []
+        for impl in (truncated_sort_merge_join, _loop_sort_merge_join):
+            runtime = MPCRuntime(seed=3)
+            with runtime.protocol("join", 1) as ctx:
+                res = impl(
+                    ctx,
+                    probe, p_flags, 0, p_caps.copy(),
+                    driver, d_flags, 0, d_caps.copy(),
+                    omega=2,
+                    pair_predicate=VIEW.pair_predicate,
+                )
+                gates.append(ctx.gates)
+            results.append(res)
+        fast, slow = results
+        assert np.array_equal(fast.rows, slow.rows)
+        assert np.array_equal(fast.flags, slow.flags)
+        assert np.array_equal(fast.left_emitted, slow.left_emitted)
+        assert np.array_equal(fast.right_emitted, slow.right_emitted)
+        assert fast.dropped == slow.dropped
+        assert gates[0] == gates[1], "vectorization must not change charges"
+
+    def test_empty_driver_side(self):
+        runtime = MPCRuntime(seed=0)
+        probe = np.asarray([[1, 1]], dtype=np.uint32)
+        driver = np.zeros((0, 2), dtype=np.uint32)
+        with runtime.protocol("join", 1) as ctx:
+            res = truncated_sort_merge_join(
+                ctx,
+                probe, np.asarray([True]), 0, np.asarray([5]),
+                driver, np.zeros(0, dtype=bool), 0, np.zeros(0, dtype=np.int64),
+                omega=2,
+            )
+        assert res.rows.shape == (0, 4)
+        assert res.dropped == 0

@@ -20,7 +20,13 @@ import pytest
 from repro.common.errors import PersistenceError
 from repro.common.types import RecordBatch, Schema
 from repro.core.view_def import JoinViewDefinition
-from repro.query.ast import LogicalJoinCountQuery, LogicalJoinSumQuery
+from repro.query.ast import (
+    AggregateSpec,
+    GroupBySpec,
+    LogicalJoinCountQuery,
+    LogicalJoinSumQuery,
+    LogicalQuery,
+)
 from repro.server.database import IncShrinkDatabase, ViewRegistration
 from repro.server.persistence import (
     SNAPSHOT_MAGIC,
@@ -392,3 +398,64 @@ def test_restore_in_fresh_process(tmp_path):
     )
     assert proc.returncode == 0, proc.stderr
     assert json.loads(proc.stdout.strip().splitlines()[-1]) == expected
+
+
+def multi_query() -> LogicalQuery:
+    """A unified-AST query: three aggregates, grouped, in one scan."""
+    return LogicalQuery.for_view(
+        make_view("full", 2),
+        AggregateSpec.count(),
+        AggregateSpec.sum_of("shipments", "sts"),
+        AggregateSpec.avg_of("shipments", "sts"),
+        group_by=GroupBySpec("orders", "key", (1, 2, 3)),
+    )
+
+
+def test_unified_query_roundtrip_byte_identical(tmp_path):
+    """Grouped multi-aggregate answers survive a snapshot bit-for-bit."""
+    db = build_database()
+    for t in (1, 2, 3):
+        feed(db, t)
+    original = db.query(multi_query(), 3).answers
+    snapshot_database(db, tmp_path / "compiler.snap")
+    restored = restore_database(tmp_path / "compiler.snap").database
+    assert restored.query(multi_query(), 3).answers == original
+
+
+def test_noisy_query_budget_and_noise_stream_roundtrip(tmp_path):
+    """Budget-exact restore: spent query-release ε round-trips, and the
+    restored query-noise stream continues *identically* — a restart can
+    neither double-spend nor replay noise."""
+    db = build_database()
+    for t in (1, 2):
+        feed(db, t)
+    db.query(multi_query(), 2, epsilon=0.6)
+    snapshot_database(db, tmp_path / "noisy.snap")
+    restored = restore_database(tmp_path / "noisy.snap").database
+    assert restored.query_epsilon() == db.query_epsilon() == pytest.approx(0.6)
+    assert restored.realized_epsilon() == db.realized_epsilon()
+    # Identical continuation of the noise stream and of the accountant's
+    # query-segment sequence on both sides of the restart boundary.
+    live = db.query(multi_query(), 2, epsilon=0.6)
+    resumed = restored.query(multi_query(), 2, epsilon=0.6)
+    assert live.answers == resumed.answers
+    assert (
+        restored.accountant.snapshot_state() == db.accountant.snapshot_state()
+    )
+
+
+def test_restore_is_plan_cache_free(tmp_path):
+    """The plan cache is session state: a restored database replans from
+    its restored (identical) public sizes instead of trusting any cached
+    comparison."""
+    db = build_database()
+    for t in (1, 2):
+        feed(db, t)
+    before = db.query(multi_query(), 2)
+    assert db.planner.cache_info()["entries"] >= 1
+    snapshot_database(db, tmp_path / "cache.snap")
+    restored = restore_database(tmp_path / "cache.snap").database
+    info = restored.planner.cache_info()
+    assert info["entries"] == 0 and info["hits"] == 0
+    after = restored.query(multi_query(), 2)
+    assert after.plan == before.plan  # replanning lands on the same plan

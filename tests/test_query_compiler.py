@@ -1,0 +1,490 @@
+"""Tests for the unified query compiler: AST → rewrite → plan → one scan.
+
+Fixture data replays the shared orders/shipments script of
+``test_server_database`` into a single EP (exact) view, so every
+pre-noise assertion has a hand-computable ground truth:
+
+window [0, 2] qualifying pairs at t=4: (1,1)-(1,2), (2,1)-(2,3),
+(3,2)-(3,3), (3,2)-(3,4) → COUNT 4, SUM(shipments.sts) 12,
+AVG(shipments.sts) 3.0; grouped by orders.key over domain (1, 2, 3):
+counts (1, 1, 2), sums (2, 3, 7), avgs (2.0, 3.0, 3.5).
+"""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import SchemaError
+from repro.common.types import RecordBatch, Schema
+from repro.core.view_def import JoinViewDefinition
+from repro.query.ast import (
+    AggregateSpec,
+    And,
+    ColumnEquals,
+    ColumnRange,
+    GroupBySpec,
+    LogicalJoinCountQuery,
+    LogicalJoinQuery,
+    LogicalJoinSumQuery,
+    LogicalQuery,
+    ViewScanPlan,
+    as_logical,
+)
+from repro.query.planner import NM_JOIN, VIEW_SCAN
+from repro.query.rewrite import lower_to_view_scan
+from repro.server.database import IncShrinkDatabase, ViewRegistration
+
+PROBE_SCHEMA = Schema(("key", "ots"))
+DRIVER_SCHEMA = Schema(("key", "sts"))
+
+SCRIPT = [
+    ([[1, 1], [2, 1]], [[1, 2]]),
+    ([[3, 2]], [[2, 3], [3, 3]]),
+    ([], [[3, 4]]),
+    ([[9, 4]], []),
+]
+
+
+def make_view(name: str = "full", window_hi: int = 2) -> JoinViewDefinition:
+    return JoinViewDefinition(
+        name=name,
+        probe_table="orders",
+        probe_schema=PROBE_SCHEMA,
+        probe_key="key",
+        probe_ts="ots",
+        driver_table="shipments",
+        driver_schema=DRIVER_SCHEMA,
+        driver_key="key",
+        driver_ts="sts",
+        window_lo=0,
+        window_hi=window_hi,
+        omega=2,
+        budget=6,
+    )
+
+
+def build_database(seed: int = 7) -> IncShrinkDatabase:
+    """One exact (EP) view over the replayed script — no truncation loss."""
+    db = IncShrinkDatabase(total_epsilon=2000.0, seed=seed)
+    db.register_view(ViewRegistration(make_view(), mode="ep"))
+    for t, (probe_rows, driver_rows) in enumerate(SCRIPT, start=1):
+        probe = RecordBatch(
+            PROBE_SCHEMA, np.asarray(probe_rows, dtype=np.uint32).reshape(-1, 2)
+        ).padded_to(4)
+        driver = RecordBatch(
+            DRIVER_SCHEMA, np.asarray(driver_rows, dtype=np.uint32).reshape(-1, 2)
+        ).padded_to(3)
+        db.upload(t, {"orders": probe, "shipments": driver})
+        db.step(t)
+    return db
+
+
+@pytest.fixture
+def database() -> IncShrinkDatabase:
+    return build_database()
+
+
+def query_of(*aggregates, **kwargs) -> LogicalQuery:
+    return LogicalQuery.for_view(make_view(), *aggregates, **kwargs)
+
+
+COUNT = AggregateSpec.count()
+SUM_STS = AggregateSpec.sum_of("shipments", "sts")
+AVG_STS = AggregateSpec.avg_of("shipments", "sts")
+
+
+class TestASTValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SchemaError, match="kind"):
+            AggregateSpec("median")
+
+    def test_count_with_column_rejected(self):
+        with pytest.raises(SchemaError, match="COUNT"):
+            AggregateSpec("count", table="orders", column="ots")
+
+    def test_sum_without_column_rejected(self):
+        with pytest.raises(SchemaError, match="SUM"):
+            AggregateSpec("sum", table="orders")
+
+    def test_nonpositive_sensitivity_rejected(self):
+        with pytest.raises(SchemaError, match="sensitivity"):
+            AggregateSpec.sum_of("orders", "ots", sensitivity=0.0)
+
+    def test_no_aggregates_rejected(self):
+        with pytest.raises(SchemaError, match="at least one aggregate"):
+            LogicalQuery(join=as_logical(query_of(COUNT)).join, aggregates=())
+
+    def test_duplicate_output_names_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            query_of(AggregateSpec.count(alias="x"), AggregateSpec.count(alias="x"))
+
+    def test_foreign_aggregate_table_rejected(self):
+        with pytest.raises(SchemaError, match="neither side"):
+            query_of(AggregateSpec.sum_of("users", "x"))
+
+    def test_foreign_group_table_rejected(self):
+        with pytest.raises(SchemaError, match="neither side"):
+            query_of(COUNT, group_by=GroupBySpec("users", "x", (1, 2)))
+
+    def test_foreign_predicate_table_rejected(self):
+        with pytest.raises(SchemaError, match="neither side"):
+            query_of(COUNT, predicate=ColumnEquals("users", "x", 1))
+
+    def test_empty_group_domain_rejected(self):
+        with pytest.raises(SchemaError, match="non-empty"):
+            GroupBySpec("orders", "key", ())
+
+    def test_duplicate_group_domain_rejected(self):
+        with pytest.raises(SchemaError, match="distinct"):
+            GroupBySpec("orders", "key", (1, 1))
+
+    def test_oversized_group_domain_rejected(self):
+        with pytest.raises(SchemaError, match="maximum"):
+            GroupBySpec("orders", "key", tuple(range(4097)))
+
+    def test_empty_predicate_range_rejected(self):
+        with pytest.raises(SchemaError, match="empty range"):
+            ColumnRange("orders", "ots", 5, 4)
+
+    def test_predicate_values_outside_ring_rejected(self):
+        with pytest.raises(SchemaError, match="ring"):
+            ColumnEquals("orders", "key", -1)
+        with pytest.raises(SchemaError, match="ring"):
+            ColumnRange("orders", "ots", 0, 2**32)
+
+    def test_group_domain_outside_ring_rejected(self):
+        with pytest.raises(SchemaError, match="ring"):
+            GroupBySpec("orders", "key", (-1, 2))
+
+    def test_query_is_hashable_plan_cache_key(self):
+        q = query_of(
+            COUNT,
+            SUM_STS,
+            group_by=GroupBySpec("orders", "key", (1, 2)),
+            predicate=ColumnEquals("orders", "key", 1),
+        )
+        assert hash(q.structure_key()) == hash(q)
+        assert q == query_of(
+            COUNT,
+            SUM_STS,
+            group_by=GroupBySpec("orders", "key", (1, 2)),
+            predicate=ColumnEquals("orders", "key", 1),
+        )
+
+
+class TestShims:
+    def test_count_shim_normalizes_to_count_aggregate(self):
+        shim = LogicalJoinCountQuery.for_view(make_view())
+        lq = shim.to_logical()
+        assert [a.kind for a in lq.aggregates] == ["count"]
+        assert lq.join.probe_table == "orders"
+
+    def test_sum_shim_normalizes_to_sum_aggregate(self):
+        shim = LogicalJoinSumQuery.for_view(make_view(), "shipments", "sts")
+        lq = shim.to_logical()
+        assert [a.kind for a in lq.aggregates] == ["sum"]
+        assert lq.aggregates[0].column == "sts"
+
+    def test_bare_join_query_treated_as_count(self):
+        shim = LogicalJoinCountQuery.for_view(make_view())
+        bare = LogicalJoinQuery(
+            **{
+                f: getattr(shim, f)
+                for f in (
+                    "probe_table",
+                    "driver_table",
+                    "probe_key",
+                    "driver_key",
+                    "probe_ts",
+                    "driver_ts",
+                    "window_lo",
+                    "window_hi",
+                )
+            }
+        )
+        assert as_logical(bare).aggregates[0].kind == "count"
+
+    def test_as_logical_is_identity_on_unified_queries(self):
+        q = query_of(COUNT)
+        assert as_logical(q) is q
+
+
+class TestLowering:
+    def test_plan_resolves_prefixed_columns(self):
+        plan = lower_to_view_scan(
+            query_of(
+                COUNT,
+                SUM_STS,
+                AVG_STS,
+                AggregateSpec.sum_of("orders", "ots"),
+                group_by=GroupBySpec("orders", "key", (1, 2, 3)),
+                predicate=And(
+                    (
+                        ColumnEquals("orders", "key", 3),
+                        ColumnRange("shipments", "sts", 0, 9),
+                    )
+                ),
+            ),
+            make_view(),
+        )
+        assert isinstance(plan, ViewScanPlan)
+        assert [a.column for a in plan.aggregates] == [
+            None,
+            "d_sts",
+            "d_sts",
+            "p_ots",
+        ]
+        # SUM and AVG over shipments.sts share one accumulator slot.
+        assert plan.sum_view_columns == ("d_sts", "p_ots")
+        assert plan.group_column == "p_key"
+        assert plan.group_domain == (1, 2, 3)
+        assert [(c.column, c.lo, c.hi) for c in plan.clauses] == [
+            ("p_key", 3, 3),
+            ("d_sts", 0, 9),
+        ]
+        assert plan.predicate_words == 2
+
+    def test_mismatched_join_rejected(self):
+        with pytest.raises(SchemaError, match="does not materialize"):
+            lower_to_view_scan(
+                LogicalQuery.for_view(make_view(window_hi=9), COUNT), make_view()
+            )
+
+    def test_unknown_column_rejected(self):
+        with pytest.raises(SchemaError):
+            lower_to_view_scan(
+                query_of(AggregateSpec.sum_of("orders", "ghost")), make_view()
+            )
+
+
+class TestSingleScanExecution:
+    def test_multi_aggregate_matches_shim_answers_and_ground_truth(self, database):
+        multi = database.query(query_of(COUNT, SUM_STS, AVG_STS), time=4)
+        assert multi.plan.kind == VIEW_SCAN
+        assert multi.answers.columns == (
+            "count",
+            "sum_shipments_sts",
+            "avg_shipments_sts",
+        )
+        assert multi.answers.rows == ((4, 12, 3.0),)
+        # The deprecated per-class shims return byte-identical cells.
+        old_count = database.query(LogicalJoinCountQuery.for_view(make_view()), 4)
+        old_sum = database.query(
+            LogicalJoinSumQuery.for_view(make_view(), "shipments", "sts"), 4
+        )
+        assert multi.answers.rows[0][0] == old_count.answer == 4
+        assert multi.answers.rows[0][1] == old_sum.answer == 12
+        # EP view is exact, so the served answers equal the ground truth.
+        assert multi.logical_answers.rows == multi.answers.rows
+
+    def test_three_aggregates_cost_one_scan_not_three(self, database):
+        multi = database.query(query_of(COUNT, SUM_STS, AVG_STS), time=4)
+        singles = [
+            database.query(query_of(agg), time=4).observation.qet_seconds
+            for agg in (COUNT, SUM_STS, AVG_STS)
+        ]
+        ratio = sum(singles) / multi.observation.qet_seconds
+        assert ratio >= 1.5
+
+    def test_group_by_over_public_domain(self, database):
+        result = database.query(
+            query_of(
+                COUNT,
+                SUM_STS,
+                AVG_STS,
+                group_by=GroupBySpec("orders", "key", (1, 2, 3)),
+            ),
+            time=4,
+        )
+        assert result.answers.group_keys == (1, 2, 3)
+        assert result.answers.rows == ((1, 2, 2.0), (1, 3, 3.0), (2, 7, 3.5))
+        assert result.logical_answers.rows == result.answers.rows
+
+    def test_group_outside_domain_is_excluded(self, database):
+        result = database.query(
+            query_of(COUNT, group_by=GroupBySpec("orders", "key", (1, 9))),
+            time=4,
+        )
+        # key 9 never joins; keys 2 and 3 fall outside the domain.
+        assert result.answers.rows == ((1,), (0,))
+
+    def test_structural_predicate_filters_obliviously(self, database):
+        result = database.query(
+            query_of(COUNT, predicate=ColumnEquals("orders", "key", 3)), time=4
+        )
+        assert result.answers.rows == ((2,),)
+        ranged = database.query(
+            query_of(COUNT, predicate=ColumnRange("shipments", "sts", 3, 4)),
+            time=4,
+        )
+        assert ranged.answers.rows == ((3,),)
+
+    def test_nm_clauses_are_not_evaluated_for_free(self, database):
+        """Residual predicates cost gates on the NM path too: the same
+        query with clauses must charge strictly more than without, on
+        both the live execution and the planner's estimate."""
+        from repro.mpc.cost_model import DEFAULT_COST_MODEL
+        from repro.query.planner import nm_join_gates
+
+        unmatched = LogicalQuery.for_view(make_view(window_hi=3), COUNT)
+        filtered = LogicalQuery.for_view(
+            make_view(window_hi=3),
+            COUNT,
+            predicate=ColumnEquals("orders", "key", 3),
+        )
+        plain = database.query(unmatched, time=4)
+        clause = database.query(filtered, time=4)
+        assert plain.plan.kind == clause.plan.kind == NM_JOIN
+        assert clause.observation.qet_seconds > plain.observation.qet_seconds
+        base = nm_join_gates(DEFAULT_COST_MODEL, 100, 100, 2, 2)
+        with_clauses = nm_join_gates(
+            DEFAULT_COST_MODEL, 100, 100, 2, 2, n_clauses=2
+        )
+        assert with_clauses > base
+
+    def test_nm_fallback_answers_identically(self, database):
+        """An unmatched window forces NM; pre-noise cells must equal the
+        plaintext ground truth (the NM join is exact)."""
+        unmatched = LogicalQuery.for_view(
+            make_view(window_hi=3),
+            COUNT,
+            SUM_STS,
+            AVG_STS,
+            group_by=GroupBySpec("orders", "key", (1, 2, 3)),
+        )
+        result = database.query(unmatched, time=4)
+        assert result.plan.kind == NM_JOIN
+        assert result.answers.rows == result.logical_answers.rows
+
+    def test_avg_of_empty_group_is_zero(self, database):
+        result = database.query(
+            query_of(AVG_STS, group_by=GroupBySpec("orders", "key", (42,))),
+            time=4,
+        )
+        assert result.answers.rows == ((0.0,),)
+
+
+class TestPlanCache:
+    def test_structurally_identical_queries_hit_the_cache(self, database):
+        planner = database.planner
+        q = query_of(COUNT, SUM_STS)
+        database.query(q, time=4)
+        before = planner.cache_info()
+        database.query(query_of(COUNT, SUM_STS), time=4)
+        after = planner.cache_info()
+        assert after["hits"] == before["hits"] + 1
+        assert after["misses"] == before["misses"]
+
+    def test_different_predicates_plan_separately(self, database):
+        planner = database.planner
+        database.query(query_of(COUNT, predicate=ColumnEquals("orders", "key", 1)), 4)
+        misses = planner.cache_info()["misses"]
+        database.query(query_of(COUNT, predicate=ColumnEquals("orders", "key", 2)), 4)
+        assert planner.cache_info()["misses"] == misses + 1
+
+    def test_uploads_invalidate_cached_plans(self, database):
+        database.query(query_of(COUNT), time=4)
+        probe = RecordBatch(
+            PROBE_SCHEMA, np.asarray([[5, 5]], dtype=np.uint32)
+        ).padded_to(4)
+        driver = RecordBatch(
+            DRIVER_SCHEMA, np.asarray([[5, 5]], dtype=np.uint32)
+        ).padded_to(3)
+        database.upload(5, {"orders": probe, "shipments": driver})
+        database.step(5)
+        misses = database.planner.cache_info()["misses"]
+        database.query(query_of(COUNT), time=5)
+        info = database.planner.cache_info()
+        assert info["misses"] == misses + 1  # replanned at the new sizes
+
+    def test_shim_and_unified_forms_share_one_cache_entry(self, database):
+        database.query(LogicalJoinCountQuery.for_view(make_view()), 4)
+        hits = database.planner.cache_info()["hits"]
+        database.query(query_of(COUNT), time=4)
+        assert database.planner.cache_info()["hits"] == hits + 1
+
+
+class TestNoisyRelease:
+    def test_epsilon_splits_across_aggregates_and_composes(self, database):
+        eps = 0.9
+        result = database.query(
+            query_of(COUNT, AggregateSpec.sum_of("shipments", "sts", sensitivity=9.0)),
+            time=4,
+            epsilon=eps,
+        )
+        assert result.epsilon_spent == eps
+        events = [
+            e for e in database.accountant.events if str(e.name).startswith("query:")
+        ]
+        assert len(events) == 2
+        assert sum(e.epsilon for e in events) == pytest.approx(eps)
+        # Sensitivity-weighted split: the wide SUM takes the larger slice.
+        by_name = {e.name: e.epsilon for e in events}
+        assert by_name["query:sum_shipments_sts"] > by_name["query:count"]
+        assert database.query_epsilon() == pytest.approx(eps)
+        assert database.realized_epsilon() >= eps
+
+    def test_noise_is_seeded_and_deterministic(self):
+        a = build_database(seed=7).query(query_of(COUNT), 4, epsilon=0.5)
+        b = build_database(seed=7).query(query_of(COUNT), 4, epsilon=0.5)
+        assert a.answers.rows == b.answers.rows
+        assert a.answers.rows[0][0] != 4  # it really is noised
+
+    def test_pre_noise_queries_spend_nothing(self, database):
+        database.query(query_of(COUNT, SUM_STS, AVG_STS), time=4)
+        assert database.query_epsilon() == 0.0
+
+    def test_avg_derived_from_noisy_sum_and_count_spends_nothing(self, database):
+        """AVG alongside COUNT and SUM(x) is free post-processing: the
+        budget splits over COUNT and SUM only, and the released AVG cell
+        is exactly the ratio of the released (noisy) SUM and COUNT."""
+        result = database.query(
+            query_of(COUNT, SUM_STS, AVG_STS), time=4, epsilon=0.8
+        )
+        events = [
+            e for e in database.accountant.events if str(e.name).startswith("query:")
+        ]
+        assert sorted(e.name for e in events) == [
+            "query:count",
+            "query:sum_shipments_sts",
+        ]
+        assert sum(e.epsilon for e in events) == pytest.approx(0.8)
+        count_cell, sum_cell, avg_cell = result.answers.rows[0]
+        expected = sum_cell / count_cell if count_cell > 0 else 0.0
+        assert avg_cell == pytest.approx(expected)
+        # And with a generous budget the noisy count stays positive, so
+        # the ratio rule is observable directly.
+        generous = build_database(seed=23)
+        res = generous.query(query_of(COUNT, SUM_STS, AVG_STS), 4, epsilon=50.0)
+        c, s, a = res.answers.rows[0]
+        assert c > 0
+        assert a == pytest.approx(s / c)
+
+    def test_standalone_avg_is_released_at_its_own_slice(self, database):
+        database.query(query_of(AVG_STS), time=4, epsilon=0.4)
+        events = [
+            e for e in database.accountant.events if str(e.name).startswith("query:")
+        ]
+        assert [e.name for e in events] == ["query:avg_shipments_sts"]
+        assert events[0].epsilon == pytest.approx(0.4)
+
+    def test_grouped_release_spends_once_but_charges_every_cell(self):
+        """The whole slice is recorded regardless of grouping (cells
+        compose sequentially inside it), and the per-cell noise grows
+        with the domain: grouped cells are strictly noisier than the
+        ungrouped release of the same aggregate at the same ε."""
+        grouped_db = build_database(seed=11)
+        flat_db = build_database(seed=11)
+        grouped = grouped_db.query(
+            query_of(COUNT, group_by=GroupBySpec("orders", "key", (1, 2, 3))),
+            time=4,
+            epsilon=0.5,
+        )
+        flat = flat_db.query(query_of(COUNT), time=4, epsilon=0.5)
+        assert grouped_db.query_epsilon() == flat_db.query_epsilon() == 0.5
+        # Same seed, same stream: first Laplace draw differs only by the
+        # 3x scale of the grouped release.
+        flat_noise = flat.answers.rows[0][0] - flat.logical_answers.rows[0][0]
+        grouped_noise = (
+            grouped.answers.rows[0][0] - grouped.logical_answers.rows[0][0]
+        )
+        assert grouped_noise == pytest.approx(3 * flat_noise)

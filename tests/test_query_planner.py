@@ -11,6 +11,7 @@ from repro.query.ast import (
     LogicalJoinCountQuery,
     LogicalJoinQuery,
     LogicalJoinSumQuery,
+    ViewScanPlan,
     ViewSumQuery,
 )
 from repro.query.executor import execute_nm_sum
@@ -77,9 +78,16 @@ class TestSumRewrite:
         with pytest.raises(SchemaError, match="does not materialize"):
             rewrite_sum(sum_query(window_hi=9), tiny_view_def)
 
-    def test_rewrite_logical_dispatches_both_aggregates(self, tiny_view_def):
-        assert rewrite_logical(count_query(), tiny_view_def).view_name == "tiny"
-        assert rewrite_logical(sum_query(), tiny_view_def).column == "d_sts"
+    def test_rewrite_logical_lowers_both_aggregates_to_scan_plans(
+        self, tiny_view_def
+    ):
+        count_plan = rewrite_logical(count_query(), tiny_view_def)
+        assert isinstance(count_plan, ViewScanPlan)
+        assert count_plan.view_name == "tiny"
+        assert count_plan.aggregates[0].kind == "count"
+        sum_plan = rewrite_logical(sum_query(), tiny_view_def)
+        assert sum_plan.aggregates[0].kind == "sum"
+        assert sum_plan.aggregates[0].column == "d_sts"
 
 
 class TestCostEstimates:
@@ -165,7 +173,7 @@ class TestPlanQuery:
                 nm_allowed=False,
             )
 
-    def test_sum_query_plans_to_sum_view_query(self, tiny_view_def):
+    def test_sum_query_plans_to_sum_scan_plan(self, tiny_view_def):
         plan = plan_query(
             sum_query(),
             [self._candidate(tiny_view_def, 10)],
@@ -174,7 +182,8 @@ class TestPlanQuery:
             DEFAULT_COST_MODEL,
         )
         assert plan.kind == VIEW_SCAN
-        assert isinstance(plan.view_query, ViewSumQuery)
+        assert isinstance(plan.view_query, ViewScanPlan)
+        assert plan.view_query.aggregates[0].kind == "sum"
 
     def test_estimate_matches_executor_charge(self, tiny_view_def):
         """The planner's view-scan estimate must equal the gates the

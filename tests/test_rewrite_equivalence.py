@@ -1,0 +1,178 @@
+"""Property-style rewrite equivalence: view plan ≡ NM fallback.
+
+The compiler's core correctness claim: for **any** :class:`LogicalQuery`
+— any mix of aggregates, GROUP BY, residual predicate — answering via a
+(loss-free) materialized view plan and via the NM fallback join returns
+*identical* pre-noise aggregates, and routing choice never changes the
+realized privacy loss for identical budgets.
+
+Workloads are randomized per seed; the view runs EP with ω large enough
+that truncation never drops a pair, so view state == exact join and any
+disagreement between the two physical plans is a compiler bug, not an
+approximation artifact.
+"""
+
+import numpy as np
+import pytest
+
+from repro.common.types import RecordBatch, Schema
+from repro.core.view_def import JoinViewDefinition
+from repro.query.ast import (
+    AggregateSpec,
+    ColumnEquals,
+    ColumnRange,
+    GroupBySpec,
+    LogicalQuery,
+)
+from repro.query.planner import NM_JOIN, VIEW_SCAN, QueryPlan
+from repro.query.rewrite import lower_to_view_scan
+from repro.server.database import IncShrinkDatabase, ViewRegistration
+
+PROBE_SCHEMA = Schema(("key", "ots"))
+DRIVER_SCHEMA = Schema(("key", "sts"))
+KEY_DOMAIN = 5
+N_STEPS = 4
+
+VIEW = JoinViewDefinition(
+    name="prop",
+    probe_table="orders",
+    probe_schema=PROBE_SCHEMA,
+    probe_key="key",
+    probe_ts="ots",
+    driver_table="shipments",
+    driver_schema=DRIVER_SCHEMA,
+    driver_key="key",
+    driver_ts="sts",
+    window_lo=0,
+    window_hi=3,
+    # ω exceeds any possible per-driver multiplicity (≤ 4 probe rows per
+    # step × 4 steps) and the budget survives every invocation, so the EP
+    # view materializes the exact join.
+    omega=16,
+    budget=256,
+)
+
+
+def random_workload(rng):
+    steps = []
+    for t in range(1, N_STEPS + 1):
+        n_probe = int(rng.integers(0, 5))
+        n_driver = int(rng.integers(0, 4))
+        probe = np.column_stack(
+            [rng.integers(0, KEY_DOMAIN, n_probe), np.full(n_probe, t)]
+        ).astype(np.uint32)
+        driver = np.column_stack(
+            [rng.integers(0, KEY_DOMAIN, n_driver), np.full(n_driver, t)]
+        ).astype(np.uint32)
+        steps.append((t, probe, driver))
+    return steps
+
+
+def build_database(steps, mode="ep", seed=0, **registration_kwargs):
+    db = IncShrinkDatabase(total_epsilon=50.0, seed=seed)
+    db.register_view(ViewRegistration(VIEW, mode=mode, **registration_kwargs))
+    dropped = 0
+    for t, probe_rows, driver_rows in steps:
+        probe = RecordBatch(PROBE_SCHEMA, probe_rows).padded_to(5)
+        driver = RecordBatch(DRIVER_SCHEMA, driver_rows).padded_to(4)
+        db.upload(t, {"orders": probe, "shipments": driver})
+        dropped += db.step(t).view(VIEW.name).truncation_dropped
+    assert dropped == 0, "ω/b must be loss-free for the equivalence property"
+    return db
+
+
+def random_query(rng) -> LogicalQuery:
+    pool = [
+        AggregateSpec.count(),
+        AggregateSpec.sum_of("orders", "ots"),
+        AggregateSpec.sum_of("shipments", "sts"),
+        AggregateSpec.avg_of("shipments", "sts"),
+    ]
+    picks = sorted(
+        rng.choice(len(pool), size=int(rng.integers(1, len(pool) + 1)), replace=False)
+    )
+    group_by = None
+    if rng.random() < 0.5:
+        group_by = GroupBySpec("orders", "key", tuple(range(KEY_DOMAIN)))
+    predicate = None
+    roll = rng.random()
+    if roll < 0.3:
+        predicate = ColumnEquals("orders", "key", int(rng.integers(0, KEY_DOMAIN)))
+    elif roll < 0.6:
+        lo = int(rng.integers(1, N_STEPS + 1))
+        predicate = ColumnRange(
+            "shipments", "sts", lo, int(rng.integers(lo, N_STEPS + 1))
+        )
+    return LogicalQuery.for_view(
+        VIEW, *[pool[i] for i in picks], group_by=group_by, predicate=predicate
+    )
+
+
+def forced_view_plan(query: LogicalQuery) -> QueryPlan:
+    return QueryPlan(
+        kind=VIEW_SCAN,
+        view_name=VIEW.name,
+        view_query=lower_to_view_scan(query, VIEW),
+        estimated_gates=0,
+        estimated_seconds=0.0,
+    )
+
+
+FORCED_NM = QueryPlan(
+    kind=NM_JOIN, view_name=None, view_query=None,
+    estimated_gates=0, estimated_seconds=0.0,
+)
+
+
+class TestViewVersusNMEquivalence:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_identical_pre_noise_aggregates(self, seed):
+        rng = np.random.default_rng(seed)
+        db = build_database(random_workload(rng))
+        t = N_STEPS
+        for _ in range(4):
+            query = random_query(rng)
+            via_view = db.query(query, t, plan=forced_view_plan(query))
+            via_nm = db.query(query, t, plan=FORCED_NM)
+            assert via_view.answers.rows == via_nm.answers.rows, query
+            assert via_view.answers.columns == via_nm.answers.columns
+            assert via_view.answers.group_keys == via_nm.answers.group_keys
+            # Both equal the plaintext ground truth (the view is loss-free).
+            assert via_view.answers.rows == via_view.logical_answers.rows
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_planner_routed_answer_matches_forced_routes(self, seed):
+        rng = np.random.default_rng(50 + seed)
+        db = build_database(random_workload(rng))
+        query = random_query(rng)
+        routed = db.query(query, N_STEPS)
+        forced = db.query(query, N_STEPS, plan=FORCED_NM)
+        assert routed.answers.rows == forced.answers.rows
+
+
+class TestEpsilonEquivalence:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_identical_realized_epsilon_for_identical_budgets(self, seed):
+        """Routing (view scan vs NM join) is a pure physical choice: two
+        identically-built DP deployments answering the same queries via
+        different routes must report byte-identical realized ε."""
+        rng = np.random.default_rng(seed)
+        steps = random_workload(rng)
+        queries = [random_query(rng) for _ in range(3)]
+        db_view = build_database(steps, mode="dp-timer", seed=3, timer_interval=1)
+        db_nm = build_database(steps, mode="dp-timer", seed=3, timer_interval=1)
+        for query in queries:
+            db_view.query(query, N_STEPS, plan=forced_view_plan(query))
+            db_nm.query(query, N_STEPS, plan=FORCED_NM)
+        assert db_view.realized_epsilon() == db_nm.realized_epsilon()
+
+    def test_noisy_queries_spend_identically_on_either_route(self):
+        rng = np.random.default_rng(99)
+        steps = random_workload(rng)
+        query = random_query(rng)
+        db_view = build_database(steps, seed=5)
+        db_nm = build_database(steps, seed=5)
+        db_view.query(query, N_STEPS, plan=forced_view_plan(query), epsilon=0.7)
+        db_nm.query(query, N_STEPS, plan=FORCED_NM, epsilon=0.7)
+        assert db_view.query_epsilon() == db_nm.query_epsilon() == pytest.approx(0.7)
+        assert db_view.realized_epsilon() == db_nm.realized_epsilon()
