@@ -1,0 +1,228 @@
+"""Shard-scaling baseline of the parallel scan engine — BENCH_shard.json.
+
+Runs the same 3-aggregate GROUP BY dashboard scan over one fixed
+synthetic view at 1/2/4/8 shards and records, per shard count:
+
+* the **simulated wall clock** — the cost model's parallelism-aware
+  estimate ``gates / (throughput × effective_workers)``, the number the
+  planner prices shard counts with and experiments report as protocol
+  runtime (the repo-wide definition of a protocol's wall clock);
+* the **simulated throughput** (gates per simulated second) the lanes
+  sustain together;
+* the **measured host seconds** of the Python simulation itself —
+  informational: on a multi-core host the numpy shard scans overlap (the
+  big array ops release the GIL); on a single-core CI runner they
+  serialise, which says nothing about the simulated 2PC deployment the
+  cost model prices;
+* the equivalence checks: byte-identical answers and identical gate
+  totals at every shard count.
+
+Plus the snapshot size delta between a 1-shard and a 4-shard deployment
+of the same state (the v2 format stores per-shard tables — the delta is
+bookkeeping, not data).
+
+The recorded JSON is the regression baseline future PRs must beat (or at
+least not quietly lose).
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+import time as _time
+from pathlib import Path
+
+import numpy as np
+from conftest import emit
+
+from repro.common.rng import spawn
+from repro.common.types import RecordBatch, Schema
+from repro.core.view_def import JoinViewDefinition
+from repro.mpc.runtime import MPCRuntime
+from repro.query.ast import AggregateSpec, GroupBySpec, LogicalQuery
+from repro.query.parallel import ParallelScanExecutor
+from repro.query.rewrite import lower_to_view_scan
+from repro.server.database import IncShrinkDatabase, ViewRegistration
+from repro.server.persistence import snapshot_database
+from repro.server.sharding import ShardLayout
+from repro.sharing.shared_value import SharedTable
+from repro.storage.materialized_view import MaterializedView
+
+BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_shard.json"
+
+SHARD_COUNTS = (1, 2, 4, 8)
+VIEW_ROWS = 60_000
+WALL_REPEATS = 5
+
+PROBE_SCHEMA = Schema(("key", "ots"))
+DRIVER_SCHEMA = Schema(("key", "sts"))
+
+
+def _view_def() -> JoinViewDefinition:
+    return JoinViewDefinition(
+        name="bench",
+        probe_table="orders",
+        probe_schema=PROBE_SCHEMA,
+        probe_key="key",
+        probe_ts="ots",
+        driver_table="shipments",
+        driver_schema=DRIVER_SCHEMA,
+        driver_key="key",
+        driver_ts="sts",
+        window_lo=0,
+        window_hi=2,
+        omega=2,
+        budget=6,
+    )
+
+
+def _dashboard(vd: JoinViewDefinition) -> LogicalQuery:
+    return LogicalQuery.for_view(
+        vd,
+        AggregateSpec.count(),
+        AggregateSpec.sum_of("shipments", "sts"),
+        AggregateSpec.avg_of("shipments", "sts"),
+        group_by=GroupBySpec("orders", "key", (0, 1, 2, 3)),
+    )
+
+
+def _fixed_view(n_shards: int) -> MaterializedView:
+    """The benchmark view: VIEW_ROWS identical synthetic rows, scattered."""
+    vd = _view_def()
+    gen = np.random.default_rng(42)
+    rows = gen.integers(0, 8, size=(VIEW_ROWS, vd.view_schema.width)).astype(
+        np.uint32
+    )
+    flags = gen.integers(0, 2, size=VIEW_ROWS).astype(np.uint32)
+    table = SharedTable.from_plain(vd.view_schema, rows, flags, spawn(5, "bench"))
+    view = MaterializedView(vd.view_schema, layout=ShardLayout(n_shards))
+    view.append(table, count_as_update=False)
+    return view
+
+
+def _snapshot_bytes(n_shards: int, tmp_dir: str) -> int:
+    """Snapshot one identically-fed deployment at the given shard count."""
+    db = IncShrinkDatabase(total_epsilon=100.0, seed=3, n_shards=n_shards)
+    db.register_view(ViewRegistration(_view_def(), mode="ep"))
+    gen = np.random.default_rng(8)
+    for t in (1, 2, 3):
+        probe = gen.integers(0, 4, size=(6, 2)).astype(np.uint32)
+        driver = gen.integers(0, 4, size=(6, 2)).astype(np.uint32)
+        db.upload(
+            t,
+            {
+                "orders": RecordBatch(PROBE_SCHEMA, probe).padded_to(8),
+                "shipments": RecordBatch(DRIVER_SCHEMA, driver).padded_to(8),
+            },
+        )
+        db.step(t)
+    info = snapshot_database(db, Path(tmp_dir) / f"shards-{n_shards}.snap")
+    return info.bytes_written
+
+
+def _run_shard_scaling() -> dict:
+    vd = _view_def()
+    plan = lower_to_view_scan(_dashboard(vd), vd)
+    executor = ParallelScanExecutor()
+
+    records = []
+    baseline_answer = None
+    baseline_gates = None
+    baseline_sim_wall = None
+    for k in SHARD_COUNTS:
+        runtime = MPCRuntime(seed=0)
+        view = _fixed_view(k)
+        t0 = _time.perf_counter()
+        for _ in range(WALL_REPEATS):
+            answer, sim_wall = executor.execute(runtime, 0, view, plan)
+        measured = (_time.perf_counter() - t0) / WALL_REPEATS
+        gates = runtime.runs[-1].gates
+        if k == 1:
+            baseline_answer, baseline_gates, baseline_sim_wall = (
+                answer,
+                gates,
+                sim_wall,
+            )
+        records.append(
+            {
+                "n_shards": k,
+                "effective_workers": runtime.cost_model.effective_workers(k),
+                "total_gates": gates,
+                "simulated_wall_seconds": sim_wall,
+                "simulated_throughput_gates_per_s": gates / sim_wall,
+                "measured_host_seconds": measured,
+                "wall_clock_speedup_vs_1_shard": baseline_sim_wall / sim_wall,
+                "answers_match_1_shard": answer == baseline_answer,
+                "gates_match_1_shard": gates == baseline_gates,
+                "shard_rows": list(view.shard_lengths()),
+            }
+        )
+
+    with tempfile.TemporaryDirectory() as tmp_dir:
+        snap_1 = _snapshot_bytes(1, tmp_dir)
+        snap_4 = _snapshot_bytes(4, tmp_dir)
+
+    by_shards = {r["n_shards"]: r for r in records}
+    return {
+        "benchmark": "shard_scaling",
+        "view_rows": VIEW_ROWS,
+        "group_by_cells": 4,
+        "aggregates": 3,
+        "records": records,
+        # Headline: the parallelism-aware wall-clock speedup at 4 shards
+        # (the acceptance bar of the sharding refactor: >= 2x).
+        "wall_clock_speedup_4_shards": by_shards[4][
+            "wall_clock_speedup_vs_1_shard"
+        ],
+        "wall_clock_speedup_8_shards": by_shards[8][
+            "wall_clock_speedup_vs_1_shard"
+        ],
+        "snapshot_bytes_1_shard": snap_1,
+        "snapshot_bytes_4_shards": snap_4,
+        "snapshot_bytes_delta": snap_4 - snap_1,
+    }
+
+
+def test_bench_shard_scaling(benchmark):
+    result = benchmark.pedantic(_run_shard_scaling, rounds=1, iterations=1)
+
+    # Equivalence at every shard count: same answers, same total gates.
+    for record in result["records"]:
+        assert record["answers_match_1_shard"], record
+        assert record["gates_match_1_shard"], record
+        shard_rows = record["shard_rows"]
+        assert sum(shard_rows) == result["view_rows"]
+        assert max(shard_rows) - min(shard_rows) <= 1
+
+    # The acceptance bar of the sharding refactor: >= 2x wall-clock
+    # speedup at 4 shards over 1 shard on the benchmark view.
+    assert result["wall_clock_speedup_4_shards"] >= 2.0
+    # Wall clock is monotone non-increasing in the shard count.
+    walls = [r["simulated_wall_seconds"] for r in result["records"]]
+    assert all(a >= b for a, b in zip(walls, walls[1:]))
+    # The per-shard snapshot layout costs bookkeeping, not data: the
+    # 4-shard snapshot stays within 25% of the single-shard one.
+    assert result["snapshot_bytes_delta"] < 0.25 * result["snapshot_bytes_1_shard"]
+
+    BENCH_PATH.write_text(json.dumps(result, indent=2) + "\n", encoding="utf8")
+
+    lines = [
+        "parallel shard-scaling baseline "
+        f"({result['view_rows']} view rows, 3 aggregates x 4 groups)"
+    ]
+    for r in result["records"]:
+        lines.append(
+            f"  {r['n_shards']} shard(s): {r['simulated_wall_seconds']:.4f} s "
+            f"simulated wall ({r['wall_clock_speedup_vs_1_shard']:.2f}x), "
+            f"{r['simulated_throughput_gates_per_s']/1e6:.1f} Mgates/s, "
+            f"{r['measured_host_seconds']*1e3:.1f} ms host, "
+            f"gates+answers identical: "
+            f"{r['gates_match_1_shard'] and r['answers_match_1_shard']}"
+        )
+    lines.append(
+        f"  snapshot bytes: {result['snapshot_bytes_1_shard']} (1 shard) -> "
+        f"{result['snapshot_bytes_4_shards']} (4 shards, "
+        f"delta {result['snapshot_bytes_delta']})"
+    )
+    lines.append(f"  -> recorded to {BENCH_PATH.name}")
+    emit("\n".join(lines))

@@ -46,12 +46,13 @@ from .server import (
     DatabaseServer,
     IncShrinkDatabase,
     ReadSession,
+    ShardLayout,
     ViewRegistration,
     restore_database,
     snapshot_database,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "MetricSummary",
@@ -78,6 +79,7 @@ __all__ = [
     "DatabaseServer",
     "IncShrinkDatabase",
     "ReadSession",
+    "ShardLayout",
     "ViewRegistration",
     "restore_database",
     "snapshot_database",

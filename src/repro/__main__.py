@@ -6,8 +6,8 @@ Usage::
     python -m repro figure5 --dataset cpdb --steps 160
     python -m repro figure8 --steps 120
     python -m repro run --dataset tpcds --mode dp-ant --epsilon 0.5
-    python -m repro multiview --dataset tpcds --steps 96 --epsilon 3.0
-    python -m repro serve --steps 48 --snapshot deploy.snap --clients 2
+    python -m repro multiview --dataset tpcds --steps 96 --epsilon 3.0 --shards 4
+    python -m repro serve --steps 48 --snapshot deploy.snap --clients 2 --shards 4
     python -m repro resume --snapshot deploy.snap
     python -m repro query --steps 24 --count --sum Returns:return_date \
         --group-by Sales:product_id:0,1,2,3
@@ -113,6 +113,10 @@ def _build_parser() -> argparse.ArgumentParser:
     mv.add_argument("--steps", type=int, default=96)
     mv.add_argument("--seed", type=int, default=0)
     mv.add_argument("--query-every", type=int, default=4)
+    mv.add_argument(
+        "--shards", type=int, default=1,
+        help="round-robin shard count for every view (parallel scans)",
+    )
 
     serve = sub.add_parser(
         "serve",
@@ -123,6 +127,10 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--steps", type=int, default=48)
     serve.add_argument("--seed", type=int, default=0)
     serve.add_argument("--query-every", type=int, default=4)
+    serve.add_argument(
+        "--shards", type=int, default=1,
+        help="round-robin shard count for every view (parallel scans)",
+    )
     serve.add_argument("--clients", type=int, default=2, help="read sessions")
     serve.add_argument("--snapshot", default=None, help="snapshot file path")
     serve.add_argument(
@@ -158,6 +166,11 @@ def _build_parser() -> argparse.ArgumentParser:
     qp.add_argument("--dataset", choices=["tpcds", "cpdb"], default="tpcds")
     qp.add_argument("--steps", type=int, default=24, help="live-build stream length")
     qp.add_argument("--seed", type=int, default=0)
+    qp.add_argument(
+        "--shards", type=int, default=None,
+        help="shard count: live builds use it directly; a restored "
+        "snapshot is resharded in place when it differs",
+    )
     qp.add_argument(
         "--view", default=None,
         help="registered view naming the join to query (default: first registered)",
@@ -326,6 +339,7 @@ def _cmd_serve(args) -> None:
         seed=args.seed,
         total_epsilon=args.epsilon,
         query_every=args.query_every,
+        n_shards=args.shards,
     )
     deployment = build_multiview_deployment(config)
     server = DatabaseServer(
@@ -512,11 +526,20 @@ def _cmd_query(args) -> None:
     if args.snapshot is not None:
         restored = restore_database(args.snapshot)
         db = restored.database
+        if args.shards is not None and args.shards != db.n_shards:
+            # Share-local re-partition: answers, gates, and ε unchanged.
+            db.reshard(args.shards)
         time_at = int(restored.metadata.get("last_time", 0))
-        source = f"snapshot {args.snapshot} (step {time_at})"
+        source = f"snapshot {args.snapshot} (step {time_at}), {db.n_shards} shard(s)"
     else:
         config = MultiViewRunConfig(
-            dataset=args.dataset, n_steps=args.steps, seed=args.seed
+            dataset=args.dataset,
+            n_steps=args.steps,
+            seed=args.seed,
+            # None (flag absent) defaults to one shard; invalid counts
+            # like 0 reach ShardLayout and fail there, uniformly with
+            # the snapshot/serve/multiview paths.
+            n_shards=1 if args.shards is None else args.shards,
         )
         deployment = build_multiview_deployment(config)
         db = deployment.database
@@ -550,8 +573,9 @@ def _cmd_query(args) -> None:
     )
     plan = result.plan
     target = plan.view_name or "NM join over base stores"
+    lanes = f" x {plan.n_shards} shards" if plan.n_shards > 1 else ""
     print(
-        f"plan: {plan.kind} -> {target} "
+        f"plan: {plan.kind} -> {target}{lanes} "
         f"({plan.estimated_gates} est. gates); "
         f"QET {result.observation.qet_seconds:.6f} s (simulated)"
     )
@@ -588,6 +612,7 @@ def main(argv: list[str] | None = None) -> int:
                 seed=args.seed,
                 total_epsilon=args.epsilon,
                 query_every=args.query_every,
+                n_shards=args.shards,
             )
         )
         print(_format_multiview(result))

@@ -206,6 +206,9 @@ class MultiViewRunConfig:
     join_impl: str = "sort-merge"
     flush_interval: int = 30
     nm_fallback: bool = True
+    #: Round-robin shard count for every view/cache (1 = the paper's
+    #: flat layout); view scans run one shard per worker thread.
+    n_shards: int = 1
     cost_model: CostModel | None = None
 
     def with_overrides(self, **kwargs) -> "MultiViewRunConfig":
@@ -309,6 +312,7 @@ def build_multiview_deployment(config: MultiViewRunConfig) -> MultiViewDeploymen
         seed=config.seed,
         cost_model=config.cost_model,
         nm_fallback=config.nm_fallback,
+        n_shards=config.n_shards,
     )
     common = dict(
         timer_interval=timer_interval,

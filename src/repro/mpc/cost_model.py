@@ -40,12 +40,19 @@ class CostModel:
     laplace_gates:
         Fixed circuit size of the joint noise sampler: fixed-point ``ln``
         plus sign handling.  A constant because input size is constant.
+    max_parallel_workers:
+        Simulated evaluator lanes the deployment can run concurrently —
+        the cap on how many shard scans overlap.  A sharded query's
+        wall-clock estimate divides the serial time by
+        :meth:`effective_workers`; shard counts beyond the cap still
+        split the data but no longer shorten the critical path.
     """
 
     gates_per_second: float = 5.0e6
     compare_gates_per_bit: int = 2
     mux_gates_per_bit: int = 1
     laplace_gates: int = 20_000
+    max_parallel_workers: int = 8
 
     # -- primitive costs -------------------------------------------------
     def compare_exchange_gates(self, payload_words: int, key_words: int = 1) -> int:
@@ -131,6 +138,21 @@ class CostModel:
     def seconds(self, gates: int | float) -> float:
         """Simulated wall-clock seconds for ``gates`` AND gates."""
         return float(gates) / self.gates_per_second
+
+    def effective_workers(self, n_shards: int) -> int:
+        """Evaluator lanes a scan over ``n_shards`` shards actually uses."""
+        return max(1, min(int(n_shards), self.max_parallel_workers))
+
+    def parallel_seconds(self, gates: int | float, n_shards: int = 1) -> float:
+        """Wall-clock estimate of ``gates`` spread over ``n_shards`` shards.
+
+        ``gates / (throughput × effective_workers)``: the round-robin
+        layout balances shard sizes to within one row, so the critical
+        path is the serial time divided by the usable lanes.  One shard
+        degenerates to :meth:`seconds` exactly — single-shard deployments
+        price (and report) identically to the pre-sharding engine.
+        """
+        return self.seconds(gates) / self.effective_workers(n_shards)
 
 
 #: Model used throughout unless an experiment overrides it.

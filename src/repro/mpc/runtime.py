@@ -76,10 +76,19 @@ class ProtocolContext:
     operations of oblivious operators go through this object.
     """
 
-    def __init__(self, runtime: "MPCRuntime", name: str, time: int) -> None:
+    def __init__(
+        self,
+        runtime: "MPCRuntime",
+        name: str,
+        time: int,
+        shard: tuple[int, int] | None = None,
+    ) -> None:
         self._runtime = runtime
         self.name = name
         self.time = time
+        #: ``(shard_index, n_shards)`` when this context evaluates one
+        #: shard of a parallel protocol; None for whole-state protocols.
+        self.shard = shard
         self.gates = 0
         self._open = True
 
@@ -87,22 +96,47 @@ class ProtocolContext:
     def _close(self) -> None:
         self._open = False
 
-    def _require_open(self) -> None:
+    def _describe(self) -> str:
+        if self.shard is None:
+            return f"protocol scope {self.name!r}"
+        index, total = self.shard
+        return f"protocol scope {self.name!r} (shard {index + 1}/{total})"
+
+    def _require_open(self, operation: str = "plaintext operation") -> None:
         if not self._open:
             raise SecurityError(
-                f"protocol scope {self.name!r} already closed; "
-                "plaintext operations are no longer permitted"
+                f"{operation} on {self._describe()} rejected: the scope is "
+                "already closed, and plaintext operations are permitted "
+                "only while the protocol is executing"
+            )
+
+    def _require_unsharded(self, operation: str) -> None:
+        """Randomness-consuming operations are whole-state only.
+
+        Shard contexts of a parallel protocol run on worker threads;
+        letting them draw from the servers' RNG streams would interleave
+        ``contribute_u32`` calls nondeterministically across threads and
+        silently break the byte-identical-restore guarantee.  Fail loudly
+        instead.
+        """
+        if self.shard is not None:
+            raise ProtocolError(
+                f"{operation} on {self._describe()} rejected: shard "
+                "contexts are reveal/charge surfaces only — "
+                "randomness-consuming operations must run in a "
+                "whole-state protocol scope so the servers' RNG streams "
+                "stay deterministic"
             )
 
     # -- plaintext boundary -------------------------------------------------
     def reveal(self, shared: SharedArray) -> np.ndarray:
         """Recombine shares inside the protocol (never leaves the scope)."""
-        self._require_open()
+        self._require_open("reveal")
         return shared._recover()
 
     def reveal_table(self, table: SharedTable) -> tuple[np.ndarray, np.ndarray]:
         """Recombine a shared table into ``(rows, flag_bits)``."""
-        self._require_open()
+        self._require_open("reveal_table")
         rows = table.rows._recover()
         flags = table.flags._recover().astype(bool)
         return rows, flags
@@ -113,7 +147,8 @@ class ProtocolContext:
         The mask is derived from fresh contributions of *both* servers
         (Section 5.1), so neither can predict the resulting shares.
         """
-        self._require_open()
+        self._require_open("share_array")
+        self._require_unsharded("share_array")
         values = np.asarray(values, dtype=np.uint32)
         z0 = self._runtime.server0.contribute_u32(values.size).reshape(values.shape)
         z1 = self._runtime.server1.contribute_u32(values.size).reshape(values.shape)
@@ -123,7 +158,8 @@ class ProtocolContext:
     def share_table(
         self, schema: Schema, rows: np.ndarray, flags: np.ndarray
     ) -> SharedTable:
-        self._require_open()
+        self._require_open("share_table")
+        self._require_unsharded("share_table")
         rows = np.asarray(rows, dtype=np.uint32)
         if rows.ndim != 2:
             rows = rows.reshape(-1, schema.width)
@@ -139,7 +175,8 @@ class ProtocolContext:
         This is the randomness source of the joint noise protocol: uniform
         as long as at least one server samples honestly.
         """
-        self._require_open()
+        self._require_open("joint_uniform_u32")
+        self._require_unsharded("joint_uniform_u32")
         z0 = self._runtime.server0.contribute_u32(n)
         z1 = self._runtime.server1.contribute_u32(n)
         return z0 ^ z1
@@ -150,7 +187,7 @@ class ProtocolContext:
         return self._runtime.cost_model
 
     def charge_gates(self, gates: int | float) -> None:
-        self._require_open()
+        self._require_open("charge_gates")
         self.gates += int(gates)
 
     def charge_compare_exchanges(self, count: int, payload_words: int) -> None:
@@ -185,6 +222,53 @@ class ProtocolContext:
         self._runtime.transcript.publish(self.time, self.name, kind, **payload)
 
 
+class ParallelProtocolGroup:
+    """One protocol invocation fanned out over per-shard contexts.
+
+    Created by :meth:`MPCRuntime.parallel_protocol`.  Each shard scan
+    runs against its own :class:`ProtocolContext` — an independent gate
+    counter, safe to drive from a worker thread — while the group as a
+    whole still occupies the runtime's single protocol slot (shard scans
+    of *one* query overlap; distinct protocols still never nest).  On
+    exit the group logs **one** :class:`ProtocolRun` whose gate total is
+    the sum over shards — byte-identical to the unsharded charge — and
+    whose seconds are the cost model's parallelism-aware wall-clock
+    estimate :meth:`~repro.mpc.cost_model.CostModel.parallel_seconds`.
+
+    Shard contexts are reveal/charge surfaces only: they own no
+    randomness, so concurrent shard scans cannot perturb (or race on)
+    the servers' deterministic RNG streams.
+    """
+
+    def __init__(
+        self, runtime: "MPCRuntime", name: str, time: int, n_shards: int
+    ) -> None:
+        if n_shards < 1:
+            raise ProtocolError(f"n_shards must be >= 1, got {n_shards}")
+        self.name = name
+        self.time = time
+        self.contexts = [
+            ProtocolContext(runtime, name, time, shard=(i, n_shards))
+            for i in range(n_shards)
+        ]
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.contexts)
+
+    @property
+    def gates(self) -> int:
+        """Total gates charged across every shard context so far."""
+        return sum(ctx.gates for ctx in self.contexts)
+
+    def seconds(self, cost_model: CostModel) -> float:
+        return cost_model.parallel_seconds(self.gates, self.n_shards)
+
+    def _close(self) -> None:
+        for ctx in self.contexts:
+            ctx._close()
+
+
 class MPCRuntime:
     """Owns the two servers, the transcript, and the protocol ledger."""
 
@@ -198,7 +282,7 @@ class MPCRuntime:
         self.cost_model = cost_model or DEFAULT_COST_MODEL
         self.transcript = Transcript()
         self.runs: list[ProtocolRun] = []
-        self._active: ProtocolContext | None = None
+        self._active: ProtocolContext | ParallelProtocolGroup | None = None
         #: generator for owner-side sharing (outside any protocol scope)
         self.owner_gen = spawn(seed, "owner-sharing")
 
@@ -222,6 +306,35 @@ class MPCRuntime:
             ctx._close()
             self._active = None
             self.runs.append(ProtocolRun(name, time, ctx.gates, ctx.seconds))
+
+    @contextmanager
+    def parallel_protocol(
+        self, name: str, time: int = 0, n_shards: int = 1
+    ) -> Iterator[ParallelProtocolGroup]:
+        """Open one protocol as a group of per-shard contexts.
+
+        The group occupies the same single protocol slot as
+        :meth:`protocol` — a parallel scan is still *one* circuit
+        invocation from the deployment's point of view; only its shard
+        lanes overlap — and logs one merged :class:`ProtocolRun` on exit
+        (total gates summed over shards, seconds from
+        :meth:`~repro.mpc.cost_model.CostModel.parallel_seconds`).
+        """
+        if self._active is not None:
+            raise ProtocolError(
+                f"protocol {self._active.name!r} is already executing; "
+                "protocols are independent circuits and do not nest"
+            )
+        group = ParallelProtocolGroup(self, name, time, n_shards)
+        self._active = group
+        try:
+            yield group
+        finally:
+            group._close()
+            self._active = None
+            self.runs.append(
+                ProtocolRun(name, time, group.gates, group.seconds(self.cost_model))
+            )
 
     # -- convenience for owners (outside protocol scopes) -------------------
     def owner_share_table(

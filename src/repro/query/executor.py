@@ -50,7 +50,7 @@ from .ast import (
 )
 
 
-def _clause_mask(
+def clause_mask(
     clauses, schema, rows: np.ndarray
 ) -> np.ndarray | None:
     """Boolean mask of rows passing every lowered interval clause.
@@ -69,7 +69,7 @@ def _clause_mask(
     return mask
 
 
-def _assemble_answer(
+def assemble_answer(
     aggregates,  # sequence of (kind, name, sum_slot | None)
     group_keys: tuple[int, ...] | None,
     counts: np.ndarray,
@@ -122,7 +122,7 @@ def aggregate_plain(
         )
         for agg in plan.aggregates
     ]
-    mask = _clause_mask(plan.clauses, schema, rows)
+    mask = clause_mask(plan.clauses, schema, rows)
     if mask is None:
         mask = np.ones(len(rows), dtype=bool)
     counts, sums = fold_aggregates(
@@ -135,7 +135,7 @@ def aggregate_plain(
         ),
         group_domain=plan.group_domain,
     )
-    return _assemble_answer(aggregates, plan.group_domain, counts, sums)
+    return assemble_answer(aggregates, plan.group_domain, counts, sums)
 
 
 def execute_view_scan(
@@ -162,7 +162,7 @@ def execute_view_scan(
     ]
     with runtime.protocol("query", time) as ctx:
         rows, flags = ctx.reveal_table(view.table)
-        mask = _clause_mask(plan.clauses, schema, rows)
+        mask = clause_mask(plan.clauses, schema, rows)
         counts, sums = oblivious_multi_aggregate(
             ctx,
             rows,
@@ -176,7 +176,7 @@ def execute_view_scan(
             plan.predicate_words,
         )
         seconds = ctx.seconds
-    return _assemble_answer(aggregates, plan.group_domain, counts, sums), seconds
+    return assemble_answer(aggregates, plan.group_domain, counts, sums), seconds
 
 
 def execute_nm_query(
@@ -249,7 +249,7 @@ def execute_nm_query(
             pair_predicate=view_def.pair_predicate,
         )
         seconds = ctx.seconds
-    return _assemble_answer(aggregates, group_domain, counts, sums), seconds
+    return assemble_answer(aggregates, group_domain, counts, sums), seconds
 
 
 def execute_view_count(

@@ -1,0 +1,173 @@
+"""Parallel oblivious view scans over sharded materialized views.
+
+The paper's query path is one padded linear scan over the whole view
+(Appendix A.1.1); PR 3's compiler folds every aggregate of every group
+into that single pass, which leaves the pass itself as the bottleneck:
+latency grows with the view's total (real + dummy) size.  With the view
+stored in round-robin shards (:mod:`repro.server.sharding`), the scan
+decomposes perfectly — per-row accumulation is associative and touches
+no cross-row state — so :class:`ParallelScanExecutor` runs
+:func:`~repro.oblivious.filter.oblivious_multi_aggregate` once per shard
+on a thread pool, each shard under its own
+:class:`~repro.mpc.runtime.ProtocolContext`, and merges the per-shard
+accumulators share-locally (plain ring addition of count/sum slots).
+
+Equivalence to the serial engine is exact, not approximate:
+
+* **answers** — per-shard counts add in Z, per-shard sums add in
+  Z_{2^64}, exactly the order-independent folds the one-pass scan
+  performs, so the merged :class:`~repro.query.ast.QueryAnswer` is
+  byte-identical;
+* **gates** — every shard charges the same per-row formula over its own
+  rows; the merged :class:`~repro.mpc.runtime.ProtocolRun` totals
+  ``Σ n_i × per_row = n × per_row``, identical to the unsharded charge;
+* **privacy** — scans neither consume randomness nor release anything,
+  so the realized ε is untouched either way.
+
+Only the *wall clock* changes: the merged run's seconds come from
+:meth:`~repro.mpc.cost_model.CostModel.parallel_seconds`, the
+``gates / (throughput × effective_workers)`` estimate the planner also
+prices shard counts with.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor, wait
+
+import numpy as np
+
+from ..common.errors import ConfigurationError
+from ..mpc.runtime import MPCRuntime, ProtocolContext
+from ..oblivious.filter import oblivious_multi_aggregate
+from ..sharing.shared_value import SharedTable
+from ..storage.materialized_view import MaterializedView
+from .ast import QueryAnswer, ViewScanPlan
+from .executor import assemble_answer, clause_mask
+
+
+#: Process-wide worker pools, one per distinct size.  Shared across every
+#: executor (and therefore every database) so a process that constructs
+#: many deployments — the randomized equivalence suite, a server that
+#: restores repeatedly — holds a *bounded* number of idle worker threads
+#: instead of one pool per database instance.
+_SHARED_POOLS: dict[int, ThreadPoolExecutor] = {}
+_SHARED_POOLS_LOCK = threading.Lock()
+
+
+def _shared_pool(max_workers: int) -> ThreadPoolExecutor:
+    with _SHARED_POOLS_LOCK:
+        pool = _SHARED_POOLS.get(max_workers)
+        if pool is None:
+            pool = ThreadPoolExecutor(
+                max_workers=max_workers,
+                thread_name_prefix=f"incshrink-shard-scan-{max_workers}",
+            )
+            _SHARED_POOLS[max_workers] = pool
+        return pool
+
+
+def shutdown_shared_pools() -> None:
+    """Tear down every shared scan pool (idempotent; queries re-open)."""
+    with _SHARED_POOLS_LOCK:
+        for pool in _SHARED_POOLS.values():
+            pool.shutdown(wait=True)
+        _SHARED_POOLS.clear()
+
+
+class ParallelScanExecutor:
+    """Runs one lowered view-scan plan across shards on a thread pool.
+
+    Worker threads come from a process-wide pool shared by every
+    executor of the same size (created lazily, reused across queries);
+    shard scans are pure reveal/charge work on disjoint contexts (no
+    RNG, no shared mutable state), so they parallelise safely.  With one
+    shard — or ``max_workers=1`` — execution is serial and
+    byte-identical to :func:`repro.query.executor.execute_view_scan`,
+    including the logged gate total and simulated seconds.
+    """
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ConfigurationError(
+                f"max_workers must be >= 1, got {max_workers}"
+            )
+        self.max_workers = max_workers or min(32, os.cpu_count() or 1)
+
+    # -- execution ---------------------------------------------------------
+    def execute(
+        self,
+        runtime: MPCRuntime,
+        time: int,
+        view: MaterializedView,
+        plan: ViewScanPlan,
+    ) -> tuple[QueryAnswer, float]:
+        """Answer ``plan`` over every shard of ``view`` concurrently.
+
+        Returns ``(answer, QET)`` like the serial executor; the QET is
+        the parallelism-aware wall-clock estimate of the merged run.
+        """
+        schema = view.schema
+        sum_columns = plan.sum_view_columns
+        aggregates = [
+            (
+                agg.kind,
+                agg.name,
+                sum_columns.index(agg.column) if agg.column is not None else None,
+            )
+            for agg in plan.aggregates
+        ]
+        sum_indices = [schema.index(c) for c in sum_columns]
+        group_column = (
+            schema.index(plan.group_column) if plan.group_column else None
+        )
+        shards = view.shards
+
+        def scan_shard(
+            ctx: ProtocolContext, shard: SharedTable
+        ) -> tuple[np.ndarray, np.ndarray]:
+            rows, flags = ctx.reveal_table(shard)
+            mask = clause_mask(plan.clauses, schema, rows)
+            return oblivious_multi_aggregate(
+                ctx,
+                rows,
+                flags,
+                sum_indices,
+                plan.need_count,
+                group_column,
+                plan.group_domain,
+                mask,
+                schema.width,
+                plan.predicate_words,
+            )
+
+        with runtime.parallel_protocol("query", time, len(shards)) as group:
+            if len(shards) == 1 or self.max_workers == 1:
+                parts = [
+                    scan_shard(ctx, shard)
+                    for ctx, shard in zip(group.contexts, shards)
+                ]
+            else:
+                pool = _shared_pool(self.max_workers)
+                futures = [
+                    pool.submit(scan_shard, ctx, shard)
+                    for ctx, shard in zip(group.contexts, shards)
+                ]
+                # Every shard must settle before the group closes: on a
+                # failure the siblings finish (or fail) first, so the
+                # merged ProtocolRun's gate total is never read while a
+                # worker is still charging, and no worker ever touches a
+                # closed context.  The first failure then re-raises, in
+                # shard order, deterministically.
+                wait(futures)
+                parts = [f.result() for f in futures]
+            # Share-local merge: counts add in Z, sums add in Z_{2^64} —
+            # the same folds the one-pass scan performs, in shard order.
+            counts = parts[0][0].copy()
+            sums = parts[0][1].copy()
+            for part_counts, part_sums in parts[1:]:
+                counts += part_counts
+                sums += part_sums
+            seconds = group.seconds(runtime.cost_model)
+        return assemble_answer(aggregates, plan.group_domain, counts, sums), seconds

@@ -148,10 +148,16 @@ def nm_join_gates(
 # -- candidates and plans ------------------------------------------------------
 @dataclass(frozen=True)
 class ViewCandidate:
-    """One registered view as the planner sees it: definition + public size."""
+    """One registered view as the planner sees it: definition + public size.
+
+    ``n_shards`` is the view's shard count — public layout metadata the
+    wall-clock estimate divides by (sharding never changes the gate
+    total, only how many evaluator lanes share it).
+    """
 
     view_def: JoinViewDefinition
     padded_rows: int
+    n_shards: int = 1
 
 
 @dataclass(frozen=True)
@@ -160,7 +166,9 @@ class QueryPlan:
 
     ``view_query`` is the lowered single-scan plan when ``kind`` is
     :data:`VIEW_SCAN`; NM plans carry no lowering (the executor joins the
-    base stores directly from the logical query).
+    base stores directly from the logical query).  ``n_shards`` records
+    the parallelism the seconds estimate assumed (always 1 for NM joins:
+    the oblivious sort-merge join is a single sequential circuit).
     """
 
     kind: str  # VIEW_SCAN | NM_JOIN
@@ -168,6 +176,7 @@ class QueryPlan:
     view_query: ViewScanPlan | None
     estimated_gates: int
     estimated_seconds: float
+    n_shards: int = 1
 
 
 def plan_query(
@@ -220,7 +229,8 @@ def plan_query(
                 view_name=cand.view_def.name,
                 view_query=view_query,
                 estimated_gates=gates,
-                estimated_seconds=model.seconds(gates),
+                estimated_seconds=model.parallel_seconds(gates, cand.n_shards),
+                n_shards=cand.n_shards,
             )
         )
     if nm_allowed:
@@ -264,4 +274,8 @@ def plan_query(
             f"({lq.probe_table} ⋈ {lq.driver_table}) and the NM "
             "fallback is disabled; register a matching view first"
         )
-    return min(plans, key=lambda p: p.estimated_gates)
+    # Rank by the parallelism-aware wall-clock estimate — a sharded view
+    # can beat a smaller single-shard one on latency — with the gate
+    # total as a deterministic (total-work) tiebreak.  With single-shard
+    # candidates seconds ∝ gates, so the historical ranking is unchanged.
+    return min(plans, key=lambda p: (p.estimated_seconds, p.estimated_gates))

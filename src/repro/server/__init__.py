@@ -28,6 +28,7 @@ from .persistence import (
 )
 from .planner import DatabasePlanner
 from .runtime import DatabaseServer, ReadSession, ReadWriteLock, ServingStats
+from .sharding import SINGLE_SHARD, ShardLayout
 from .scheduler import (
     DatabaseStepReport,
     StepScheduler,
@@ -53,6 +54,8 @@ __all__ = [
     "ReadSession",
     "ReadWriteLock",
     "ServingStats",
+    "SINGLE_SHARD",
+    "ShardLayout",
     "DatabaseStepReport",
     "StepScheduler",
     "TransformGroup",

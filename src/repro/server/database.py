@@ -21,6 +21,11 @@ and DP-Sync motivate for private data federations:
   matching view scan, or to the NM join fallback when that is cheaper
   (or nothing matches and the fallback is enabled); either path answers
   **all aggregates and all groups in one oblivious pass**;
+* views and caches are partitioned by a data-independent round-robin
+  :class:`~repro.server.sharding.ShardLayout` (``n_shards``, default 1);
+  view-scan plans execute one shard per worker thread through the
+  :class:`~repro.query.parallel.ParallelScanExecutor`, byte-identically
+  to the serial scan but at ``1/effective_workers`` of the wall clock;
 * privacy composes through a single shared
   :class:`~repro.dp.accountant.PrivacyAccountant`: the database's total ε
   is split across DP views by the operator-level allocation of
@@ -69,9 +74,9 @@ from ..query.executor import (
     execute_nm_query,
     execute_nm_sum,
     execute_view_count,
-    execute_view_scan,
     execute_view_sum,
 )
+from ..query.parallel import ParallelScanExecutor
 from ..query.planner import VIEW_SCAN, QueryPlan
 from ..query.rewrite import lower_to_view_scan
 from ..storage.growing_db import GrowingDatabase
@@ -79,6 +84,7 @@ from ..storage.materialized_view import MaterializedView
 from ..storage.outsourced_table import OutsourcedTable
 from ..storage.secure_cache import SecureCache
 from .planner import DatabasePlanner
+from .sharding import ShardLayout
 from .scheduler import (
     TRANSFORM_MODES,
     DatabaseStepReport,
@@ -181,6 +187,8 @@ class IncShrinkDatabase:
         nm_fallback: bool = True,
         grid_steps: int = 20,
         multiplicity_hint: float = 1.0,
+        n_shards: int = 1,
+        scan_workers: int | None = None,
     ) -> None:
         if total_epsilon <= 0:
             raise ConfigurationError(
@@ -189,6 +197,13 @@ class IncShrinkDatabase:
         self.total_epsilon = total_epsilon
         self.nm_fallback = nm_fallback
         self.grid_steps = grid_steps
+        #: Round-robin placement of every view's (and cache's) rows — a
+        #: pure function of public lengths, so the layout adds no leakage
+        #: beyond the already-public total sizes.
+        self.shard_layout = ShardLayout(n_shards)
+        #: Parallel scan engine answering view-scan plans one shard per
+        #: worker thread; byte-identical to the serial executor.
+        self.scan_executor = ParallelScanExecutor(max_workers=scan_workers)
         self.runtime = runtime or MPCRuntime(seed=seed, cost_model=cost_model)
         # One ledger for every view's releases; segments are namespaced
         # per view.  Its parallel/sequential compositions are per-release
@@ -320,8 +335,8 @@ class IncShrinkDatabase:
         if group is None:
             group = TransformGroup(signature, vd)
             self.groups[signature] = group
-        cache = SecureCache(vd.view_schema)
-        view = MaterializedView(vd.view_schema)
+        cache = SecureCache(vd.view_schema, layout=self.shard_layout)
+        view = MaterializedView(vd.view_schema, layout=self.shard_layout)
         epsilon = self._allocation.get(vd.name, 0.0)
 
         counter: SharedCounter | None = None
@@ -429,6 +444,31 @@ class IncShrinkDatabase:
         """
         return self._state_version
 
+    # -- sharding ---------------------------------------------------------------
+    @property
+    def n_shards(self) -> int:
+        """Public shard count every view and cache is partitioned into."""
+        return self.shard_layout.n_shards
+
+    def reshard(self, n_shards: int) -> None:
+        """Re-partition every view and cache under a new shard count.
+
+        Entirely share-local (gather then round-robin scatter with
+        public indices): no protocol runs, no randomness is consumed,
+        and no answer, gate charge, or ε changes — only the parallelism
+        available to subsequent scans.  Restoring a v1 (single-shard)
+        snapshot and calling ``reshard(8)`` is the upgrade path to a
+        sharded deployment.
+        """
+        self.finalize()
+        layout = ShardLayout(n_shards)
+        for vr in self.views.values():
+            vr.view.reshard(layout)
+            vr.cache.reshard(layout)
+        self.shard_layout = layout
+        # Shard counts feed the planner's wall-clock estimates.
+        self._state_version += 1
+
     # -- analyst side -----------------------------------------------------------
     def query(
         self,
@@ -463,7 +503,7 @@ class IncShrinkDatabase:
         logical = self._logical_answer_query(lq, time)
         if plan.kind == VIEW_SCAN:
             vr = self.views[plan.view_name]
-            answers, qet = execute_view_scan(
+            answers, qet = self.scan_executor.execute(
                 self.runtime, time, vr.view, plan.view_query
             )
         else:

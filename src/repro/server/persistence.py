@@ -23,7 +23,12 @@ integrity-checked** single-file format:
   streams — byte-identical Shrink noise, resharing, and query answers;
 * the envelope carries a magic string, a format version, and a SHA-256
   digest over the canonical body; any mismatch raises
-  :class:`~repro.common.errors.PersistenceError` and aborts the restore.
+  :class:`~repro.common.errors.PersistenceError` and aborts the restore;
+* the shard layout round-trips (format v2): ``config.n_shards`` plus
+  each view's per-shard tables, so a restored deployment scans with the
+  same parallelism it was checkpointed with.  v1 snapshots (pre-sharding)
+  still restore — as single-shard deployments, upgradeable in place via
+  :meth:`~repro.server.database.IncShrinkDatabase.reshard`.
 
 What is deliberately **not** persisted: the adversary-observable
 transcript and the per-protocol run ledger (append-only observation
@@ -62,7 +67,13 @@ from .database import IncShrinkDatabase, ViewRegistration
 #: File magic — identifies an IncShrink database snapshot.
 SNAPSHOT_MAGIC = "incshrink-snapshot"
 #: Bump on any incompatible change to the body layout.
-SNAPSHOT_VERSION = 1
+#: v2 adds the shard layout: ``config.n_shards`` plus per-shard view
+#: tables (``views[i].view.shards``) in round-robin global order.
+SNAPSHOT_VERSION = 2
+#: Older format versions :func:`restore_database` still reads.  A v1
+#: snapshot predates sharding and restores as a single-shard deployment
+#: (``IncShrinkDatabase.reshard`` is the upgrade path afterwards).
+COMPATIBLE_VERSIONS = (1, SNAPSHOT_VERSION)
 
 #: ``ViewRegistration`` fields that are plain scalars (everything but the
 #: view definition itself).
@@ -312,7 +323,7 @@ def _snapshot_body(db: IncShrinkDatabase, metadata: dict | None) -> dict:
                 "name": name,
                 "cache": intern.ref(vr.cache.snapshot_state()),
                 "view": {
-                    "table": intern.ref(view_state["table"]),
+                    "shards": [intern.ref(t) for t in view_state["shards"]],
                     "update_count": view_state["update_count"],
                 },
                 "counter": (
@@ -341,6 +352,7 @@ def _snapshot_body(db: IncShrinkDatabase, metadata: dict | None) -> dict:
             "nm_fallback": db.nm_fallback,
             "grid_steps": db.grid_steps,
             "multiplicity": db.planner.multiplicity,
+            "n_shards": db.n_shards,
             "cost_model": asdict(runtime.cost_model),
         },
         "registrations": [_encode_registration(s) for s in db.registrations],
@@ -463,10 +475,10 @@ def restore_database(path: str | os.PathLike) -> RestoredDatabase:
     if not isinstance(document, dict) or document.get("magic") != SNAPSHOT_MAGIC:
         raise PersistenceError(f"{path!r} is not an IncShrink snapshot")
     version = document.get("version")
-    if version != SNAPSHOT_VERSION:
+    if version not in COMPATIBLE_VERSIONS:
         raise PersistenceError(
             f"snapshot {path!r} has format version {version!r}; this build "
-            f"reads version {SNAPSHOT_VERSION}"
+            f"reads versions {COMPATIBLE_VERSIONS}"
         )
     body = document.get("body")
     if not isinstance(body, dict):
@@ -509,6 +521,8 @@ def _rebuild(body: dict) -> IncShrinkDatabase:
         nm_fallback=bool(cfg["nm_fallback"]),
         grid_steps=int(cfg["grid_steps"]),
         multiplicity_hint=float(cfg["multiplicity"]),
+        # v1 snapshots predate sharding: restore as one shard.
+        n_shards=int(cfg.get("n_shards", 1)),
     )
     for entry in body["registrations"]:
         db.register_view(_decode_registration(entry))
@@ -561,12 +575,18 @@ def _rebuild(body: dict) -> IncShrinkDatabase:
         raise PersistenceError("snapshot views do not match the wired views")
     for (name, vr), entry in zip(live_views, body["views"]):
         vr.cache.restore_state(pool[entry["cache"]])
-        vr.view.restore_state(
-            {
-                "table": pool[entry["view"]["table"]],
-                "update_count": entry["view"]["update_count"],
+        view_entry = entry["view"]
+        if "shards" in view_entry:  # v2: per-shard tables, global order
+            view_state = {
+                "shards": [pool[int(i)] for i in view_entry["shards"]],
+                "update_count": view_entry["update_count"],
             }
-        )
+        else:  # v1: the whole view as one flat table → one shard
+            view_state = {
+                "table": pool[view_entry["table"]],
+                "update_count": view_entry["update_count"],
+            }
+        vr.view.restore_state(view_state)
         counter_entry = entry["counter"]
         if (vr.counter is None) != (counter_entry is None):
             raise PersistenceError(

@@ -50,9 +50,14 @@ class DatabasePlanner:
         self.cache_misses = 0
 
     def candidates(self, query: LogicalQuery | LogicalJoinQuery) -> list[ViewCandidate]:
-        """Every registered view whose join structure answers ``query``."""
+        """Every registered view whose join structure answers ``query``.
+
+        Each candidate carries its view's public shard count so the core
+        planner can price the parallelism-aware wall-clock estimate
+        (:meth:`repro.mpc.cost_model.CostModel.parallel_seconds`).
+        """
         return [
-            ViewCandidate(vr.view_def, len(vr.view))
+            ViewCandidate(vr.view_def, len(vr.view), n_shards=vr.view.n_shards)
             for vr in self._db.views.values()
             if vr.mode in SCANNABLE_MODES and can_answer(query, vr.view_def)
         ]

@@ -16,6 +16,13 @@ one Transform circuit per step.  Views in one group may still run
 of the same join), so each consuming view keeps a private cardinality
 counter that the shared Transform increments jointly and each policy
 resets on its own schedule.
+
+Sharding is transparent to the step loop: Shrink and flush outputs land
+in the view through :meth:`~repro.storage.materialized_view.
+MaterializedView.append`, which scatters each delta round-robin across
+the view's shards by public position — the scheduler only *observes* the
+resulting per-shard sizes (:attr:`DatabaseStepReport.shard_rows`) so
+tests and benchmarks can assert the layout stays balanced.
 """
 
 from __future__ import annotations
@@ -135,6 +142,9 @@ class DatabaseStepReport:
     transform_seconds: float = 0.0
     shrink_seconds: float = 0.0
     views_updated: int = 0
+    #: public per-shard view sizes after this step (round-robin keeps
+    #: every entry balanced to within one row)
+    shard_rows: dict[str, tuple[int, ...]] = field(default_factory=dict)
 
     def view(self, name: str) -> StepReport:
         return self.views[name]
@@ -193,6 +203,7 @@ class StepScheduler:
             vr.metrics.view_size_rows.append(len(vr.view))
             vr.metrics.view_size_bytes.append(vr.view.byte_size)
             vr.metrics.cache_size_rows.append(len(vr.cache))
+            report.shard_rows[vr.name] = vr.view.shard_lengths()
             report.views[vr.name] = step
             report.shrink_seconds += step.shrink_seconds
             if step.view_updated:

@@ -69,9 +69,24 @@ class SharedArray:
 
     # -- share-local structural ops (leak only public lengths) ----------
     def concat(self, other: "SharedArray") -> "SharedArray":
-        return SharedArray(
-            np.concatenate([self.share0, other.share0]),
-            np.concatenate([self.share1, other.share1]),
+        return SharedArray.concat_all([self, other])
+
+    @classmethod
+    def concat_all(cls, arrays: Sequence["SharedArray"]) -> "SharedArray":
+        """Concatenate many shared arrays in one pass per share half.
+
+        One :func:`np.concatenate` per half, however many inputs — the
+        pairwise chain ``a.concat(b).concat(c)…`` recopies every prefix
+        and is quadratic in the total length, which made it a hot spot on
+        cache appends and on the shard-gather path.
+        """
+        if not arrays:
+            raise ProtocolError("cannot concat zero shared arrays")
+        if len(arrays) == 1:
+            return arrays[0]
+        return cls(
+            np.concatenate([a.share0 for a in arrays]),
+            np.concatenate([a.share1 for a in arrays]),
         )
 
     def take(self, index: np.ndarray | slice) -> "SharedArray":
@@ -160,9 +175,24 @@ class SharedTable:
 
     @classmethod
     def concat_all(cls, tables: Sequence["SharedTable"]) -> "SharedTable":
+        """Concatenate many shared tables with one batched copy per half.
+
+        Delegates to :meth:`SharedArray.concat_all`, so merging N tables
+        costs one :func:`np.concatenate` per share half instead of the
+        quadratic pairwise chain.
+        """
         if not tables:
             raise SchemaError("cannot concat zero shared tables")
-        out = tables[0]
+        schema = tables[0].schema
         for t in tables[1:]:
-            out = out.concat(t)
-        return out
+            if t.schema != schema:
+                raise SchemaError(
+                    "cannot concat shared tables with different schemas"
+                )
+        if len(tables) == 1:
+            return tables[0]
+        return cls(
+            schema,
+            SharedArray.concat_all([t.rows for t in tables]),
+            SharedArray.concat_all([t.flags for t in tables]),
+        )

@@ -10,6 +10,14 @@ bit so real tuples come first, cut a prefix of the requested (public,
 DP-noised) size, hand the prefix to the view, keep the suffix.  The flush
 operation is the same but discards the suffix entirely, reclaiming the
 space (Theorem 5's ``s``/``f`` machinery).
+
+Like the view, the cache is a shard-aware container
+(:class:`~repro.storage.sharded_container.ShardedTableContainer`).  The
+sorted read is inherently global — real tuples must sort to the head of
+the *whole* cache — so it gathers the shards back into exact append
+order first (share-local), runs the one oblivious sort the unsharded
+cache runs, and re-scatters the kept suffix.  Identical circuit,
+identical charges, identical randomness consumption.
 """
 
 from __future__ import annotations
@@ -17,44 +25,42 @@ from __future__ import annotations
 import numpy as np
 
 from ..common.errors import ProtocolError
-from ..common.types import Schema
 from ..mpc.runtime import ProtocolContext
 from ..oblivious.sort import composite_key, oblivious_sort
 from ..sharing.shared_value import SharedTable
+from .sharded_container import ShardedTableContainer
 
 
-class SecureCache:
+class SecureCache(ShardedTableContainer):
     """Secret-shared staging area for not-yet-synchronised view tuples."""
 
-    def __init__(self, schema: Schema) -> None:
-        self.schema = schema
-        self.table = SharedTable.empty(schema)
-
-    def __len__(self) -> int:
-        return len(self.table)
-
-    @property
-    def byte_size(self) -> int:
-        return self.table.byte_size
+    container_name = "cache"
 
     def append(self, delta: SharedTable) -> None:
-        """Concatenate a padded Transform output (share-local, no leakage
-        beyond the public delta length)."""
-        self.table = self.table.concat(delta)
+        """Scatter a padded Transform output round-robin across shards
+        (share-local, no leakage beyond the public delta length)."""
+        self._scatter_append(delta)
+
+    def _replace(self, table: SharedTable) -> None:
+        self._check_schema(table, "cache content")
+        self._clear()
+        self._scatter_append(table)
+
+    @ShardedTableContainer.table.setter
+    def table(self, value: SharedTable) -> None:
+        """Replace the cache's content (used by the EP baseline's drain)."""
+        self._replace(value)
 
     # -- persistence hooks ----------------------------------------------------
     def snapshot_state(self) -> SharedTable:
-        """The cache's entire secret-shared content (shares by reference)."""
+        """The cache's entire secret-shared content, in global order."""
         return self.table
 
     def restore_state(self, table: SharedTable) -> None:
         """Adopt previously snapshotted cache content."""
-        if table.schema != self.schema:
-            raise ProtocolError(
-                f"snapshot cache schema {table.schema.fields} does not match "
-                f"cache schema {self.schema.fields}"
-            )
-        self.table = table
+        self._check_schema(table, "snapshot cache")
+        self._clear()
+        self._scatter_append(table)
 
     # -- protocol-scope operations ------------------------------------------
     def sorted_read(
@@ -69,10 +75,15 @@ class SecureCache:
         cache-flush behaviour — and ``remaining_real`` then reports how
         many real tuples were destroyed (Theorem 4 makes this unlikely
         for a well-chosen flush size).
+
+        Sharding is invisible here: the shards are gathered back into
+        exact append order before the one global oblivious sort, and the
+        kept suffix is re-scattered afterwards — same circuit, same gate
+        charges, same resharing randomness as the unsharded cache.
         """
         if size < 0:
             raise ProtocolError(f"read size must be non-negative, got {size}")
-        n = len(self.table)
+        n = len(self)
         size = min(size, n)
         rows, flags = ctx.reveal_table(self.table)
         # Real tuples (flag=1) must sort to the head: key 0 for real,
@@ -92,9 +103,9 @@ class SecureCache:
         remaining_real = int(tail_flags.sum())
 
         if discard_rest:
-            self.table = SharedTable.empty(self.schema)
+            self._clear()
         else:
-            self.table = ctx.share_table(self.schema, tail_rows, tail_flags)
+            self._replace(ctx.share_table(self.schema, tail_rows, tail_flags))
         return fetched, fetched_real, remaining_real
 
     def real_count(self, ctx: ProtocolContext) -> int:

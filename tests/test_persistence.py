@@ -459,3 +459,98 @@ def test_restore_is_plan_cache_free(tmp_path):
     assert info["entries"] == 0 and info["hits"] == 0
     after = restored.query(multi_query(), 2)
     assert after.plan == before.plan  # replanning lands on the same plan
+
+
+# -- snapshot format v2: shard layout round-trip and v1 upgrade ---------------
+def build_sharded_database(n_shards: int) -> IncShrinkDatabase:
+    db = IncShrinkDatabase(total_epsilon=2000.0, seed=7, n_shards=n_shards)
+    db.register_view(
+        ViewRegistration(make_view("full", 2), mode="ep", flush_interval=2000)
+    )
+    db.register_view(
+        ViewRegistration(
+            make_view("audit", 2),
+            mode="dp-timer",
+            timer_interval=1,
+            flush_interval=2000,
+        )
+    )
+    db.register_view(
+        ViewRegistration(
+            make_view("recent", 1),
+            mode="dp-ant",
+            ant_threshold=1.0,
+            flush_interval=2000,
+        )
+    )
+    return db
+
+
+def test_v2_roundtrip_preserves_shard_layout(tmp_path):
+    """A sharded deployment restores with its layout — and its answers."""
+    db = build_sharded_database(4)
+    for t in range(1, 5):
+        feed(db, t)
+    expected = answer_mix(db, 4)
+    shard_lengths = {n: vr.view.shard_lengths() for n, vr in db.views.items()}
+    snapshot_database(db, tmp_path / "sharded.snap")
+
+    doc = json.loads((tmp_path / "sharded.snap").read_text(encoding="utf8"))
+    assert doc["version"] == 2
+    assert doc["body"]["config"]["n_shards"] == 4
+
+    restored = restore_database(tmp_path / "sharded.snap").database
+    assert restored.n_shards == 4
+    assert {
+        n: vr.view.shard_lengths() for n, vr in restored.views.items()
+    } == shard_lengths
+    assert answer_mix(restored, 4) == expected
+    assert fingerprint(restored) == fingerprint(db)
+
+
+def _downgrade_to_v1(path: Path) -> None:
+    """Rewrite a single-shard v2 snapshot into the historical v1 layout."""
+    from repro.server.persistence import _canonical_bytes
+    import hashlib
+
+    doc = json.loads(path.read_text(encoding="utf8"))
+    body = doc["body"]
+    assert body["config"].pop("n_shards") == 1
+    body["config"]["cost_model"].pop("max_parallel_workers")
+    for view_entry in body["views"]:
+        shards = view_entry["view"].pop("shards")
+        assert len(shards) == 1
+        view_entry["view"]["table"] = shards[0]
+    doc["version"] = 1
+    doc["sha256"] = hashlib.sha256(_canonical_bytes(body)).hexdigest()
+    path.write_text(json.dumps(doc), encoding="utf8")
+
+
+def test_v1_snapshot_upgrade_roundtrip(tmp_path):
+    """A pre-sharding (v1) snapshot restores as one shard, continues the
+    stream byte-identically, and can be resharded in place afterwards."""
+    n_steps = len(SCRIPT)
+    uninterrupted = build_database()
+    for t in range(1, n_steps + 1):
+        feed(uninterrupted, t)
+    expected_answers = answer_mix(uninterrupted, n_steps)
+
+    interrupted = build_database()
+    for t in range(1, 3):
+        feed(interrupted, t)
+    path = tmp_path / "legacy.snap"
+    snapshot_database(interrupted, path)
+    _downgrade_to_v1(path)
+
+    restored = restore_database(path).database
+    assert restored.n_shards == 1
+    for t in range(3, n_steps + 1):
+        feed(restored, t)
+    assert answer_mix(restored, n_steps) == expected_answers
+    assert fingerprint(restored) == fingerprint(uninterrupted)
+
+    # In-place upgrade: reshard the restored deployment, answers fixed.
+    restored.reshard(4)
+    assert answer_mix(restored, n_steps) == expected_answers
+    assert all(vr.view.n_shards == 4 for vr in restored.views.values())
+    assert fingerprint(restored)["realized"] == fingerprint(uninterrupted)["realized"]

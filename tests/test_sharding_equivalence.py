@@ -1,0 +1,382 @@
+"""Sharded execution is provably a no-op for everything but the clock.
+
+The acceptance criterion of the sharding layer: for randomized workloads
+and shard counts ∈ {1, 2, 3, 8}, the sharded deployment returns
+**byte-identical** :class:`~repro.query.ast.QueryAnswer`s, charges the
+**identical total gates**, and reports the **identical realized ε** as
+the unsharded one.  Round-robin placement is a pure function of public
+lengths and every scatter/gather is share-local, so nothing a protocol
+computes — or an adversary observes — may depend on the layout.
+
+Alongside the end-to-end property suite, this file unit-tests the
+layout arithmetic, the share-local scatter/gather round-trip, the
+parallel executor against the serial reference, the batched concat, and
+the shard-aware error surfaces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common.errors import (
+    ConfigurationError,
+    ProtocolError,
+    SecurityError,
+)
+from repro.common.rng import spawn
+from repro.common.types import RecordBatch, Schema
+from repro.core.view_def import JoinViewDefinition
+from repro.mpc.runtime import MPCRuntime
+from repro.query.ast import (
+    AggregateSpec,
+    ColumnRange,
+    GroupBySpec,
+    LogicalQuery,
+)
+from repro.query.executor import execute_view_scan
+from repro.query.parallel import ParallelScanExecutor
+from repro.query.rewrite import lower_to_view_scan
+from repro.server.database import IncShrinkDatabase, ViewRegistration
+from repro.server.sharding import SINGLE_SHARD, ShardLayout
+from repro.sharing.shared_value import SharedArray, SharedTable
+from repro.storage.materialized_view import MaterializedView
+
+SHARD_COUNTS = (1, 2, 3, 8)
+
+PROBE_SCHEMA = Schema(("key", "ots"))
+DRIVER_SCHEMA = Schema(("key", "sts"))
+
+
+# -- layout arithmetic ---------------------------------------------------------
+class TestShardLayout:
+    def test_validation_names_field_and_value(self):
+        with pytest.raises(ConfigurationError, match="n_shards must be >= 1, got 0"):
+            ShardLayout(0)
+        with pytest.raises(ConfigurationError, match="n_shards must be an int"):
+            ShardLayout(2.5)
+        with pytest.raises(ConfigurationError, match="got -3"):
+            ShardLayout(-3)
+
+    def test_round_robin_assignment(self):
+        layout = ShardLayout(3)
+        assert [layout.shard_of(g) for g in range(7)] == [0, 1, 2, 0, 1, 2, 0]
+
+    @pytest.mark.parametrize("k", SHARD_COUNTS)
+    @pytest.mark.parametrize("total", [0, 1, 7, 8, 23])
+    def test_shard_lengths_balanced_and_complete(self, k, total):
+        lengths = ShardLayout(k).shard_lengths(total)
+        assert sum(lengths) == total
+        assert max(lengths) - min(lengths) <= 1
+
+    def test_scatter_indices_continue_the_sequence(self):
+        layout = ShardLayout(2)
+        first = layout.scatter_indices(0, 3)  # globals 0,1,2
+        second = layout.scatter_indices(3, 3)  # globals 3,4,5
+        assert [list(a) for a in first] == [[0, 2], [1]]
+        assert [list(a) for a in second] == [[1], [0, 2]]
+
+    def test_gather_order_rejects_invalid_split(self):
+        with pytest.raises(ProtocolError, match="round-robin split"):
+            ShardLayout(2).gather_order([0, 5])
+
+
+def random_table(gen, n_rows: int, width: int = 3) -> SharedTable:
+    schema = Schema(tuple(f"c{i}" for i in range(width)))
+    rows = gen.integers(0, 50, size=(n_rows, width), dtype=np.uint32)
+    flags = gen.integers(0, 2, size=n_rows, dtype=np.uint32)
+    return SharedTable.from_plain(schema, rows, flags, spawn(9, "share"))
+
+
+class TestScatterGather:
+    @pytest.mark.parametrize("k", SHARD_COUNTS)
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_round_trip_is_identity_on_both_halves(self, k, seed):
+        gen = np.random.default_rng(seed)
+        table = random_table(gen, int(gen.integers(0, 40)))
+        layout = ShardLayout(k)
+        parts = layout.scatter(table, start=0)
+        back = layout.gather(parts)
+        np.testing.assert_array_equal(back.rows.share0, table.rows.share0)
+        np.testing.assert_array_equal(back.rows.share1, table.rows.share1)
+        np.testing.assert_array_equal(back.flags.share0, table.flags.share0)
+        np.testing.assert_array_equal(back.flags.share1, table.flags.share1)
+
+    def test_incremental_scatter_equals_one_shot(self):
+        gen = np.random.default_rng(7)
+        layout = ShardLayout(3)
+        view = MaterializedView(Schema(("c0", "c1", "c2")), layout=layout)
+        deltas = [random_table(gen, n) for n in (5, 0, 7, 1)]
+        for d in deltas:
+            view.append(d)
+        whole = SharedTable.concat_all(deltas)
+        np.testing.assert_array_equal(
+            view.table.rows.share0, whole.rows.share0
+        )
+        assert view.shard_lengths() == layout.shard_lengths(len(whole))
+
+    def test_gather_wrong_shard_count_rejected(self):
+        layout = ShardLayout(2)
+        t = random_table(np.random.default_rng(0), 4)
+        with pytest.raises(ProtocolError, match="shard count 1"):
+            layout.gather([t])
+
+
+class TestBatchedConcat:
+    def test_concat_all_matches_pairwise_chain(self):
+        gen = np.random.default_rng(11)
+        arrays = [
+            SharedArray.from_plain(
+                gen.integers(0, 99, size=(n,), dtype=np.uint32), spawn(1, n)
+            )
+            for n in (3, 0, 5, 1)
+        ]
+        batched = SharedArray.concat_all(arrays)
+        chained = arrays[0]
+        for a in arrays[1:]:
+            chained = chained.concat(a)
+        np.testing.assert_array_equal(batched.share0, chained.share0)
+        np.testing.assert_array_equal(batched.share1, chained.share1)
+
+    def test_concat_all_empty_rejected(self):
+        with pytest.raises(ProtocolError, match="zero shared arrays"):
+            SharedArray.concat_all([])
+
+    def test_table_concat_all_schema_mismatch_rejected(self):
+        a = random_table(np.random.default_rng(0), 2, width=2)
+        b = random_table(np.random.default_rng(0), 2, width=3)
+        with pytest.raises(Exception, match="different schemas"):
+            SharedTable.concat_all([a, b])
+
+
+# -- parallel executor vs the serial reference ---------------------------------
+def make_view_def(name: str = "v") -> JoinViewDefinition:
+    return JoinViewDefinition(
+        name=name,
+        probe_table="orders",
+        probe_schema=PROBE_SCHEMA,
+        probe_key="key",
+        probe_ts="ots",
+        driver_table="shipments",
+        driver_schema=DRIVER_SCHEMA,
+        driver_key="key",
+        driver_ts="sts",
+        window_lo=0,
+        window_hi=2,
+        omega=2,
+        budget=6,
+    )
+
+
+def dashboard_query(vd: JoinViewDefinition) -> LogicalQuery:
+    return LogicalQuery.for_view(
+        vd,
+        AggregateSpec.count(),
+        AggregateSpec.sum_of("shipments", "sts"),
+        AggregateSpec.avg_of("shipments", "sts"),
+        group_by=GroupBySpec("orders", "key", (0, 1, 2, 3)),
+        predicate=ColumnRange("shipments", "sts", 0, 40),
+    )
+
+
+def populated_view(layout: ShardLayout, seed: int = 5) -> MaterializedView:
+    vd = make_view_def()
+    gen = np.random.default_rng(seed)
+    view = MaterializedView(vd.view_schema, layout=layout)
+    for n in (9, 4, 13):
+        rows = gen.integers(0, 8, size=(n, vd.view_schema.width), dtype=np.uint32)
+        flags = gen.integers(0, 2, size=n, dtype=np.uint32)
+        view.append(
+            SharedTable.from_plain(vd.view_schema, rows, flags, spawn(2, "v", n))
+        )
+    return view
+
+
+class TestParallelScanExecutor:
+    @pytest.mark.parametrize("k", SHARD_COUNTS)
+    def test_matches_serial_reference_exactly(self, k):
+        vd = make_view_def()
+        plan = lower_to_view_scan(dashboard_query(vd), vd)
+
+        serial_runtime = MPCRuntime(seed=0)
+        serial_view = populated_view(SINGLE_SHARD)
+        expected, expected_qet = execute_view_scan(
+            serial_runtime, 1, serial_view, plan
+        )
+
+        runtime = MPCRuntime(seed=0)
+        view = populated_view(ShardLayout(k))
+        answer, qet = ParallelScanExecutor().execute(runtime, 1, view, plan)
+
+        assert answer == expected  # byte-identical cells
+        assert runtime.runs[-1].gates == serial_runtime.runs[-1].gates
+        workers = runtime.cost_model.effective_workers(k)
+        assert qet == pytest.approx(expected_qet / workers)
+
+    def test_empty_view_all_shard_counts(self):
+        vd = make_view_def()
+        plan = lower_to_view_scan(dashboard_query(vd), vd)
+        answers = set()
+        for k in SHARD_COUNTS:
+            runtime = MPCRuntime(seed=0)
+            view = MaterializedView(vd.view_schema, layout=ShardLayout(k))
+            answer, _ = ParallelScanExecutor().execute(runtime, 0, view, plan)
+            answers.add(answer)
+        assert len(answers) == 1
+
+    def test_shard_context_errors_name_operation_and_shard(self):
+        runtime = MPCRuntime(seed=0)
+        view = populated_view(ShardLayout(3))
+        with runtime.parallel_protocol("query", 0, 3) as group:
+            leaked = group.contexts[1]
+        with pytest.raises(
+            SecurityError,
+            match=r"reveal_table on protocol scope 'query' \(shard 2/3\)",
+        ):
+            leaked.reveal_table(view.shards[1])
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ConfigurationError, match="max_workers must be >= 1, got 0"):
+            ParallelScanExecutor(max_workers=0)
+
+    def test_shard_context_rejects_randomness_operations(self):
+        """Shard contexts are reveal/charge only: drawing randomness from
+        a worker thread would break the deterministic RNG streams."""
+        runtime = MPCRuntime(seed=0)
+        with runtime.parallel_protocol("query", 0, 2) as group:
+            ctx = group.contexts[0]
+            with pytest.raises(
+                ProtocolError,
+                match=r"share_array on protocol scope 'query' \(shard 1/2\)",
+            ):
+                ctx.share_array(np.zeros(2, dtype=np.uint32))
+            with pytest.raises(ProtocolError, match="joint_uniform_u32"):
+                ctx.joint_uniform_u32(1)
+
+    def test_failing_shard_settles_siblings_and_releases_the_slot(self):
+        """A shard-scan failure propagates only after every sibling has
+        settled, and the runtime's protocol slot is released."""
+        vd = make_view_def()
+        plan = lower_to_view_scan(dashboard_query(vd), vd)
+        runtime = MPCRuntime(seed=0)
+        view = populated_view(ShardLayout(3))
+        # Corrupt one shard with too-narrow rows so its scan raises
+        # inside the worker pool (white-box: bypasses append's checks).
+        bad = SharedTable.from_plain(
+            Schema(("x",)),
+            np.zeros((2, 1), dtype=np.uint32),
+            np.ones(2, dtype=np.uint32),
+            spawn(3, "bad"),
+        )
+        view._shard_chunks[1] = [bad]
+        with pytest.raises(IndexError):
+            ParallelScanExecutor(max_workers=4).execute(runtime, 0, view, plan)
+        assert runtime.runs[-1].name == "query"  # the failed run settled
+        with runtime.protocol("after", 1):  # and the slot is free again
+            pass
+
+
+# -- end-to-end equivalence over randomized workloads --------------------------
+def random_script(seed: int, n_steps: int = 6):
+    gen = np.random.default_rng(seed)
+    script = []
+    for _ in range(n_steps):
+        probe = gen.integers(
+            1, 5, size=(int(gen.integers(0, 4)), 2)
+        ).astype(np.uint32)
+        driver = gen.integers(
+            1, 5, size=(int(gen.integers(0, 4)), 2)
+        ).astype(np.uint32)
+        script.append((probe, driver))
+    return script
+
+
+def build_database(n_shards: int) -> IncShrinkDatabase:
+    db = IncShrinkDatabase(total_epsilon=2000.0, seed=7, n_shards=n_shards)
+    db.register_view(
+        ViewRegistration(
+            make_view_def("full"),
+            mode="dp-timer",
+            timer_interval=1,
+            flush_interval=3,
+            flush_size=4,
+        )
+    )
+    db.register_view(
+        ViewRegistration(make_view_def("audit"), mode="ep")
+    )
+    return db
+
+
+def run_deployment(n_shards: int, seed: int):
+    db = build_database(n_shards)
+    vd = make_view_def("full")
+    queries = [
+        LogicalQuery.for_view(vd, AggregateSpec.count()),
+        dashboard_query(vd),
+    ]
+    answers = []
+    for t, (probe, driver) in enumerate(random_script(seed), start=1):
+        ts_col = np.full((len(probe), 1), t, dtype=np.uint32)
+        probe = np.hstack([probe[:, :1], ts_col]) if len(probe) else probe
+        driver_ts = np.full((len(driver), 1), t, dtype=np.uint32)
+        driver = np.hstack([driver[:, :1], driver_ts]) if len(driver) else driver
+        db.upload(
+            t,
+            {
+                "orders": RecordBatch(PROBE_SCHEMA, probe.reshape(-1, 2)).padded_to(4),
+                "shipments": RecordBatch(
+                    DRIVER_SCHEMA, driver.reshape(-1, 2)
+                ).padded_to(4),
+            },
+        )
+        db.step(t)
+        for q in queries:
+            answers.append(db.query(q, t).answers)
+    total_gates = sum(r.gates for r in db.runtime.runs)
+    return db, answers, total_gates
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+@pytest.mark.parametrize("n_shards", [2, 3, 8])
+def test_sharded_equals_unsharded(seed, n_shards):
+    """Byte-identical answers, identical gate totals, identical ε."""
+    base_db, base_answers, base_gates = run_deployment(1, seed)
+    db, answers, gates = run_deployment(n_shards, seed)
+    assert answers == base_answers
+    assert gates == base_gates
+    assert db.realized_epsilon() == base_db.realized_epsilon()
+    assert db.accountant.snapshot_state() == base_db.accountant.snapshot_state()
+    # The sharded run actually sharded something.
+    full_lengths = db.views["full"].view.shard_lengths()
+    assert len(full_lengths) == n_shards
+    assert sum(full_lengths) == len(base_db.views["full"].view)
+    assert max(full_lengths) - min(full_lengths) <= 1
+
+
+@pytest.mark.parametrize("n_shards", [2, 8])
+def test_reshard_preserves_answers_and_epsilon(n_shards):
+    db, answers, _ = run_deployment(1, seed=1)
+    vd = make_view_def("full")
+    before = db.query(dashboard_query(vd), 6)
+    eps_before = db.realized_epsilon()
+    db.reshard(n_shards)
+    after = db.query(dashboard_query(vd), 6)
+    assert after.answers == before.answers
+    assert db.realized_epsilon() == eps_before
+    assert db.views["full"].view.n_shards == n_shards
+
+
+def test_plan_prices_shards_into_wall_clock():
+    """Same gates, 1/workers the estimated seconds on a sharded view."""
+    flat_db, _, _ = run_deployment(1, seed=2)
+    sharded_db, _, _ = run_deployment(8, seed=2)
+    q = dashboard_query(make_view_def("full"))
+    flat_plan = flat_db.planner.plan(q)
+    sharded_plan = sharded_db.planner.plan(q)
+    assert flat_plan.estimated_gates == sharded_plan.estimated_gates
+    workers = sharded_db.runtime.cost_model.effective_workers(8)
+    assert sharded_plan.estimated_seconds == pytest.approx(
+        flat_plan.estimated_seconds / workers
+    )
+    assert sharded_plan.n_shards == 8
