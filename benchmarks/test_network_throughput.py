@@ -1,0 +1,152 @@
+"""Network serving throughput baseline — the first cross-boundary trajectory.
+
+The serving benchmark (``test_serving_throughput.py``) measures the
+runtime through in-process calls; this one drives the same deployment
+**across the TCP service boundary**: one owner client streams the
+workload through ``upload`` frames, then ``CLIENTS`` concurrent
+analyst clients replay the standard query mix, each query timed
+individually at the client.  The measured rates — uploads/s, queries/s,
+and the client-observed p50/p95 query latency — are recorded to
+``BENCH_network.json`` at the repo root so future PRs optimizing the
+wire path (batching, pipelining, serialization) have a baseline to beat.
+
+Correctness rides along: every networked answer is checked against the
+in-process answer for the same query at the same watermark, and the
+final observability frame must agree with the server's own counters.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time as _time
+from pathlib import Path
+
+from conftest import emit
+
+from repro.experiments.harness import MultiViewRunConfig, build_multiview_deployment
+from repro.net.client import IncShrinkClient
+from repro.net.server import NetworkServer
+from repro.server.runtime import DatabaseServer
+
+BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_network.json"
+
+DATASET = "tpcds"
+N_STEPS = 16
+CLIENTS = 4
+QUERY_ROUNDS = 3
+
+
+def _percentile(samples: list[float], q: float) -> float:
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _run_network() -> dict:
+    config = MultiViewRunConfig(dataset=DATASET, n_steps=N_STEPS, seed=5)
+    deployment = build_multiview_deployment(config)
+    server = DatabaseServer(deployment.database)
+
+    with NetworkServer(server) as net:
+        host, port = net.address
+
+        # Phase 1 — one owner streams the workload over upload frames.
+        t0 = _time.perf_counter()
+        with IncShrinkClient(host, port, name="owner") as owner:
+            steps = deployment.workload.steps
+            for step in steps[:-1]:
+                owner.upload(step.time, deployment.upload_items(step))
+            # The last upload waits for the full queue to drain, so the
+            # wall clock covers ingestion, not just socket writes.
+            owner.upload(
+                steps[-1].time, deployment.upload_items(steps[-1]), wait=True
+            )
+        upload_seconds = _time.perf_counter() - t0
+        uploads = server.stats.uploads
+        watermark = server.last_time
+
+        # In-process reference answers at the drained watermark.
+        expected = {
+            i: server.query(q, time=watermark).answers
+            for i, q in enumerate(deployment.step_queries)
+        }
+
+        # Phase 2 — concurrent analysts, per-query latency at the client.
+        latencies: list[float] = []
+        latency_lock = threading.Lock()
+        client_errors: list[BaseException] = []
+
+        def analyst_loop(index: int) -> None:
+            try:
+                with IncShrinkClient(host, port, name=f"bench-{index}") as c:
+                    for _round in range(QUERY_ROUNDS):
+                        for qi, query in enumerate(deployment.step_queries):
+                            t_start = _time.perf_counter()
+                            result = c.query(query, time=watermark)
+                            elapsed = _time.perf_counter() - t_start
+                            assert result.answers == expected[qi]
+                            with latency_lock:
+                                latencies.append(elapsed)
+            except BaseException as exc:
+                client_errors.append(exc)
+
+        t0 = _time.perf_counter()
+        threads = [
+            threading.Thread(target=analyst_loop, args=(i,)) for i in range(CLIENTS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        query_seconds = _time.perf_counter() - t0
+        assert not client_errors, client_errors
+
+        observability = server.observability()
+
+    server.stop()
+    queries = len(latencies)
+    return {
+        "benchmark": "network_throughput",
+        "dataset": DATASET,
+        "steps": N_STEPS,
+        "clients": CLIENTS,
+        "uploads": uploads,
+        "upload_seconds": upload_seconds,
+        "uploads_per_second": uploads / upload_seconds,
+        "queries": queries,
+        "query_seconds": query_seconds,
+        "queries_per_second": queries / query_seconds,
+        "latency_p50_ms": _percentile(latencies, 0.50) * 1000.0,
+        "latency_p95_ms": _percentile(latencies, 0.95) * 1000.0,
+        "observability": observability,
+    }
+
+
+def test_bench_network_throughput(benchmark):
+    result = benchmark.pedantic(_run_network, rounds=1, iterations=1)
+
+    # Loose sanity floors (the recorded JSON is the real trajectory): a
+    # localhost round trip slower than one op per second would mean the
+    # wire layer, not the simulated MPC, dominates.
+    assert result["uploads_per_second"] > 1.0
+    assert result["queries_per_second"] > 1.0
+    assert result["queries"] == CLIENTS * QUERY_ROUNDS * 4
+    assert 0.0 < result["latency_p50_ms"] <= result["latency_p95_ms"]
+    # The stats frame agrees with the in-process counters (the analysts'
+    # queries plus the reference queries all ran on one server).
+    assert result["observability"]["queries"] >= result["queries"]
+    assert result["observability"]["last_time"] == N_STEPS
+
+    BENCH_PATH.write_text(json.dumps(result, indent=2) + "\n", encoding="utf8")
+
+    emit(
+        "network serving throughput baseline (localhost wall clock)\n"
+        f"  uploads  : {result['uploads']} over one connection, "
+        f"{result['uploads_per_second']:.1f} uploads/s\n"
+        f"  queries  : {result['queries']} across {CLIENTS} concurrent "
+        f"clients, {result['queries_per_second']:.1f} queries/s\n"
+        f"  latency  : p50 {result['latency_p50_ms']:.2f} ms, "
+        f"p95 {result['latency_p95_ms']:.2f} ms per query frame\n"
+        f"  -> recorded to {BENCH_PATH.name}"
+    )

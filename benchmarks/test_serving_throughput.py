@@ -95,6 +95,9 @@ def _run_serving(tmp_path: Path) -> dict:
     assert recovered == original, "restored answers must be byte-identical"
     assert restored.database.realized_epsilon() == db.realized_epsilon()
 
+    # The same observability surface the network `stats` frame serves
+    # (ServingStats.to_dict() + watermark, shard count, realized ε).
+    observability = server.observability()
     server.stop()
     stats = server.stats
     return {
@@ -110,6 +113,7 @@ def _run_serving(tmp_path: Path) -> dict:
         "restore_seconds": restore_seconds,
         "snapshot_bytes": info.bytes_written,
         "realized_epsilon": db.realized_epsilon(),
+        "observability": observability,
     }
 
 
@@ -126,6 +130,11 @@ def test_bench_serving_throughput(benchmark, tmp_path):
     assert result["queries"] >= CLIENTS  # every session got answers
     assert result["snapshot_seconds"] < 60.0
     assert result["restore_seconds"] < 60.0
+    # One observability contract across surfaces: the recorded gauges
+    # are exactly what the network `stats` frame reports.
+    for key in ("queue_depth", "queue_capacity", "shard_rows", "query_epsilon"):
+        assert key in result["observability"]
+    assert result["observability"]["last_time"] == N_STEPS
 
     BENCH_PATH.write_text(json.dumps(result, indent=2) + "\n", encoding="utf8")
 

@@ -36,6 +36,7 @@ from .experiments.harness import (
     run_multiview_experiment,
 )
 from .mpc import CostModel, MPCRuntime
+from .net import IncShrinkClient, NetworkServer, RemoteQueryResult
 from .query import (
     AggregateSpec,
     GroupBySpec,
@@ -52,7 +53,7 @@ from .server import (
     snapshot_database,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "MetricSummary",
@@ -72,6 +73,9 @@ __all__ = [
     "run_multiview_experiment",
     "CostModel",
     "MPCRuntime",
+    "IncShrinkClient",
+    "NetworkServer",
+    "RemoteQueryResult",
     "AggregateSpec",
     "GroupBySpec",
     "LogicalQuery",

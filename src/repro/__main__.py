@@ -8,6 +8,9 @@ Usage::
     python -m repro run --dataset tpcds --mode dp-ant --epsilon 0.5
     python -m repro multiview --dataset tpcds --steps 96 --epsilon 3.0 --shards 4
     python -m repro serve --steps 48 --snapshot deploy.snap --clients 2 --shards 4
+    python -m repro serve --steps 24 --listen 127.0.0.1:9731
+    python -m repro client --connect 127.0.0.1:9731 --stats
+    python -m repro client --connect 127.0.0.1:9731 --count --epsilon 0.5
     python -m repro resume --snapshot deploy.snap
     python -m repro query --steps 24 --count --sum Returns:return_date \
         --group-by Sales:product_id:0,1,2,3
@@ -20,7 +23,11 @@ Usage::
 base-table pair, planner-routed COUNT/SUM queries, composed privacy);
 ``serve`` runs the same deployment through the concurrent serving
 runtime (background ingestion loop, parallel read sessions, periodic
-snapshots) and ``resume`` restores a snapshotted deployment and
+snapshots) — with ``--listen`` it exposes the database over TCP (the
+wire protocol of :mod:`repro.net`) instead of running local client
+threads, and ``client`` connects to such a server to query it, fetch
+its observability surface, checkpoint, or reshard it remotely;
+``resume`` restores a snapshotted deployment and
 continues its stream from where it stopped; ``query`` compiles one
 logical query (flag- or JSON-specified aggregates, GROUP BY, residual
 predicate) and runs it against a freshly built deployment or a restored
@@ -34,6 +41,7 @@ import argparse
 import json
 import sys
 import threading
+import time as _time
 from dataclasses import asdict
 from pathlib import Path
 
@@ -45,13 +53,17 @@ from .experiments.harness import (
     run_experiment,
     run_multiview_experiment,
 )
-from .common.errors import SchemaError
+from .common.errors import PersistenceError, SchemaError
+from .net.client import IncShrinkClient
+from .net.protocol import JOIN_FIELDS, RemoteError, WireError
+from .net.server import NetworkServer
 from .query.ast import (
     AggregateSpec,
     And,
     ColumnEquals,
     ColumnRange,
     GroupBySpec,
+    LogicalJoinQuery,
     LogicalQuery,
 )
 from .server.persistence import restore_database
@@ -63,6 +75,42 @@ _BOTH_DATASET_EXPERIMENTS = {
     "figure7": (figure7.run_figure7, figure7.format_figure7),
     "figure9": (figure9.run_figure9, figure9.format_figure9),
 }
+
+
+# -- user-input validation (clear one-line errors, nonzero exit) --------------
+def _parse_listen(value: str, flag: str = "--listen") -> tuple[str, int]:
+    """``HOST:PORT`` → ``(host, port)``; port 0 = OS-assigned."""
+    host, sep, port_text = value.rpartition(":")
+    if not sep or not host or not port_text.isdigit():
+        raise SystemExit(
+            f"malformed {flag} {value!r}; expected HOST:PORT "
+            "(e.g. 127.0.0.1:9731)"
+        )
+    port = int(port_text)
+    if port > 65535:
+        raise SystemExit(f"{flag} port {port} is out of range 0-65535")
+    return host, port
+
+
+def _check_shards(n_shards: int | None) -> None:
+    if n_shards is not None and n_shards < 1:
+        raise SystemExit(f"--shards must be >= 1, got {n_shards}")
+
+
+def _check_snapshot_target(path: str) -> None:
+    """The snapshot's directory must exist *before* hours of serving."""
+    parent = Path(path).resolve().parent
+    if not parent.is_dir():
+        raise SystemExit(
+            f"snapshot path {path!r}: directory {str(parent)!r} does not exist"
+        )
+
+
+def _restore_or_exit(path: str):
+    try:
+        return restore_database(path)
+    except PersistenceError as exc:
+        raise SystemExit(f"cannot restore snapshot: {exc}")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -143,6 +191,16 @@ def _build_parser() -> argparse.ArgumentParser:
         "combined with --snapshot this leaves a mid-stream checkpoint "
         "that `resume` continues from",
     )
+    serve.add_argument(
+        "--listen", default=None, metavar="HOST:PORT",
+        help="serve the database over TCP instead of running local client "
+        "threads (port 0 lets the OS pick; the bound address is printed)",
+    )
+    serve.add_argument(
+        "--serve-seconds", type=float, default=None,
+        help="with --listen: serve remote clients for this long after the "
+        "local stream is ingested (default: until Ctrl-C)",
+    )
 
     res = sub.add_parser(
         "resume",
@@ -171,38 +229,68 @@ def _build_parser() -> argparse.ArgumentParser:
         help="shard count: live builds use it directly; a restored "
         "snapshot is resharded in place when it differs",
     )
-    qp.add_argument(
+    _add_query_flags(qp)
+
+    cl = sub.add_parser(
+        "client",
+        help="talk to a `serve --listen` database over TCP",
+    )
+    cl.add_argument("--connect", required=True, metavar="HOST:PORT")
+    cl.add_argument(
+        "--stats", action="store_true",
+        help="print the server's observability surface as JSON "
+        "(the default action when nothing else is requested)",
+    )
+    cl.add_argument(
+        "--checkpoint", nargs="?", const="", default=None, metavar="PATH",
+        help="ask the server to snapshot its state (optionally to PATH "
+        "on the server's filesystem)",
+    )
+    cl.add_argument(
+        "--reshard", type=int, default=None, metavar="N",
+        help="re-partition every view server-side into N shards",
+    )
+    cl.add_argument(
+        "--time", type=int, default=None,
+        help="query at this step (default: the server's watermark)",
+    )
+    _add_query_flags(cl)
+    return parser
+
+
+def _add_query_flags(parser: argparse.ArgumentParser) -> None:
+    """The logical-query flag surface shared by `query` and `client`."""
+    parser.add_argument(
         "--view", default=None,
         help="registered view naming the join to query (default: first registered)",
     )
-    qp.add_argument(
+    parser.add_argument(
         "--count", action="store_true", help="add a COUNT(*) aggregate"
     )
-    qp.add_argument(
+    parser.add_argument(
         "--sum", action="append", default=[], metavar="TABLE:COLUMN",
         help="add a SUM aggregate (repeatable)",
     )
-    qp.add_argument(
+    parser.add_argument(
         "--avg", action="append", default=[], metavar="TABLE:COLUMN",
         help="add an AVG aggregate (repeatable)",
     )
-    qp.add_argument(
+    parser.add_argument(
         "--group-by", default=None, metavar="TABLE:COLUMN:V1,V2,...",
         help="GROUP BY one column over a small public domain",
     )
-    qp.add_argument(
+    parser.add_argument(
         "--where", action="append", default=[], metavar="TABLE:COLUMN:V|LO-HI",
         help="residual predicate clause, equality or inclusive range (repeatable)",
     )
-    qp.add_argument(
+    parser.add_argument(
         "--epsilon", type=float, default=None,
         help="release with per-aggregate Laplace noise under this budget",
     )
-    qp.add_argument(
+    parser.add_argument(
         "--json", default=None, dest="json_spec",
         help="JSON query spec (inline string or file path); overrides the flags",
     )
-    return parser
 
 
 def _format_multiview(result) -> str:
@@ -333,6 +421,14 @@ def _format_serving(server, deployment, resumed_from: int | None = None) -> str:
 
 
 def _cmd_serve(args) -> None:
+    _check_shards(args.shards)
+    listen = None if args.listen is None else _parse_listen(args.listen)
+    if args.serve_seconds is not None and args.serve_seconds < 0:
+        raise SystemExit(
+            f"--serve-seconds must be >= 0, got {args.serve_seconds}"
+        )
+    if args.snapshot is not None:
+        _check_snapshot_target(args.snapshot)
     config = MultiViewRunConfig(
         dataset=args.dataset,
         n_steps=args.steps,
@@ -356,17 +452,58 @@ def _cmd_serve(args) -> None:
     steps = deployment.workload.steps
     if args.stop_after is not None:
         steps = [s for s in steps if s.time <= args.stop_after]
-    _serve_stream(server, deployment, steps, clients=args.clients)
+    if listen is not None:
+        _serve_network(server, deployment, steps, listen, args.serve_seconds)
+    else:
+        _serve_stream(server, deployment, steps, clients=args.clients)
     server.stop(final_snapshot=args.snapshot is not None)
     print(_format_serving(server, deployment))
     if args.snapshot is not None:
         print(f"snapshot written to {args.snapshot}")
 
 
-def _cmd_resume(args) -> None:
-    server = DatabaseServer.resume(
-        args.snapshot, snapshot_every=args.snapshot_every
+def _serve_network(server, deployment, steps, listen, serve_seconds) -> None:
+    """Ingest the local stream, then serve remote clients over TCP.
+
+    The listener opens only after the local stream is fully applied:
+    local ``submit`` calls bypass the network upload-admission gate, so
+    interleaving remote uploads with them could poison the ingest loop
+    with an out-of-order step.  Once serving, every upload goes through
+    the gate.
+    """
+    for step in steps:
+        server.submit(step.time, deployment.upload_items(step))
+    server.drain()
+    net = NetworkServer(server, host=listen[0], port=listen[1])
+    net.start()
+    host, port = net.address
+    print(f"listening on {host}:{port} (incshrink wire protocol v1)")
+    print(
+        f"local stream ingested through step {server.last_time}; serving "
+        + (
+            f"remote clients for {serve_seconds:.0f}s"
+            if serve_seconds is not None
+            else "remote clients until Ctrl-C"
+        )
     )
+    try:
+        if serve_seconds is not None:
+            _time.sleep(serve_seconds)
+        else:
+            while True:
+                _time.sleep(3600)
+    except KeyboardInterrupt:
+        print("interrupt received; draining connections")
+    net.close()
+
+
+def _cmd_resume(args) -> None:
+    try:
+        server = DatabaseServer.resume(
+            args.snapshot, snapshot_every=args.snapshot_every
+        )
+    except PersistenceError as exc:
+        raise SystemExit(f"cannot restore snapshot: {exc}")
     serving_config = server.resume_metadata.get("serving_config")
     if serving_config is None:
         raise SystemExit(
@@ -480,6 +617,23 @@ def _query_from_json(spec_text: str) -> tuple[list, object, object, str | None]:
     return aggregates, group_by, predicate, spec.get("view")
 
 
+def _print_plan_line(
+    kind: str,
+    view_name: str | None,
+    n_shards: int,
+    estimated_gates: int,
+    qet_seconds: float,
+) -> None:
+    """The one-line plan summary shared by `query` and `client`."""
+    target = view_name or "NM join over base stores"
+    lanes = f" x {n_shards} shards" if n_shards > 1 else ""
+    print(
+        f"plan: {kind} -> {target}{lanes} "
+        f"({estimated_gates} est. gates); "
+        f"QET {qet_seconds:.6f} s (simulated)"
+    )
+
+
 def _format_answer_table(result) -> str:
     answers = result.answers
     logical = result.logical_answers
@@ -510,6 +664,7 @@ def _format_answer_table(result) -> str:
 
 
 def _cmd_query(args) -> None:
+    _check_shards(args.shards)
     if args.json_spec is not None:
         aggregates, group_by, predicate, json_view = _query_from_json(args.json_spec)
         view_name = args.view or json_view
@@ -524,7 +679,7 @@ def _cmd_query(args) -> None:
         )
 
     if args.snapshot is not None:
-        restored = restore_database(args.snapshot)
+        restored = _restore_or_exit(args.snapshot)
         db = restored.database
         if args.shards is not None and args.shards != db.n_shards:
             # Share-local re-partition: answers, gates, and ε unchanged.
@@ -536,9 +691,8 @@ def _cmd_query(args) -> None:
             dataset=args.dataset,
             n_steps=args.steps,
             seed=args.seed,
-            # None (flag absent) defaults to one shard; invalid counts
-            # like 0 reach ShardLayout and fail there, uniformly with
-            # the snapshot/serve/multiview paths.
+            # None (flag absent) defaults to one shard; counts < 1 were
+            # rejected above with a one-line CLI error.
             n_shards=1 if args.shards is None else args.shards,
         )
         deployment = build_multiview_deployment(config)
@@ -560,9 +714,12 @@ def _cmd_query(args) -> None:
             f"{sorted(registrations)}"
         )
 
-    query = LogicalQuery.for_view(
-        view_def, *aggregates, group_by=group_by, predicate=predicate
-    )
+    try:
+        query = LogicalQuery.for_view(
+            view_def, *aggregates, group_by=group_by, predicate=predicate
+        )
+    except SchemaError as exc:
+        raise SystemExit(f"invalid query: {exc}")
     result = db.query(query, time_at, epsilon=args.epsilon)
 
     print(f"queried {source}")
@@ -572,18 +729,104 @@ def _cmd_query(args) -> None:
         f"via view class {view_def.name!r})"
     )
     plan = result.plan
-    target = plan.view_name or "NM join over base stores"
-    lanes = f" x {plan.n_shards} shards" if plan.n_shards > 1 else ""
-    print(
-        f"plan: {plan.kind} -> {target}{lanes} "
-        f"({plan.estimated_gates} est. gates); "
-        f"QET {result.observation.qet_seconds:.6f} s (simulated)"
+    _print_plan_line(
+        plan.kind,
+        plan.view_name,
+        plan.n_shards,
+        plan.estimated_gates,
+        result.observation.qet_seconds,
     )
     if args.epsilon is not None:
         print(
             f"released with epsilon={args.epsilon} "
             f"(database total query spend now {db.query_epsilon():.4f})"
         )
+    print()
+    print(_format_answer_table(result))
+
+
+def _cmd_client(args) -> None:
+    host, port = _parse_listen(args.connect, flag="--connect")
+    if args.reshard is not None and args.reshard < 1:
+        raise SystemExit(f"--reshard must be >= 1, got {args.reshard}")
+    if args.epsilon is not None and args.epsilon <= 0:
+        raise SystemExit(f"--epsilon must be positive, got {args.epsilon}")
+    if args.json_spec is not None:
+        aggregates, group_by, predicate, json_view = _query_from_json(args.json_spec)
+        view_name = args.view or json_view
+    else:
+        aggregates, group_by, predicate = _query_from_flags(args)
+        view_name = args.view
+    wants_query = bool(aggregates or group_by or predicate)
+
+    client = IncShrinkClient(host, port, name="repro-cli", connect_retries=3)
+    try:
+        client.connect()
+    except (ConnectionError, OSError) as exc:
+        raise SystemExit(f"cannot connect to {host}:{port}: {exc}")
+    except (WireError, RemoteError) as exc:
+        # Not an IncShrink endpoint / wrong protocol version / full.
+        raise SystemExit(f"{host}:{port} did not complete the handshake: {exc}")
+    with client:
+        try:
+            did_something = False
+            if args.reshard is not None:
+                out = client.reshard(args.reshard)
+                print(f"resharded every view to {out['n_shards']} shard(s)")
+                did_something = True
+            if args.checkpoint is not None:
+                info = client.snapshot(args.checkpoint or None)
+                print(
+                    f"server checkpointed {info['bytes_written']} bytes to "
+                    f"{info['path']} (sha256 {info['sha256'][:12]}…)"
+                )
+                did_something = True
+            if wants_query:
+                _client_query(
+                    client, view_name, aggregates, group_by, predicate, args
+                )
+                did_something = True
+            if args.stats or not did_something:
+                print(json.dumps(client.stats(), indent=2, sort_keys=True))
+        except RemoteError as exc:
+            raise SystemExit(f"server rejected the request: {exc}")
+        except (WireError, ConnectionError) as exc:
+            raise SystemExit(f"connection to {host}:{port} failed: {exc}")
+
+
+def _client_query(client, view_name, aggregates, group_by, predicate, args) -> None:
+    """Build a LogicalQuery from the server's public join specs and run it."""
+    views = {v["name"]: v for v in client.views()}
+    if not views:
+        raise SystemExit("server exposes no registered views")
+    if view_name is None:
+        view_entry = next(iter(views.values()))
+    elif view_name in views:
+        view_entry = views[view_name]
+    else:
+        raise SystemExit(
+            f"no registered view {view_name!r} on the server; known views: "
+            f"{sorted(views)}"
+        )
+    try:
+        query = LogicalQuery(
+            join=LogicalJoinQuery(**{f: view_entry[f] for f in JOIN_FIELDS}),
+            aggregates=tuple(aggregates) or (AggregateSpec.count(),),
+            group_by=group_by,
+            predicate=predicate,
+        )
+    except SchemaError as exc:
+        raise SystemExit(f"invalid query: {exc}")
+    result = client.query(query, time=args.time, epsilon=args.epsilon)
+    _print_plan_line(
+        result.plan_kind,
+        result.view_name,
+        result.n_shards,
+        result.estimated_gates,
+        result.qet_seconds,
+    )
+    if args.epsilon is not None:
+        print(f"released with epsilon={args.epsilon}")
     print()
     print(_format_answer_table(result))
 
@@ -605,6 +848,7 @@ def main(argv: list[str] | None = None) -> int:
         run_fn, format_fn = _BOTH_DATASET_EXPERIMENTS[args.command]
         print(format_fn(args.dataset, run_fn(args.dataset, n_steps=args.steps)))
     elif args.command == "multiview":
+        _check_shards(args.shards)
         result = run_multiview_experiment(
             MultiViewRunConfig(
                 dataset=args.dataset,
@@ -622,6 +866,8 @@ def main(argv: list[str] | None = None) -> int:
         _cmd_resume(args)
     elif args.command == "query":
         _cmd_query(args)
+    elif args.command == "client":
+        _cmd_client(args)
     elif args.command == "run":
         result = run_experiment(
             RunConfig(

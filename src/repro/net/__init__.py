@@ -1,0 +1,52 @@
+"""Network serving subsystem: wire protocol, socket server, client SDK.
+
+Everything the in-process serving runtime exposes — ordered uploads,
+planned queries over the full :class:`~repro.query.ast.LogicalQuery`
+AST, observability, checkpoints, resharding — made reachable across a
+real service boundary:
+
+* :mod:`repro.net.protocol` — the versioned, length-prefixed binary
+  frame format (stdlib ``struct`` + JSON payloads) and its pure codecs;
+* :mod:`repro.net.server` — :class:`NetworkServer`, a threaded socket
+  front door with bounded admission (reject-with-``retry_after``, no
+  unbounded buffering) and graceful drain;
+* :mod:`repro.net.client` — :class:`IncShrinkClient`, a typed SDK with
+  connect/retry, context-manager sessions, and results mirroring
+  :class:`~repro.server.database.DatabaseQueryResult`.
+
+See ``docs/NETWORK.md`` for the frame reference and the leakage
+argument (the wire exposes nothing beyond the snapshot format's
+surface plus public lengths).
+"""
+
+from .client import IncShrinkClient
+from .protocol import (
+    FRAME_CODES,
+    MAX_FRAME_BYTES,
+    PROTOCOL_MAGIC,
+    PROTOCOL_VERSION,
+    ConnectionClosed,
+    RemoteError,
+    RemoteQueryResult,
+    VersionMismatch,
+    WireError,
+    read_frame,
+    write_frame,
+)
+from .server import NetworkServer
+
+__all__ = [
+    "FRAME_CODES",
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_MAGIC",
+    "PROTOCOL_VERSION",
+    "ConnectionClosed",
+    "IncShrinkClient",
+    "NetworkServer",
+    "RemoteError",
+    "RemoteQueryResult",
+    "VersionMismatch",
+    "WireError",
+    "read_frame",
+    "write_frame",
+]

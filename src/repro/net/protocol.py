@@ -1,0 +1,509 @@
+"""The versioned, length-prefixed binary wire protocol.
+
+The network front door (`NetworkServer` ⇄ `IncShrinkClient`) speaks a
+small frame-oriented protocol over any reliable byte stream:
+
+* every frame is a fixed 10-byte header — magic ``INCW``, one protocol
+  version byte, one frame-type byte, a big-endian ``uint32`` body
+  length — followed by a UTF-8 JSON body (stdlib ``struct`` + ``json``,
+  no external dependencies);
+* payload arrays (upload batches) ride the **same** base64 array codec
+  the snapshot format uses (:func:`repro.server.persistence.encode_array`),
+  so the wire never invents a second serialization surface for data:
+  what crosses the network is what the snapshot file already exposes,
+  plus the public frame lengths (see ``docs/NETWORK.md`` for the full
+  leakage argument);
+* the query frame carries the complete :class:`~repro.query.ast.
+  LogicalQuery` AST — every aggregate, the GROUP BY domain, structural
+  predicate clauses, and the optional per-query ``epsilon`` — so a
+  remote analyst has exactly the in-process query surface;
+* failures travel as structured ``error`` frames with a machine-readable
+  ``code`` (and a ``retry_after`` hint when the server sheds load) —
+  the connection survives invalid requests, only malformed *framing*
+  tears it down.
+
+Every codec below is pure and total over its documented inputs:
+``decode_x(encode_x(v)) == v``, and malformed inputs raise
+:class:`WireError` / :class:`~repro.common.errors.SchemaError` rather
+than crashing the peer.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass
+from typing import BinaryIO, Iterable, Mapping
+
+import numpy as np
+
+from ..common.errors import ProtocolError, ReproError, SchemaError
+from ..common.types import RecordBatch, Schema
+from ..query.ast import (
+    AggregateSpec,
+    And,
+    ColumnEquals,
+    ColumnRange,
+    GroupBySpec,
+    LogicalJoinQuery,
+    LogicalQuery,
+    QueryAnswer,
+    as_logical,
+)
+from ..server.persistence import decode_array, encode_array
+
+#: Frame magic — identifies an IncShrink wire frame.
+PROTOCOL_MAGIC = b"INCW"
+#: Bump on any incompatible change to the frame layout or payloads.
+PROTOCOL_VERSION = 1
+#: Hard ceiling on one frame's body — anything larger is a framing
+#: error, not a request (keeps a broken peer from forcing an unbounded
+#: allocation).
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+#: magic(4) + version(1) + frame type(1) + body length(4), big-endian.
+_HEADER = struct.Struct(">4sBBI")
+
+#: Frame type registry (name → wire code).  Requests and responses share
+#: one namespace; the ``*_ok`` / ``result`` types only ever travel
+#: server → client.
+FRAME_CODES = {
+    "hello": 1,
+    "welcome": 2,
+    "upload": 3,
+    "upload_ok": 4,
+    "query": 5,
+    "result": 6,
+    "stats": 7,
+    "stats_result": 8,
+    "snapshot": 9,
+    "snapshot_ok": 10,
+    "reshard": 11,
+    "reshard_ok": 12,
+    "error": 13,
+    "bye": 14,
+}
+FRAME_NAMES = {code: name for name, code in FRAME_CODES.items()}
+
+# -- structured error codes ---------------------------------------------------
+ERR_BAD_FRAME = "bad-frame"
+ERR_VERSION_MISMATCH = "version-mismatch"
+ERR_UNSUPPORTED = "unsupported-frame"
+ERR_INVALID_REQUEST = "invalid-request"
+ERR_OVERLOADED = "overloaded"
+ERR_SHUTTING_DOWN = "shutting-down"
+ERR_SERVER = "server-error"
+
+
+class WireError(ProtocolError):
+    """The byte stream does not parse as protocol frames."""
+
+
+class VersionMismatch(WireError):
+    """The peer speaks a different protocol version."""
+
+
+class ConnectionClosed(WireError):
+    """The peer closed the stream at a frame boundary (EOF)."""
+
+
+class RemoteError(ReproError):
+    """A structured ``error`` frame received from the server.
+
+    ``code`` is one of the ``ERR_*`` constants; ``retry_after`` (seconds)
+    is set when the server shed load and invites a retry.
+    """
+
+    def __init__(
+        self, code: str, message: str, retry_after: float | None = None
+    ) -> None:
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.remote_message = message
+        self.retry_after = retry_after
+
+
+def error_payload(
+    code: str, message: str, retry_after: float | None = None
+) -> dict:
+    """The body of a structured ``error`` frame."""
+    payload: dict = {"code": code, "message": message}
+    if retry_after is not None:
+        payload["retry_after"] = float(retry_after)
+    return payload
+
+
+# -- framing ------------------------------------------------------------------
+def write_frame(
+    stream: BinaryIO, frame_type: str, payload: dict | None = None
+) -> None:
+    """Serialize one frame (header + JSON body) onto ``stream``.
+
+    >>> import io
+    >>> buf = io.BytesIO()
+    >>> write_frame(buf, "stats", {})
+    >>> read_frame(io.BytesIO(buf.getvalue()))
+    ('stats', {})
+    """
+    code = FRAME_CODES.get(frame_type)
+    if code is None:
+        raise WireError(f"unknown frame type {frame_type!r}")
+    body = json.dumps(
+        payload or {}, sort_keys=True, separators=(",", ":")
+    ).encode("utf8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise WireError(
+            f"{frame_type} frame body of {len(body)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte frame ceiling"
+        )
+    stream.write(_HEADER.pack(PROTOCOL_MAGIC, PROTOCOL_VERSION, code, len(body)))
+    stream.write(body)
+    stream.flush()
+
+
+def _read_exactly(stream: BinaryIO, n: int, at_boundary: bool) -> bytes:
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = stream.read(remaining)
+        if not chunk:
+            if at_boundary and remaining == n:
+                raise ConnectionClosed("peer closed the connection")
+            raise WireError(
+                f"stream ended mid-frame ({n - remaining}/{n} bytes read)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+        at_boundary = False
+    return b"".join(chunks)
+
+
+def read_frame(stream: BinaryIO) -> tuple[str, dict]:
+    """Read one frame; returns ``(frame_type, payload)``.
+
+    Raises :class:`ConnectionClosed` on a clean EOF at a frame boundary,
+    :class:`VersionMismatch` when the peer speaks another version, and
+    :class:`WireError` for anything that does not parse as a frame.
+    """
+    header = _read_exactly(stream, _HEADER.size, at_boundary=True)
+    magic, version, code, body_len = _HEADER.unpack(header)
+    if magic != PROTOCOL_MAGIC:
+        raise WireError(f"bad frame magic {magic!r}")
+    if version != PROTOCOL_VERSION:
+        raise VersionMismatch(
+            f"peer speaks protocol version {version}, this build speaks "
+            f"{PROTOCOL_VERSION}"
+        )
+    if body_len > MAX_FRAME_BYTES:
+        raise WireError(
+            f"frame body of {body_len} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte frame ceiling"
+        )
+    frame_type = FRAME_NAMES.get(code)
+    if frame_type is None:
+        raise WireError(f"unknown frame type code {code}")
+    body = _read_exactly(stream, body_len, at_boundary=False)
+    try:
+        payload = json.loads(body.decode("utf8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise WireError(f"{frame_type} frame body is not valid JSON: {exc}")
+    if not isinstance(payload, dict):
+        raise WireError(
+            f"{frame_type} frame body must be a JSON object, got "
+            f"{type(payload).__name__}"
+        )
+    return frame_type, payload
+
+
+# -- query codec --------------------------------------------------------------
+#: The eight join-spec fields every logical query carries.
+JOIN_FIELDS = (
+    "probe_table",
+    "driver_table",
+    "probe_key",
+    "driver_key",
+    "probe_ts",
+    "driver_ts",
+    "window_lo",
+    "window_hi",
+)
+
+
+def _encode_clause(clause: ColumnEquals | ColumnRange) -> dict:
+    if isinstance(clause, ColumnEquals):
+        return {
+            "op": "eq",
+            "table": clause.table,
+            "column": clause.column,
+            "value": clause.value,
+        }
+    if isinstance(clause, ColumnRange):
+        return {
+            "op": "range",
+            "table": clause.table,
+            "column": clause.column,
+            "lo": clause.lo,
+            "hi": clause.hi,
+        }
+    raise SchemaError(f"cannot encode predicate clause {clause!r}")
+
+
+def _decode_clause(entry: dict) -> ColumnEquals | ColumnRange:
+    op = entry.get("op")
+    if op == "eq":
+        return ColumnEquals(entry["table"], entry["column"], int(entry["value"]))
+    if op == "range":
+        return ColumnRange(
+            entry["table"], entry["column"], int(entry["lo"]), int(entry["hi"])
+        )
+    raise WireError(f"unknown predicate op {op!r}")
+
+
+def encode_predicate(
+    predicate: ColumnEquals | ColumnRange | And | None,
+) -> dict | None:
+    if predicate is None:
+        return None
+    if isinstance(predicate, And):
+        return {
+            "op": "and",
+            "clauses": [_encode_clause(c) for c in predicate.clauses],
+        }
+    return _encode_clause(predicate)
+
+
+def decode_predicate(entry: dict | None) -> ColumnEquals | ColumnRange | And | None:
+    if entry is None:
+        return None
+    if not isinstance(entry, dict):
+        raise WireError(f"malformed predicate entry: {entry!r}")
+    if entry.get("op") == "and":
+        return And(tuple(_decode_clause(c) for c in entry["clauses"]))
+    return _decode_clause(entry)
+
+
+def encode_query(query: LogicalQuery | LogicalJoinQuery) -> dict:
+    """Encode any query form (shims normalize through ``as_logical``).
+
+    >>> from repro.query.ast import AggregateSpec, GroupBySpec, LogicalJoinQuery
+    >>> join = LogicalJoinQuery("sales", "returns", "pid", "pid",
+    ...                         "sale_ts", "return_ts", 0, 10)
+    >>> q = LogicalQuery(join=join,
+    ...                  aggregates=(AggregateSpec.count(),
+    ...                              AggregateSpec.sum_of("returns", "return_ts")),
+    ...                  group_by=GroupBySpec("sales", "pid", (1, 2, 3)))
+    >>> decode_query(encode_query(q)) == q
+    True
+    """
+    lq = as_logical(query)
+    return {
+        "join": {f: getattr(lq.join, f) for f in JOIN_FIELDS},
+        "aggregates": [
+            {
+                "kind": a.kind,
+                "table": a.table,
+                "column": a.column,
+                "alias": a.alias,
+                "sensitivity": a.sensitivity,
+            }
+            for a in lq.aggregates
+        ],
+        "group_by": (
+            None
+            if lq.group_by is None
+            else {
+                "table": lq.group_by.table,
+                "column": lq.group_by.column,
+                "domain": list(lq.group_by.domain),
+            }
+        ),
+        "predicate": encode_predicate(lq.predicate),
+    }
+
+
+def decode_query(entry: dict) -> LogicalQuery:
+    """Rebuild the full :class:`LogicalQuery` AST from its wire form.
+
+    All AST validation (ring bounds, aggregate shapes, GROUP BY domain
+    limits) re-runs in the dataclass constructors, so a hostile payload
+    fails with :class:`~repro.common.errors.SchemaError` — it cannot
+    smuggle an invalid query past the in-process checks.
+    """
+    try:
+        join_entry = entry["join"]
+        join = LogicalJoinQuery(
+            **{f: join_entry[f] for f in JOIN_FIELDS}
+        )
+        aggregates = tuple(
+            AggregateSpec(
+                kind=a["kind"],
+                table=a.get("table"),
+                column=a.get("column"),
+                alias=a.get("alias"),
+                sensitivity=float(a.get("sensitivity", 1.0)),
+            )
+            for a in entry["aggregates"]
+        )
+        group_entry = entry.get("group_by")
+        group_by = (
+            None
+            if group_entry is None
+            else GroupBySpec(
+                group_entry["table"],
+                group_entry["column"],
+                tuple(group_entry["domain"]),
+            )
+        )
+        predicate = decode_predicate(entry.get("predicate"))
+    except (KeyError, TypeError, ValueError, AttributeError) as exc:
+        raise WireError(f"malformed query payload: {exc!r}") from exc
+    return LogicalQuery(
+        join=join, aggregates=aggregates, group_by=group_by, predicate=predicate
+    )
+
+
+# -- upload codec -------------------------------------------------------------
+def encode_batch(batch: RecordBatch) -> dict:
+    """One owner-side padded batch, arrays via the snapshot codec."""
+    return {
+        "fields": list(batch.schema.fields),
+        "rows": encode_array(np.asarray(batch.rows)),
+        "is_real": encode_array(np.asarray(batch.is_real)),
+    }
+
+
+def decode_batch(entry: dict) -> RecordBatch:
+    try:
+        schema = Schema(tuple(entry["fields"]))
+        rows = decode_array(entry["rows"])
+        is_real = decode_array(entry["is_real"]).astype(bool)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise WireError(f"malformed batch payload: {exc!r}") from exc
+    return RecordBatch(schema, rows, is_real)
+
+
+def encode_upload(
+    time: int,
+    batches: Mapping[str, RecordBatch] | Iterable[tuple[str, RecordBatch]],
+    wait: bool = False,
+) -> dict:
+    """One step's uploads: ``(time, [(table, batch), ...])`` in order."""
+    items = batches.items() if isinstance(batches, Mapping) else batches
+    return {
+        "time": int(time),
+        "batches": [[name, encode_batch(batch)] for name, batch in items],
+        "wait": bool(wait),
+    }
+
+
+def decode_upload(entry: dict) -> tuple[int, list[tuple[str, RecordBatch]]]:
+    try:
+        time = int(entry["time"])
+        items = [
+            (str(name), decode_batch(batch)) for name, batch in entry["batches"]
+        ]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise WireError(f"malformed upload payload: {exc!r}") from exc
+    return time, items
+
+
+# -- answer/result codec ------------------------------------------------------
+def _plain_cell(value: object) -> int | float:
+    """JSON-safe scalar that preserves the exact/float distinction."""
+    if isinstance(value, (int, np.integer)) and not isinstance(value, bool):
+        return int(value)
+    if isinstance(value, (float, np.floating)):
+        return float(value)
+    raise SchemaError(f"cannot encode answer cell {value!r}")
+
+
+def encode_answer(answer: QueryAnswer) -> dict:
+    """The padded result table; exact COUNT/SUM cells stay integers."""
+    return {
+        "columns": list(answer.columns),
+        "groups": (
+            None if answer.group_keys is None else [int(k) for k in answer.group_keys]
+        ),
+        "rows": [[_plain_cell(v) for v in row] for row in answer.rows],
+    }
+
+
+def decode_answer(entry: dict) -> QueryAnswer:
+    try:
+        groups = entry["groups"]
+        return QueryAnswer(
+            columns=tuple(entry["columns"]),
+            group_keys=None if groups is None else tuple(int(k) for k in groups),
+            rows=tuple(tuple(row) for row in entry["rows"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise WireError(f"malformed answer payload: {exc!r}") from exc
+
+
+@dataclass(frozen=True)
+class RemoteQueryResult:
+    """Client-side mirror of :class:`~repro.server.database.DatabaseQueryResult`.
+
+    Carries the full released answer table, the ground-truth mirror the
+    server scored against, the plan the server chose, and the simulated
+    query-execution time — everything the in-process result exposes,
+    minus live object references.
+    """
+
+    plan_kind: str
+    view_name: str | None
+    estimated_gates: int
+    estimated_seconds: float
+    n_shards: int
+    qet_seconds: float
+    view_answer: float
+    logical_answer: float
+    epsilon_spent: float
+    answers: QueryAnswer
+    logical_answers: QueryAnswer
+
+    @property
+    def answer(self) -> float:
+        """The historical scalar surface: the first released cell."""
+        return self.view_answer
+
+
+def encode_result(result) -> dict:
+    """Wire form of one ``DatabaseQueryResult`` (duck-typed)."""
+    plan = result.plan
+    obs = result.observation
+    return {
+        "plan": {
+            "kind": plan.kind,
+            "view_name": plan.view_name,
+            "estimated_gates": int(plan.estimated_gates),
+            "estimated_seconds": float(plan.estimated_seconds),
+            "n_shards": int(plan.n_shards),
+        },
+        "qet_seconds": float(obs.qet_seconds),
+        "view_answer": float(obs.view_answer),
+        "logical_answer": float(obs.logical_answer),
+        "epsilon_spent": float(result.epsilon_spent),
+        "answers": encode_answer(result.answers),
+        "logical_answers": encode_answer(result.logical_answers),
+    }
+
+
+def decode_result(entry: dict) -> RemoteQueryResult:
+    try:
+        plan = entry["plan"]
+        return RemoteQueryResult(
+            plan_kind=plan["kind"],
+            view_name=plan["view_name"],
+            estimated_gates=int(plan["estimated_gates"]),
+            estimated_seconds=float(plan["estimated_seconds"]),
+            n_shards=int(plan["n_shards"]),
+            qet_seconds=float(entry["qet_seconds"]),
+            view_answer=float(entry["view_answer"]),
+            logical_answer=float(entry["logical_answer"]),
+            epsilon_spent=float(entry["epsilon_spent"]),
+            answers=decode_answer(entry["answers"]),
+            logical_answers=decode_answer(entry["logical_answers"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise WireError(f"malformed result payload: {exc!r}") from exc

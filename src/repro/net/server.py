@@ -1,0 +1,478 @@
+"""The threaded socket front door around one :class:`DatabaseServer`.
+
+:class:`NetworkServer` gives the in-process serving runtime an actual
+service boundary — the deployment shape of the paper's Figure 1, where
+owners and analysts talk to the two untrusted servers over a network
+rather than through Python object references:
+
+* one **accept thread** plus one handler thread per connection; each
+  connection is a read session (frames on one connection execute in
+  order, connections execute concurrently under the runtime's existing
+  read/write, per-view, and MPC locks);
+* **bounded admission** — at most ``max_connections`` concurrent
+  connections and ``max_inflight`` concurrently executing requests.
+  Anything beyond is *rejected* with a structured ``overloaded`` error
+  carrying a ``retry_after`` hint, never buffered without bound; the
+  ingest queue applies the same policy through
+  :meth:`~repro.server.runtime.DatabaseServer.try_submit`;
+* **graceful drain** — :meth:`close` stops accepting, lets every
+  in-flight request finish and flush its response, answers anything
+  newly arrived with ``shutting-down``, then severs the idle
+  connections.
+
+The server binds ``127.0.0.1`` by default; pass ``port=0`` to let the
+OS pick a free port (the bound address is :attr:`address`).
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time as _time
+
+from ..common.errors import ConfigurationError, ReproError
+from ..server.runtime import DatabaseServer, DrainTimeout
+from . import protocol as wire
+
+#: Request frames that consume an in-flight permit (everything that
+#: executes against the database; hello/stats are cheap reads).
+_GUARDED_FRAMES = ("upload", "query", "snapshot", "reshard")
+
+
+class NetworkServer:
+    """Serve one :class:`DatabaseServer` over TCP."""
+
+    def __init__(
+        self,
+        server: DatabaseServer,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_connections: int = 32,
+        max_inflight: int = 8,
+        retry_after: float = 0.05,
+        max_wait_timeout: float = 60.0,
+        idle_timeout: float | None = 300.0,
+    ) -> None:
+        if max_connections < 1:
+            raise ConfigurationError(
+                f"max_connections must be >= 1, got {max_connections}"
+            )
+        if max_inflight < 1:
+            raise ConfigurationError(
+                f"max_inflight must be >= 1, got {max_inflight}"
+            )
+        if retry_after <= 0:
+            raise ConfigurationError(
+                f"retry_after must be positive, got {retry_after}"
+            )
+        if max_wait_timeout <= 0:
+            raise ConfigurationError(
+                f"max_wait_timeout must be positive, got {max_wait_timeout}"
+            )
+        if idle_timeout is not None and idle_timeout <= 0:
+            raise ConfigurationError(
+                f"idle_timeout must be positive (or None), got {idle_timeout}"
+            )
+        self.server = server
+        self.host = host
+        self.port = port
+        self.max_connections = max_connections
+        self.max_inflight = max_inflight
+        self.retry_after = retry_after
+        #: ceiling on the client-supplied `wait_timeout` of an upload
+        #: frame — an in-flight permit is held for the wait, so an
+        #: unbounded client value could pin the request capacity
+        self.max_wait_timeout = max_wait_timeout
+        #: per-connection read timeout — a silent or dead peer (no FIN
+        #: ever arrives) must not hold one of max_connections slots
+        #: forever; None disables (trusted single-tenant setups only)
+        self.idle_timeout = idle_timeout
+        self._listener: socket.socket | None = None
+        self._accept_thread: threading.Thread | None = None
+        self._handlers: dict[socket.socket, threading.Thread] = {}
+        self._lock = threading.Lock()
+        self._inflight = threading.Semaphore(max_inflight)
+        # Admission gate for uploads: a stale (non-advancing) step must
+        # be rejected *synchronously* — once enqueued it would fail in
+        # the background loop and poison ingestion for every client.
+        self._upload_gate = threading.Lock()
+        self._highest_admitted = 0
+        self._closing = False
+        self._closed = False
+
+    # -- lifecycle ---------------------------------------------------------------
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` (resolves ``port=0`` ephemera)."""
+        if self._listener is None:
+            raise ConfigurationError("server not started; call start() first")
+        addr = self._listener.getsockname()
+        return addr[0], addr[1]
+
+    def start(self) -> "NetworkServer":
+        """Bind, listen, and launch the accept loop.
+
+        Starts the wrapped :class:`DatabaseServer` too if the caller has
+        not already — the network door implies a running ingest loop.
+        """
+        if self._listener is not None:
+            raise ConfigurationError("network server already started")
+        if not self.server.running:
+            self.server.start()
+        # Seed the admission floor from everything ever *submitted*
+        # (not just applied): a step queued before the listener opened
+        # must not be undercut by a remote upload that would then fail
+        # in the background loop.
+        self._highest_admitted = self.server.highest_submitted
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, self.port))
+        listener.listen(min(128, self.max_connections * 2))
+        self._listener = listener
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="incshrink-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def close(self, drain_timeout: float = 10.0, stop_server: bool = False) -> None:
+        """Graceful drain: finish in-flight requests, then disconnect.
+
+        New *guarded* requests (upload/query/snapshot/reshard) arriving
+        during the drain are answered with a structured
+        ``shutting-down`` error; the cheap observability frames
+        (hello/stats) keep being served so monitors can watch the drain
+        itself.  With ``stop_server`` the wrapped
+        :class:`DatabaseServer` is stopped afterwards as well (draining
+        its ingest queue under the same timeout).
+        """
+        if self._listener is None or self._closed:
+            return
+        self._closing = True
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        # Wait for every in-flight request to finish and flush: when all
+        # max_inflight permits are re-acquirable, nothing is executing.
+        deadline = _time.monotonic() + drain_timeout
+        acquired = 0
+        for _ in range(self.max_inflight):
+            remaining = deadline - _time.monotonic()
+            if remaining <= 0 or not self._inflight.acquire(timeout=remaining):
+                break
+            acquired += 1
+        for _ in range(acquired):
+            self._inflight.release()
+        # Sever the (now idle) connections; handlers unblock and exit.
+        with self._lock:
+            connections = list(self._handlers)
+        for conn in connections:
+            _close_socket(conn)
+        with self._lock:
+            threads = list(self._handlers.values())
+        for thread in threads:
+            thread.join(timeout=max(0.1, deadline - _time.monotonic()))
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=1.0)
+        self._closed = True
+        if stop_server:
+            self.server.stop(drain_timeout=drain_timeout)
+
+    def __enter__(self) -> "NetworkServer":
+        if self._listener is None:
+            self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- accept / per-connection loops -------------------------------------------
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while not self._closing:
+            try:
+                conn, _addr = self._listener.accept()
+            except OSError:  # listener closed by close()
+                return
+            with self._lock:
+                admit = not self._closing and len(self._handlers) < self.max_connections
+                if admit:
+                    thread = threading.Thread(
+                        target=self._serve_connection,
+                        args=(conn,),
+                        name="incshrink-conn",
+                        daemon=True,
+                    )
+                    self._handlers[conn] = thread
+            if not admit:
+                self._reject_connection(conn)
+                continue
+            thread.start()
+
+    def _reject_connection(self, conn: socket.socket) -> None:
+        """Best-effort structured rejection of a connection over the cap."""
+        try:
+            stream = conn.makefile("wb")
+            wire.write_frame(
+                stream,
+                "error",
+                wire.error_payload(
+                    wire.ERR_OVERLOADED,
+                    f"server at max_connections={self.max_connections}",
+                    retry_after=self.retry_after,
+                ),
+            )
+            stream.close()
+        except OSError:
+            pass
+        finally:
+            _close_socket(conn)
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        if self.idle_timeout is not None:
+            conn.settimeout(self.idle_timeout)
+        stream = conn.makefile("rwb")
+        try:
+            while True:
+                try:
+                    frame_type, payload = wire.read_frame(stream)
+                except wire.ConnectionClosed:
+                    return
+                except wire.VersionMismatch as exc:
+                    self._try_write(
+                        stream,
+                        "error",
+                        wire.error_payload(wire.ERR_VERSION_MISMATCH, str(exc)),
+                    )
+                    return
+                except wire.WireError as exc:
+                    self._try_write(
+                        stream,
+                        "error",
+                        wire.error_payload(wire.ERR_BAD_FRAME, str(exc)),
+                    )
+                    return
+                if frame_type == "bye":
+                    self._try_write(stream, "bye", {})
+                    return
+                if frame_type in _GUARDED_FRAMES:
+                    rejection = self._admit()
+                    if rejection is not None:
+                        if not self._try_write(stream, *rejection):
+                            return
+                        continue
+                    # The permit stays held until the response is
+                    # flushed: close()'s drain must not sever this
+                    # connection between execution and write (the
+                    # request's effects — an ε spend, an applied
+                    # upload — would be real but the answer lost).
+                    try:
+                        response = self._execute(frame_type, payload)
+                        alive = self._try_write(stream, *response)
+                    finally:
+                        self._inflight.release()
+                    if not alive:
+                        return
+                    continue
+                response_type, response = self._dispatch(frame_type, payload)
+                if not self._try_write(stream, response_type, response):
+                    return
+        except OSError:
+            # Reset, idle timeout, or the socket torn down mid-drain —
+            # nothing to answer on; just release the connection slot.
+            return
+        finally:
+            try:
+                stream.close()
+            except OSError:
+                pass
+            _close_socket(conn)
+            with self._lock:
+                self._handlers.pop(conn, None)
+
+    @staticmethod
+    def _try_write(stream, frame_type: str, payload: dict) -> bool:
+        try:
+            wire.write_frame(stream, frame_type, payload)
+            return True
+        except (OSError, ValueError):  # peer gone / socket torn down mid-drain
+            return False
+
+    # -- request dispatch ---------------------------------------------------------
+    def _admit(self) -> tuple[str, dict] | None:
+        """Admission control for guarded frames.
+
+        Returns a rejection response, or ``None`` when admitted — in
+        which case one in-flight permit is held and the **caller** must
+        release it (after flushing the response, so a graceful drain
+        counts the unflushed answer as still in flight).
+        """
+        if self._closing:
+            return "error", wire.error_payload(
+                wire.ERR_SHUTTING_DOWN, "server is draining; no new requests"
+            )
+        if not self._inflight.acquire(blocking=False):
+            return "error", wire.error_payload(
+                wire.ERR_OVERLOADED,
+                f"server at max_inflight={self.max_inflight} concurrent requests",
+                retry_after=self.retry_after,
+            )
+        return None
+
+    def _execute(self, frame_type: str, payload: dict) -> tuple[str, dict]:
+        """Run one admitted guarded request; never raises."""
+        # A poisoned ingest loop is the *server's* condition, not this
+        # request's fault: report it as a server error (with the original
+        # failure) instead of letting try_submit/query re-raise it as an
+        # invalid-request that blames the innocent caller's payload.
+        deferred = self.server.ingest_error
+        if deferred is not None and frame_type in ("upload", "query"):
+            return "error", wire.error_payload(
+                wire.ERR_SERVER,
+                "ingestion halted by an earlier failure: "
+                f"{type(deferred).__name__}: {deferred}",
+            )
+        try:
+            if frame_type == "upload":
+                return self._handle_upload(payload)
+            if frame_type == "query":
+                return self._handle_query(payload)
+            if frame_type == "snapshot":
+                return self._handle_snapshot(payload)
+            return self._handle_reshard(payload)
+        except ReproError as exc:
+            return "error", wire.error_payload(
+                wire.ERR_INVALID_REQUEST, f"{type(exc).__name__}: {exc}"
+            )
+        except Exception as exc:  # never let one request kill the connection
+            return "error", wire.error_payload(
+                wire.ERR_SERVER, f"{type(exc).__name__}: {exc}"
+            )
+
+    def _dispatch(self, frame_type: str, payload: dict) -> tuple[str, dict]:
+        """Single-shot dispatch of any request frame.
+
+        The connection loop inlines the guarded path to hold the permit
+        across the response write; this wrapper (admit → execute →
+        release) serves the unguarded frames and direct callers (tests).
+        """
+        if frame_type == "hello":
+            return "welcome", self._welcome()
+        if frame_type == "stats":
+            return "stats_result", self.server.observability()
+        if frame_type not in _GUARDED_FRAMES:
+            return "error", wire.error_payload(
+                wire.ERR_UNSUPPORTED, f"cannot serve {frame_type!r} frames"
+            )
+        rejection = self._admit()
+        if rejection is not None:
+            return rejection
+        try:
+            return self._execute(frame_type, payload)
+        finally:
+            self._inflight.release()
+
+    def _welcome(self) -> dict:
+        """Public deployment metadata a client needs to form queries."""
+        db = self.server.database
+        return {
+            "server": "incshrink",
+            "protocol": wire.PROTOCOL_VERSION,
+            "views": [
+                {
+                    "name": name,
+                    **{f: getattr(vr.view_def, f) for f in wire.JOIN_FIELDS},
+                }
+                for name, vr in db.views.items()
+            ],
+            "n_shards": db.n_shards,
+            "last_time": self.server.last_time,
+        }
+
+    def _handle_upload(self, payload: dict) -> tuple[str, dict]:
+        time_step, items = wire.decode_upload(payload)
+        with self._upload_gate:
+            # Reject a non-advancing step *before* it reaches the queue:
+            # deferred, it would kill the background loop for everyone
+            # while its sender saw upload_ok.  The floor covers local
+            # submits too (highest_submitted), not just applied steps.
+            floor = max(self.server.highest_submitted, self._highest_admitted)
+            if time_step <= floor:
+                return "error", wire.error_payload(
+                    wire.ERR_INVALID_REQUEST,
+                    f"upload at step {time_step} does not advance the "
+                    f"stream (highest admitted step is {floor})",
+                )
+            if not self.server.try_submit(time_step, items):
+                return "error", wire.error_payload(
+                    wire.ERR_OVERLOADED,
+                    f"ingest queue at capacity "
+                    f"({self.server.max_pending} steps)",
+                    retry_after=self.retry_after,
+                )
+            self._highest_admitted = time_step
+        drained = True
+        if payload.get("wait"):
+            # Clamp the client-supplied wait: an in-flight permit is
+            # held for its duration, so an unbounded value would let
+            # one client pin the server's request capacity.
+            wait_timeout = min(
+                float(payload.get("wait_timeout", 30.0)), self.max_wait_timeout
+            )
+            try:
+                self.server.drain(timeout=wait_timeout)
+            except DrainTimeout:
+                # The upload *was* accepted and will be applied; a slow
+                # drain must not read as "rejected, resend" (a resend
+                # would be a stale step).
+                drained = False
+        return "upload_ok", {
+            "time": time_step,
+            "applied_through": self.server.last_time,
+            "queue_depth": self.server.pending_uploads,
+            "drained": drained,
+        }
+
+    def _handle_query(self, payload: dict) -> tuple[str, dict]:
+        try:
+            query = wire.decode_query(payload["query"])
+            time = payload.get("time")
+            time = None if time is None else int(time)
+            epsilon = payload.get("epsilon")
+            epsilon = None if epsilon is None else float(epsilon)
+            predicate_words = int(payload.get("predicate_words", 1))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise wire.WireError(f"malformed query frame: {exc!r}") from exc
+        result = self.server.query(
+            query,
+            time=time,
+            predicate_words=predicate_words,
+            epsilon=epsilon,
+        )
+        return "result", wire.encode_result(result)
+
+    def _handle_snapshot(self, payload: dict) -> tuple[str, dict]:
+        info = self.server.snapshot(payload.get("path"))
+        return "snapshot_ok", {
+            "path": info.path,
+            "bytes_written": info.bytes_written,
+            "sha256": info.sha256,
+            "created_at": info.created_at,
+        }
+
+    def _handle_reshard(self, payload: dict) -> tuple[str, dict]:
+        n_shards = int(payload["n_shards"])
+        self.server.reshard(n_shards)
+        return "reshard_ok", {"n_shards": self.server.database.n_shards}
+
+
+def _close_socket(conn: socket.socket) -> None:
+    try:
+        conn.shutdown(socket.SHUT_RDWR)
+    except OSError:
+        pass
+    try:
+        conn.close()
+    except OSError:
+        pass

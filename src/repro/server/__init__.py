@@ -27,7 +27,13 @@ from .persistence import (
     snapshot_database,
 )
 from .planner import DatabasePlanner
-from .runtime import DatabaseServer, ReadSession, ReadWriteLock, ServingStats
+from .runtime import (
+    DatabaseServer,
+    DrainTimeout,
+    ReadSession,
+    ReadWriteLock,
+    ServingStats,
+)
 from .sharding import SINGLE_SHARD, ShardLayout
 from .scheduler import (
     DatabaseStepReport,
@@ -51,6 +57,7 @@ __all__ = [
     "snapshot_database",
     "DatabasePlanner",
     "DatabaseServer",
+    "DrainTimeout",
     "ReadSession",
     "ReadWriteLock",
     "ServingStats",

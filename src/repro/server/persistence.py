@@ -142,6 +142,14 @@ def _decode_array(entry: dict) -> np.ndarray:
         raise PersistenceError(f"malformed array entry: {exc}") from exc
 
 
+#: Public names for the array codec so other serialization surfaces (the
+#: network wire protocol in :mod:`repro.net.protocol`) reuse *exactly*
+#: the snapshot format's encoding instead of inventing a second one —
+#: anything that crosses the wire is representable in a snapshot file.
+encode_array = _encode_array
+decode_array = _decode_array
+
+
 def _encode_shared_array(sa: SharedArray) -> dict:
     return {"s0": _encode_array(sa.share0), "s1": _encode_array(sa.share1)}
 

@@ -35,7 +35,7 @@ import queue
 import threading
 import time as _time
 from contextlib import contextmanager
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterator, Mapping
 
 from ..common.errors import ConfigurationError, ProtocolError
@@ -106,7 +106,15 @@ class ReadWriteLock:
 
 @dataclass
 class ServingStats:
-    """Wall-clock throughput counters of one serving run."""
+    """Wall-clock throughput counters and live gauges of one serving run.
+
+    The counters accumulate; the gauges (``queue_depth``,
+    ``queue_capacity``, ``shard_rows``, ``query_epsilon``) mirror the
+    current server state and are refreshed by
+    :meth:`DatabaseServer.current_stats`.  ``to_dict`` is the single
+    observability surface: the network ``stats`` frame and
+    ``BENCH_serving.json`` both report exactly these fields.
+    """
 
     uploads: int = 0
     steps: int = 0
@@ -116,6 +124,14 @@ class ServingStats:
     snapshots: int = 0
     last_snapshot_seconds: float = 0.0
     last_snapshot_bytes: int = 0
+    #: submitted-but-unapplied steps in the ingest queue right now
+    queue_depth: int = 0
+    #: the queue's bound (``max_pending`` — backpressure beyond this)
+    queue_capacity: int = 0
+    #: per-view shard sizes after the last applied step
+    shard_rows: dict = field(default_factory=dict)
+    #: total ε spent by noisy per-query releases so far
+    query_epsilon: float = 0.0
 
     def uploads_per_second(self) -> float:
         return self.uploads / self.ingest_seconds if self.ingest_seconds else 0.0
@@ -135,6 +151,12 @@ class ServingStats:
             "snapshots": self.snapshots,
             "last_snapshot_seconds": self.last_snapshot_seconds,
             "last_snapshot_bytes": self.last_snapshot_bytes,
+            "queue_depth": self.queue_depth,
+            "queue_capacity": self.queue_capacity,
+            "shard_rows": {
+                name: list(rows) for name, rows in self.shard_rows.items()
+            },
+            "query_epsilon": self.query_epsilon,
         }
 
 
@@ -175,6 +197,17 @@ class ReadSession:
 _SHUTDOWN = object()
 
 
+class DrainTimeout(ProtocolError):
+    """A bounded :meth:`DatabaseServer.drain`/:meth:`~DatabaseServer.stop`
+    wait expired with submissions still queued.
+
+    Nothing is lost and nothing failed: the ingestion loop keeps
+    applying, and calling the method again resumes waiting.  Kept
+    distinct from other :class:`~repro.common.errors.ProtocolError`\\ s
+    so callers (the network front door) can tell "accepted but still
+    applying" apart from a genuinely failed ingest."""
+
+
 class DatabaseServer:
     """Long-lived serving process state around one database."""
 
@@ -198,11 +231,16 @@ class DatabaseServer:
             raise ConfigurationError(
                 f"ingest_batch must be >= 1, got {ingest_batch}"
             )
+        if max_pending < 1:
+            raise ConfigurationError(
+                f"max_pending must be >= 1, got {max_pending}"
+            )
         self.database = database
         self.snapshot_path = snapshot_path
         self.snapshot_every = snapshot_every
+        self.max_pending = max_pending
         self.ingest_batch = ingest_batch
-        self.stats = ServingStats()
+        self.stats = ServingStats(queue_capacity=max_pending)
         #: metadata merged into every snapshot (callers may add keys,
         #: e.g. the CLI records its workload parameters for ``resume``)
         self.metadata: dict = {}
@@ -219,8 +257,11 @@ class DatabaseServer:
         self._thread: threading.Thread | None = None
         self._started = False
         self._stopping = False
+        self._stopped = False
+        self._shutdown_sent = False
         self._ingest_error: BaseException | None = None
         self._last_time = 0
+        self._highest_submitted = 0
         self._session_counter = 0
         self._steps_since_snapshot = 0
 
@@ -262,20 +303,128 @@ class DatabaseServer:
         self._require_running()
         item = dict(batches) if isinstance(batches, Mapping) else list(batches)
         self._queue.put((int(time), item))
+        self._note_submitted(int(time))
 
-    def drain(self) -> None:
-        """Block until every submitted upload has been applied."""
-        self._queue.join()
+    def try_submit(
+        self,
+        time: int,
+        batches: Mapping[str, RecordBatch] | list[tuple[str, RecordBatch]],
+        timeout: float | None = None,
+    ) -> bool:
+        """:meth:`submit` without unbounded blocking.
+
+        Returns ``False`` when the ingest queue stays full (past
+        ``timeout`` seconds; immediately when ``timeout`` is ``None``).
+        The network front door uses this to *reject with retry-after*
+        instead of parking one connection thread per blocked producer.
+        """
+        self._require_running()
+        item = dict(batches) if isinstance(batches, Mapping) else list(batches)
+        try:
+            if timeout is None:
+                self._queue.put_nowait((int(time), item))
+            else:
+                self._queue.put((int(time), item), timeout=timeout)
+        except queue.Full:
+            return False
+        self._note_submitted(int(time))
+        return True
+
+    def _note_submitted(self, time: int) -> None:
+        with self._stats_lock:
+            if time > self._highest_submitted:
+                self._highest_submitted = time
+
+    @property
+    def highest_submitted(self) -> int:
+        """Highest step ever accepted into the queue (applied or not).
+
+        The network front door seeds its upload-admission floor from
+        this, so steps queued before the listener opened cannot be
+        undercut by a remote upload.
+        """
+        with self._stats_lock:
+            return max(self._highest_submitted, self._last_time)
+
+    @property
+    def pending_uploads(self) -> int:
+        """Submitted-but-unapplied steps in the ingest queue (approximate)."""
+        return self._queue.qsize()
+
+    def drain(self, timeout: float | None = None) -> None:
+        """Block until every submitted upload has been applied.
+
+        With a ``timeout`` the wait is bounded: if queued submissions
+        remain unapplied after ``timeout`` seconds a
+        :class:`~repro.common.errors.ProtocolError` is raised (nothing
+        is lost — the loop keeps applying; call again to keep waiting).
+        Any deferred background-ingestion failure surfaces here.
+        """
+        if timeout is None:
+            self._queue.join()
+        else:
+            deadline = _time.monotonic() + timeout
+            with self._queue.all_tasks_done:
+                while self._queue.unfinished_tasks:
+                    remaining = deadline - _time.monotonic()
+                    if remaining <= 0.0:
+                        raise DrainTimeout(
+                            f"{self._queue.unfinished_tasks} queued "
+                            f"submissions were not applied within "
+                            f"{timeout:.3f}s"
+                        )
+                    self._queue.all_tasks_done.wait(remaining)
         self._raise_ingest_error()
 
-    def stop(self, final_snapshot: bool = False) -> None:
-        """Drain the queue, stop the loop, optionally snapshot."""
-        if not self._started or self._stopping:
+    def stop(
+        self, final_snapshot: bool = False, drain_timeout: float | None = None
+    ) -> None:
+        """Drain the queue, stop the loop, optionally snapshot.
+
+        The shutdown is *graceful by default*: everything already
+        submitted is applied before the loop exits.  ``drain_timeout``
+        bounds that wait — on expiry a
+        :class:`~repro.common.errors.ProtocolError` reports how many
+        steps are still pending, the loop keeps draining, and calling
+        :meth:`stop` again resumes waiting.  A deferred background
+        ingestion failure is (re-)raised here, so a caller that never
+        submits again still observes it.
+        """
+        if not self._started or self._stopped:
             return
         self._stopping = True
-        self._queue.put(_SHUTDOWN)
+        deadline = (
+            None if drain_timeout is None
+            else _time.monotonic() + drain_timeout
+        )
+
+        def _timed_out() -> DrainTimeout:
+            return DrainTimeout(
+                f"ingestion did not drain within {drain_timeout:.3f}s "
+                f"({self._queue.qsize()} submissions still queued); call "
+                "stop() again to keep waiting"
+            )
+
+        if not self._shutdown_sent:
+            # The sentinel rides the bounded queue; with a full queue a
+            # blocking put would bust the drain_timeout contract, so the
+            # enqueue itself is bounded too.
+            try:
+                if drain_timeout is None:
+                    self._queue.put(_SHUTDOWN)
+                else:
+                    self._queue.put(_SHUTDOWN, timeout=drain_timeout)
+            except queue.Full:
+                raise _timed_out()
+            self._shutdown_sent = True
         assert self._thread is not None
-        self._thread.join()
+        self._thread.join(
+            None if deadline is None
+            else max(0.0, deadline - _time.monotonic())
+        )
+        if self._thread.is_alive():
+            raise _timed_out()
+        self._stopped = True
         self._raise_ingest_error()
         if final_snapshot:
             self.snapshot()
@@ -337,7 +486,12 @@ class DatabaseServer:
                 and self._steps_since_snapshot >= self.snapshot_every
             ):
                 self._snapshot_locked()
+            shard_rows = {
+                name: vr.view.shard_lengths()
+                for name, vr in self.database.views.items()
+            }
         with self._stats_lock:
+            self.stats.shard_rows = shard_rows
             self.stats.ingest_seconds += _time.perf_counter() - t0
 
     def _drain_after_error(self) -> None:
@@ -361,6 +515,16 @@ class DatabaseServer:
     def _raise_ingest_error(self) -> None:
         if self._ingest_error is not None:
             raise self._ingest_error
+
+    @property
+    def ingest_error(self) -> BaseException | None:
+        """The deferred background-ingestion failure, if any (no raise).
+
+        :meth:`submit`, :meth:`drain`, and :meth:`stop` *raise* it; this
+        property lets monitoring surfaces (the network ``stats`` frame)
+        report a poisoned ingest loop without tearing themselves down.
+        """
+        return self._ingest_error
 
     # -- analyst side -------------------------------------------------------------
     def session(self, name: str | None = None) -> ReadSession:
@@ -402,7 +566,46 @@ class DatabaseServer:
         with self._stats_lock:
             self.stats.queries += 1
             self.stats.query_seconds += _time.perf_counter() - t0
+            if epsilon is not None:
+                self.stats.query_epsilon = self.database.query_epsilon()
         return result
+
+    def reshard(self, n_shards: int) -> None:
+        """Re-partition every view/cache under the write lock.
+
+        Quiesces read sessions exactly like a snapshot; answers, gate
+        charges, and ε are unchanged (see
+        :meth:`~repro.server.database.IncShrinkDatabase.reshard`).
+        """
+        with self._rw.write_locked():
+            self.database.reshard(n_shards)
+
+    # -- observability ------------------------------------------------------------
+    def current_stats(self) -> ServingStats:
+        """Refresh the live gauges and return the stats record."""
+        with self._stats_lock:
+            self.stats.queue_depth = self._queue.qsize()
+            self.stats.queue_capacity = self.max_pending
+            self.stats.query_epsilon = self.database.query_epsilon()
+            return self.stats
+
+    def observability(self) -> dict:
+        """The full monitoring surface, as one JSON-shaped dict.
+
+        ``ServingStats.to_dict()`` plus the stream watermark, shard
+        count, realized ε, and any deferred ingest failure — exactly
+        what the network ``stats`` frame serves and what
+        ``BENCH_serving.json`` records.  Taken under the read lock so
+        the gauges describe one consistent step boundary.
+        """
+        with self._rw.read_locked():
+            payload = self.current_stats().to_dict()
+            payload["last_time"] = self._last_time
+            payload["n_shards"] = self.database.n_shards
+            payload["realized_epsilon"] = self.database.realized_epsilon()
+            error = self._ingest_error
+            payload["ingest_error"] = None if error is None else str(error)
+        return payload
 
     # -- persistence --------------------------------------------------------------
     def snapshot(self, path: str | None = None) -> SnapshotInfo:

@@ -1,0 +1,626 @@
+"""Network serving subsystem tests (``repro.net``).
+
+The headline claim is **transparency**: a query answered across the
+TCP service boundary is byte-identical to the same query answered
+through the in-process :class:`DatabaseServer` path — same released
+table, same ground-truth mirror, same plan, same realized ε — including
+GROUP BY multi-aggregate queries released with per-query Laplace noise.
+Around that sit the protocol codecs (pure round-trips, hostile-input
+rejection), backpressure (reject-with-retry-after, never unbounded
+buffering), structured error frames that do not kill the connection,
+and remote admin (stats/snapshot/reshard).
+"""
+
+from __future__ import annotations
+
+import io
+import socket
+import struct
+import threading
+
+import numpy as np
+import pytest
+
+from repro.common.types import RecordBatch, Schema
+from repro.core.view_def import JoinViewDefinition
+from repro.net import protocol as wire
+from repro.net.client import IncShrinkClient
+from repro.net.server import NetworkServer
+from repro.query.ast import (
+    AggregateSpec,
+    And,
+    ColumnEquals,
+    ColumnRange,
+    GroupBySpec,
+    LogicalJoinCountQuery,
+    LogicalJoinQuery,
+    LogicalQuery,
+    QueryAnswer,
+    as_logical,
+)
+from repro.server.database import IncShrinkDatabase, ViewRegistration
+from repro.server.persistence import restore_database
+from repro.server.runtime import DatabaseServer
+
+PROBE_SCHEMA = Schema(("key", "ots"))
+DRIVER_SCHEMA = Schema(("key", "sts"))
+
+SCRIPT = [
+    ([[1, 1], [2, 1]], [[1, 2]]),
+    ([[3, 2]], [[2, 3], [3, 3]]),
+    ([], [[3, 4]]),
+    ([[9, 4]], []),
+    ([[3, 5]], [[9, 5]]),
+    ([], [[3, 6]]),
+]
+
+
+def make_view(name: str, window_hi: int) -> JoinViewDefinition:
+    return JoinViewDefinition(
+        name=name,
+        probe_table="orders",
+        probe_schema=PROBE_SCHEMA,
+        probe_key="key",
+        probe_ts="ots",
+        driver_table="shipments",
+        driver_schema=DRIVER_SCHEMA,
+        driver_key="key",
+        driver_ts="sts",
+        window_lo=0,
+        window_hi=window_hi,
+        omega=2,
+        budget=6,
+    )
+
+
+def build_database() -> IncShrinkDatabase:
+    db = IncShrinkDatabase(total_epsilon=2000.0, seed=7)
+    db.register_view(ViewRegistration(make_view("full", 2), mode="ep"))
+    db.register_view(
+        ViewRegistration(make_view("timed", 2), mode="dp-timer", timer_interval=1)
+    )
+    return db
+
+
+def batches_at(time: int) -> dict[str, RecordBatch]:
+    probe_rows, driver_rows = SCRIPT[time - 1]
+    return {
+        "orders": RecordBatch(
+            PROBE_SCHEMA, np.asarray(probe_rows, dtype=np.uint32).reshape(-1, 2)
+        ).padded_to(4),
+        "shipments": RecordBatch(
+            DRIVER_SCHEMA, np.asarray(driver_rows, dtype=np.uint32).reshape(-1, 2)
+        ).padded_to(3),
+    }
+
+
+def full_view_def() -> JoinViewDefinition:
+    return make_view("full", 2)
+
+
+def query_mix() -> list:
+    """The deterministic (noise-free) query workload."""
+    vd = full_view_def()
+    return [
+        LogicalJoinCountQuery.for_view(vd),
+        LogicalQuery.for_view(
+            vd,
+            AggregateSpec.count(),
+            AggregateSpec.sum_of("shipments", "sts"),
+            AggregateSpec.avg_of("shipments", "sts"),
+        ),
+        LogicalQuery.for_view(
+            vd,
+            AggregateSpec.count(),
+            AggregateSpec.sum_of("shipments", "sts"),
+            group_by=GroupBySpec("orders", "key", (1, 2, 3, 9)),
+            predicate=ColumnRange("shipments", "sts", 0, 6),
+        ),
+    ]
+
+
+def epsilon_query() -> LogicalQuery:
+    """The GROUP BY multi-aggregate the ε-release equivalence keys on."""
+    vd = full_view_def()
+    return LogicalQuery.for_view(
+        vd,
+        AggregateSpec.count(),
+        AggregateSpec.sum_of("shipments", "sts"),
+        AggregateSpec.avg_of("shipments", "sts"),
+        group_by=GroupBySpec("orders", "key", (1, 2, 3, 9)),
+    )
+
+
+# -- pure codec round-trips ----------------------------------------------------
+class TestWireCodecs:
+    def test_query_round_trip_full_ast(self):
+        join = LogicalJoinQuery(
+            "orders", "shipments", "key", "key", "ots", "sts", 0, 2
+        )
+        query = LogicalQuery(
+            join=join,
+            aggregates=(
+                AggregateSpec.count(alias="n"),
+                AggregateSpec.sum_of("shipments", "sts", sensitivity=6.0),
+                AggregateSpec.avg_of("orders", "ots", alias="mean_ots"),
+            ),
+            group_by=GroupBySpec("orders", "key", (1, 2, 3)),
+            predicate=And(
+                (
+                    ColumnEquals("orders", "key", 3),
+                    ColumnRange("shipments", "sts", 1, 5),
+                )
+            ),
+        )
+        assert wire.decode_query(wire.encode_query(query)) == query
+
+    def test_single_clause_predicate_round_trip(self):
+        join = LogicalJoinQuery(
+            "orders", "shipments", "key", "key", "ots", "sts", 0, 2
+        )
+        query = LogicalQuery(
+            join=join,
+            aggregates=(AggregateSpec.count(),),
+            predicate=ColumnEquals("orders", "key", 7),
+        )
+        assert wire.decode_query(wire.encode_query(query)) == query
+
+    def test_shims_normalize_on_encode(self):
+        shim = LogicalJoinCountQuery.for_view(full_view_def())
+        assert wire.decode_query(wire.encode_query(shim)) == as_logical(shim)
+
+    def test_malformed_query_payload_rejected(self):
+        with pytest.raises(wire.WireError, match="malformed query"):
+            wire.decode_query({"join": {"probe_table": "orders"}, "aggregates": []})
+
+    def test_non_numeric_fields_rejected_as_wire_errors(self):
+        entry = wire.encode_query(query_mix()[0])
+        entry["aggregates"][0]["sensitivity"] = "abc"
+        with pytest.raises(wire.WireError, match="malformed query"):
+            wire.decode_query(entry)
+
+    def test_batch_round_trip_preserves_bytes(self):
+        batch = batches_at(1)["orders"]
+        out = wire.decode_batch(wire.encode_batch(batch))
+        assert out.schema == batch.schema
+        assert np.array_equal(out.rows, batch.rows)
+        assert np.array_equal(out.is_real, batch.is_real)
+
+    def test_upload_round_trip_preserves_order(self):
+        time, items = wire.decode_upload(
+            wire.encode_upload(3, list(batches_at(2).items()))
+        )
+        assert time == 3
+        assert [name for name, _ in items] == ["orders", "shipments"]
+
+    def test_answer_round_trip_keeps_exact_cells_integral(self):
+        answer = QueryAnswer(
+            columns=("count", "avg_x"),
+            group_keys=(1, 2),
+            rows=((4, 2.5), (0, 0.0)),
+        )
+        decoded = wire.decode_answer(wire.encode_answer(answer))
+        assert decoded == answer
+        assert isinstance(decoded.rows[0][0], int)
+        assert isinstance(decoded.rows[0][1], float)
+
+    def test_frame_round_trip(self):
+        buf = io.BytesIO()
+        wire.write_frame(buf, "query", {"a": 1})
+        assert wire.read_frame(io.BytesIO(buf.getvalue())) == ("query", {"a": 1})
+
+    def test_frame_rejects_bad_magic(self):
+        buf = io.BytesIO(b"XXXX" + b"\x01\x01" + struct.pack(">I", 0))
+        with pytest.raises(wire.WireError, match="magic"):
+            wire.read_frame(buf)
+
+    def test_frame_rejects_version_mismatch(self):
+        header = struct.pack(">4sBBI", wire.PROTOCOL_MAGIC, 99, 1, 0)
+        with pytest.raises(wire.VersionMismatch):
+            wire.read_frame(io.BytesIO(header))
+
+    def test_frame_rejects_oversized_body(self):
+        header = struct.pack(
+            ">4sBBI", wire.PROTOCOL_MAGIC, wire.PROTOCOL_VERSION, 1,
+            wire.MAX_FRAME_BYTES + 1,
+        )
+        with pytest.raises(wire.WireError, match="ceiling"):
+            wire.read_frame(io.BytesIO(header))
+
+    def test_eof_at_boundary_is_connection_closed(self):
+        with pytest.raises(wire.ConnectionClosed):
+            wire.read_frame(io.BytesIO(b""))
+
+    def test_eof_mid_frame_is_wire_error(self):
+        buf = io.BytesIO()
+        wire.write_frame(buf, "stats", {"k": "v"})
+        truncated = buf.getvalue()[:-3]
+        with pytest.raises(wire.WireError, match="mid-frame"):
+            wire.read_frame(io.BytesIO(truncated))
+
+
+# -- the transparency claim ----------------------------------------------------
+class TestNetworkEquivalence:
+    def test_four_clients_match_in_process_path(self):
+        # Reference universe: the in-process serving runtime.
+        ref_server = DatabaseServer(build_database()).start()
+        for t in range(1, len(SCRIPT) + 1):
+            ref_server.submit(t, batches_at(t))
+        ref_server.drain()
+        ref_results = [ref_server.query(q) for q in query_mix()]
+        ref_noisy = ref_server.query(epsilon_query(), epsilon=0.8)
+        ref_eps = ref_server.database.realized_epsilon()
+        ref_server.stop()
+
+        # Network universe: same seed, same stream, across TCP.
+        net_server = DatabaseServer(build_database())
+        with NetworkServer(net_server) as net:
+            host, port = net.address
+            clients = [
+                IncShrinkClient(host, port, name=f"c{i}").connect()
+                for i in range(4)
+            ]
+            try:
+                # All four clients upload; a turn-taking condition keeps
+                # the stream ordered (the runtime rejects regressions).
+                turn = threading.Condition()
+                next_time = [1]
+                upload_errors: list[BaseException] = []
+
+                def owner_loop(idx: int) -> None:
+                    try:
+                        for t in range(1, len(SCRIPT) + 1):
+                            if t % 4 != idx:
+                                continue
+                            with turn:
+                                turn.wait_for(lambda: next_time[0] == t)
+                                clients[idx].upload(t, batches_at(t))
+                                next_time[0] = t + 1
+                                turn.notify_all()
+                    except BaseException as exc:
+                        upload_errors.append(exc)
+                        with turn:
+                            turn.notify_all()
+
+                owners = [
+                    threading.Thread(target=owner_loop, args=(i,))
+                    for i in range(4)
+                ]
+                for thread in owners:
+                    thread.start()
+                for thread in owners:
+                    thread.join()
+                assert not upload_errors, upload_errors
+                net_server.drain()
+
+                # All four clients replay the deterministic mix
+                # concurrently; every answer must match the reference.
+                query_errors: list[BaseException] = []
+
+                def analyst_loop(client: IncShrinkClient) -> None:
+                    try:
+                        for query, ref in zip(query_mix(), ref_results):
+                            result = client.query(query)
+                            assert result.answers == ref.answers
+                            assert result.logical_answers == ref.logical_answers
+                            assert result.plan_kind == ref.plan.kind
+                            assert result.view_name == ref.plan.view_name
+                            assert result.qet_seconds == (
+                                ref.observation.qet_seconds
+                            )
+                    except BaseException as exc:
+                        query_errors.append(exc)
+
+                analysts = [
+                    threading.Thread(target=analyst_loop, args=(c,))
+                    for c in clients
+                ]
+                for thread in analysts:
+                    thread.start()
+                for thread in analysts:
+                    thread.join()
+                assert not query_errors, query_errors
+
+                # One ε-released GROUP BY multi-aggregate: the identical
+                # noise stream must produce the identical noisy table.
+                net_noisy = clients[0].query(epsilon_query(), epsilon=0.8)
+                assert net_noisy.answers == ref_noisy.answers
+                assert net_noisy.epsilon_spent == ref_noisy.epsilon_spent
+                assert net_server.database.realized_epsilon() == ref_eps
+            finally:
+                for client in clients:
+                    client.close()
+        net_server.stop()
+
+    def test_welcome_exposes_views_and_watermark(self):
+        server = DatabaseServer(build_database())
+        with NetworkServer(server) as net:
+            host, port = net.address
+            with IncShrinkClient(host, port) as client:
+                views = {v["name"] for v in client.views()}
+                assert views == {"full", "timed"}
+                entry = client.views()[0]
+                assert set(wire.JOIN_FIELDS) <= set(entry)
+                assert client.server_info["protocol"] == wire.PROTOCOL_VERSION
+        server.stop()
+
+
+# -- backpressure and structured errors ---------------------------------------
+class TestBackpressure:
+    def test_full_ingest_queue_rejects_with_retry_after(self):
+        server = DatabaseServer(build_database())
+        with NetworkServer(server) as net:
+            def always_full(*args, **kwargs):
+                return False
+
+            server.try_submit = always_full  # the queue never drains
+            host, port = net.address
+            with IncShrinkClient(host, port, busy_retries=0) as client:
+                with pytest.raises(wire.RemoteError) as excinfo:
+                    client.upload(1, batches_at(1))
+                assert excinfo.value.code == wire.ERR_OVERLOADED
+                assert excinfo.value.retry_after is not None
+        server.stop()
+
+    def test_client_retries_after_transient_overload(self):
+        server = DatabaseServer(build_database())
+        with NetworkServer(server) as net:
+            real = server.try_submit
+            calls = {"n": 0}
+
+            def flaky(*args, **kwargs):
+                calls["n"] += 1
+                if calls["n"] <= 2:
+                    return False
+                return real(*args, **kwargs)
+
+            server.try_submit = flaky
+            host, port = net.address
+            with IncShrinkClient(host, port, busy_retries=5) as client:
+                out = client.upload(1, batches_at(1), wait=True)
+                assert out["applied_through"] == 1
+            assert calls["n"] == 3
+        server.stop()
+
+    def test_connection_cap_rejects_with_retry_after(self):
+        import time as time_module
+
+        server = DatabaseServer(build_database())
+        with NetworkServer(server, max_connections=1) as net:
+            host, port = net.address
+            second = IncShrinkClient(
+                host, port, busy_retries=0, connect_retries=2
+            )
+            with IncShrinkClient(host, port) as first:
+                assert first.server_info["server"] == "incshrink"
+                # connect() redials on overloaded (the rejection closes
+                # the socket); with the cap still full it raises the
+                # last structured rejection once retries run out.
+                with pytest.raises(wire.RemoteError) as excinfo:
+                    second.connect()
+                assert excinfo.value.code == wire.ERR_OVERLOADED
+                # The failed handshake tore its half-connection down.
+                assert not second.connected
+            # Capacity freed: the same client object reconnects cleanly.
+            for _ in range(100):
+                try:
+                    second.connect()
+                    break
+                except (wire.RemoteError, ConnectionError):
+                    time_module.sleep(0.02)
+            assert second.connected
+            assert second.server_info["server"] == "incshrink"
+            second.close()
+        server.stop()
+
+    def test_inflight_cap_sheds_load_when_saturated(self):
+        server = DatabaseServer(build_database())
+        with NetworkServer(server, max_inflight=1) as net:
+            # Saturate the only permit, then dispatch directly.
+            assert net._inflight.acquire(blocking=False)
+            try:
+                frame_type, payload = net._dispatch(
+                    "query", {"query": wire.encode_query(query_mix()[0])}
+                )
+            finally:
+                net._inflight.release()
+            assert frame_type == "error"
+            assert payload["code"] == wire.ERR_OVERLOADED
+            assert payload["retry_after"] > 0
+        server.stop()
+
+    def test_draining_server_answers_shutting_down(self):
+        server = DatabaseServer(build_database())
+        with NetworkServer(server) as net:
+            net._closing = True
+            frame_type, payload = net._dispatch(
+                "query", {"query": wire.encode_query(query_mix()[0])}
+            )
+            assert frame_type == "error"
+            assert payload["code"] == wire.ERR_SHUTTING_DOWN
+            net._closing = False
+        server.stop()
+
+
+class TestStructuredErrors:
+    def test_invalid_request_keeps_connection_alive(self):
+        server = DatabaseServer(build_database())
+        with NetworkServer(server) as net:
+            host, port = net.address
+            with IncShrinkClient(host, port, busy_retries=0) as client:
+                bad = wire.encode_query(query_mix()[0])
+                bad["aggregates"][0]["kind"] = "median"
+                with pytest.raises(wire.RemoteError) as excinfo:
+                    client._request("query", {"query": bad}, expect="result")
+                assert excinfo.value.code == wire.ERR_INVALID_REQUEST
+                assert "SchemaError" in excinfo.value.remote_message
+                # Same connection still serves valid requests.
+                result = client.query(query_mix()[0])
+                assert result.plan_kind == "view-scan"
+        server.stop()
+
+    def test_admission_floor_covers_locally_queued_steps(self):
+        """A step submitted in-process (even if not yet applied when the
+        listener opens) raises the remote admission floor — a remote
+        upload slotting under it would fail in the background loop."""
+        server = DatabaseServer(build_database()).start()
+        server.submit(3, batches_at(3))  # queued locally, first step
+        with NetworkServer(server) as net:
+            host, port = net.address
+            with IncShrinkClient(host, port, busy_retries=0) as client:
+                with pytest.raises(wire.RemoteError) as excinfo:
+                    client.upload(2, batches_at(2))
+                assert "does not advance" in excinfo.value.remote_message
+                out = client.upload(4, batches_at(4), wait=True)
+                assert out["applied_through"] == 4
+        server.stop()
+
+    def test_stale_upload_rejected_without_poisoning_ingest(self):
+        """A non-advancing step is refused at admission — it must never
+        reach the background loop, where it would kill ingestion for
+        every client while its sender saw upload_ok."""
+        server = DatabaseServer(build_database())
+        with NetworkServer(server) as net:
+            host, port = net.address
+            with IncShrinkClient(host, port, busy_retries=0) as client:
+                client.upload(1, batches_at(1), wait=True)
+                with pytest.raises(wire.RemoteError) as excinfo:
+                    client.upload(1, batches_at(1))  # replayed step
+                assert excinfo.value.code == wire.ERR_INVALID_REQUEST
+                assert "does not advance" in excinfo.value.remote_message
+                # Ingestion stays healthy: later steps still apply.
+                out = client.upload(2, batches_at(2), wait=True)
+                assert out["applied_through"] == 2
+                assert client.stats()["ingest_error"] is None
+        server.stop()
+
+    def test_deferred_ingest_error_surfaces_on_waited_upload(self):
+        """Failures the admission gate cannot see (unknown table) still
+        surface: on the waited upload, in stats frames, and at stop()."""
+        server = DatabaseServer(build_database())
+        with NetworkServer(server) as net:
+            host, port = net.address
+            with IncShrinkClient(host, port, busy_retries=0) as client:
+                client.upload(1, batches_at(1), wait=True)
+                with pytest.raises(wire.RemoteError) as excinfo:
+                    client.upload(
+                        2, {"unknown": batches_at(2)["orders"]}, wait=True
+                    )
+                assert excinfo.value.code == wire.ERR_INVALID_REQUEST
+                assert "unknown" in excinfo.value.remote_message
+                assert "unknown" in client.stats()["ingest_error"]
+                # An innocent *later* request is told the server is
+                # halted — not that its own payload was invalid.
+                with pytest.raises(wire.RemoteError) as later:
+                    client.query(query_mix()[0])
+                assert later.value.code == wire.ERR_SERVER
+                assert "halted by an earlier failure" in (
+                    later.value.remote_message
+                )
+        with pytest.raises(Exception, match="unknown"):
+            server.stop()
+
+    def test_unsupported_frame_type(self):
+        server = DatabaseServer(build_database())
+        with NetworkServer(server) as net:
+            frame_type, payload = net._dispatch("welcome", {})
+            assert frame_type == "error"
+            assert payload["code"] == wire.ERR_UNSUPPORTED
+        server.stop()
+
+    def test_version_mismatch_answered_with_structured_error(self):
+        server = DatabaseServer(build_database())
+        with NetworkServer(server) as net:
+            host, port = net.address
+            with socket.create_connection((host, port), timeout=5.0) as sock:
+                stream = sock.makefile("rwb")
+                stream.write(
+                    struct.pack(">4sBBI", wire.PROTOCOL_MAGIC, 99, 1, 0)
+                )
+                stream.flush()
+                frame_type, payload = wire.read_frame(stream)
+                assert frame_type == "error"
+                assert payload["code"] == wire.ERR_VERSION_MISMATCH
+        server.stop()
+
+
+# -- remote admin --------------------------------------------------------------
+class TestRemoteAdmin:
+    def test_stats_frame_reports_observability_surface(self):
+        server = DatabaseServer(build_database(), max_pending=17)
+        with NetworkServer(server) as net:
+            host, port = net.address
+            with IncShrinkClient(host, port) as client:
+                client.upload(1, batches_at(1), wait=True)
+                client.query(query_mix()[0])
+                stats = client.stats()
+                assert stats["last_time"] == 1
+                assert stats["uploads"] == 2
+                assert stats["queries"] >= 1
+                assert stats["queue_capacity"] == 17
+                assert stats["queue_depth"] == 0
+                assert set(stats["shard_rows"]) == {"full", "timed"}
+                assert stats["query_epsilon"] == 0.0
+                assert stats["ingest_error"] is None
+                assert stats["n_shards"] == 1
+                assert stats["realized_epsilon"] >= 0.0
+        server.stop()
+
+    def test_remote_snapshot_restores_identical_state(self, tmp_path):
+        path = str(tmp_path / "remote.snap")
+        server = DatabaseServer(build_database(), snapshot_path=path)
+        with NetworkServer(server) as net:
+            host, port = net.address
+            with IncShrinkClient(host, port) as client:
+                for t in range(1, 4):
+                    client.upload(t, batches_at(t), wait=True)
+                receipt = client.snapshot()
+                assert receipt["path"] == path
+                before = client.query(query_mix()[1], time=3)
+        restored = restore_database(path)
+        result = restored.database.query(query_mix()[1], 3)
+        assert result.answers == before.answers
+        assert (
+            restored.database.realized_epsilon()
+            == server.database.realized_epsilon()
+        )
+        server.stop()
+
+    def test_remote_reshard_preserves_answers(self):
+        server = DatabaseServer(build_database())
+        with NetworkServer(server) as net:
+            host, port = net.address
+            with IncShrinkClient(host, port) as client:
+                for t in range(1, 4):
+                    client.upload(t, batches_at(t), wait=True)
+                before = client.query(query_mix()[2])
+                out = client.reshard(3)
+                assert out["n_shards"] == 3
+                after = client.query(query_mix()[2])
+                assert after.answers == before.answers
+                assert client.stats()["n_shards"] == 3
+        server.stop()
+
+
+class TestGracefulDrain:
+    def test_close_is_idempotent_and_disconnects_clients(self):
+        server = DatabaseServer(build_database())
+        net = NetworkServer(server).start()
+        host, port = net.address
+        client = IncShrinkClient(host, port).connect()
+        assert client.server_info["server"] == "incshrink"
+        net.close()
+        net.close()  # second close is a no-op
+        with pytest.raises((ConnectionError, wire.RemoteError)):
+            client.stats()
+        client.close()
+        server.stop()
+
+    def test_new_connections_refused_after_close(self):
+        server = DatabaseServer(build_database())
+        net = NetworkServer(server).start()
+        host, port = net.address
+        net.close()
+        with pytest.raises(ConnectionError):
+            IncShrinkClient(host, port, connect_retries=2).connect()
+        server.stop()

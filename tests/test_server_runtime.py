@@ -9,6 +9,7 @@ checkpoint converges to the identical state as one that never stopped.
 from __future__ import annotations
 
 import threading
+from time import sleep as _sleep
 
 import numpy as np
 import pytest
@@ -379,3 +380,176 @@ class TestConfigErrorMessages:
             DatabaseServer(build_database(), snapshot_path="x", snapshot_every=0)
         with pytest.raises(ConfigurationError, match="ingest_batch.*-1"):
             DatabaseServer(build_database(), ingest_batch=-1)
+
+
+class TestGracefulShutdown:
+    """``stop()``/``drain()`` hardening: bounded waits, surfaced errors."""
+
+    def test_stop_drain_timeout_reports_pending_then_finishes(self):
+        server = DatabaseServer(build_database()).start()
+        real_upload = server.database.upload
+
+        def slow_upload(time, batches):
+            _sleep(0.15)
+            return real_upload(time, batches)
+
+        server.database.upload = slow_upload
+        for t in range(1, 4):
+            server.submit(t, batches_at(t))
+        with pytest.raises(ProtocolError, match="did not drain within"):
+            server.stop(drain_timeout=0.01)
+        # Nothing was lost: a second stop (unbounded) finishes the drain.
+        server.stop()
+        assert server.last_time == 3
+
+    def test_drain_timeout_is_bounded_and_lossless(self):
+        server = DatabaseServer(build_database()).start()
+        real_upload = server.database.upload
+
+        def slow_upload(time, batches):
+            _sleep(0.2)
+            return real_upload(time, batches)
+
+        server.database.upload = slow_upload
+        server.submit(1, batches_at(1))
+        with pytest.raises(ProtocolError, match="not applied within"):
+            server.drain(timeout=0.01)
+        server.drain()  # unbounded wait completes
+        assert server.last_time == 1
+        server.stop()
+
+    def test_stop_surfaces_deferred_ingest_error(self):
+        server = DatabaseServer(build_database()).start()
+        server.submit(1, batches_at(1))
+        server.drain()
+        server.submit(1, batches_at(1))  # regression: never applied
+        while server.ingest_error is None:
+            _sleep(0.005)
+        assert isinstance(server.ingest_error, ProtocolError)
+        # The caller that only ever stops (never submits again) still
+        # observes the failure, exactly once.
+        with pytest.raises(ProtocolError, match="does not advance"):
+            server.stop(final_snapshot=False)
+        server.stop()  # already stopped: no re-raise, no snapshot
+
+    def test_stop_timeout_rejects_bad_knob(self):
+        with pytest.raises(ConfigurationError, match="max_pending.*0"):
+            DatabaseServer(build_database(), max_pending=0)
+
+    def test_stop_timeout_bounded_even_with_full_queue(self):
+        """The shutdown sentinel rides the bounded queue; a full queue
+        must not turn the bounded stop into an unbounded block."""
+        from time import monotonic
+
+        server = DatabaseServer(build_database(), max_pending=1).start()
+        real_upload = server.database.upload
+
+        def slow_upload(time, batches):
+            _sleep(0.3)
+            return real_upload(time, batches)
+
+        server.database.upload = slow_upload
+        server.submit(1, batches_at(1))
+        _sleep(0.05)  # let the loop take step 1 off the queue
+        server.submit(2, batches_at(2))  # fills the single slot
+        t0 = monotonic()
+        with pytest.raises(ProtocolError, match="did not drain"):
+            server.stop(drain_timeout=0.05)
+        assert monotonic() - t0 < 1.0
+        server.stop()  # unbounded: finishes the drain
+        assert server.last_time == 2
+
+
+class TestObservabilitySurface:
+    """``ServingStats.to_dict()`` is the single monitoring contract."""
+
+    def test_stats_dict_reports_gauges(self):
+        server = DatabaseServer(build_database(), max_pending=9).start()
+        for t in range(1, 3):
+            server.submit(t, batches_at(t))
+        server.drain()
+        server.query(count_query(2))
+        stats = server.current_stats().to_dict()
+        assert stats["queue_depth"] == 0
+        assert stats["queue_capacity"] == 9
+        assert set(stats["shard_rows"]) == set(server.database.views)
+        assert all(
+            sum(rows) >= 0 for rows in stats["shard_rows"].values()
+        )
+        assert stats["query_epsilon"] == 0.0
+        payload = server.observability()
+        assert payload["last_time"] == 2
+        assert payload["n_shards"] == server.database.n_shards
+        assert payload["ingest_error"] is None
+        assert payload["realized_epsilon"] == server.database.realized_epsilon()
+        server.stop()
+
+    def test_query_epsilon_gauge_tracks_noisy_releases(self):
+        server = DatabaseServer(build_database()).start()
+        server.submit(1, batches_at(1))
+        server.drain()
+        server.query(count_query(2), epsilon=0.25)
+        assert server.current_stats().query_epsilon == pytest.approx(0.25)
+        server.stop()
+
+
+class TestSnapshotDuringConcurrentQueries:
+    """Checkpointing must quiesce readers, not corrupt or drift state."""
+
+    def test_racing_snapshot_restores_byte_identical_state(self, tmp_path):
+        from repro.server.persistence import restore_database, snapshot_database
+
+        path = str(tmp_path / "race.snap")
+        server = DatabaseServer(build_database(), snapshot_path=path).start()
+        for t in range(1, len(SCRIPT) + 1):
+            server.submit(t, batches_at(t))
+        server.drain()
+        reference = [
+            server.query(count_query(2)).answer,
+            server.query(count_query(1)).answer,
+        ]
+
+        stop = threading.Event()
+        errors: list[BaseException] = []
+
+        def reader_loop(session):
+            try:
+                while not stop.is_set():
+                    assert session.query(count_query(2)).answer == reference[0]
+                    assert session.query(count_query(1)).answer == reference[1]
+            except BaseException as exc:
+                errors.append(exc)
+
+        readers = [
+            threading.Thread(target=reader_loop, args=(server.session(),))
+            for _ in range(3)
+        ]
+        for thread in readers:
+            thread.start()
+        # Checkpoint repeatedly while the sessions are mid-query.
+        infos = [server.snapshot() for _ in range(4)]
+        stop.set()
+        for thread in readers:
+            thread.join()
+        assert not errors, errors
+
+        # Byte-identical: re-snapshotting the restored state under the
+        # same metadata reproduces the exact on-disk digest (before any
+        # new query appends to the persisted metric logs).
+        restored = restore_database(path)
+        info = snapshot_database(
+            restored.database,
+            str(tmp_path / "again.snap"),
+            metadata=restored.metadata,
+        )
+        assert info.sha256 == infos[-1].sha256
+        # And the restored database answers identically, ε-exactly.
+        assert [
+            restored.database.query(count_query(2), len(SCRIPT)).answer,
+            restored.database.query(count_query(1), len(SCRIPT)).answer,
+        ] == reference
+        assert (
+            restored.database.realized_epsilon()
+            == server.database.realized_epsilon()
+        )
+        server.stop()
