@@ -1,7 +1,9 @@
 """Shard-scaling baseline of the parallel scan engine — BENCH_shard.json.
 
 Runs the same 3-aggregate GROUP BY dashboard scan over one fixed
-synthetic view at 1/2/4/8 shards and records, per shard count:
+synthetic view at 1/2/4/8 shards, under **both** execution backends
+(GIL-sharing thread pool and shared-memory process pool), and records,
+per (backend, shard count):
 
 * the **simulated wall clock** — the cost model's parallelism-aware
   estimate ``gates / (throughput × effective_workers)``, the number the
@@ -9,13 +11,19 @@ synthetic view at 1/2/4/8 shards and records, per shard count:
   runtime (the repo-wide definition of a protocol's wall clock);
 * the **simulated throughput** (gates per simulated second) the lanes
   sustain together;
-* the **measured host seconds** of the Python simulation itself —
-  informational: on a multi-core host the numpy shard scans overlap (the
-  big array ops release the GIL); on a single-core CI runner they
-  serialise, which says nothing about the simulated 2PC deployment the
-  cost model prices;
-* the equivalence checks: byte-identical answers and identical gate
-  totals at every shard count.
+* the **measured host seconds** of the Python simulation itself plus
+  the **measured wall-clock speedup vs the 1-shard serial baseline** of
+  the same backend.  The view is sized to be genuinely CPU-bound
+  (~0.6M rows, tens of milliseconds of numpy kernel per scan) so the
+  measured numbers mean something.  The speedup/monotonicity
+  *assertions* are gated on the host actually having ≥ 4 usable cores:
+  the process backend cannot beat serial on a single-core runner, and
+  pretending otherwise would just bake flakiness into CI.  The recorded
+  JSON always carries the honest measurements and the ``host_cpus``
+  they were taken on;
+* the equivalence checks — byte-identical answers and identical gate
+  totals at every shard count and backend — which hold **everywhere**,
+  single-core hosts included, and are asserted unconditionally.
 
 Plus the snapshot size delta between a 1-shard and a 4-shard deployment
 of the same state (the v2 format stores per-shard tables — the delta is
@@ -42,6 +50,7 @@ from repro.mpc.runtime import MPCRuntime
 from repro.query.ast import AggregateSpec, GroupBySpec, LogicalQuery
 from repro.query.parallel import ParallelScanExecutor
 from repro.query.rewrite import lower_to_view_scan
+from repro.query.shard_workers import shutdown_process_backend, usable_cpus
 from repro.server.database import IncShrinkDatabase, ViewRegistration
 from repro.server.persistence import snapshot_database
 from repro.server.sharding import ShardLayout
@@ -51,8 +60,14 @@ from repro.storage.materialized_view import MaterializedView
 BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_shard.json"
 
 SHARD_COUNTS = (1, 2, 4, 8)
-VIEW_ROWS = 60_000
-WALL_REPEATS = 5
+BACKENDS = ("thread", "process")
+#: Large enough that one scan is tens of milliseconds of numpy kernel
+#: time (CPU-bound), and that every shard at 8 shards clears the
+#: process backend's auto-selection threshold.
+VIEW_ROWS = 600_000
+WALL_REPEATS = 3
+#: Measured-speedup assertions need real cores to be meaningful.
+MIN_CPUS_FOR_SPEEDUP_ASSERTS = 4
 
 PROBE_SCHEMA = Schema(("key", "ots"))
 DRIVER_SCHEMA = Schema(("key", "sts"))
@@ -123,59 +138,81 @@ def _snapshot_bytes(n_shards: int, tmp_dir: str) -> int:
 def _run_shard_scaling() -> dict:
     vd = _view_def()
     plan = lower_to_view_scan(_dashboard(vd), vd)
-    executor = ParallelScanExecutor()
 
     records = []
     baseline_answer = None
     baseline_gates = None
     baseline_sim_wall = None
-    for k in SHARD_COUNTS:
-        runtime = MPCRuntime(seed=0)
-        view = _fixed_view(k)
-        t0 = _time.perf_counter()
-        for _ in range(WALL_REPEATS):
-            answer, sim_wall = executor.execute(runtime, 0, view, plan)
-        measured = (_time.perf_counter() - t0) / WALL_REPEATS
-        gates = runtime.runs[-1].gates
-        if k == 1:
-            baseline_answer, baseline_gates, baseline_sim_wall = (
-                answer,
-                gates,
-                sim_wall,
-            )
-        records.append(
-            {
-                "n_shards": k,
-                "effective_workers": runtime.cost_model.effective_workers(k),
-                "total_gates": gates,
-                "simulated_wall_seconds": sim_wall,
-                "simulated_throughput_gates_per_s": gates / sim_wall,
-                "measured_host_seconds": measured,
-                "wall_clock_speedup_vs_1_shard": baseline_sim_wall / sim_wall,
-                "answers_match_1_shard": answer == baseline_answer,
-                "gates_match_1_shard": gates == baseline_gates,
-                "shard_rows": list(view.shard_lengths()),
-            }
-        )
+    try:
+        for backend in BACKENDS:
+            executor = ParallelScanExecutor(backend=backend)
+            baseline_measured = None
+            for k in SHARD_COUNTS:
+                runtime = MPCRuntime(seed=0)
+                view = _fixed_view(k)
+                # Warm up: publish shared memory / spawn the pool outside
+                # the timed region (both are once-per-deployment costs).
+                answer, sim_wall = executor.execute(runtime, 0, view, plan)
+                t0 = _time.perf_counter()
+                for _ in range(WALL_REPEATS):
+                    answer, sim_wall = executor.execute(runtime, 0, view, plan)
+                measured = (_time.perf_counter() - t0) / WALL_REPEATS
+                gates = runtime.runs[-1].gates
+                if baseline_answer is None:
+                    baseline_answer, baseline_gates, baseline_sim_wall = (
+                        answer,
+                        gates,
+                        sim_wall,
+                    )
+                if k == 1:
+                    baseline_measured = measured
+                records.append(
+                    {
+                        "backend": backend,
+                        "resolved_backend": executor.backend_for(view),
+                        "n_shards": k,
+                        "effective_workers": runtime.cost_model.effective_workers(k),
+                        "total_gates": gates,
+                        "simulated_wall_seconds": sim_wall,
+                        "simulated_throughput_gates_per_s": gates / sim_wall,
+                        "measured_host_seconds": measured,
+                        "wall_clock_speedup_vs_1_shard": baseline_sim_wall
+                        / sim_wall,
+                        "measured_wall_clock_speedup_vs_1_shard": baseline_measured
+                        / measured,
+                        "answers_match_1_shard": answer == baseline_answer,
+                        "gates_match_1_shard": gates == baseline_gates,
+                        "shard_rows": list(view.shard_lengths()),
+                    }
+                )
+    finally:
+        shutdown_process_backend()
 
     with tempfile.TemporaryDirectory() as tmp_dir:
         snap_1 = _snapshot_bytes(1, tmp_dir)
         snap_4 = _snapshot_bytes(4, tmp_dir)
 
-    by_shards = {r["n_shards"]: r for r in records}
+    by_key = {(r["backend"], r["n_shards"]): r for r in records}
     return {
         "benchmark": "shard_scaling",
         "view_rows": VIEW_ROWS,
         "group_by_cells": 4,
         "aggregates": 3,
+        "host_cpus": usable_cpus(),
         "records": records,
         # Headline: the parallelism-aware wall-clock speedup at 4 shards
         # (the acceptance bar of the sharding refactor: >= 2x).
-        "wall_clock_speedup_4_shards": by_shards[4][
+        "wall_clock_speedup_4_shards": by_key[("thread", 4)][
             "wall_clock_speedup_vs_1_shard"
         ],
-        "wall_clock_speedup_8_shards": by_shards[8][
+        "wall_clock_speedup_8_shards": by_key[("thread", 8)][
             "wall_clock_speedup_vs_1_shard"
+        ],
+        # Headline of the process backend: the *measured* speedup at 4
+        # shards (the acceptance bar of the multi-core backend: >= 2.5x
+        # on a host with >= 4 cores).
+        "measured_speedup_process_4_shards": by_key[("process", 4)][
+            "measured_wall_clock_speedup_vs_1_shard"
         ],
         "snapshot_bytes_1_shard": snap_1,
         "snapshot_bytes_4_shards": snap_4,
@@ -186,20 +223,51 @@ def _run_shard_scaling() -> dict:
 def test_bench_shard_scaling(benchmark):
     result = benchmark.pedantic(_run_shard_scaling, rounds=1, iterations=1)
 
-    # Equivalence at every shard count: same answers, same total gates.
+    # Equivalence at every (backend, shard count): same answers, same
+    # total gates.  These hold on any host, single-core included.
     for record in result["records"]:
         assert record["answers_match_1_shard"], record
         assert record["gates_match_1_shard"], record
         shard_rows = record["shard_rows"]
         assert sum(shard_rows) == result["view_rows"]
         assert max(shard_rows) - min(shard_rows) <= 1
+        # Simulated seconds are backend-independent by construction.
+        thread_twin = next(
+            r
+            for r in result["records"]
+            if r["backend"] == "thread" and r["n_shards"] == record["n_shards"]
+        )
+        assert record["simulated_wall_seconds"] == thread_twin[
+            "simulated_wall_seconds"
+        ]
 
-    # The acceptance bar of the sharding refactor: >= 2x wall-clock
-    # speedup at 4 shards over 1 shard on the benchmark view.
+    # The acceptance bar of the sharding refactor: >= 2x *simulated*
+    # wall-clock speedup at 4 shards over 1 shard on the benchmark view.
     assert result["wall_clock_speedup_4_shards"] >= 2.0
-    # Wall clock is monotone non-increasing in the shard count.
-    walls = [r["simulated_wall_seconds"] for r in result["records"]]
-    assert all(a >= b for a, b in zip(walls, walls[1:]))
+    # Simulated wall clock is monotone non-increasing in the shard count.
+    for backend in BACKENDS:
+        walls = [
+            r["simulated_wall_seconds"]
+            for r in result["records"]
+            if r["backend"] == backend
+        ]
+        assert all(a >= b for a, b in zip(walls, walls[1:]))
+
+    # Measured speedups need real cores; on fewer the records stay
+    # informational (a single-core host cannot overlap shard scans).
+    if result["host_cpus"] >= MIN_CPUS_FOR_SPEEDUP_ASSERTS:
+        process_walls = [
+            r["measured_host_seconds"]
+            for r in result["records"]
+            if r["backend"] == "process"
+            and r["n_shards"] <= result["host_cpus"]
+        ]
+        assert all(a >= b for a, b in zip(process_walls, process_walls[1:])), (
+            "measured host seconds must decrease monotonically with shard "
+            f"count under the process backend, got {process_walls}"
+        )
+        assert result["measured_speedup_process_4_shards"] >= 2.5
+
     # The per-shard snapshot layout costs bookkeeping, not data: the
     # 4-shard snapshot stays within 25% of the single-shard one.
     assert result["snapshot_bytes_delta"] < 0.25 * result["snapshot_bytes_1_shard"]
@@ -208,14 +276,16 @@ def test_bench_shard_scaling(benchmark):
 
     lines = [
         "parallel shard-scaling baseline "
-        f"({result['view_rows']} view rows, 3 aggregates x 4 groups)"
+        f"({result['view_rows']} view rows, 3 aggregates x 4 groups, "
+        f"{result['host_cpus']} host cpus)"
     ]
     for r in result["records"]:
         lines.append(
-            f"  {r['n_shards']} shard(s): {r['simulated_wall_seconds']:.4f} s "
-            f"simulated wall ({r['wall_clock_speedup_vs_1_shard']:.2f}x), "
-            f"{r['simulated_throughput_gates_per_s']/1e6:.1f} Mgates/s, "
-            f"{r['measured_host_seconds']*1e3:.1f} ms host, "
+            f"  {r['backend']:>7} x{r['n_shards']}: "
+            f"{r['simulated_wall_seconds']:.4f} s simulated "
+            f"({r['wall_clock_speedup_vs_1_shard']:.2f}x), "
+            f"{r['measured_host_seconds']*1e3:.1f} ms host "
+            f"({r['measured_wall_clock_speedup_vs_1_shard']:.2f}x measured), "
             f"gates+answers identical: "
             f"{r['gates_match_1_shard'] and r['answers_match_1_shard']}"
         )

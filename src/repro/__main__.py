@@ -97,6 +97,16 @@ def _check_shards(n_shards: int | None) -> None:
         raise SystemExit(f"--shards must be >= 1, got {n_shards}")
 
 
+def _add_scan_backend_flag(parser) -> None:
+    parser.add_argument(
+        "--scan-backend", choices=["auto", "thread", "process"],
+        default="auto", dest="scan_backend",
+        help="view-scan executor backend: thread pool, shared-memory "
+        "process pool, or auto-selection by shard size (answers and "
+        "gate totals are identical either way)",
+    )
+
+
 def _check_snapshot_target(path: str) -> None:
     """The snapshot's directory must exist *before* hours of serving."""
     parent = Path(path).resolve().parent
@@ -165,6 +175,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--shards", type=int, default=1,
         help="round-robin shard count for every view (parallel scans)",
     )
+    _add_scan_backend_flag(mv)
 
     serve = sub.add_parser(
         "serve",
@@ -179,6 +190,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--shards", type=int, default=1,
         help="round-robin shard count for every view (parallel scans)",
     )
+    _add_scan_backend_flag(serve)
     serve.add_argument("--clients", type=int, default=2, help="read sessions")
     serve.add_argument("--snapshot", default=None, help="snapshot file path")
     serve.add_argument(
@@ -212,6 +224,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--snapshot-every", type=int, default=None,
         help="checkpoint every N ingested steps while resumed",
     )
+    _add_scan_backend_flag(res)
 
     qp = sub.add_parser(
         "query",
@@ -229,6 +242,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="shard count: live builds use it directly; a restored "
         "snapshot is resharded in place when it differs",
     )
+    _add_scan_backend_flag(qp)
     _add_query_flags(qp)
 
     cl = sub.add_parser(
@@ -436,6 +450,7 @@ def _cmd_serve(args) -> None:
         total_epsilon=args.epsilon,
         query_every=args.query_every,
         n_shards=args.shards,
+        scan_backend=args.scan_backend,
     )
     deployment = build_multiview_deployment(config)
     server = DatabaseServer(
@@ -513,6 +528,9 @@ def _cmd_resume(args) -> None:
     config = MultiViewRunConfig(**serving_config)
     deployment = build_multiview_deployment(config)
     deployment.database = server.database  # the restored one, not a fresh build
+    if args.scan_backend != "auto":
+        # Operational override: backends change host wall clock only.
+        server.database.set_scan_backend(args.scan_backend)
     resumed_from = server.last_time
     server.start()
     remaining = [
@@ -623,10 +641,13 @@ def _print_plan_line(
     n_shards: int,
     estimated_gates: int,
     qet_seconds: float,
+    scan_backend: str | None = None,
 ) -> None:
     """The one-line plan summary shared by `query` and `client`."""
     target = view_name or "NM join over base stores"
     lanes = f" x {n_shards} shards" if n_shards > 1 else ""
+    if scan_backend is not None and n_shards > 1:
+        lanes += f" [{scan_backend} backend]"
     print(
         f"plan: {kind} -> {target}{lanes} "
         f"({estimated_gates} est. gates); "
@@ -684,6 +705,8 @@ def _cmd_query(args) -> None:
         if args.shards is not None and args.shards != db.n_shards:
             # Share-local re-partition: answers, gates, and ε unchanged.
             db.reshard(args.shards)
+        if args.scan_backend != "auto":
+            db.set_scan_backend(args.scan_backend)
         time_at = int(restored.metadata.get("last_time", 0))
         source = f"snapshot {args.snapshot} (step {time_at}), {db.n_shards} shard(s)"
     else:
@@ -694,6 +717,7 @@ def _cmd_query(args) -> None:
             # None (flag absent) defaults to one shard; counts < 1 were
             # rejected above with a one-line CLI error.
             n_shards=1 if args.shards is None else args.shards,
+            scan_backend=args.scan_backend,
         )
         deployment = build_multiview_deployment(config)
         db = deployment.database
@@ -735,6 +759,7 @@ def _cmd_query(args) -> None:
         plan.n_shards,
         plan.estimated_gates,
         result.observation.qet_seconds,
+        scan_backend=plan.scan_backend,
     )
     if args.epsilon is not None:
         print(
@@ -857,6 +882,7 @@ def main(argv: list[str] | None = None) -> int:
                 total_epsilon=args.epsilon,
                 query_every=args.query_every,
                 n_shards=args.shards,
+                scan_backend=args.scan_backend,
             )
         )
         print(_format_multiview(result))

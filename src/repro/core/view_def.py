@@ -104,6 +104,21 @@ class JoinViewDefinition:
         delta = int(driver_row[self.driver_ts_col]) - int(probe_row[self.probe_ts_col])
         return self.window_lo <= delta <= self.window_hi
 
+    def pair_predicate_batch(
+        self, probe_rows: np.ndarray, driver_rows: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized :meth:`pair_predicate` over aligned candidate arrays.
+
+        ``probe_rows[k]`` is paired with ``driver_rows[k]``; returns the
+        boolean keep mask.  The join kernels detect this method on the
+        bound predicate's owner and use it instead of per-pair calls —
+        the timestamps are uint32, so the difference is exact in int64.
+        """
+        delta = driver_rows[:, self.driver_ts_col].astype(np.int64) - probe_rows[
+            :, self.probe_ts_col
+        ].astype(np.int64)
+        return (delta >= self.window_lo) & (delta <= self.window_hi)
+
     def logical_join_count(
         self, probe_rows: np.ndarray, driver_rows: np.ndarray
     ) -> int:

@@ -207,8 +207,11 @@ class MultiViewRunConfig:
     flush_interval: int = 30
     nm_fallback: bool = True
     #: Round-robin shard count for every view/cache (1 = the paper's
-    #: flat layout); view scans run one shard per worker thread.
+    #: flat layout); view scans run one shard per worker.
     n_shards: int = 1
+    #: View-scan executor backend: "auto" (per-view, by shard size),
+    #: "thread", or "process" (shared-memory worker pool).
+    scan_backend: str = "auto"
     cost_model: CostModel | None = None
 
     def with_overrides(self, **kwargs) -> "MultiViewRunConfig":
@@ -313,6 +316,7 @@ def build_multiview_deployment(config: MultiViewRunConfig) -> MultiViewDeploymen
         cost_model=config.cost_model,
         nm_fallback=config.nm_fallback,
         n_shards=config.n_shards,
+        scan_backend=config.scan_backend,
     )
     common = dict(
         timer_interval=timer_interval,

@@ -222,6 +222,45 @@ class ProtocolContext:
         self._runtime.transcript.publish(self.time, self.name, kind, **payload)
 
 
+class WorkerShardContext:
+    """Charge-only context for shard scans running in worker *processes*.
+
+    Out-of-process shard workers (:mod:`repro.query.shard_workers`) hold
+    no reference to the coordinator's :class:`MPCRuntime`: they recover
+    shares from shared memory themselves and only need the charge
+    surface of a :class:`ProtocolContext` — a local gate counter plus
+    the (picklable, frozen) :class:`~repro.mpc.cost_model.CostModel`.
+    The worker returns its gate total and the coordinator replays it
+    onto the real shard context with :meth:`ProtocolContext.charge_gates`,
+    so the merged :class:`ProtocolRun` is byte-identical to the
+    in-process backends.  Like shard contexts, this exposes **no**
+    randomness or resharing operations: worker scans are pure
+    reveal/charge computations.
+    """
+
+    def __init__(self, cost_model: CostModel) -> None:
+        self.cost_model = cost_model
+        self.gates = 0
+
+    def charge_gates(self, gates: int | float) -> None:
+        self.gates += int(gates)
+
+    def charge_compare_exchanges(self, count: int, payload_words: int) -> None:
+        self.charge_gates(count * self.cost_model.compare_exchange_gates(payload_words))
+
+    def charge_scan(self, n_rows: int, payload_words: int, predicate_words: int = 1) -> None:
+        self.charge_gates(
+            n_rows * self.cost_model.scan_row_gates(payload_words, predicate_words)
+        )
+
+    def charge_join_probes(self, count: int, payload_words: int) -> None:
+        self.charge_gates(count * self.cost_model.join_probe_gates(payload_words))
+
+    @property
+    def seconds(self) -> float:
+        return self.cost_model.seconds(self.gates)
+
+
 class ParallelProtocolGroup:
     """One protocol invocation fanned out over per-shard contexts.
 

@@ -20,7 +20,7 @@ import numpy as np
 from ..mpc.runtime import ProtocolContext
 from .join_common import JoinResult, match_pairs_truncated
 from .sort import network_comparator_count
-from .sort_merge_join import PairPredicate
+from .sort_merge_join import PairPredicate, _predicate_keep_mask
 
 
 def truncated_nested_loop_join(
@@ -49,29 +49,38 @@ def truncated_nested_loop_join(
     )
     out_width = w_probe + w_driver
 
-    # Candidate collection: the outer loop visits drivers in storage
-    # order (Algorithm 4 scans T1 sequentially), the inner loop scans the
-    # probe table in storage order.
+    # Candidate collection: Algorithm 4 scans T1 sequentially and, per
+    # driver, the probe table in storage order.  The quadratic circuit is
+    # charged in one multiplied-out call — every driver (real or dummy)
+    # pays n_probe probes plus one size-n_probe sort-and-cut — and the
+    # candidate scan itself is a broadcast key-equality matrix whose
+    # row-major nonzero order reproduces the loop's visit order exactly.
     driver_order = np.arange(n_driver, dtype=np.int64)
-    candidate_lists: list[list[int]] = []
-    for d in range(n_driver):
-        ctx.charge_join_probes(n_probe, out_width)
+    if n_driver:
+        ctx.charge_join_probes(n_driver * n_probe, out_width)
         # Per-driver intermediate o_i is obliviously sorted then cut to ω
-        # (Algorithm 4 lines 12-13); charge that sort's comparators.
-        ctx.charge_compare_exchanges(network_comparator_count(n_probe), out_width)
-        cands: list[int] = []
-        if driver_flags[d]:
-            key = int(driver_rows[d, driver_key_col])
-            for p in range(n_probe):
-                if not probe_flags[p]:
-                    continue
-                if int(probe_rows[p, probe_key_col]) != key:
-                    continue
-                if pair_predicate is None or pair_predicate(
-                    probe_rows[p], driver_rows[d]
-                ):
-                    cands.append(p)
-        candidate_lists.append(cands)
+        # (Algorithm 4 lines 12-13); charge those sorts' comparators.
+        ctx.charge_compare_exchanges(
+            n_driver * network_comparator_count(n_probe), out_width
+        )
+    probe_live = np.asarray(probe_flags, dtype=bool)[:n_probe]
+    driver_live = np.asarray(driver_flags, dtype=bool)[:n_driver]
+    pair_mask = (
+        (driver_rows[:, driver_key_col][:, None] == probe_rows[:, probe_key_col][None, :])
+        & driver_live[:, None]
+        & probe_live[None, :]
+    )
+    d_idx, p_idx = np.nonzero(pair_mask)
+    if pair_predicate is not None and d_idx.size:
+        keep = _predicate_keep_mask(
+            pair_predicate, probe_rows[p_idx], driver_rows[d_idx]
+        )
+        d_idx, p_idx = d_idx[keep], p_idx[keep]
+    if n_driver:
+        splits = np.searchsorted(d_idx, np.arange(1, n_driver))
+        candidate_lists = list(np.split(p_idx, splits))
+    else:
+        candidate_lists = []
 
     assigned, driver_emitted, probe_emitted, dropped = match_pairs_truncated(
         driver_order, candidate_lists, omega, driver_caps, probe_caps
@@ -79,16 +88,26 @@ def truncated_nested_loop_join(
 
     out_rows = np.zeros((n_driver * omega, out_width), dtype=np.uint32)
     out_flags = np.zeros(n_driver * omega, dtype=bool)
-    for d in range(n_driver):
-        base = d * omega
-        for j, p in enumerate(assigned[d]):
-            if output_left == "probe":
-                out_rows[base + j, :w_probe] = probe_rows[p]
-                out_rows[base + j, w_probe:] = driver_rows[d]
-            else:
-                out_rows[base + j, :w_driver] = driver_rows[d]
-                out_rows[base + j, w_driver:] = probe_rows[p]
-            out_flags[base + j] = True
+    match_counts = [len(matches) for matches in assigned]
+    if any(match_counts):
+        probe_out = np.concatenate(
+            [np.asarray(m, dtype=np.int64) for m in assigned if len(m)]
+        )
+        driver_out = np.repeat(driver_order, match_counts)
+        slot_idx = np.concatenate(
+            [
+                int(d) * omega + np.arange(count, dtype=np.int64)
+                for d, count in zip(driver_order, match_counts)
+                if count
+            ]
+        )
+        if output_left == "probe":
+            out_rows[slot_idx, :w_probe] = probe_rows[probe_out]
+            out_rows[slot_idx, w_probe:] = driver_rows[driver_out]
+        else:
+            out_rows[slot_idx, :w_driver] = driver_rows[driver_out]
+            out_rows[slot_idx, w_driver:] = probe_rows[probe_out]
+        out_flags[slot_idx] = True
 
     return JoinResult(
         rows=out_rows,

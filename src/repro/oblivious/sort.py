@@ -43,17 +43,25 @@ def batcher_network(n: int) -> tuple[tuple[np.ndarray, np.ndarray], ...]:
     while p < n:
         k = p
         while k >= 1:
-            lo: list[int] = []
-            hi: list[int] = []
-            for j in range(k % p, n - k, 2 * k):
-                for i in range(min(k, n - j - k)):
-                    if (i + j) // (p * 2) == (i + j + k) // (p * 2):
-                        lo.append(i + j)
-                        hi.append(i + j + k)
-            if lo:
-                stages.append(
-                    (np.asarray(lo, dtype=np.int64), np.asarray(hi, dtype=np.int64))
+            # Vectorized form of the classic double loop
+            #   for j in range(k % p, n - k, 2k):
+            #       for i in range(min(k, n - j - k)): ...
+            # — an outer-product index grid masked to the loop bounds and
+            # the same-block condition, flattened row-major so comparator
+            # order matches the loops exactly.
+            j = np.arange(k % p, n - k, 2 * k, dtype=np.int64)
+            if j.size:
+                i = np.arange(k, dtype=np.int64)
+                lo = j[:, None] + i[None, :]
+                # Same-block check: p is a power of two, so division by
+                # 2p is a right shift.
+                shift = (2 * p).bit_length() - 1
+                keep = (i[None, :] < n - k - j[:, None]) & (
+                    lo >> shift == (lo + k) >> shift
                 )
+                lo = lo[keep]
+                if lo.size:
+                    stages.append((lo, lo + k))
             k //= 2
         p *= 2
     return tuple(stages)

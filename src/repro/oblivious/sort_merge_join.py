@@ -69,6 +69,35 @@ def _group_by_key(keys: np.ndarray) -> dict[int, np.ndarray]:
     }
 
 
+def _predicate_keep_mask(
+    pair_predicate: PairPredicate,
+    probe_rows: np.ndarray,
+    driver_rows: np.ndarray,
+) -> np.ndarray:
+    """Evaluate ``pair_predicate`` over aligned candidate pair arrays.
+
+    ``probe_rows[k]`` is paired with ``driver_rows[k]``.  When the
+    predicate is a bound ``pair_predicate`` method whose owner also
+    exposes ``pair_predicate_batch`` (e.g.
+    :class:`~repro.core.view_def.JoinViewDefinition`), the vectorized
+    form is used; otherwise it falls back to per-pair calls.  Both paths
+    return the same boolean mask — the batch hook is a speed contract,
+    not a semantic one.
+    """
+    owner = getattr(pair_predicate, "__self__", None)
+    if owner is not None and getattr(pair_predicate, "__func__", None) is getattr(
+        type(owner), "pair_predicate", None
+    ):
+        batch = getattr(owner, "pair_predicate_batch", None)
+        if batch is not None:
+            return np.asarray(batch(probe_rows, driver_rows), dtype=bool)
+    return np.fromiter(
+        (bool(pair_predicate(p, d)) for p, d in zip(probe_rows, driver_rows)),
+        dtype=bool,
+        count=len(probe_rows),
+    )
+
+
 def truncated_sort_merge_join(
     ctx: ProtocolContext,
     probe_rows: np.ndarray,
@@ -143,11 +172,14 @@ def truncated_sort_merge_join(
         partners = group[group < n_probe]
         partners = partners[probe_live[partners]] if partners.size else partners
         if pair_predicate is not None and partners.size:
-            keep = [
-                bool(pair_predicate(probe_rows[p], driver_rows[d]))
-                for p in partners
-            ]
-            partners = partners[np.asarray(keep, dtype=bool)]
+            keep = _predicate_keep_mask(
+                pair_predicate,
+                probe_rows[partners],
+                np.broadcast_to(
+                    driver_rows[d], (partners.size, driver_rows.shape[1])
+                ),
+            )
+            partners = partners[keep]
         candidate_lists.append(partners)
         ctx.charge_join_probes(max(len(group) - 1, 0), out_width)
 
@@ -249,13 +281,6 @@ def oblivious_join_multi_aggregate(
     payload_words = max(w_left, w_right) + 2
     oblivious_sort(ctx, sort_keys, [side], payload_words)
 
-    def _pair_value(spec_side: str, col: int, i: int, j: int) -> int:
-        row = left_rows[i] if spec_side == "left" else right_rows[j]
-        return int(row[col])
-
-    domain_index = (
-        {int(v): g for g, v in enumerate(group_domain)} if grouped else None
-    )
     # Per candidate pair: the accumulator/routing gates plus one ring
     # comparison per residual clause — the same predicate charge the
     # view scan pays per row, so neither path evaluates clauses for free.
@@ -265,40 +290,71 @@ def oblivious_join_multi_aggregate(
     counts = np.zeros(n_groups, dtype=np.int64)
     sums = np.zeros((n_groups, len(sum_specs)), dtype=np.uint64)
 
+    # Candidate pairs = live-left × live-right within each shared key.
+    # The historical per-right-row loop charged probes/gates per row and
+    # folded pairs one at a time; gate charges are linear in the pair
+    # count and the accumulators are commutative rings (int64 counts,
+    # wrapping uint64 sums), so one batched charge plus vectorized
+    # scatter-adds is byte-identical.
     live_left = np.flatnonzero(np.asarray(left_flags, dtype=bool)[:n_left])
+    live_right = np.flatnonzero(np.asarray(right_flags, dtype=bool)[:n_right])
     groups_left = (
         _group_by_key(left_rows[live_left, left_key_col]) if live_left.size else {}
     )
-    empty = np.zeros(0, dtype=np.int64)
-    for j in range(n_right):
-        if not right_flags[j]:
+    groups_right = (
+        _group_by_key(right_rows[live_right, right_key_col]) if live_right.size else {}
+    )
+    pair_i_parts: list[np.ndarray] = []
+    pair_j_parts: list[np.ndarray] = []
+    for key, rpos in groups_right.items():
+        lpos = groups_left.get(key)
+        if lpos is None:
             continue
-        key = int(right_rows[j, right_key_col])
-        partners = live_left[groups_left.get(key, empty)]
-        ctx.charge_join_probes(len(partners), out_width)
+        li = live_left[lpos]
+        rj = live_right[rpos]
+        pair_i_parts.append(np.tile(li, rj.size))
+        pair_j_parts.append(np.repeat(rj, li.size))
+
+    total_pairs = sum(part.size for part in pair_i_parts)
+    if total_pairs:
+        ctx.charge_join_probes(total_pairs, out_width)
         if slot_gates:
-            ctx.charge_gates(len(partners) * slot_gates)
-        for i in partners:
-            i = int(i)
-            if pair_predicate is not None and not pair_predicate(
-                left_rows[i], right_rows[j]
-            ):
-                continue
-            if any(
-                not lo <= _pair_value(s, c, i, j) <= hi
-                for s, c, lo, hi in clause_specs
-            ):
-                continue
-            if grouped:
-                g = domain_index.get(_pair_value(group_spec[0], group_spec[1], i, j))
-                if g is None:
-                    continue
-            else:
-                g = 0
-            if need_count:
-                counts[g] += 1
-            for s, (spec_side, col) in enumerate(sum_specs):
-                sums[g, s] += np.uint64(_pair_value(spec_side, col, i, j))
+            ctx.charge_gates(total_pairs * slot_gates)
+        pi = np.concatenate(pair_i_parts)
+        pj = np.concatenate(pair_j_parts)
+
+        def _pair_values(spec_side: str, col: int) -> np.ndarray:
+            rows = left_rows[pi] if spec_side == "left" else right_rows[pj]
+            return rows[:, col].astype(np.int64)
+
+        keep = np.ones(total_pairs, dtype=bool)
+        if pair_predicate is not None:
+            keep = _predicate_keep_mask(pair_predicate, left_rows[pi], right_rows[pj])
+        for s, c, lo, hi in clause_specs:
+            vals = _pair_values(s, c)
+            keep &= (vals >= lo) & (vals <= hi)
+        pi, pj = pi[keep], pj[keep]
+        if grouped:
+            domain = np.fromiter(
+                (int(v) for v in group_domain), dtype=np.int64, count=n_groups
+            )
+            # Duplicate domain values route to the *last* occurrence —
+            # the dict-build semantics of the historical loop.  A stable
+            # argsort plus right-bisect picks exactly that slot.
+            order = np.argsort(domain, kind="stable")
+            sorted_domain = domain[order]
+            gvals = _pair_values(group_spec[0], group_spec[1])
+            pos = np.searchsorted(sorted_domain, gvals, side="right") - 1
+            in_domain = (pos >= 0) & (sorted_domain[np.maximum(pos, 0)] == gvals)
+            gidx = order[np.maximum(pos, 0)][in_domain]
+            pi, pj = pi[in_domain], pj[in_domain]
+        else:
+            gidx = np.zeros(pi.size, dtype=np.int64)
+        if need_count:
+            counts += np.bincount(gidx, minlength=n_groups).astype(np.int64)
+        for s, (spec_side, col) in enumerate(sum_specs):
+            rows = left_rows[pi] if spec_side == "left" else right_rows[pj]
+            np.add.at(sums[:, s], gidx, rows[:, col].astype(np.uint64))
     ctx.charge_scan(n_left + n_right, payload_words)
     return counts, sums
 

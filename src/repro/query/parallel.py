@@ -7,12 +7,28 @@ latency grows with the view's total (real + dummy) size.  With the view
 stored in round-robin shards (:mod:`repro.server.sharding`), the scan
 decomposes perfectly — per-row accumulation is associative and touches
 no cross-row state — so :class:`ParallelScanExecutor` runs
-:func:`~repro.oblivious.filter.oblivious_multi_aggregate` once per shard
-on a thread pool, each shard under its own
-:class:`~repro.mpc.runtime.ProtocolContext`, and merges the per-shard
-accumulators share-locally (plain ring addition of count/sum slots).
+:func:`~repro.oblivious.filter.oblivious_multi_aggregate` once per shard,
+each shard under its own :class:`~repro.mpc.runtime.ProtocolContext`,
+and merges the per-shard accumulators share-locally (plain ring addition
+of count/sum slots).
 
-Equivalence to the serial engine is exact, not approximate:
+Two execution backends share that decomposition:
+
+* ``"thread"`` — shard scans on a process-wide thread pool.  Cheap to
+  enter, but GIL-bound: real wall clock stays flat as shards grow.
+* ``"process"`` — shard scans in a persistent ``spawn`` worker pool over
+  shared-memory publications (:mod:`repro.query.shard_workers`), giving
+  true multi-core execution.  Workers return partial accumulators plus
+  gate counts, replayed onto the real shard contexts.
+
+``backend="auto"`` (the default) picks per view: process workers when
+the largest shard is at least :data:`PROCESS_MIN_SHARD_ROWS` rows and
+more than one CPU is usable, threads otherwise — below that threshold
+the per-query IPC (task pickle + result pickle, ~1 ms) costs more than
+the GIL does.
+
+Equivalence to the serial engine is exact in every backend, not
+approximate:
 
 * **answers** — per-shard counts add in Z, per-shard sums add in
   Z_{2^64}, exactly the order-independent folds the one-pass scan
@@ -27,7 +43,8 @@ Equivalence to the serial engine is exact, not approximate:
 Only the *wall clock* changes: the merged run's seconds come from
 :meth:`~repro.mpc.cost_model.CostModel.parallel_seconds`, the
 ``gates / (throughput × effective_workers)`` estimate the planner also
-prices shard counts with.
+prices shard counts with — the simulated cost is backend-independent by
+construction; backends only change how closely the host tracks it.
 """
 
 from __future__ import annotations
@@ -45,6 +62,18 @@ from ..sharing.shared_value import SharedTable
 from ..storage.materialized_view import MaterializedView
 from .ast import QueryAnswer, ViewScanPlan
 from .executor import assemble_answer, clause_mask
+from .shard_workers import PROCESS_BACKEND, ShardScanTask, usable_cpus
+
+#: Executor backends a caller may request.
+SCAN_BACKENDS = ("auto", "thread", "process")
+
+#: ``backend="auto"`` switches to process workers when the largest shard
+#: reaches this many rows.  Measured on the shard-scaling benchmark: one
+#: shard task costs ~1 ms of IPC round-trip (pickle + queue + result),
+#: and a shard scan crosses ~1 ms of kernel time around tens of
+#: thousands of rows — below that the thread backend's zero-setup path
+#: wins even against the GIL.
+PROCESS_MIN_SHARD_ROWS = 32_768
 
 
 #: Process-wide worker pools, one per distinct size.  Shared across every
@@ -77,23 +106,54 @@ def shutdown_shared_pools() -> None:
 
 
 class ParallelScanExecutor:
-    """Runs one lowered view-scan plan across shards on a thread pool.
+    """Runs one lowered view-scan plan across shards on a worker backend.
 
-    Worker threads come from a process-wide pool shared by every
-    executor of the same size (created lazily, reused across queries);
-    shard scans are pure reveal/charge work on disjoint contexts (no
-    RNG, no shared mutable state), so they parallelise safely.  With one
-    shard — or ``max_workers=1`` — execution is serial and
-    byte-identical to :func:`repro.query.executor.execute_view_scan`,
-    including the logged gate total and simulated seconds.
+    ``backend`` is the executor seam: ``"thread"`` fans shards out on a
+    process-wide thread pool, ``"process"`` on the persistent
+    shared-memory worker pool of :mod:`repro.query.shard_workers`, and
+    ``"auto"`` (default) resolves per view by shard size
+    (:meth:`backend_for`).  Shard scans are pure reveal/charge work on
+    disjoint contexts (no RNG, no shared mutable state), so both
+    backends preserve the deterministic per-shard protocol discipline.
+    With one shard — or ``max_workers=1`` on the thread backend —
+    execution is serial and byte-identical to
+    :func:`repro.query.executor.execute_view_scan`, including the logged
+    gate total and simulated seconds.
     """
 
-    def __init__(self, max_workers: int | None = None) -> None:
+    def __init__(
+        self, max_workers: int | None = None, backend: str = "auto"
+    ) -> None:
         if max_workers is not None and max_workers < 1:
             raise ConfigurationError(
                 f"max_workers must be >= 1, got {max_workers}"
             )
+        if backend not in SCAN_BACKENDS:
+            raise ConfigurationError(
+                f"backend must be one of {SCAN_BACKENDS}, got {backend!r}"
+            )
         self.max_workers = max_workers or min(32, os.cpu_count() or 1)
+        self.backend = backend
+
+    # -- backend selection -------------------------------------------------
+    def backend_for(self, view: MaterializedView) -> str:
+        """Resolve the backend this executor would scan ``view`` with.
+
+        Single-shard views always scan serially in-process (there is
+        nothing to fan out, and the serial path is byte-identical to the
+        historical executor).  A forced backend is otherwise honored;
+        ``"auto"`` picks process workers only when the largest shard
+        clears :data:`PROCESS_MIN_SHARD_ROWS` **and** more than one CPU
+        is actually usable — on a single-core host the IPC overhead
+        buys nothing.
+        """
+        if view.n_shards <= 1:
+            return "thread"
+        if self.backend != "auto":
+            return self.backend
+        if max(view.shard_lengths(), default=0) < PROCESS_MIN_SHARD_ROWS:
+            return "thread"
+        return "process" if usable_cpus() > 1 else "thread"
 
     # -- execution ---------------------------------------------------------
     def execute(
@@ -123,6 +183,7 @@ class ParallelScanExecutor:
             schema.index(plan.group_column) if plan.group_column else None
         )
         shards = view.shards
+        backend = self.backend_for(view)
 
         def scan_shard(
             ctx: ProtocolContext, shard: SharedTable
@@ -143,7 +204,42 @@ class ParallelScanExecutor:
             )
 
         with runtime.parallel_protocol("query", time, len(shards)) as group:
-            if len(shards) == 1 or self.max_workers == 1:
+            if backend == "process":
+                pub = PROCESS_BACKEND.publication_for(view)
+                tasks = [
+                    ShardScanTask(
+                        shm_name=pub.name,
+                        offset_words=offset,
+                        n_rows=n_rows,
+                        width=schema.width,
+                        sum_indices=tuple(sum_indices),
+                        need_count=plan.need_count,
+                        group_column=group_column,
+                        group_domain=(
+                            tuple(plan.group_domain)
+                            if plan.group_domain is not None
+                            else None
+                        ),
+                        clause_specs=tuple(
+                            (schema.index(c.column), int(c.lo), int(c.hi))
+                            for c in plan.clauses
+                        ),
+                        payload_words=schema.width,
+                        predicate_words=plan.predicate_words,
+                        cost_model=runtime.cost_model,
+                    )
+                    for offset, n_rows in pub.shard_meta
+                ]
+                results = PROCESS_BACKEND.scan(tasks)
+                # Replay worker gate totals onto the real shard contexts:
+                # the merged ProtocolRun is then byte-identical to the
+                # in-process backends' (workers charge the same per-row
+                # formulas over the same shard sizes).
+                parts = []
+                for ctx, (counts, sums, gates) in zip(group.contexts, results):
+                    ctx.charge_gates(gates)
+                    parts.append((counts, sums))
+            elif len(shards) == 1 or self.max_workers == 1:
                 parts = [
                     scan_shard(ctx, shard)
                     for ctx, shard in zip(group.contexts, shards)

@@ -152,12 +152,17 @@ class ViewCandidate:
 
     ``n_shards`` is the view's shard count — public layout metadata the
     wall-clock estimate divides by (sharding never changes the gate
-    total, only how many evaluator lanes share it).
+    total, only how many evaluator lanes share it).  ``scan_backend`` is
+    the execution backend the database's scan executor resolved for this
+    view (``"thread"`` or ``"process"``); the *simulated* seconds are
+    backend-independent, so it never affects ranking — the chosen plan
+    just records how it will run.
     """
 
     view_def: JoinViewDefinition
     padded_rows: int
     n_shards: int = 1
+    scan_backend: str | None = None
 
 
 @dataclass(frozen=True)
@@ -168,7 +173,9 @@ class QueryPlan:
     :data:`VIEW_SCAN`; NM plans carry no lowering (the executor joins the
     base stores directly from the logical query).  ``n_shards`` records
     the parallelism the seconds estimate assumed (always 1 for NM joins:
-    the oblivious sort-merge join is a single sequential circuit).
+    the oblivious sort-merge join is a single sequential circuit), and
+    ``scan_backend`` the resolved executor backend of the chosen view
+    (``None`` for NM plans, which always run in-process).
     """
 
     kind: str  # VIEW_SCAN | NM_JOIN
@@ -177,6 +184,7 @@ class QueryPlan:
     estimated_gates: int
     estimated_seconds: float
     n_shards: int = 1
+    scan_backend: str | None = None
 
 
 def plan_query(
@@ -231,6 +239,7 @@ def plan_query(
                 estimated_gates=gates,
                 estimated_seconds=model.parallel_seconds(gates, cand.n_shards),
                 n_shards=cand.n_shards,
+                scan_backend=cand.scan_backend,
             )
         )
     if nm_allowed:

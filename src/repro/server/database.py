@@ -189,6 +189,7 @@ class IncShrinkDatabase:
         multiplicity_hint: float = 1.0,
         n_shards: int = 1,
         scan_workers: int | None = None,
+        scan_backend: str = "auto",
     ) -> None:
         if total_epsilon <= 0:
             raise ConfigurationError(
@@ -202,8 +203,11 @@ class IncShrinkDatabase:
         #: beyond the already-public total sizes.
         self.shard_layout = ShardLayout(n_shards)
         #: Parallel scan engine answering view-scan plans one shard per
-        #: worker thread; byte-identical to the serial executor.
-        self.scan_executor = ParallelScanExecutor(max_workers=scan_workers)
+        #: worker (thread or process backend, ``scan_backend``-selected);
+        #: byte-identical to the serial executor in every backend.
+        self.scan_executor = ParallelScanExecutor(
+            max_workers=scan_workers, backend=scan_backend
+        )
         self.runtime = runtime or MPCRuntime(seed=seed, cost_model=cost_model)
         # One ledger for every view's releases; segments are namespaced
         # per view.  Its parallel/sequential compositions are per-release
@@ -467,6 +471,27 @@ class IncShrinkDatabase:
             vr.cache.reshard(layout)
         self.shard_layout = layout
         # Shard counts feed the planner's wall-clock estimates.
+        self._state_version += 1
+
+    @property
+    def scan_backend(self) -> str:
+        """Requested executor backend (``auto`` resolves per view)."""
+        return self.scan_executor.backend
+
+    def set_scan_backend(
+        self, backend: str, scan_workers: int | None = None
+    ) -> None:
+        """Switch the view-scan execution backend at runtime.
+
+        Purely operational: answers, gate totals, and realized ε are
+        backend-invariant (the equivalence suite pins this), so flipping
+        a restored or live deployment between ``thread`` and ``process``
+        changes nothing but host wall clock.  Invalidates cached plans —
+        they record the resolved backend.
+        """
+        self.scan_executor = ParallelScanExecutor(
+            max_workers=scan_workers, backend=backend
+        )
         self._state_version += 1
 
     # -- analyst side -----------------------------------------------------------

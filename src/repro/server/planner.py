@@ -54,10 +54,17 @@ class DatabasePlanner:
 
         Each candidate carries its view's public shard count so the core
         planner can price the parallelism-aware wall-clock estimate
-        (:meth:`repro.mpc.cost_model.CostModel.parallel_seconds`).
+        (:meth:`repro.mpc.cost_model.CostModel.parallel_seconds`), plus
+        the execution backend the scan executor resolved for it (purely
+        informational: simulated seconds are backend-independent).
         """
         return [
-            ViewCandidate(vr.view_def, len(vr.view), n_shards=vr.view.n_shards)
+            ViewCandidate(
+                vr.view_def,
+                len(vr.view),
+                n_shards=vr.view.n_shards,
+                scan_backend=self._db.scan_executor.backend_for(vr.view),
+            )
             for vr in self._db.views.values()
             if vr.mode in SCANNABLE_MODES and can_answer(query, vr.view_def)
         ]

@@ -41,6 +41,7 @@ from typing import Iterator, Mapping
 from ..common.errors import ConfigurationError, ProtocolError
 from ..common.types import RecordBatch
 from ..query.ast import LogicalJoinQuery, LogicalQuery
+from ..query.shard_workers import shutdown_process_backend
 from .database import DatabaseQueryResult, IncShrinkDatabase
 from .persistence import SnapshotInfo, restore_database, snapshot_database
 
@@ -425,6 +426,11 @@ class DatabaseServer:
         if self._thread.is_alive():
             raise _timed_out()
         self._stopped = True
+        # The ingest loop is down and no further queries run through this
+        # server: release the process scan backend's worker fleet and
+        # shared-memory publications (idempotent; a later database in the
+        # same interpreter transparently respawns them).
+        shutdown_process_backend()
         self._raise_ingest_error()
         if final_snapshot:
             self.snapshot()

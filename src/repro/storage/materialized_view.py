@@ -73,7 +73,7 @@ class MaterializedView(ShardedTableContainer):
                 )
             self._shard_chunks = [[t] if len(t) else [] for t in shards]
             self._total_rows = total
-            self._gathered = None
+            self._bump_version()
         else:
             # Shard-count mismatch (e.g. a v1 single-shard snapshot loaded
             # into a sharded deployment): re-scatter under this layout.

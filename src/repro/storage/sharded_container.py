@@ -54,6 +54,7 @@ class ShardedTableContainer:
         ]
         self._total_rows = 0
         self._gathered: SharedTable | None = None
+        self._content_version = 0
 
     # -- public structure -------------------------------------------------------
     def __len__(self) -> int:
@@ -68,6 +69,21 @@ class ShardedTableContainer:
         return sum(
             t.byte_size for chunks in self._shard_chunks for t in chunks
         )
+
+    @property
+    def content_version(self) -> int:
+        """Monotone counter bumped on every content mutation.
+
+        Caches holding derived copies of the shard content — the
+        process-backend shared-memory publications of
+        :mod:`repro.query.shard_workers` — key their staleness checks on
+        this, so a republish happens exactly when the shares changed.
+        """
+        return self._content_version
+
+    def _bump_version(self) -> None:
+        self._gathered = None
+        self._content_version += 1
 
     def shard_lengths(self) -> tuple[int, ...]:
         """Public per-shard row counts (balanced to within one row)."""
@@ -115,7 +131,7 @@ class ShardedTableContainer:
     def _scatter_append(self, delta: SharedTable) -> None:
         """Scatter one delta round-robin, continuing from the public total."""
         self._check_schema(delta, "delta")
-        self._gathered = None
+        self._bump_version()
         if self.layout.n_shards == 1:
             if len(delta):
                 self._shard_chunks[0].append(delta)
@@ -128,7 +144,7 @@ class ShardedTableContainer:
     def _clear(self) -> None:
         self._shard_chunks = [[] for _ in range(self.layout.n_shards)]
         self._total_rows = 0
-        self._gathered = None
+        self._bump_version()
 
     def reshard(self, layout: "ShardLayout") -> None:
         """Re-scatter the content under a new layout.

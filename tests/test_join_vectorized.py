@@ -17,9 +17,12 @@ from repro.common.types import Schema
 from repro.core.view_def import JoinViewDefinition
 from repro.mpc.runtime import MPCRuntime
 from repro.oblivious.join_common import JoinResult, match_pairs_truncated
-from repro.oblivious.sort import composite_key, oblivious_sort
+from repro.oblivious.nested_loop_join import truncated_nested_loop_join
+from repro.oblivious.sort import batcher_network, composite_key, oblivious_sort
 from repro.oblivious.sort_merge_join import (
     _group_by_key,
+    _predicate_keep_mask,
+    oblivious_join_multi_aggregate,
     truncated_sort_merge_join,
 )
 
@@ -277,3 +280,311 @@ class TestFullJoinRegression:
             )
         assert res.rows.shape == (0, 4)
         assert res.dropped == 0
+
+
+# -- batcher network: verbatim pre-vectorization double loop ------------------
+def _loop_batcher_network(n):
+    if n <= 1:
+        return ()
+    stages = []
+    p = 1
+    while p < n:
+        k = p
+        while k >= 1:
+            lo: list[int] = []
+            hi: list[int] = []
+            for j in range(k % p, n - k, 2 * k):
+                for i in range(min(k, n - j - k)):
+                    if (i + j) // (p * 2) == (i + j + k) // (p * 2):
+                        lo.append(i + j)
+                        hi.append(i + j + k)
+            if lo:
+                stages.append(
+                    (np.asarray(lo, dtype=np.int64), np.asarray(hi, dtype=np.int64))
+                )
+            k //= 2
+        p *= 2
+    return tuple(stages)
+
+
+class TestBatcherNetworkRegression:
+    @pytest.mark.parametrize("n", [2, 4, 8, 16, 32, 128, 512])
+    def test_stages_match_loop_reference(self, n):
+        fast = batcher_network(n)
+        slow = _loop_batcher_network(n)
+        assert len(fast) == len(slow)
+        for (flo, fhi), (slo, shi) in zip(fast, slow):
+            assert np.array_equal(flo, slo)
+            assert np.array_equal(fhi, shi)
+
+    def test_trivial_and_invalid_sizes(self):
+        assert batcher_network(1) == ()
+        with pytest.raises(ValueError):
+            batcher_network(12)
+
+
+# -- nested-loop join: verbatim pre-vectorization per-pair loops --------------
+def _loop_nested_loop_join(
+    ctx, probe_rows, probe_flags, probe_key_col, probe_caps,
+    driver_rows, driver_flags, driver_key_col, driver_caps,
+    omega, pair_predicate=None, output_left="probe",
+):
+    from repro.oblivious.sort import network_comparator_count
+
+    n_probe, w_probe = probe_rows.shape if probe_rows.size else (0, probe_rows.shape[1])
+    n_driver, w_driver = (
+        driver_rows.shape if driver_rows.size else (0, driver_rows.shape[1])
+    )
+    out_width = w_probe + w_driver
+    driver_order = np.arange(n_driver, dtype=np.int64)
+    candidate_lists: list[list[int]] = []
+    for d in range(n_driver):
+        ctx.charge_join_probes(n_probe, out_width)
+        ctx.charge_compare_exchanges(network_comparator_count(n_probe), out_width)
+        cands: list[int] = []
+        if driver_flags[d]:
+            key = int(driver_rows[d, driver_key_col])
+            for p in range(n_probe):
+                if not probe_flags[p]:
+                    continue
+                if int(probe_rows[p, probe_key_col]) != key:
+                    continue
+                if pair_predicate is None or pair_predicate(
+                    probe_rows[p], driver_rows[d]
+                ):
+                    cands.append(p)
+        candidate_lists.append(cands)
+    assigned, driver_emitted, probe_emitted, dropped = _loop_match_pairs(
+        driver_order, candidate_lists, omega, driver_caps, probe_caps
+    )
+    out_rows = np.zeros((n_driver * omega, out_width), dtype=np.uint32)
+    out_flags = np.zeros(n_driver * omega, dtype=bool)
+    for d in range(n_driver):
+        base = d * omega
+        for j, p in enumerate(assigned[d]):
+            if output_left == "probe":
+                out_rows[base + j, :w_probe] = probe_rows[p]
+                out_rows[base + j, w_probe:] = driver_rows[d]
+            else:
+                out_rows[base + j, :w_driver] = driver_rows[d]
+                out_rows[base + j, w_driver:] = probe_rows[p]
+            out_flags[base + j] = True
+    return JoinResult(
+        rows=out_rows,
+        flags=out_flags,
+        left_emitted=probe_emitted,
+        right_emitted=driver_emitted,
+        dropped=dropped,
+    )
+
+
+class TestNestedLoopJoinRegression:
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("output_left", ["probe", "driver"])
+    def test_join_result_and_gates_match_loop_version(self, seed, output_left):
+        rng = np.random.default_rng(300 + seed)
+        probe, p_flags, p_caps, driver, d_flags, d_caps = _random_inputs(
+            rng, n_probe=18, n_driver=10, n_keys=5
+        )
+        results = []
+        gates = []
+        for impl in (truncated_nested_loop_join, _loop_nested_loop_join):
+            runtime = MPCRuntime(seed=3)
+            with runtime.protocol("join", 1) as ctx:
+                res = impl(
+                    ctx,
+                    probe, p_flags, 0, p_caps.copy(),
+                    driver, d_flags, 0, d_caps.copy(),
+                    omega=2,
+                    pair_predicate=VIEW.pair_predicate,
+                    output_left=output_left,
+                )
+                gates.append(ctx.gates)
+            results.append(res)
+        fast, slow = results
+        assert np.array_equal(fast.rows, slow.rows)
+        assert np.array_equal(fast.flags, slow.flags)
+        assert np.array_equal(fast.left_emitted, slow.left_emitted)
+        assert np.array_equal(fast.right_emitted, slow.right_emitted)
+        assert fast.dropped == slow.dropped
+        assert gates[0] == gates[1], "vectorization must not change charges"
+
+    def test_empty_sides(self):
+        runtime = MPCRuntime(seed=0)
+        probe = np.zeros((0, 2), dtype=np.uint32)
+        driver = np.zeros((0, 2), dtype=np.uint32)
+        with runtime.protocol("join", 1) as ctx:
+            res = truncated_nested_loop_join(
+                ctx,
+                probe, np.zeros(0, dtype=bool), 0, np.zeros(0, dtype=np.int64),
+                driver, np.zeros(0, dtype=bool), 0, np.zeros(0, dtype=np.int64),
+                omega=2,
+            )
+        assert res.rows.shape == (0, 4)
+        assert res.dropped == 0
+
+
+# -- NM multi-aggregate: verbatim pre-vectorization per-right-row loop --------
+def _loop_join_multi_aggregate(
+    ctx, left_rows, left_flags, left_key_col, right_rows, right_flags,
+    right_key_col, sum_specs=(), need_count=True, group_spec=None,
+    group_domain=None, clause_specs=(), pair_predicate=None,
+):
+    grouped = group_spec is not None
+    n_groups = len(group_domain) if grouped else 1
+    n_left, w_left = left_rows.shape if left_rows.size else (0, left_rows.shape[1])
+    n_right, w_right = right_rows.shape if right_rows.size else (0, right_rows.shape[1])
+    out_width = w_left + w_right
+    union_keys = np.concatenate(
+        [
+            left_rows[:, left_key_col] if n_left else np.zeros(0, dtype=np.uint32),
+            right_rows[:, right_key_col] if n_right else np.zeros(0, dtype=np.uint32),
+        ]
+    )
+    side = np.concatenate(
+        [np.zeros(n_left, dtype=np.uint32), np.ones(n_right, dtype=np.uint32)]
+    )
+    sort_keys = composite_key(union_keys, side)
+    payload_words = max(w_left, w_right) + 2
+    oblivious_sort(ctx, sort_keys, [side], payload_words)
+
+    def _pair_value(spec_side, col, i, j):
+        row = left_rows[i] if spec_side == "left" else right_rows[j]
+        return int(row[col])
+
+    domain_index = (
+        {int(v): g for g, v in enumerate(group_domain)} if grouped else None
+    )
+    slot_gates = ctx.cost_model.aggregate_slot_gates(
+        need_count, len(sum_specs), n_groups, grouped
+    ) + ctx.cost_model.predicate_eval_gates(len(clause_specs))
+    counts = np.zeros(n_groups, dtype=np.int64)
+    sums = np.zeros((n_groups, len(sum_specs)), dtype=np.uint64)
+    live_left = np.flatnonzero(np.asarray(left_flags, dtype=bool)[:n_left])
+    groups_left = (
+        _group_by_key(left_rows[live_left, left_key_col]) if live_left.size else {}
+    )
+    empty = np.zeros(0, dtype=np.int64)
+    for j in range(n_right):
+        if not right_flags[j]:
+            continue
+        key = int(right_rows[j, right_key_col])
+        partners = live_left[groups_left.get(key, empty)]
+        ctx.charge_join_probes(len(partners), out_width)
+        if slot_gates:
+            ctx.charge_gates(len(partners) * slot_gates)
+        for i in partners:
+            i = int(i)
+            if pair_predicate is not None and not pair_predicate(
+                left_rows[i], right_rows[j]
+            ):
+                continue
+            if any(
+                not lo <= _pair_value(s, c, i, j) <= hi
+                for s, c, lo, hi in clause_specs
+            ):
+                continue
+            if grouped:
+                g = domain_index.get(_pair_value(group_spec[0], group_spec[1], i, j))
+                if g is None:
+                    continue
+            else:
+                g = 0
+            if need_count:
+                counts[g] += 1
+            for s, (spec_side, col) in enumerate(sum_specs):
+                sums[g, s] += np.uint64(_pair_value(spec_side, col, i, j))
+    ctx.charge_scan(n_left + n_right, payload_words)
+    return counts, sums
+
+
+class TestMultiAggregateRegression:
+    #: Domain with a duplicate value (3): the historical dict build routes
+    #: value 3 into its *last* slot — the vectorized bisect must match.
+    DOMAINS = [None, (0, 1, 2, 3), (3, 1, 0, 3, 2)]
+
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("domain", DOMAINS)
+    def test_counts_sums_gates_match_loop_version(self, seed, domain):
+        rng = np.random.default_rng(400 + seed)
+        probe, p_flags, _, driver, d_flags, _ = _random_inputs(
+            rng, n_probe=24, n_driver=16, n_keys=5
+        )
+        kwargs = dict(
+            sum_specs=(("left", 1), ("right", 1)),
+            need_count=True,
+            group_spec=("right", 0) if domain else None,
+            group_domain=domain,
+            clause_specs=(("left", 1, 1, 4),),
+            pair_predicate=VIEW.pair_predicate,
+        )
+        outs = []
+        gates = []
+        for impl in (oblivious_join_multi_aggregate, _loop_join_multi_aggregate):
+            runtime = MPCRuntime(seed=7)
+            with runtime.protocol("agg", 1) as ctx:
+                outs.append(
+                    impl(ctx, probe, p_flags, 0, driver, d_flags, 0, **kwargs)
+                )
+                gates.append(ctx.gates)
+        (fc, fs), (sc, ss) = outs
+        assert np.array_equal(fc, sc)
+        assert np.array_equal(fs, ss)
+        assert fs.dtype == ss.dtype == np.uint64
+        assert gates[0] == gates[1], "vectorization must not change charges"
+
+    def test_sum_wraparound_matches_loop(self):
+        """uint64 accumulator overflow must wrap identically in both paths."""
+        left = np.asarray([[1, 0xFFFFFFFF]] * 3, dtype=np.uint32)
+        right = np.asarray([[1, 0]] * 4, dtype=np.uint32)
+        flags_l = np.ones(3, dtype=bool)
+        flags_r = np.ones(4, dtype=bool)
+        outs = []
+        for impl in (oblivious_join_multi_aggregate, _loop_join_multi_aggregate):
+            runtime = MPCRuntime(seed=1)
+            with runtime.protocol("agg", 1) as ctx:
+                outs.append(
+                    impl(
+                        ctx, left, flags_l, 0, right, flags_r, 0,
+                        sum_specs=(("left", 1),),
+                    )
+                )
+        assert np.array_equal(outs[0][1], outs[1][1])
+        assert outs[0][0][0] == 12
+
+
+class TestPredicateKeepMask:
+    def test_batch_hook_equals_per_pair_calls(self):
+        rng = np.random.default_rng(9)
+        probe = rng.integers(0, 12, (40, 2)).astype(np.uint32)
+        driver = rng.integers(0, 12, (40, 2)).astype(np.uint32)
+        via_hook = _predicate_keep_mask(VIEW.pair_predicate, probe, driver)
+        via_loop = np.asarray(
+            [VIEW.pair_predicate(p, d) for p, d in zip(probe, driver)], dtype=bool
+        )
+        assert np.array_equal(via_hook, via_loop)
+        assert via_hook.any() and not via_hook.all()  # non-degenerate case
+
+    def test_plain_callable_falls_back_to_per_pair(self):
+        calls = []
+
+        def pred(p, d):
+            calls.append(1)
+            return int(p[0]) == int(d[0])
+
+        probe = np.asarray([[1, 0], [2, 0], [3, 0]], dtype=np.uint32)
+        driver = np.asarray([[1, 0], [9, 0], [3, 0]], dtype=np.uint32)
+        mask = _predicate_keep_mask(pred, probe, driver)
+        assert mask.tolist() == [True, False, True]
+        assert len(calls) == 3
+
+    def test_batch_matches_scalar_on_window_edges(self):
+        probe = np.asarray(
+            [[1, 5], [1, 5], [1, 5], [1, 8]], dtype=np.uint32
+        )
+        driver = np.asarray(
+            [[1, 5], [1, 8], [1, 9], [1, 5]], dtype=np.uint32
+        )  # deltas: 0, 3, 4, -3 against window [0, 3]
+        batch = VIEW.pair_predicate_batch(probe, driver)
+        scalar = [VIEW.pair_predicate(p, d) for p, d in zip(probe, driver)]
+        assert batch.tolist() == scalar == [True, True, False, False]

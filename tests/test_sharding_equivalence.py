@@ -291,8 +291,12 @@ def random_script(seed: int, n_steps: int = 6):
     return script
 
 
-def build_database(n_shards: int) -> IncShrinkDatabase:
-    db = IncShrinkDatabase(total_epsilon=2000.0, seed=7, n_shards=n_shards)
+def build_database(
+    n_shards: int, scan_backend: str = "auto"
+) -> IncShrinkDatabase:
+    db = IncShrinkDatabase(
+        total_epsilon=2000.0, seed=7, n_shards=n_shards, scan_backend=scan_backend
+    )
     db.register_view(
         ViewRegistration(
             make_view_def("full"),
@@ -308,8 +312,8 @@ def build_database(n_shards: int) -> IncShrinkDatabase:
     return db
 
 
-def run_deployment(n_shards: int, seed: int):
-    db = build_database(n_shards)
+def run_deployment(n_shards: int, seed: int, scan_backend: str = "auto"):
+    db = build_database(n_shards, scan_backend)
     vd = make_view_def("full")
     queries = [
         LogicalQuery.for_view(vd, AggregateSpec.count()),
@@ -365,6 +369,109 @@ def test_reshard_preserves_answers_and_epsilon(n_shards):
     assert after.answers == before.answers
     assert db.realized_epsilon() == eps_before
     assert db.views["full"].view.n_shards == n_shards
+
+
+# -- execution backends: process pool ≡ thread pool ---------------------------
+@pytest.mark.parametrize("seed", [0, 1])
+@pytest.mark.parametrize("n_shards", [1, 2, 4, 8])
+def test_process_backend_equals_thread_backend(seed, n_shards):
+    """The executor backend is invisible to everything but the host
+    clock: byte-identical answers, identical gate totals, identical
+    realized ε.  (With one shard the process executor deliberately
+    resolves to the serial path — the matrix entry pins that fallback.)"""
+    thread_db, thread_answers, thread_gates = run_deployment(
+        n_shards, seed, scan_backend="thread"
+    )
+    process_db, process_answers, process_gates = run_deployment(
+        n_shards, seed, scan_backend="process"
+    )
+    assert process_answers == thread_answers
+    assert process_gates == thread_gates
+    assert process_db.realized_epsilon() == thread_db.realized_epsilon()
+    assert (
+        process_db.accountant.snapshot_state()
+        == thread_db.accountant.snapshot_state()
+    )
+
+
+def test_worker_crash_surfaces_and_pool_recovers():
+    """SIGKILL-ing a shard worker mid-deployment fails the in-flight
+    query with a clean ProtocolError (no hang, no wrong answer), and the
+    discarded pool respawns transparently on the next query."""
+    import os
+    import signal
+    import time as _time
+
+    from repro.query.shard_workers import PROCESS_BACKEND
+
+    db, answers, _ = run_deployment(4, seed=0, scan_backend="process")
+    q = dashboard_query(make_view_def("full"))
+    expected = db.query(q, 7).answers
+
+    pids = PROCESS_BACKEND.worker_pids()
+    assert pids, "the deployment above must have spawned the worker pool"
+    os.kill(pids[0], signal.SIGKILL)
+    _time.sleep(0.2)  # let the executor's management thread notice
+
+    with pytest.raises(ProtocolError, match="worker process died"):
+        db.query(q, 7)
+
+    # The pool was discarded; the next query lazily respawns it and
+    # answers identically.
+    assert db.query(q, 7).answers == expected
+    assert db.query(q, 7).answers == expected  # and stays healthy
+
+
+class TestBackendSelection:
+    def _view_with_rows(self, n_shards: int, n_rows: int) -> MaterializedView:
+        vd = make_view_def()
+        gen = np.random.default_rng(0)
+        view = MaterializedView(vd.view_schema, layout=ShardLayout(n_shards))
+        rows = gen.integers(0, 8, size=(n_rows, vd.view_schema.width)).astype(
+            np.uint32
+        )
+        flags = np.ones(n_rows, dtype=np.uint32)
+        view.append(
+            SharedTable.from_plain(vd.view_schema, rows, flags, spawn(2, "sel"))
+        )
+        return view
+
+    def test_single_shard_always_serial(self):
+        view = self._view_with_rows(1, 8)
+        for backend in ("auto", "thread", "process"):
+            assert ParallelScanExecutor(backend=backend).backend_for(view) == "thread"
+
+    def test_forced_backend_honored_on_multi_shard_views(self):
+        view = self._view_with_rows(4, 8)
+        assert ParallelScanExecutor(backend="thread").backend_for(view) == "thread"
+        assert ParallelScanExecutor(backend="process").backend_for(view) == "process"
+
+    def test_auto_uses_shard_size_threshold_and_cpu_count(self, monkeypatch):
+        import repro.query.parallel as parallel_mod
+
+        executor = ParallelScanExecutor(backend="auto")
+        small = self._view_with_rows(4, 64)
+        monkeypatch.setattr(parallel_mod, "usable_cpus", lambda: 8)
+        # Largest shard below the threshold: IPC costs more than the GIL.
+        assert executor.backend_for(small) == "thread"
+        # Clearing the threshold flips auto to the process backend...
+        monkeypatch.setattr(parallel_mod, "PROCESS_MIN_SHARD_ROWS", 16)
+        assert executor.backend_for(small) == "process"
+        # ...unless the host has only one usable core.
+        monkeypatch.setattr(parallel_mod, "usable_cpus", lambda: 1)
+        assert executor.backend_for(small) == "thread"
+
+    def test_invalid_backend_rejected(self):
+        with pytest.raises(ConfigurationError, match="backend must be one of"):
+            ParallelScanExecutor(backend="fork")
+
+    def test_database_exposes_and_switches_backend(self):
+        db = build_database(2, scan_backend="thread")
+        assert db.scan_backend == "thread"
+        db.set_scan_backend("process")
+        assert db.scan_backend == "process"
+        with pytest.raises(ConfigurationError, match="backend must be one of"):
+            db.set_scan_backend("fiber")
 
 
 def test_plan_prices_shards_into_wall_clock():

@@ -1,0 +1,179 @@
+#!/usr/bin/env python
+"""Profile the oblivious hot kernels — the data behind BENCH_profile.json.
+
+Runs the two kernels queries actually spend time in — the padded
+multi-aggregate view scan (:func:`repro.oblivious.filter.
+oblivious_multi_aggregate`) and the Batcher sort
+(:func:`repro.oblivious.sort.oblivious_sort`) — under both
+:mod:`cProfile` (attribution: which functions burn the time) and plain
+``perf_counter`` repeats (magnitude: how long one pass takes without
+profiler overhead), then:
+
+* prints the top-N functions by cumulative time per kernel, and
+* writes ``BENCH_profile.json`` at the repo root with the timed numbers
+  plus the top functions, so a PR that regresses a kernel shows up as a
+  baseline diff rather than an anecdote.
+
+This harness is how the PR-6 vectorizations were found and verified:
+before them, ``batcher_network``'s Python double loop and the join
+kernels' per-pair loops dominated every profile; after, the scan and
+sort are numpy-bound.
+
+Usage::
+
+    PYTHONPATH=src python tools/profile_hot_paths.py [--rows N] [--top K]
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import io
+import json
+import pstats
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+BENCH_PATH = REPO_ROOT / "BENCH_profile.json"
+
+DEFAULT_ROWS = 200_000
+DEFAULT_TOP = 10
+TIMED_REPEATS = 5
+
+
+def _scan_workload(rows: int):
+    """One padded multi-aggregate GROUP BY scan over ``rows`` rows."""
+    from repro.mpc.runtime import MPCRuntime
+    from repro.oblivious.filter import oblivious_multi_aggregate
+
+    gen = np.random.default_rng(13)
+    data = gen.integers(0, 8, size=(rows, 4)).astype(np.uint32)
+    flags = gen.integers(0, 2, size=rows).astype(bool)
+    runtime = MPCRuntime(seed=0)
+
+    def run() -> None:
+        with runtime.protocol("profile-scan", 0) as ctx:
+            oblivious_multi_aggregate(
+                ctx,
+                data,
+                flags,
+                sum_columns=(3, 3),
+                need_count=True,
+                group_column=0,
+                group_domain=(0, 1, 2, 3),
+                predicate_mask=None,
+                payload_words=4,
+            )
+
+    return run
+
+
+def _sort_workload(rows: int):
+    """One oblivious Batcher sort of ``rows`` keyed rows (2 payloads)."""
+    from repro.mpc.runtime import MPCRuntime
+    from repro.oblivious.sort import batcher_network, oblivious_sort
+
+    gen = np.random.default_rng(29)
+    keys = gen.integers(0, 1 << 31, size=rows).astype(np.uint64)
+    payload = gen.integers(0, 1 << 31, size=rows).astype(np.uint32)
+    runtime = MPCRuntime(seed=0)
+
+    def run() -> None:
+        # Rebuild the network every pass: construction cost is part of
+        # what this harness watches (it was the PR-6 hotspot).
+        batcher_network.cache_clear()
+        with runtime.protocol("profile-sort", 0) as ctx:
+            oblivious_sort(ctx, keys, [payload, payload], payload_words=4)
+
+    return run
+
+
+WORKLOADS = {
+    "padded_scan": _scan_workload,
+    "oblivious_sort": _sort_workload,
+}
+
+
+def _top_functions(profile: cProfile.Profile, top: int) -> list[dict]:
+    stats = pstats.Stats(profile, stream=io.StringIO())
+    stats.sort_stats("cumulative")
+    rows = []
+    for func, (cc, nc, tt, ct, _callers) in stats.stats.items():  # type: ignore[attr-defined]
+        filename, lineno, name = func
+        if "cProfile" in filename or filename.startswith("<"):
+            continue
+        rows.append(
+            {
+                "function": f"{Path(filename).name}:{lineno}:{name}",
+                "calls": nc,
+                "tottime_s": round(tt, 6),
+                "cumtime_s": round(ct, 6),
+            }
+        )
+    rows.sort(key=lambda r: r["cumtime_s"], reverse=True)
+    return rows[:top]
+
+
+def profile_workloads(rows: int, top: int) -> dict:
+    results = {}
+    for name, factory in WORKLOADS.items():
+        run = factory(rows)
+        run()  # warm caches (lru_cache networks, numpy buffers) once
+
+        timed = []
+        for _ in range(TIMED_REPEATS):
+            t0 = time.perf_counter()
+            run()
+            timed.append(time.perf_counter() - t0)
+
+        profile = cProfile.Profile()
+        profile.enable()
+        run()
+        profile.disable()
+
+        results[name] = {
+            "rows": rows,
+            "best_seconds": min(timed),
+            "mean_seconds": sum(timed) / len(timed),
+            "rows_per_second": rows / min(timed),
+            "top_functions": _top_functions(profile, top),
+        }
+    return {
+        "benchmark": "hot_path_profile",
+        "timed_repeats": TIMED_REPEATS,
+        "workloads": results,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rows", type=int, default=DEFAULT_ROWS)
+    parser.add_argument("--top", type=int, default=DEFAULT_TOP)
+    parser.add_argument(
+        "--out", type=Path, default=BENCH_PATH, help="output JSON path"
+    )
+    args = parser.parse_args(argv)
+
+    result = profile_workloads(args.rows, args.top)
+    for name, data in result["workloads"].items():
+        print(
+            f"{name}: {data['best_seconds']*1e3:.1f} ms best of "
+            f"{TIMED_REPEATS} over {data['rows']} rows "
+            f"({data['rows_per_second']/1e6:.2f} Mrows/s)"
+        )
+        for row in data["top_functions"]:
+            print(
+                f"  {row['cumtime_s']*1e3:8.1f} ms cum  "
+                f"{row['tottime_s']*1e3:8.1f} ms self  "
+                f"{row['calls']:>8} calls  {row['function']}"
+            )
+    args.out.write_text(json.dumps(result, indent=2) + "\n", encoding="utf8")
+    print(f"-> recorded to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
