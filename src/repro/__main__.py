@@ -213,6 +213,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="with --listen: serve remote clients for this long after the "
         "local stream is ingested (default: until Ctrl-C)",
     )
+    serve.add_argument(
+        "--loop-threads", type=int, default=2, metavar="N",
+        help="with --listen: event-loop threads multiplexing the "
+        "connections (default: 2)",
+    )
 
     res = sub.add_parser(
         "resume",
@@ -267,6 +272,11 @@ def _build_parser() -> argparse.ArgumentParser:
     cl.add_argument(
         "--time", type=int, default=None,
         help="query at this step (default: the server's watermark)",
+    )
+    cl.add_argument(
+        "--codec", choices=["binary", "json"], default="binary",
+        help="preferred payload codec offered in the handshake; the "
+        "server may negotiate down to json (default: binary)",
     )
     _add_query_flags(cl)
     return parser
@@ -468,7 +478,10 @@ def _cmd_serve(args) -> None:
     if args.stop_after is not None:
         steps = [s for s in steps if s.time <= args.stop_after]
     if listen is not None:
-        _serve_network(server, deployment, steps, listen, args.serve_seconds)
+        _serve_network(
+            server, deployment, steps, listen, args.serve_seconds,
+            loop_threads=args.loop_threads,
+        )
     else:
         _serve_stream(server, deployment, steps, clients=args.clients)
     server.stop(final_snapshot=args.snapshot is not None)
@@ -477,7 +490,9 @@ def _cmd_serve(args) -> None:
         print(f"snapshot written to {args.snapshot}")
 
 
-def _serve_network(server, deployment, steps, listen, serve_seconds) -> None:
+def _serve_network(
+    server, deployment, steps, listen, serve_seconds, loop_threads=2
+) -> None:
     """Ingest the local stream, then serve remote clients over TCP.
 
     The listener opens only after the local stream is fully applied:
@@ -489,10 +504,15 @@ def _serve_network(server, deployment, steps, listen, serve_seconds) -> None:
     for step in steps:
         server.submit(step.time, deployment.upload_items(step))
     server.drain()
-    net = NetworkServer(server, host=listen[0], port=listen[1])
+    net = NetworkServer(
+        server, host=listen[0], port=listen[1], loop_threads=loop_threads
+    )
     net.start()
     host, port = net.address
-    print(f"listening on {host}:{port} (incshrink wire protocol v1)")
+    print(
+        f"listening on {host}:{port} (incshrink wire protocol v1/v2, "
+        f"codecs: json+binary, {loop_threads} event loops)"
+    )
     print(
         f"local stream ingested through step {server.last_time}; serving "
         + (
@@ -784,7 +804,9 @@ def _cmd_client(args) -> None:
         view_name = args.view
     wants_query = bool(aggregates or group_by or predicate)
 
-    client = IncShrinkClient(host, port, name="repro-cli", connect_retries=3)
+    client = IncShrinkClient(
+        host, port, name="repro-cli", connect_retries=3, codec=args.codec
+    )
     try:
         client.connect()
     except (ConnectionError, OSError) as exc:

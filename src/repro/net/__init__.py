@@ -6,47 +6,65 @@ AST, observability, checkpoints, resharding — made reachable across a
 real service boundary:
 
 * :mod:`repro.net.protocol` — the versioned, length-prefixed binary
-  frame format (stdlib ``struct`` + JSON payloads) and its pure codecs;
-* :mod:`repro.net.server` — :class:`NetworkServer`, a threaded socket
-  front door with bounded admission (reject-with-``retry_after``, no
-  unbounded buffering) and graceful drain;
+  frame format (stdlib ``struct``): JSON payloads on version-1 frames,
+  raw little-endian array blobs on version-2 frames, an incremental
+  :class:`FrameDecoder` for event-driven reassembly, and the
+  ``hello``/``welcome`` codec negotiation;
+* :mod:`repro.net.server` — :class:`NetworkServer`, an event-driven
+  (``selectors``) reactor front door: a small pool of loop threads
+  multiplexing non-blocking sockets, bounded admission
+  (reject-with-``retry_after``, no unbounded buffering), idle/stall
+  timers, upload coalescing, and graceful drain;
 * :mod:`repro.net.client` — :class:`IncShrinkClient`, a typed SDK with
-  connect/retry, context-manager sessions, and results mirroring
+  connect/retry, codec negotiation (binary-first), pipelined
+  ``upload_many``, bytes-on-wire metering, and results mirroring
   :class:`~repro.server.database.DatabaseQueryResult`.
 
-See ``docs/NETWORK.md`` for the frame reference and the leakage
-argument (the wire exposes nothing beyond the snapshot format's
-surface plus public lengths).
+See ``docs/NETWORK.md`` for the frame reference, the codec negotiation
+table, and the leakage argument (the wire exposes nothing beyond the
+snapshot format's surface plus public lengths — in either codec).
 """
 
 from .client import IncShrinkClient
 from .protocol import (
+    CODEC_BINARY,
+    CODEC_JSON,
     FRAME_CODES,
     MAX_FRAME_BYTES,
     PROTOCOL_MAGIC,
     PROTOCOL_VERSION,
+    SUPPORTED_CODECS,
     ConnectionClosed,
+    FrameDecoder,
     RemoteError,
     RemoteQueryResult,
     VersionMismatch,
     WireError,
+    encode_frame,
+    negotiate_codec,
     read_frame,
     write_frame,
 )
 from .server import NetworkServer
 
 __all__ = [
+    "CODEC_BINARY",
+    "CODEC_JSON",
     "FRAME_CODES",
     "MAX_FRAME_BYTES",
     "PROTOCOL_MAGIC",
     "PROTOCOL_VERSION",
+    "SUPPORTED_CODECS",
     "ConnectionClosed",
+    "FrameDecoder",
     "IncShrinkClient",
     "NetworkServer",
     "RemoteError",
     "RemoteQueryResult",
     "VersionMismatch",
     "WireError",
+    "encode_frame",
+    "negotiate_codec",
     "read_frame",
     "write_frame",
 ]

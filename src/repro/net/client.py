@@ -16,6 +16,15 @@ TCP connection:
   the server's ``retry_after`` hint (bounded by ``busy_retries``); every
   other ``error`` frame raises :class:`~repro.net.protocol.RemoteError`
   with its machine-readable code;
+* the handshake **negotiates a codec**: the client offers its
+  preference list in ``hello`` (binary first by default) and adopts
+  whatever the ``welcome`` picks, so the same client code speaks raw
+  little-endian share payloads to a PR 7 reactor and plain JSON to a
+  PR 5-era server;
+* ``upload_many`` pipelines a run of steps in one write burst and one
+  read pass — the reactor coalesces the burst into a single batched
+  queue submission — and :attr:`bytes_sent`/:attr:`bytes_received`
+  meter the wire for codec comparisons;
 * the client is a context manager (``with IncShrinkClient(...) as c:``)
   and is safe to share across threads — one request/response exchange at
   a time, serialized on an internal lock.
@@ -34,6 +43,36 @@ from . import protocol as wire
 from .protocol import RemoteError, RemoteQueryResult, WireError
 
 
+class _MeteredStream:
+    """File-like wrapper metering every byte that crosses the socket.
+
+    The codec-comparison benchmark needs honest bytes-on-wire numbers,
+    and the frame reader/writer only see a file object — so the count
+    happens here, transparently, for requests and responses alike.
+    """
+
+    __slots__ = ("_stream", "_owner")
+
+    def __init__(self, stream, owner: "IncShrinkClient") -> None:
+        self._stream = stream
+        self._owner = owner
+
+    def read(self, n: int = -1) -> bytes:
+        data = self._stream.read(n)
+        self._owner._bytes_received += len(data)
+        return data
+
+    def write(self, data) -> int:
+        self._owner._bytes_sent += len(data)
+        return self._stream.write(data)
+
+    def flush(self) -> None:
+        self._stream.flush()
+
+    def close(self) -> None:
+        self._stream.close()
+
+
 class IncShrinkClient:
     """One connection to a :class:`~repro.net.server.NetworkServer`."""
 
@@ -46,7 +85,13 @@ class IncShrinkClient:
         connect_retries: int = 20,
         retry_backoff: float = 0.05,
         busy_retries: int = 16,
+        codec: str = wire.CODEC_BINARY,
     ) -> None:
+        if codec not in wire.SUPPORTED_CODECS:
+            raise WireError(
+                f"unknown codec preference {codec!r}; "
+                f"supported: {wire.SUPPORTED_CODECS}"
+            )
         self.host = host
         self.port = port
         self.name = name or "incshrink-client"
@@ -54,16 +99,40 @@ class IncShrinkClient:
         self.connect_retries = connect_retries
         self.retry_backoff = retry_backoff
         self.busy_retries = busy_retries
+        #: preferred codec, offered first in the ``hello`` frame; the
+        #: server's ``welcome`` has the final word (:attr:`codec`)
+        self.preferred_codec = codec
         #: the server's ``welcome`` payload (views, shard count, watermark)
         self.server_info: dict = {}
         self._sock: socket.socket | None = None
         self._stream = None
         self._lock = threading.Lock()
+        self._codec = wire.CODEC_JSON
+        self._bytes_sent = 0
+        self._bytes_received = 0
 
     # -- lifecycle ---------------------------------------------------------------
     @property
     def connected(self) -> bool:
         return self._stream is not None
+
+    @property
+    def codec(self) -> str:
+        """The codec the ``welcome`` frame settled on (``json`` until
+        a handshake negotiates ``binary``)."""
+        return self._codec
+
+    @property
+    def bytes_sent(self) -> int:
+        """Request bytes written to the wire (frames + headers),
+        accumulated across reconnects."""
+        return self._bytes_sent
+
+    @property
+    def bytes_received(self) -> int:
+        """Response bytes read off the wire, accumulated across
+        reconnects."""
+        return self._bytes_received
 
     def connect(self) -> "IncShrinkClient":
         """Dial the server (with retry) and perform the handshake.
@@ -92,15 +161,31 @@ class IncShrinkClient:
                 continue
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
             self._sock = sock
-            self._stream = sock.makefile("rwb")
+            self._stream = _MeteredStream(sock.makefile("rwb"), self)
+            self._codec = wire.CODEC_JSON
+            if self.preferred_codec == wire.CODEC_BINARY:
+                offered = [wire.CODEC_BINARY, wire.CODEC_JSON]
+            else:
+                offered = [wire.CODEC_JSON]
             try:
                 # No same-socket busy retry here: a connection-cap
                 # rejection closes the socket, so overload is handled
-                # below by redialing.
+                # below by redialing.  The hello itself always rides a
+                # version-1 JSON frame — it must parse on any server.
                 self.server_info = self._request(
-                    "hello", {"client": self.name}, expect="welcome",
+                    "hello",
+                    {"client": self.name, "codecs": offered},
+                    expect="welcome",
                     retry_busy=False,
                 )
+                picked = self.server_info.get("codec", wire.CODEC_JSON)
+                if picked not in offered:
+                    # A PR 5-era server omits the field entirely (JSON);
+                    # anything else we didn't offer is a protocol bug.
+                    raise WireError(
+                        f"server picked unoffered codec {picked!r}"
+                    )
+                self._codec = picked
                 return self
             except RemoteError as exc:
                 # A failed handshake must not leave a half-connected
@@ -140,6 +225,7 @@ class IncShrinkClient:
             except OSError:
                 pass
             self._sock = None
+        self._codec = wire.CODEC_JSON
 
     def close(self) -> None:
         """Say goodbye (best effort) and release the socket."""
@@ -182,7 +268,7 @@ class IncShrinkClient:
                         "client is not connected; call connect() first"
                     )
                 try:
-                    wire.write_frame(stream, frame_type, payload)
+                    wire.write_frame(stream, frame_type, payload, codec=self._codec)
                     response_type, response = wire.read_frame(stream)
                 except (OSError, ValueError, wire.ConnectionClosed) as exc:
                     self._teardown()
@@ -228,10 +314,103 @@ class IncShrinkClient:
         expired before it applied (do **not** resend; the step is
         queued and a resend would be stale).
         """
-        payload = wire.encode_upload(time, batches, wait=wait)
+        payload = wire.encode_upload(
+            time, batches, wait=wait, binary=self._codec == wire.CODEC_BINARY
+        )
         if wait:
             payload["wait_timeout"] = float(wait_timeout)
         return self._request("upload", payload, expect="upload_ok")
+
+    def upload_many(
+        self,
+        steps: Iterable[
+            tuple[int, Mapping[str, RecordBatch] | Iterable[tuple[str, RecordBatch]]]
+        ],
+        wait: bool = False,
+        wait_timeout: float = 30.0,
+    ) -> list[dict]:
+        """Pipeline a run of steps: one write burst, one read pass.
+
+        All frames go out back-to-back before any response is read, so
+        the reactor parses them as one run and coalesces the admission
+        into a single batched queue submission.  ``wait=True`` attaches
+        the drain wait to the **last** step only — when it has applied,
+        every earlier step has too (read-your-writes for the burst).
+
+        The server admits a burst as a *prefix* (admission stops at the
+        first step that finds the ingest queue full), so ``overloaded``
+        rejections are always a suffix — which this method retries
+        after the server's ``retry_after`` hint, up to ``busy_retries``
+        times, without ever re-sending an accepted step.  Returns one
+        ``upload_ok`` payload per step, in order.
+        """
+        remaining = list(steps)
+        results: list[dict] = []
+        if not remaining:
+            return results
+        binary = self._codec == wire.CODEC_BINARY
+        for attempt in range(self.busy_retries + 1):
+            with self._lock:
+                stream = self._stream
+                if stream is None:
+                    raise ConnectionError(
+                        "client is not connected; call connect() first"
+                    )
+                payloads = []
+                for idx, (time, batches) in enumerate(remaining):
+                    last = idx == len(remaining) - 1
+                    payload = wire.encode_upload(
+                        time, batches, wait=wait and last, binary=binary
+                    )
+                    if wait and last:
+                        payload["wait_timeout"] = float(wait_timeout)
+                    payloads.append(payload)
+                try:
+                    stream.write(
+                        b"".join(
+                            wire.encode_frame("upload", p, codec=self._codec)
+                            for p in payloads
+                        )
+                    )
+                    stream.flush()
+                    responses = [wire.read_frame(stream) for _ in payloads]
+                except (OSError, ValueError, wire.ConnectionClosed) as exc:
+                    self._teardown()
+                    raise ConnectionError(
+                        f"connection to {self.host}:{self.port} lost: {exc}"
+                    ) from exc
+            retry_from: int | None = None
+            retry_after: float | None = None
+            for i, (response_type, response) in enumerate(responses):
+                if response_type == "upload_ok":
+                    results.append(response)
+                    continue
+                if response_type == "error":
+                    code = response.get("code", wire.ERR_SERVER)
+                    if code == wire.ERR_OVERLOADED:
+                        retry_from = i
+                        retry_after = response.get("retry_after")
+                        break
+                    raise RemoteError(
+                        code,
+                        response.get("message", "unspecified"),
+                        response.get("retry_after"),
+                    )
+                raise WireError(
+                    f"expected an 'upload_ok' frame in response to "
+                    f"'upload', got {response_type!r}"
+                )
+            if retry_from is None:
+                return results
+            remaining = remaining[retry_from:]
+            if attempt < self.busy_retries and retry_after is not None:
+                _time.sleep(float(retry_after))
+        raise RemoteError(
+            wire.ERR_OVERLOADED,
+            f"ingest queue still full after {self.busy_retries} retries "
+            f"({len(remaining)} steps unsubmitted)",
+            retry_after,
+        )
 
     def query(
         self,

@@ -1,20 +1,42 @@
-"""The threaded socket front door around one :class:`DatabaseServer`.
+"""The event-driven socket front door around one :class:`DatabaseServer`.
 
 :class:`NetworkServer` gives the in-process serving runtime an actual
 service boundary — the deployment shape of the paper's Figure 1, where
 owners and analysts talk to the two untrusted servers over a network
-rather than through Python object references:
+rather than through Python object references.  Since PR 7 the front
+door is a **reactor**, not thread-per-connection:
 
-* one **accept thread** plus one handler thread per connection; each
-  connection is a read session (frames on one connection execute in
-  order, connections execute concurrently under the runtime's existing
-  read/write, per-view, and MPC locks);
-* **bounded admission** — at most ``max_connections`` concurrent
-  connections and ``max_inflight`` concurrently executing requests.
-  Anything beyond is *rejected* with a structured ``overloaded`` error
-  carrying a ``retry_after`` hint, never buffered without bound; the
+* a small fixed pool of **event-loop threads** (``loop_threads``), each
+  multiplexing its share of non-blocking sockets through one
+  :mod:`selectors` selector; connections are assigned round-robin at
+  accept, so a thousand mostly-idle connections cost a thousand socket
+  objects, not a thousand stacks;
+* a per-connection **frame-reassembly state machine**
+  (:class:`~repro.net.protocol.FrameDecoder`) that tolerates arbitrary
+  byte fragmentation, validates headers before buffering bodies, and
+  keeps reassembly memory bounded by one declared frame;
+* request execution happens on a separate **worker pool** — the event
+  loops never run a query or an upload apply, so one slow MPC circuit
+  cannot stall the I/O of 999 other connections;
+* **bounded admission** everywhere, re-expressed as event-loop state
+  instead of blocked threads: at most ``max_connections`` concurrent
+  connections and ``max_inflight`` concurrently executing requests
+  (anything beyond is *rejected* with a structured ``overloaded`` error
+  carrying a ``retry_after`` hint, never buffered without bound); the
   ingest queue applies the same policy through
   :meth:`~repro.server.runtime.DatabaseServer.try_submit`;
+* **event-loop timers** reclaim connection slots: a peer that completes
+  no frame for ``idle_timeout`` seconds (idle, dead, or slow-loris
+  dribbling bytes without ever finishing a frame) is closed, as is a
+  stalled reader whose kernel buffers stay full past the same deadline;
+  a write buffer past ``max_write_buffer`` bytes closes immediately;
+* **codec negotiation** — ``hello`` offers codecs, ``welcome`` picks
+  one; a PR 5-era JSON client negotiates down transparently while a
+  binary client's share payloads ride raw little-endian bytes;
+* back-to-back ``upload`` frames parsed from one connection are
+  **coalesced** into a single admission-gate pass and a single batched
+  queue submission (:meth:`~repro.server.runtime.DatabaseServer.
+  try_submit_many`), with one ``upload_ok`` answered per frame;
 * **graceful drain** — :meth:`close` stops accepting, lets every
   in-flight request finish and flush its response, answers anything
   newly arrived with ``shutting-down``, then severs the idle
@@ -26,21 +48,197 @@ OS pick a free port (the bound address is :attr:`address`).
 
 from __future__ import annotations
 
+import selectors
 import socket
 import threading
 import time as _time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
 
 from ..common.errors import ConfigurationError, ReproError
 from ..server.runtime import DatabaseServer, DrainTimeout
 from . import protocol as wire
 
 #: Request frames that consume an in-flight permit (everything that
-#: executes against the database; hello/stats are cheap reads).
+#: executes against the database; hello is answered on the event loop,
+#: stats runs on the worker pool but never competes with real work).
 _GUARDED_FRAMES = ("upload", "query", "snapshot", "reshard")
+
+#: recv() chunk size for the event loops.
+_RECV_CHUNK = 65536
+
+
+class _Connection:
+    """Per-connection reactor state: reassembly, dispatch, write-back."""
+
+    __slots__ = (
+        "sock",
+        "decoder",
+        "pending",
+        "outbuf",
+        "codec",
+        "executing",
+        "permits",
+        "counted",
+        "eof",
+        "wire_fail",
+        "close_after_flush",
+        "closed",
+        "last_progress",
+        "last_write_progress",
+        "registered",
+        "events",
+    )
+
+    def __init__(self, sock: socket.socket, counted: bool = True) -> None:
+        self.sock = sock
+        self.decoder = wire.FrameDecoder()
+        #: complete frames parsed but not yet dispatched (bounded)
+        self.pending: deque = deque()
+        #: encoded response bytes awaiting the socket
+        self.outbuf = bytearray()
+        self.codec = wire.CODEC_JSON
+        #: a request batch is on the worker pool right now
+        self.executing = False
+        #: in-flight permits held until the response bytes are flushed
+        self.permits = 0
+        #: whether this connection occupies a max_connections slot
+        self.counted = counted
+        self.eof = False
+        #: deferred framing failure ``(code, message)`` — answered with
+        #: a structured error once the frames before it are served
+        self.wire_fail: tuple[str, str] | None = None
+        self.close_after_flush = False
+        self.closed = False
+        now = _time.monotonic()
+        #: monotonic time of the last *completed* frame (not last byte:
+        #: a slow-loris dribble never resets the idle clock)
+        self.last_progress = now
+        #: monotonic time of the last successful socket write
+        self.last_write_progress = now
+        self.registered = False
+        self.events = 0
+
+
+class _EventLoop(threading.Thread):
+    """One selector thread owning a subset of the connections."""
+
+    def __init__(self, net: "NetworkServer", index: int) -> None:
+        super().__init__(name=f"incshrink-loop-{index}", daemon=True)
+        self.net = net
+        self.index = index
+        self.selector = selectors.DefaultSelector()
+        self.connections: set[_Connection] = set()
+        self._tasks: deque = deque()
+        self._tasks_lock = threading.Lock()
+        self._wake_r, self._wake_w = socket.socketpair()
+        self._wake_r.setblocking(False)
+        self._wake_w.setblocking(False)
+        self.selector.register(self._wake_r, selectors.EVENT_READ, ("wake", None))
+        self._listener: socket.socket | None = None
+        self._stopping = False
+        self._next_reap = 0.0
+
+    # -- cross-thread entry point ------------------------------------------------
+    def call_soon(self, fn, *args) -> None:
+        """Schedule ``fn(*args)`` on this loop's thread and wake it."""
+        with self._tasks_lock:
+            self._tasks.append((fn, args))
+        try:
+            self._wake_w.send(b"\x00")
+        except (BlockingIOError, OSError):
+            pass  # wake buffer full (already awake) or loop gone
+
+    def attach_listener(self, listener: socket.socket) -> None:
+        self._listener = listener
+        self.selector.register(listener, selectors.EVENT_READ, ("listener", None))
+
+    def attach(self, conn: _Connection) -> None:
+        """Adopt one accepted connection (runs on this loop's thread)."""
+        if self._stopping:
+            self.net._discard(conn)
+            _close_socket(conn.sock)
+            return
+        self.connections.add(conn)
+        self.net._update_interest(self, conn)
+        # A rejection connection arrives with a preloaded outbuf.
+        if conn.outbuf:
+            self.net._flush(self, conn)
+
+    def shutdown(self) -> None:
+        """Close everything this loop owns and let run() exit."""
+        self._stopping = True
+        if self._listener is not None:
+            try:
+                self.selector.unregister(self._listener)
+            except (KeyError, ValueError):
+                pass
+            _close_socket(self._listener)
+            self._listener = None
+        for conn in list(self.connections):
+            self.net._close_conn(self, conn)
+
+    # -- the loop ----------------------------------------------------------------
+    def _poll_timeout(self) -> float:
+        idle = self.net.idle_timeout
+        if idle is None or not self.connections:
+            return 0.5
+        return max(0.02, min(0.5, idle / 4.0))
+
+    def run(self) -> None:
+        while True:
+            try:
+                events = self.selector.select(self._poll_timeout())
+                self._run_tasks()
+                for key, mask in events:
+                    kind, conn = key.data
+                    if kind == "wake":
+                        self._drain_wake()
+                    elif kind == "listener":
+                        self.net._on_accept(self)
+                    else:
+                        if mask & selectors.EVENT_WRITE and not conn.closed:
+                            self.net._flush(self, conn)
+                        if mask & selectors.EVENT_READ and not conn.closed:
+                            self.net._on_readable(self, conn)
+                now = _time.monotonic()
+                if now >= self._next_reap:
+                    self._next_reap = now + self._poll_timeout()
+                    self.net._reap_idle(self, now)
+                if self._stopping and not self.connections:
+                    break
+            except Exception as exc:  # never die silently: record and carry on
+                self.net._unhandled_errors.append(exc)
+                if self._stopping:
+                    break
+        try:
+            self.selector.close()
+        except OSError:
+            pass
+        for sock in (self._wake_r, self._wake_w):
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def _drain_wake(self) -> None:
+        try:
+            while self._wake_r.recv(4096):
+                pass
+        except (BlockingIOError, OSError):
+            pass
+
+    def _run_tasks(self) -> None:
+        while True:
+            with self._tasks_lock:
+                if not self._tasks:
+                    return
+                fn, args = self._tasks.popleft()
+            fn(*args)
 
 
 class NetworkServer:
-    """Serve one :class:`DatabaseServer` over TCP."""
+    """Serve one :class:`DatabaseServer` over TCP, event-driven."""
 
     def __init__(
         self,
@@ -52,6 +250,10 @@ class NetworkServer:
         retry_after: float = 0.05,
         max_wait_timeout: float = 60.0,
         idle_timeout: float | None = 300.0,
+        loop_threads: int = 2,
+        max_write_buffer: int = 2 * wire.MAX_FRAME_BYTES,
+        max_pending_frames: int = 64,
+        socket_sndbuf: int | None = None,
     ) -> None:
         if max_connections < 1:
             raise ConfigurationError(
@@ -73,6 +275,18 @@ class NetworkServer:
             raise ConfigurationError(
                 f"idle_timeout must be positive (or None), got {idle_timeout}"
             )
+        if loop_threads < 1:
+            raise ConfigurationError(
+                f"loop_threads must be >= 1, got {loop_threads}"
+            )
+        if max_write_buffer < 1:
+            raise ConfigurationError(
+                f"max_write_buffer must be >= 1, got {max_write_buffer}"
+            )
+        if max_pending_frames < 1:
+            raise ConfigurationError(
+                f"max_pending_frames must be >= 1, got {max_pending_frames}"
+            )
         self.server = server
         self.host = host
         self.port = port
@@ -83,13 +297,26 @@ class NetworkServer:
         #: frame — an in-flight permit is held for the wait, so an
         #: unbounded client value could pin the request capacity
         self.max_wait_timeout = max_wait_timeout
-        #: per-connection read timeout — a silent or dead peer (no FIN
-        #: ever arrives) must not hold one of max_connections slots
-        #: forever; None disables (trusted single-tenant setups only)
+        #: per-connection progress deadline — a peer that completes no
+        #: frame (idle, dead, or slow-loris) or accepts no response
+        #: bytes (stalled reader) for this long is closed by the loop's
+        #: timer wheel; None disables (trusted single-tenant setups)
         self.idle_timeout = idle_timeout
+        #: number of event-loop threads multiplexing the connections
+        self.loop_threads = loop_threads
+        #: per-connection write-buffer cap: a reader stalled past this
+        #: many un-sent response bytes is disconnected immediately
+        self.max_write_buffer = max_write_buffer
+        #: per-connection cap on parsed-but-undispatched frames; past
+        #: it the loop stops reading that socket (TCP backpressure)
+        self.max_pending_frames = max_pending_frames
+        #: when set, pins SO_SNDBUF on accepted sockets — disables
+        #: kernel autotuning so per-connection kernel memory is bounded
+        #: and a stalled reader hits :attr:`max_write_buffer` promptly
+        self.socket_sndbuf = socket_sndbuf
         self._listener: socket.socket | None = None
-        self._accept_thread: threading.Thread | None = None
-        self._handlers: dict[socket.socket, threading.Thread] = {}
+        self._loops: list[_EventLoop] = []
+        self._executor: ThreadPoolExecutor | None = None
         self._lock = threading.Lock()
         self._inflight = threading.Semaphore(max_inflight)
         # Admission gate for uploads: a stale (non-advancing) step must
@@ -97,8 +324,16 @@ class NetworkServer:
         # the background loop and poison ingestion for every client.
         self._upload_gate = threading.Lock()
         self._highest_admitted = 0
+        self._open_connections = 0
+        self._next_loop = 0
         self._closing = False
         self._closed = False
+        #: exceptions the event loops could not attribute to a request
+        #: (should stay empty; the fuzz suite asserts it does)
+        self._unhandled_errors: list[BaseException] = []
+        #: high-water mark of any connection's reassembly buffer, for
+        #: bounded-memory assertions in tests
+        self._reassembly_hwm = 0
 
     # -- lifecycle ---------------------------------------------------------------
     @property
@@ -109,8 +344,14 @@ class NetworkServer:
         addr = self._listener.getsockname()
         return addr[0], addr[1]
 
+    @property
+    def open_connections(self) -> int:
+        """Connections currently holding a ``max_connections`` slot."""
+        with self._lock:
+            return self._open_connections
+
     def start(self) -> "NetworkServer":
-        """Bind, listen, and launch the accept loop.
+        """Bind, listen, and launch the event loops.
 
         Starts the wrapped :class:`DatabaseServer` too if the caller has
         not already — the network door implies a running ingest loop.
@@ -127,12 +368,17 @@ class NetworkServer:
         listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         listener.bind((self.host, self.port))
-        listener.listen(min(128, self.max_connections * 2))
+        listener.listen(min(1024, max(128, self.max_connections)))
+        listener.setblocking(False)
         self._listener = listener
-        self._accept_thread = threading.Thread(
-            target=self._accept_loop, name="incshrink-accept", daemon=True
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.max_inflight + 1,
+            thread_name_prefix="incshrink-net-exec",
         )
-        self._accept_thread.start()
+        self._loops = [_EventLoop(self, i) for i in range(self.loop_threads)]
+        self._loops[0].attach_listener(listener)
+        for loop in self._loops:
+            loop.start()
         return self
 
     def close(self, drain_timeout: float = 10.0, stop_server: bool = False) -> None:
@@ -149,13 +395,11 @@ class NetworkServer:
         if self._listener is None or self._closed:
             return
         self._closing = True
-        try:
-            self._listener.close()
-        except OSError:
-            pass
-        # Wait for every in-flight request to finish and flush: when all
-        # max_inflight permits are re-acquirable, nothing is executing.
         deadline = _time.monotonic() + drain_timeout
+        # Wait for every in-flight request to finish *and flush*: the
+        # permits are released only after the response bytes left the
+        # write buffer, so when all max_inflight permits are
+        # re-acquirable nothing executed is still unanswered.
         acquired = 0
         for _ in range(self.max_inflight):
             remaining = deadline - _time.monotonic()
@@ -164,17 +408,13 @@ class NetworkServer:
             acquired += 1
         for _ in range(acquired):
             self._inflight.release()
-        # Sever the (now idle) connections; handlers unblock and exit.
-        with self._lock:
-            connections = list(self._handlers)
-        for conn in connections:
-            _close_socket(conn)
-        with self._lock:
-            threads = list(self._handlers.values())
-        for thread in threads:
-            thread.join(timeout=max(0.1, deadline - _time.monotonic()))
-        if self._accept_thread is not None:
-            self._accept_thread.join(timeout=1.0)
+        # Sever the (now idle) connections and stop the loops.
+        for loop in self._loops:
+            loop.call_soon(loop.shutdown)
+        for loop in self._loops:
+            loop.join(timeout=max(0.1, deadline - _time.monotonic()))
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
         self._closed = True
         if stop_server:
             self.server.stop(drain_timeout=drain_timeout)
@@ -187,117 +427,359 @@ class NetworkServer:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
-    # -- accept / per-connection loops -------------------------------------------
-    def _accept_loop(self) -> None:
+    # -- accept path --------------------------------------------------------------
+    def _on_accept(self, loop: _EventLoop) -> None:
+        """Drain the accept backlog (runs on the listener's loop)."""
         assert self._listener is not None
-        while not self._closing:
+        while True:
             try:
-                conn, _addr = self._listener.accept()
+                sock, _addr = self._listener.accept()
+            except (BlockingIOError, InterruptedError):
+                return
             except OSError:  # listener closed by close()
                 return
-            with self._lock:
-                admit = not self._closing and len(self._handlers) < self.max_connections
-                if admit:
-                    thread = threading.Thread(
-                        target=self._serve_connection,
-                        args=(conn,),
-                        name="incshrink-conn",
-                        daemon=True,
+            sock.setblocking(False)
+            try:
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                if self.socket_sndbuf is not None:
+                    sock.setsockopt(
+                        socket.SOL_SOCKET, socket.SO_SNDBUF, self.socket_sndbuf
                     )
-                    self._handlers[conn] = thread
-            if not admit:
-                self._reject_connection(conn)
+            except OSError:
+                pass
+            if self._closing:
+                _close_socket(sock)
                 continue
-            thread.start()
+            with self._lock:
+                admit = self._open_connections < self.max_connections
+                if admit:
+                    self._open_connections += 1
+                target = self._loops[self._next_loop % len(self._loops)]
+                self._next_loop += 1
+            conn = _Connection(sock, counted=admit)
+            if not admit:
+                # Structured rejection: the error frame is queued on the
+                # connection's write buffer and the socket closes once
+                # it flushes — no thread ever blocks on a slow peer.
+                conn.outbuf += wire.encode_frame(
+                    "error",
+                    wire.error_payload(
+                        wire.ERR_OVERLOADED,
+                        f"server at max_connections={self.max_connections}",
+                        retry_after=self.retry_after,
+                    ),
+                )
+                conn.close_after_flush = True
+            if target is loop:
+                loop.attach(conn)
+            else:
+                target.call_soon(target.attach, conn)
 
-    def _reject_connection(self, conn: socket.socket) -> None:
-        """Best-effort structured rejection of a connection over the cap."""
+    def _discard(self, conn: _Connection) -> None:
+        """Release the connection's accounting slot."""
+        if conn.counted:
+            conn.counted = False
+            with self._lock:
+                self._open_connections -= 1
+
+    # -- event handlers (loop threads only) ---------------------------------------
+    def _close_conn(self, loop: _EventLoop, conn: _Connection) -> None:
+        if conn.closed:
+            return
+        conn.closed = True
+        self._release_permits(conn)
+        if conn.registered:
+            try:
+                loop.selector.unregister(conn.sock)
+            except (KeyError, ValueError, OSError):
+                pass
+            conn.registered = False
+        _close_socket(conn.sock)
+        loop.connections.discard(conn)
+        self._discard(conn)
+
+    def _release_permits(self, conn: _Connection) -> None:
+        while conn.permits > 0:
+            conn.permits -= 1
+            self._inflight.release()
+
+    def _update_interest(self, loop: _EventLoop, conn: _Connection) -> None:
+        if conn.closed:
+            return
+        events = 0
+        if conn.outbuf:
+            events |= selectors.EVENT_WRITE
+        read_paused = len(conn.pending) >= self.max_pending_frames
+        if (
+            not conn.close_after_flush
+            and not conn.eof
+            and conn.wire_fail is None
+            and not read_paused
+            and len(conn.outbuf) < self.max_write_buffer
+        ):
+            events |= selectors.EVENT_READ
+        if events == conn.events and conn.registered == bool(events):
+            return
         try:
-            stream = conn.makefile("wb")
-            wire.write_frame(
-                stream,
-                "error",
-                wire.error_payload(
-                    wire.ERR_OVERLOADED,
-                    f"server at max_connections={self.max_connections}",
-                    retry_after=self.retry_after,
-                ),
+            if conn.registered and events:
+                loop.selector.modify(conn.sock, events, ("conn", conn))
+            elif conn.registered:
+                loop.selector.unregister(conn.sock)
+            elif events:
+                loop.selector.register(conn.sock, events, ("conn", conn))
+        except (KeyError, ValueError, OSError):
+            self._close_conn(loop, conn)
+            return
+        conn.registered = bool(events)
+        conn.events = events
+
+    def _on_readable(self, loop: _EventLoop, conn: _Connection) -> None:
+        while conn.wire_fail is None and len(conn.pending) < self.max_pending_frames:
+            try:
+                data = conn.sock.recv(_RECV_CHUNK)
+            except (BlockingIOError, InterruptedError):
+                break
+            except OSError:
+                self._close_conn(loop, conn)
+                return
+            if not data:
+                conn.eof = True
+                break
+            try:
+                frames = conn.decoder.feed(data)
+                failure = conn.decoder.error
+            except wire.WireError as exc:
+                frames = []
+                failure = exc
+            buffered = conn.decoder.buffered_bytes
+            if buffered > self._reassembly_hwm:
+                self._reassembly_hwm = buffered
+            if frames:
+                conn.last_progress = _time.monotonic()
+                conn.pending.extend(frames)
+            if failure is not None:
+                # Frames completed before the malformed bytes still get
+                # answered (pending drains first); then the structured
+                # error goes out and the connection closes.
+                code = (
+                    wire.ERR_VERSION_MISMATCH
+                    if isinstance(failure, wire.VersionMismatch)
+                    else wire.ERR_BAD_FRAME
+                )
+                conn.wire_fail = (code, str(failure))
+                break
+        self._pump(loop, conn)
+
+    def _fail_conn(
+        self, loop: _EventLoop, conn: _Connection, code: str, message: str
+    ) -> None:
+        """Malformed framing: answer a structured error, then hang up."""
+        conn.pending.clear()
+        conn.close_after_flush = True
+        try:
+            conn.outbuf += wire.encode_frame(
+                "error", wire.error_payload(code, message), codec=conn.codec
             )
-            stream.close()
-        except OSError:
+        except wire.WireError:  # pragma: no cover - error payloads encode
             pass
-        finally:
-            _close_socket(conn)
+        self._flush(loop, conn)
 
-    def _serve_connection(self, conn: socket.socket) -> None:
-        if self.idle_timeout is not None:
-            conn.settimeout(self.idle_timeout)
-        stream = conn.makefile("rwb")
-        try:
-            while True:
-                try:
-                    frame_type, payload = wire.read_frame(stream)
-                except wire.ConnectionClosed:
-                    return
-                except wire.VersionMismatch as exc:
-                    self._try_write(
-                        stream,
-                        "error",
-                        wire.error_payload(wire.ERR_VERSION_MISMATCH, str(exc)),
-                    )
-                    return
-                except wire.WireError as exc:
-                    self._try_write(
-                        stream,
-                        "error",
-                        wire.error_payload(wire.ERR_BAD_FRAME, str(exc)),
-                    )
-                    return
-                if frame_type == "bye":
-                    self._try_write(stream, "bye", {})
-                    return
+    def _pump(self, loop: _EventLoop, conn: _Connection) -> None:
+        """Dispatch parsed frames in order; one request batch at a time."""
+        while (
+            not conn.closed
+            and not conn.executing
+            and not conn.close_after_flush
+            and conn.pending
+            and len(conn.outbuf) < self.max_write_buffer
+        ):
+            frame_type, payload = conn.pending[0]
+            if frame_type == "bye":
+                conn.pending.clear()
+                conn.close_after_flush = True
+                self._send(loop, conn, [("bye", {})])
+                break
+            if frame_type == "hello":
+                conn.pending.popleft()
+                codec = wire.negotiate_codec(
+                    payload.get("codecs") if isinstance(payload, dict) else None
+                )
+                conn.codec = codec
+                self._send(loop, conn, [("welcome", self._welcome(codec))])
+                continue
+            if frame_type in _GUARDED_FRAMES or frame_type == "stats":
+                batch = [conn.pending.popleft()]
+                if frame_type == "upload":
+                    # Coalesce back-to-back uploads into one admission
+                    # pass and one batched queue submission.
+                    limit = max(1, self.server.ingest_batch)
+                    while (
+                        len(batch) < limit
+                        and conn.pending
+                        and conn.pending[0][0] == "upload"
+                    ):
+                        batch.append(conn.pending.popleft())
                 if frame_type in _GUARDED_FRAMES:
                     rejection = self._admit()
                     if rejection is not None:
-                        if not self._try_write(stream, *rejection):
-                            return
+                        self._send(loop, conn, [rejection] * len(batch))
                         continue
-                    # The permit stays held until the response is
-                    # flushed: close()'s drain must not sever this
-                    # connection between execution and write (the
-                    # request's effects — an ε spend, an applied
-                    # upload — would be real but the answer lost).
-                    try:
-                        response = self._execute(frame_type, payload)
-                        alive = self._try_write(stream, *response)
-                    finally:
-                        self._inflight.release()
-                    if not alive:
-                        return
-                    continue
-                response_type, response = self._dispatch(frame_type, payload)
-                if not self._try_write(stream, response_type, response):
-                    return
-        except OSError:
-            # Reset, idle timeout, or the socket torn down mid-drain —
-            # nothing to answer on; just release the connection slot.
+                    conn.permits += 1
+                conn.executing = True
+                assert self._executor is not None
+                self._executor.submit(self._worker, loop, conn, batch)
+                break
+            # A response-type or unknown frame is not a request.
+            conn.pending.popleft()
+            self._send(
+                loop,
+                conn,
+                [
+                    (
+                        "error",
+                        wire.error_payload(
+                            wire.ERR_UNSUPPORTED,
+                            f"cannot serve {frame_type!r} frames",
+                        ),
+                    )
+                ],
+            )
+        if (
+            conn.wire_fail is not None
+            and not conn.closed
+            and not conn.pending
+            and not conn.executing
+            and not conn.close_after_flush
+        ):
+            code, message = conn.wire_fail
+            self._fail_conn(loop, conn, code, message)
             return
-        finally:
-            try:
-                stream.close()
-            except OSError:
-                pass
-            _close_socket(conn)
-            with self._lock:
-                self._handlers.pop(conn, None)
+        if (
+            conn.eof
+            and not conn.closed
+            and not conn.pending
+            and not conn.executing
+            and not conn.outbuf
+        ):
+            self._close_conn(loop, conn)
+            return
+        self._update_interest(loop, conn)
 
-    @staticmethod
-    def _try_write(stream, frame_type: str, payload: dict) -> bool:
+    def _send(
+        self, loop: _EventLoop, conn: _Connection, responses: list[tuple[str, dict]]
+    ) -> None:
+        conn.outbuf += self._encode_responses(responses, conn.codec)
+        conn.last_write_progress = _time.monotonic()
+        self._flush(loop, conn)
+
+    def _encode_responses(
+        self, responses: list[tuple[str, dict]], codec: str
+    ) -> bytes:
         try:
-            wire.write_frame(stream, frame_type, payload)
-            return True
-        except (OSError, ValueError):  # peer gone / socket torn down mid-drain
-            return False
+            return b"".join(
+                wire.encode_frame(t, p, codec=codec) for t, p in responses
+            )
+        except Exception as exc:  # a response that cannot encode
+            return wire.encode_frame(
+                "error",
+                wire.error_payload(
+                    wire.ERR_SERVER,
+                    f"response encoding failed: {type(exc).__name__}: {exc}",
+                ),
+            )
+
+    def _flush(self, loop: _EventLoop, conn: _Connection) -> None:
+        if conn.closed:
+            return
+        try:
+            while conn.outbuf:
+                sent = conn.sock.send(conn.outbuf)
+                if sent <= 0:
+                    break
+                del conn.outbuf[:sent]
+                conn.last_write_progress = _time.monotonic()
+        except (BlockingIOError, InterruptedError):
+            pass
+        except OSError:
+            self._close_conn(loop, conn)
+            return
+        if not conn.outbuf:
+            self._release_permits(conn)
+            if conn.close_after_flush:
+                self._close_conn(loop, conn)
+                return
+            if conn.eof and not conn.pending and not conn.executing:
+                self._close_conn(loop, conn)
+                return
+        elif len(conn.outbuf) > self.max_write_buffer:
+            # A reader stalled past the cap: frames cannot be dropped
+            # mid-stream, so the only bounded-memory option is hangup.
+            self._close_conn(loop, conn)
+            return
+        self._update_interest(loop, conn)
+
+    def _reap_idle(self, loop: _EventLoop, now: float) -> None:
+        """Event-loop timers: reclaim slots held by unproductive peers."""
+        if self.idle_timeout is None:
+            return
+        for conn in list(loop.connections):
+            if conn.closed or conn.executing:
+                continue
+            stalled_write = (
+                conn.outbuf and now - conn.last_write_progress > self.idle_timeout
+            )
+            idle = not conn.outbuf and (
+                now - conn.last_progress > self.idle_timeout
+            )
+            if stalled_write or idle:
+                self._close_conn(loop, conn)
+
+    # -- worker pool (executes off the event loops) --------------------------------
+    def _worker(self, loop: _EventLoop, conn: _Connection, batch: list) -> None:
+        frame_type = batch[0][0]
+        try:
+            if frame_type == "upload":
+                responses = self._handle_upload_batch([p for _, p in batch])
+            elif frame_type == "stats":
+                responses = [("stats_result", self.server.observability())]
+            else:
+                responses = [
+                    self._execute(
+                        frame_type,
+                        batch[0][1],
+                        binary=conn.codec == wire.CODEC_BINARY,
+                    )
+                ]
+            blob = self._encode_responses(responses, conn.codec)
+        except BaseException as exc:  # _execute never raises; belt and braces
+            self._unhandled_errors.append(exc)
+            blob = self._encode_responses(
+                [
+                    (
+                        "error",
+                        wire.error_payload(
+                            wire.ERR_SERVER, f"{type(exc).__name__}: {exc}"
+                        ),
+                    )
+                ]
+                * len(batch),
+                conn.codec,
+            )
+        loop.call_soon(self._on_worker_done, loop, conn, blob)
+
+    def _on_worker_done(
+        self, loop: _EventLoop, conn: _Connection, blob: bytes
+    ) -> None:
+        conn.executing = False
+        conn.last_progress = _time.monotonic()
+        if conn.closed:
+            self._release_permits(conn)
+            return
+        conn.outbuf += blob
+        conn.last_write_progress = conn.last_progress
+        self._flush(loop, conn)
+        if not conn.closed:
+            self._pump(loop, conn)
 
     # -- request dispatch ---------------------------------------------------------
     def _admit(self) -> tuple[str, dict] | None:
@@ -320,8 +802,16 @@ class NetworkServer:
             )
         return None
 
-    def _execute(self, frame_type: str, payload: dict) -> tuple[str, dict]:
-        """Run one admitted guarded request; never raises."""
+    def _execute(
+        self, frame_type: str, payload: dict, binary: bool = False
+    ) -> tuple[str, dict]:
+        """Run one admitted guarded request; never raises.
+
+        ``binary`` selects the response payload shape for query
+        results: raw ndarrays (packed as out-of-band blobs by the
+        version-2 frame codec) versus the JSON-safe base64 form every
+        v1 client understands.
+        """
         # A poisoned ingest loop is the *server's* condition, not this
         # request's fault: report it as a server error (with the original
         # failure) instead of letting try_submit/query re-raise it as an
@@ -337,7 +827,7 @@ class NetworkServer:
             if frame_type == "upload":
                 return self._handle_upload(payload)
             if frame_type == "query":
-                return self._handle_query(payload)
+                return self._handle_query(payload, binary=binary)
             if frame_type == "snapshot":
                 return self._handle_snapshot(payload)
             return self._handle_reshard(payload)
@@ -353,12 +843,16 @@ class NetworkServer:
     def _dispatch(self, frame_type: str, payload: dict) -> tuple[str, dict]:
         """Single-shot dispatch of any request frame.
 
-        The connection loop inlines the guarded path to hold the permit
+        The event loops inline the guarded path to hold the permit
         across the response write; this wrapper (admit → execute →
-        release) serves the unguarded frames and direct callers (tests).
+        release) serves direct callers (tests, diagnostics).
         """
         if frame_type == "hello":
-            return "welcome", self._welcome()
+            return "welcome", self._welcome(
+                wire.negotiate_codec(
+                    payload.get("codecs") if isinstance(payload, dict) else None
+                )
+            )
         if frame_type == "stats":
             return "stats_result", self.server.observability()
         if frame_type not in _GUARDED_FRAMES:
@@ -373,12 +867,14 @@ class NetworkServer:
         finally:
             self._inflight.release()
 
-    def _welcome(self) -> dict:
+    def _welcome(self, codec: str | None = None) -> dict:
         """Public deployment metadata a client needs to form queries."""
         db = self.server.database
-        return {
+        payload = {
             "server": "incshrink",
             "protocol": wire.PROTOCOL_VERSION,
+            "protocol_versions": list(wire.SUPPORTED_VERSIONS),
+            "codecs": list(wire.SUPPORTED_CODECS),
             "views": [
                 {
                     "name": name,
@@ -389,36 +885,152 @@ class NetworkServer:
             "n_shards": db.n_shards,
             "last_time": self.server.last_time,
         }
+        if codec is not None:
+            payload["codec"] = codec
+        return payload
 
+    # -- upload admission + batched submission -------------------------------------
     def _handle_upload(self, payload: dict) -> tuple[str, dict]:
-        time_step, items = wire.decode_upload(payload)
+        return self._handle_upload_batch([payload])[0]
+
+    @staticmethod
+    def _wait_timeout_of(payload: dict) -> float:
+        try:
+            return float(payload.get("wait_timeout", 30.0))
+        except (TypeError, ValueError):
+            return 30.0
+
+    def _handle_upload_batch(
+        self, payloads: list[dict]
+    ) -> list[tuple[str, dict]]:
+        """Admit, submit, and answer a run of coalesced upload frames.
+
+        One gate pass covers the whole run: each step must advance past
+        the floor *and* its predecessors in the batch; admitted steps
+        enter the ingest queue through one
+        :meth:`~repro.server.runtime.DatabaseServer.try_submit_many`
+        call.  Every frame gets its own response, in order — admission
+        failures and queue overflow reject individual frames without
+        severing the rest.
+        """
+        responses: list[tuple[str, dict] | None] = [None] * len(payloads)
+        try:
+            self._upload_batch_inner(payloads, responses)
+        except ReproError as exc:
+            fallback = (
+                "error",
+                wire.error_payload(
+                    wire.ERR_INVALID_REQUEST, f"{type(exc).__name__}: {exc}"
+                ),
+            )
+            responses = [r if r is not None else fallback for r in responses]
+        except Exception as exc:
+            fallback = (
+                "error",
+                wire.error_payload(
+                    wire.ERR_SERVER, f"{type(exc).__name__}: {exc}"
+                ),
+            )
+            responses = [r if r is not None else fallback for r in responses]
+        missing = (
+            "error",
+            wire.error_payload(wire.ERR_SERVER, "upload produced no response"),
+        )
+        return [r if r is not None else missing for r in responses]
+
+    def _upload_batch_inner(
+        self,
+        payloads: list[dict],
+        responses: list[tuple[str, dict] | None],
+    ) -> None:
+        deferred = self.server.ingest_error
+        if deferred is not None:
+            halted = (
+                "error",
+                wire.error_payload(
+                    wire.ERR_SERVER,
+                    "ingestion halted by an earlier failure: "
+                    f"{type(deferred).__name__}: {deferred}",
+                ),
+            )
+            for i in range(len(payloads)):
+                responses[i] = halted
+            return
+        decoded: list[tuple[int, int, list, dict]] = []
+        for i, payload in enumerate(payloads):
+            try:
+                time_step, items = wire.decode_upload(payload)
+                decoded.append((i, time_step, items, payload))
+            except ReproError as exc:
+                responses[i] = (
+                    "error",
+                    wire.error_payload(
+                        wire.ERR_INVALID_REQUEST, f"{type(exc).__name__}: {exc}"
+                    ),
+                )
+            except Exception as exc:
+                responses[i] = (
+                    "error",
+                    wire.error_payload(
+                        wire.ERR_SERVER, f"{type(exc).__name__}: {exc}"
+                    ),
+                )
+        admitted: list[tuple[int, int, dict]] = []
         with self._upload_gate:
             # Reject a non-advancing step *before* it reaches the queue:
             # deferred, it would kill the background loop for everyone
             # while its sender saw upload_ok.  The floor covers local
             # submits too (highest_submitted), not just applied steps.
             floor = max(self.server.highest_submitted, self._highest_admitted)
-            if time_step <= floor:
-                return "error", wire.error_payload(
-                    wire.ERR_INVALID_REQUEST,
-                    f"upload at step {time_step} does not advance the "
-                    f"stream (highest admitted step is {floor})",
+            to_submit: list[tuple[int, int, list, dict]] = []
+            for i, time_step, items, payload in decoded:
+                if time_step <= floor:
+                    responses[i] = (
+                        "error",
+                        wire.error_payload(
+                            wire.ERR_INVALID_REQUEST,
+                            f"upload at step {time_step} does not advance the "
+                            f"stream (highest admitted step is {floor})",
+                        ),
+                    )
+                else:
+                    to_submit.append((i, time_step, items, payload))
+                    floor = time_step
+            if len(to_submit) == 1:
+                i, time_step, items, payload = to_submit[0]
+                accepted = 1 if self.server.try_submit(time_step, items) else 0
+            elif to_submit:
+                accepted = self.server.try_submit_many(
+                    [(t, items) for _, t, items, _ in to_submit]
                 )
-            if not self.server.try_submit(time_step, items):
-                return "error", wire.error_payload(
+            else:
+                accepted = 0
+            overloaded = (
+                "error",
+                wire.error_payload(
                     wire.ERR_OVERLOADED,
-                    f"ingest queue at capacity "
-                    f"({self.server.max_pending} steps)",
+                    f"ingest queue at capacity ({self.server.max_pending} steps)",
                     retry_after=self.retry_after,
-                )
-            self._highest_admitted = time_step
+                ),
+            )
+            for j, (i, time_step, items, payload) in enumerate(to_submit):
+                if j < accepted:
+                    self._highest_admitted = max(
+                        self._highest_admitted, time_step
+                    )
+                    admitted.append((i, time_step, payload))
+                else:
+                    responses[i] = overloaded
         drained = True
-        if payload.get("wait"):
+        drain_error: tuple[str, dict] | None = None
+        waiters = [p for _, _, p in admitted if p.get("wait")]
+        if waiters:
             # Clamp the client-supplied wait: an in-flight permit is
             # held for its duration, so an unbounded value would let
             # one client pin the server's request capacity.
             wait_timeout = min(
-                float(payload.get("wait_timeout", 30.0)), self.max_wait_timeout
+                max(self._wait_timeout_of(p) for p in waiters),
+                self.max_wait_timeout,
             )
             try:
                 self.server.drain(timeout=wait_timeout)
@@ -427,14 +1039,37 @@ class NetworkServer:
                 # drain must not read as "rejected, resend" (a resend
                 # would be a stale step).
                 drained = False
-        return "upload_ok", {
-            "time": time_step,
-            "applied_through": self.server.last_time,
-            "queue_depth": self.server.pending_uploads,
-            "drained": drained,
-        }
+            except ReproError as exc:
+                drain_error = (
+                    "error",
+                    wire.error_payload(
+                        wire.ERR_INVALID_REQUEST, f"{type(exc).__name__}: {exc}"
+                    ),
+                )
+            except Exception as exc:
+                drain_error = (
+                    "error",
+                    wire.error_payload(
+                        wire.ERR_SERVER, f"{type(exc).__name__}: {exc}"
+                    ),
+                )
+        for i, time_step, payload in admitted:
+            if payload.get("wait") and drain_error is not None:
+                responses[i] = drain_error
+                continue
+            responses[i] = (
+                "upload_ok",
+                {
+                    "time": time_step,
+                    "applied_through": self.server.last_time,
+                    "queue_depth": self.server.pending_uploads,
+                    "drained": drained if payload.get("wait") else True,
+                },
+            )
 
-    def _handle_query(self, payload: dict) -> tuple[str, dict]:
+    def _handle_query(
+        self, payload: dict, binary: bool = False
+    ) -> tuple[str, dict]:
         try:
             query = wire.decode_query(payload["query"])
             time = payload.get("time")
@@ -450,7 +1085,7 @@ class NetworkServer:
             predicate_words=predicate_words,
             epsilon=epsilon,
         )
-        return "result", wire.encode_result(result)
+        return "result", wire.encode_result(result, binary=binary)
 
     def _handle_snapshot(self, payload: dict) -> tuple[str, dict]:
         info = self.server.snapshot(payload.get("path"))

@@ -331,6 +331,35 @@ class DatabaseServer:
         self._note_submitted(int(time))
         return True
 
+    def try_submit_many(
+        self,
+        steps: list[
+            tuple[int, Mapping[str, RecordBatch] | list[tuple[str, RecordBatch]]]
+        ],
+    ) -> int:
+        """Enqueue a run of steps without blocking; returns how many fit.
+
+        The network front door coalesces back-to-back upload frames
+        from one connection into a single call here: one queue pass for
+        the whole run instead of a lock round-trip per frame.  Steps
+        are enqueued **in order** and admission stops at the first one
+        that finds the queue full, so the accepted set is always a
+        prefix — the caller can answer ``upload_ok`` for the first
+        ``n`` frames and ``overloaded`` for the rest without creating
+        gaps in the stream.
+        """
+        self._require_running()
+        accepted = 0
+        for time, batches in steps:
+            item = dict(batches) if isinstance(batches, Mapping) else list(batches)
+            try:
+                self._queue.put_nowait((int(time), item))
+            except queue.Full:
+                break
+            self._note_submitted(int(time))
+            accepted += 1
+        return accepted
+
     def _note_submitted(self, time: int) -> None:
         with self._stats_lock:
             if time > self._highest_submitted:

@@ -602,6 +602,158 @@ class TestRemoteAdmin:
         server.stop()
 
 
+class _LegacyV1Client:
+    """A PR 5-era client: blocking socket, JSON-only version-1 frames,
+    and a ``hello`` that has never heard of codec negotiation."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self._sock = socket.create_connection((host, port), timeout=10.0)
+        self._stream = self._sock.makefile("rwb")
+
+    def request(self, frame_type: str, payload: dict, expect: str) -> dict:
+        self._stream.write(wire.encode_frame(frame_type, payload))
+        self._stream.flush()
+        # Read the raw header first: a legacy peer would reject any
+        # version-2 frame outright, so the server must answer v1 only.
+        header = self._stream.read(10)
+        magic, version, code, body_len = struct.unpack(">4sBBI", header)
+        assert magic == wire.PROTOCOL_MAGIC
+        assert version == wire.PROTOCOL_VERSION, (
+            f"server answered a JSON-only client with a version-{version} frame"
+        )
+        body = self._stream.read(body_len)
+        decoder = wire.FrameDecoder()
+        frames = decoder.feed(header + body)
+        assert len(frames) == 1
+        response_type, response = frames[0]
+        assert response_type == expect, (response_type, response)
+        return response
+
+    def query_payload(self, query, epsilon=None) -> dict:
+        return {
+            "query": wire.encode_query(query),
+            "time": None,
+            "predicate_words": 1,
+            "epsilon": epsilon,
+        }
+
+    def close(self) -> None:
+        try:
+            self._stream.close()
+            self._sock.close()
+        except OSError:
+            pass
+
+
+class TestCodecNegotiation:
+    def test_handshake_prefers_binary_and_honours_json(self):
+        server = DatabaseServer(build_database())
+        with NetworkServer(server) as net:
+            host, port = net.address
+            with IncShrinkClient(host, port) as client:
+                assert client.codec == wire.CODEC_BINARY
+                assert client.server_info["codec"] == wire.CODEC_BINARY
+                assert client.server_info["codecs"] == list(wire.SUPPORTED_CODECS)
+            with IncShrinkClient(host, port, codec="json") as client:
+                assert client.codec == wire.CODEC_JSON
+                assert client.server_info["codec"] == wire.CODEC_JSON
+        server.stop()
+
+    def test_malformed_codec_offers_fall_back_to_json(self):
+        server = DatabaseServer(build_database())
+        with NetworkServer(server) as net:
+            for offered in (None, [], ["zstd", 42], "binary", {"a": 1}):
+                payload = {"client": "odd"}
+                if offered is not None:
+                    payload["codecs"] = offered
+                response_type, response = net._dispatch("hello", payload)
+                assert response_type == "welcome"
+                assert response["codec"] == wire.CODEC_JSON
+            response_type, response = net._dispatch(
+                "hello", {"codecs": ["zstd", "binary"]}
+            )
+            assert response["codec"] == wire.CODEC_BINARY
+        server.stop()
+
+    def test_pr5_json_client_negotiates_down_and_matches_binary_answers(self):
+        """ISSUE 7 satellite: a legacy v1 client against the reactor.
+
+        Two identical universes (same seed, same stream): one driven
+        end-to-end by a PR 5-era JSON-only client, one by the binary
+        SDK.  Every answer — including the ε-released noisy table —
+        must decode identically, with identical cell *types* and
+        identical realized ε, and the legacy connection must only ever
+        see version-1 frames.
+        """
+        outcomes = {}
+        for mode in ("legacy-json", "binary"):
+            server = DatabaseServer(build_database())
+            with NetworkServer(server) as net:
+                host, port = net.address
+                if mode == "binary":
+                    with IncShrinkClient(host, port) as client:
+                        assert client.codec == wire.CODEC_BINARY
+                        for t in range(1, len(SCRIPT) + 1):
+                            client.upload(
+                                t, batches_at(t), wait=t == len(SCRIPT)
+                            )
+                        plain = [client.query(q) for q in query_mix()]
+                        noisy = client.query(epsilon_query(), epsilon=0.8)
+                else:
+                    legacy = _LegacyV1Client(host, port)
+                    welcome = legacy.request(
+                        "hello", {"client": "pr5-era"}, "welcome"
+                    )
+                    # No codec offer -> the server stays on JSON.
+                    assert welcome["codec"] == wire.CODEC_JSON
+                    for t in range(1, len(SCRIPT) + 1):
+                        payload = wire.encode_upload(
+                            t, batches_at(t), wait=t == len(SCRIPT)
+                        )
+                        if t == len(SCRIPT):
+                            payload["wait_timeout"] = 30.0
+                        legacy.request("upload", payload, "upload_ok")
+                    plain = [
+                        wire.decode_result(
+                            legacy.request(
+                                "query", legacy.query_payload(q), "result"
+                            )
+                        )
+                        for q in query_mix()
+                    ]
+                    noisy = wire.decode_result(
+                        legacy.request(
+                            "query",
+                            legacy.query_payload(epsilon_query(), epsilon=0.8),
+                            "result",
+                        )
+                    )
+                    legacy.close()
+                realized = server.database.realized_epsilon()
+            server.stop()
+            outcomes[mode] = (plain, noisy, realized)
+
+        legacy_plain, legacy_noisy, legacy_eps = outcomes["legacy-json"]
+        binary_plain, binary_noisy, binary_eps = outcomes["binary"]
+        assert legacy_eps == binary_eps
+        for lres, bres in zip(legacy_plain + [legacy_noisy],
+                              binary_plain + [binary_noisy], strict=True):
+            assert lres.answers == bres.answers
+            assert lres.logical_answers == bres.logical_answers
+            assert lres.epsilon_spent == bres.epsilon_spent
+            assert lres.plan_kind == bres.plan_kind
+            for lrow, brow in zip(
+                lres.answers.rows, bres.answers.rows, strict=True
+            ):
+                for lcell, bcell in zip(lrow, brow, strict=True):
+                    assert type(lcell) is type(bcell)
+            # Byte-identical released tables: re-encoding both decoded
+            # answers canonically must give the same bytes.
+            assert wire.encode_frame(
+                "result", wire.encode_answer(lres.answers)
+            ) == wire.encode_frame("result", wire.encode_answer(bres.answers))
+
+
 class TestGracefulDrain:
     def test_close_is_idempotent_and_disconnects_clients(self):
         server = DatabaseServer(build_database())
