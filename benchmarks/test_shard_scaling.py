@@ -193,12 +193,19 @@ def _run_shard_scaling() -> dict:
         snap_4 = _snapshot_bytes(4, tmp_dir)
 
     by_key = {(r["backend"], r["n_shards"]): r for r in records}
+    host_cpus = usable_cpus()
     return {
         "benchmark": "shard_scaling",
         "view_rows": VIEW_ROWS,
         "group_by_cells": 4,
         "aggregates": 3,
-        "host_cpus": usable_cpus(),
+        "host_cpus": host_cpus,
+        # Too few cores to assert measured speedups: the recorded
+        # measured_* numbers are informational only on this host, and the
+        # speedup/monotonicity asserts below were skipped.  Baseline
+        # comparisons should not treat degraded-host measurements as a
+        # regression (or an improvement) against a full-host baseline.
+        "degraded_host": host_cpus < MIN_CPUS_FOR_SPEEDUP_ASSERTS,
         "records": records,
         # Headline: the parallelism-aware wall-clock speedup at 4 shards
         # (the acceptance bar of the sharding refactor: >= 2x).
@@ -255,6 +262,15 @@ def test_bench_shard_scaling(benchmark):
 
     # Measured speedups need real cores; on fewer the records stay
     # informational (a single-core host cannot overlap shard scans).
+    if result["degraded_host"]:
+        import warnings
+
+        warnings.warn(
+            f"host has only {result['host_cpus']} usable cpus (< "
+            f"{MIN_CPUS_FOR_SPEEDUP_ASSERTS}): measured-speedup assertions "
+            "skipped; BENCH_shard.json is marked degraded_host=true",
+            stacklevel=1,
+        )
     if result["host_cpus"] >= MIN_CPUS_FOR_SPEEDUP_ASSERTS:
         process_walls = [
             r["measured_host_seconds"]

@@ -107,6 +107,16 @@ def _add_scan_backend_flag(parser) -> None:
     )
 
 
+def _add_incremental_flag(parser) -> None:
+    parser.add_argument(
+        "--no-incremental", action="store_false", dest="incremental",
+        help="disable the per-shard accumulator cache: every view scan "
+        "pays the full O(n) gate bill instead of rescanning only the "
+        "suffix appended since the last identical query (answers and "
+        "epsilon are identical either way)",
+    )
+
+
 def _check_snapshot_target(path: str) -> None:
     """The snapshot's directory must exist *before* hours of serving."""
     parent = Path(path).resolve().parent
@@ -176,6 +186,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="round-robin shard count for every view (parallel scans)",
     )
     _add_scan_backend_flag(mv)
+    _add_incremental_flag(mv)
 
     serve = sub.add_parser(
         "serve",
@@ -191,6 +202,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="round-robin shard count for every view (parallel scans)",
     )
     _add_scan_backend_flag(serve)
+    _add_incremental_flag(serve)
     serve.add_argument("--clients", type=int, default=2, help="read sessions")
     serve.add_argument("--snapshot", default=None, help="snapshot file path")
     serve.add_argument(
@@ -230,6 +242,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="checkpoint every N ingested steps while resumed",
     )
     _add_scan_backend_flag(res)
+    _add_incremental_flag(res)
 
     qp = sub.add_parser(
         "query",
@@ -248,6 +261,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "snapshot is resharded in place when it differs",
     )
     _add_scan_backend_flag(qp)
+    _add_incremental_flag(qp)
     _add_query_flags(qp)
 
     cl = sub.add_parser(
@@ -461,6 +475,7 @@ def _cmd_serve(args) -> None:
         query_every=args.query_every,
         n_shards=args.shards,
         scan_backend=args.scan_backend,
+        incremental=args.incremental,
     )
     deployment = build_multiview_deployment(config)
     server = DatabaseServer(
@@ -551,6 +566,10 @@ def _cmd_resume(args) -> None:
     if args.scan_backend != "auto":
         # Operational override: backends change host wall clock only.
         server.database.set_scan_backend(args.scan_backend)
+    if not args.incremental:
+        # Caches are never persisted, so resume always starts cold; this
+        # additionally stops the restored database from re-warming.
+        server.database.set_incremental(False)
     resumed_from = server.last_time
     server.start()
     remaining = [
@@ -662,12 +681,20 @@ def _print_plan_line(
     estimated_gates: int,
     qet_seconds: float,
     scan_backend: str | None = None,
+    scan_report: dict | None = None,
 ) -> None:
     """The one-line plan summary shared by `query` and `client`."""
     target = view_name or "NM join over base stores"
     lanes = f" x {n_shards} shards" if n_shards > 1 else ""
     if scan_backend is not None and n_shards > 1:
         lanes += f" [{scan_backend} backend]"
+    if scan_report is not None and scan_report.get("mode") == "warm":
+        lanes += (
+            f" [warm: {scan_report['delta_rows']} delta rows of "
+            f"{scan_report['total_rows']}]"
+        )
+    elif scan_report is not None and scan_report.get("mode") == "cold":
+        lanes += f" [cold scan: {scan_report['total_rows']} rows]"
     print(
         f"plan: {kind} -> {target}{lanes} "
         f"({estimated_gates} est. gates); "
@@ -727,6 +754,8 @@ def _cmd_query(args) -> None:
             db.reshard(args.shards)
         if args.scan_backend != "auto":
             db.set_scan_backend(args.scan_backend)
+        if not args.incremental:
+            db.set_incremental(False)
         time_at = int(restored.metadata.get("last_time", 0))
         source = f"snapshot {args.snapshot} (step {time_at}), {db.n_shards} shard(s)"
     else:
@@ -738,6 +767,7 @@ def _cmd_query(args) -> None:
             # rejected above with a one-line CLI error.
             n_shards=1 if args.shards is None else args.shards,
             scan_backend=args.scan_backend,
+            incremental=args.incremental,
         )
         deployment = build_multiview_deployment(config)
         db = deployment.database
@@ -780,6 +810,9 @@ def _cmd_query(args) -> None:
         plan.estimated_gates,
         result.observation.qet_seconds,
         scan_backend=plan.scan_backend,
+        scan_report=None
+        if result.scan_report is None
+        else asdict(result.scan_report),
     )
     if args.epsilon is not None:
         print(
@@ -871,6 +904,7 @@ def _client_query(client, view_name, aggregates, group_by, predicate, args) -> N
         result.n_shards,
         result.estimated_gates,
         result.qet_seconds,
+        scan_report=result.scan_report,
     )
     if args.epsilon is not None:
         print(f"released with epsilon={args.epsilon}")
@@ -905,6 +939,7 @@ def main(argv: list[str] | None = None) -> int:
                 query_every=args.query_every,
                 n_shards=args.shards,
                 scan_backend=args.scan_backend,
+                incremental=args.incremental,
             )
         )
         print(_format_multiview(result))

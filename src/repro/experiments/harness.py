@@ -212,6 +212,10 @@ class MultiViewRunConfig:
     #: View-scan executor backend: "auto" (per-view, by shard size),
     #: "thread", or "process" (shared-memory worker pool).
     scan_backend: str = "auto"
+    #: Incremental execution: cache per-shard prefix accumulators so a
+    #: repeat query scans only each shard's delta (answers and realized
+    #: ε identical either way; only the gate bill changes).
+    incremental: bool = True
     cost_model: CostModel | None = None
 
     def with_overrides(self, **kwargs) -> "MultiViewRunConfig":
@@ -317,6 +321,7 @@ def build_multiview_deployment(config: MultiViewRunConfig) -> MultiViewDeploymen
         nm_fallback=config.nm_fallback,
         n_shards=config.n_shards,
         scan_backend=config.scan_backend,
+        incremental=config.incremental,
     )
     common = dict(
         timer_interval=timer_interval,

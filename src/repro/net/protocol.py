@@ -811,6 +811,11 @@ class RemoteQueryResult:
     epsilon_spent: float
     answers: QueryAnswer
     logical_answers: QueryAnswer
+    #: How the view scan actually executed (``{"mode": "warm"|"cold",
+    #: "delta_rows": ..., "total_rows": ..., ...}``); ``None`` for NM
+    #: plans and for servers predating incremental execution.  Public
+    #: row counts only — nothing the transcript does not already leak.
+    scan_report: dict | None = None
 
     @property
     def answer(self) -> float:
@@ -836,6 +841,18 @@ def encode_result(result, binary: bool = False) -> dict:
         "epsilon_spent": float(result.epsilon_spent),
         "answers": encode_answer(result.answers, binary=binary),
         "logical_answers": encode_answer(result.logical_answers, binary=binary),
+        "scan_report": (
+            None
+            if getattr(result, "scan_report", None) is None
+            else {
+                "mode": result.scan_report.mode,
+                "total_rows": int(result.scan_report.total_rows),
+                "delta_rows": int(result.scan_report.delta_rows),
+                "cached_rows": int(result.scan_report.cached_rows),
+                "gates": int(result.scan_report.gates),
+                "saved_gates": int(result.scan_report.saved_gates),
+            }
+        ),
     }
 
 
@@ -854,6 +871,8 @@ def decode_result(entry: dict) -> RemoteQueryResult:
             epsilon_spent=float(entry["epsilon_spent"]),
             answers=decode_answer(entry["answers"]),
             logical_answers=decode_answer(entry["logical_answers"]),
+            # Absent on pre-incremental servers; public counts only.
+            scan_report=entry.get("scan_report"),
         )
     except (KeyError, TypeError, ValueError) as exc:
         raise WireError(f"malformed result payload: {exc!r}") from exc

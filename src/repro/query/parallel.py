@@ -45,6 +45,17 @@ Only the *wall clock* changes: the merged run's seconds come from
 ``gates / (throughput × effective_workers)`` estimate the planner also
 prices shard counts with — the simulated cost is backend-independent by
 construction; backends only change how closely the host tracks it.
+
+With an :class:`~repro.query.incremental.AccumulatorCache` attached
+(``cache=`` on :meth:`ParallelScanExecutor.execute`), repeat queries go
+**incremental**: each shard scans only its suffix past the cached
+watermark, charges gates for the suffix alone, and merges the cached
+prefix accumulators by exact ring addition — byte-identical answers at
+O(delta) gate cost, on either backend (thread workers slice the suffix
+share-locally before revealing; process workers receive a ``start_row``
+and slice their zero-copy shared-memory views).  See
+:mod:`repro.query.incremental` for the correctness and leakage
+arguments.
 """
 
 from __future__ import annotations
@@ -62,6 +73,7 @@ from ..sharing.shared_value import SharedTable
 from ..storage.materialized_view import MaterializedView
 from .ast import QueryAnswer, ViewScanPlan
 from .executor import assemble_answer, clause_mask
+from .incremental import AccumulatorCache, ScanReport, ShardAccumulator
 from .shard_workers import PROCESS_BACKEND, ShardScanTask, usable_cpus
 
 #: Executor backends a caller may request.
@@ -162,11 +174,39 @@ class ParallelScanExecutor:
         time: int,
         view: MaterializedView,
         plan: ViewScanPlan,
+        cache: AccumulatorCache | None = None,
     ) -> tuple[QueryAnswer, float]:
         """Answer ``plan`` over every shard of ``view`` concurrently.
 
         Returns ``(answer, QET)`` like the serial executor; the QET is
         the parallelism-aware wall-clock estimate of the merged run.
+        With a ``cache``, repeat queries scan only each shard's suffix
+        past the cached watermark (see :meth:`execute_detailed`).
+        """
+        answer, seconds, _report = self.execute_detailed(
+            runtime, time, view, plan, cache
+        )
+        return answer, seconds
+
+    def execute_detailed(
+        self,
+        runtime: MPCRuntime,
+        time: int,
+        view: MaterializedView,
+        plan: ViewScanPlan,
+        cache: AccumulatorCache | None = None,
+    ) -> tuple[QueryAnswer, float, ScanReport]:
+        """:meth:`execute` plus a :class:`~repro.query.incremental.ScanReport`.
+
+        Without a ``cache`` every shard is scanned in full (``mode
+        "off"``).  With one, a valid entry turns the query **warm**: each
+        shard reveals and folds only ``[watermark, len)``, charges gates
+        for those rows alone, and the cached prefix accumulators are
+        merged in by plain ring addition — counts in Z, sums in
+        Z_{2^64}, exactly the folds the one-pass kernel performs, so the
+        answer is byte-identical to a cold full scan.  Either way the
+        full-prefix accumulators are (re)stored, so the next repeat pays
+        only its own delta.
         """
         schema = view.schema
         sum_columns = plan.sum_view_columns
@@ -182,13 +222,30 @@ class ParallelScanExecutor:
         group_column = (
             schema.index(plan.group_column) if plan.group_column else None
         )
+        n_groups = plan.n_groups
         shards = view.shards
+        lengths = [len(shard) for shard in shards]
         backend = self.backend_for(view)
+        entry = cache.lookup(view, plan) if cache is not None else None
+        starts = (
+            [acc.watermark for acc in entry.shards]
+            if entry is not None
+            else [0] * len(shards)
+        )
+
+        def zero_part() -> tuple[np.ndarray, np.ndarray]:
+            return (
+                np.zeros(n_groups, dtype=np.int64),
+                np.zeros((n_groups, len(sum_indices)), dtype=np.uint64),
+            )
 
         def scan_shard(
-            ctx: ProtocolContext, shard: SharedTable
+            ctx: ProtocolContext, shard: SharedTable, start: int
         ) -> tuple[np.ndarray, np.ndarray]:
-            rows, flags = ctx.reveal_table(shard)
+            # Suffix selection is share-local (public slice on each
+            # half), so the host-side reveal/fold work is O(delta) too.
+            suffix = shard.take(slice(start, None)) if start else shard
+            rows, flags = ctx.reveal_table(suffix)
             mask = clause_mask(plan.clauses, schema, rows)
             return oblivious_multi_aggregate(
                 ctx,
@@ -206,49 +263,62 @@ class ParallelScanExecutor:
         with runtime.parallel_protocol("query", time, len(shards)) as group:
             if backend == "process":
                 pub = PROCESS_BACKEND.publication_for(view)
-                tasks = [
-                    ShardScanTask(
-                        shm_name=pub.name,
-                        offset_words=offset,
-                        n_rows=n_rows,
-                        width=schema.width,
-                        sum_indices=tuple(sum_indices),
-                        need_count=plan.need_count,
-                        group_column=group_column,
-                        group_domain=(
-                            tuple(plan.group_domain)
-                            if plan.group_domain is not None
-                            else None
-                        ),
-                        clause_specs=tuple(
-                            (schema.index(c.column), int(c.lo), int(c.hi))
-                            for c in plan.clauses
-                        ),
-                        payload_words=schema.width,
-                        predicate_words=plan.predicate_words,
-                        cost_model=runtime.cost_model,
+                parts: list[tuple[np.ndarray, np.ndarray] | None] = [
+                    None
+                ] * len(shards)
+                tasks = []
+                task_shards = []
+                for i, ((offset, n_rows), start) in enumerate(
+                    zip(pub.shard_meta, starts)
+                ):
+                    if start >= n_rows:
+                        # Nothing appended since the watermark: no task,
+                        # no IPC, no gates for this shard.
+                        parts[i] = zero_part()
+                        continue
+                    task_shards.append(i)
+                    tasks.append(
+                        ShardScanTask(
+                            shm_name=pub.name,
+                            offset_words=offset,
+                            n_rows=n_rows,
+                            width=schema.width,
+                            sum_indices=tuple(sum_indices),
+                            need_count=plan.need_count,
+                            group_column=group_column,
+                            group_domain=(
+                                tuple(plan.group_domain)
+                                if plan.group_domain is not None
+                                else None
+                            ),
+                            clause_specs=tuple(
+                                (schema.index(c.column), int(c.lo), int(c.hi))
+                                for c in plan.clauses
+                            ),
+                            payload_words=schema.width,
+                            predicate_words=plan.predicate_words,
+                            cost_model=runtime.cost_model,
+                            start_row=start,
+                        )
                     )
-                    for offset, n_rows in pub.shard_meta
-                ]
                 results = PROCESS_BACKEND.scan(tasks)
                 # Replay worker gate totals onto the real shard contexts:
                 # the merged ProtocolRun is then byte-identical to the
                 # in-process backends' (workers charge the same per-row
-                # formulas over the same shard sizes).
-                parts = []
-                for ctx, (counts, sums, gates) in zip(group.contexts, results):
-                    ctx.charge_gates(gates)
-                    parts.append((counts, sums))
+                # formulas over the same suffix sizes).
+                for i, (counts, sums, gates) in zip(task_shards, results):
+                    group.contexts[i].charge_gates(gates)
+                    parts[i] = (counts, sums)
             elif len(shards) == 1 or self.max_workers == 1:
                 parts = [
-                    scan_shard(ctx, shard)
-                    for ctx, shard in zip(group.contexts, shards)
+                    scan_shard(ctx, shard, start)
+                    for ctx, shard, start in zip(group.contexts, shards, starts)
                 ]
             else:
                 pool = _shared_pool(self.max_workers)
                 futures = [
-                    pool.submit(scan_shard, ctx, shard)
-                    for ctx, shard in zip(group.contexts, shards)
+                    pool.submit(scan_shard, ctx, shard, start)
+                    for ctx, shard, start in zip(group.contexts, shards, starts)
                 ]
                 # Every shard must settle before the group closes: on a
                 # failure the siblings finish (or fail) first, so the
@@ -258,12 +328,52 @@ class ParallelScanExecutor:
                 # shard order, deterministically.
                 wait(futures)
                 parts = [f.result() for f in futures]
-            # Share-local merge: counts add in Z, sums add in Z_{2^64} —
-            # the same folds the one-pass scan performs, in shard order.
-            counts = parts[0][0].copy()
-            sums = parts[0][1].copy()
-            for part_counts, part_sums in parts[1:]:
-                counts += part_counts
-                sums += part_sums
+            # Per-shard full-prefix accumulators: cached prefix (when
+            # warm) plus the suffix just folded.  Counts add in Z, sums
+            # add in Z_{2^64} — the same folds the one-pass scan
+            # performs, so prefix+suffix is byte-identical to a full
+            # scan of the shard.
+            accumulators = []
+            for i, part in enumerate(parts):
+                part_counts, part_sums = part
+                if entry is not None:
+                    prev = entry.shards[i]
+                    part_counts = prev.counts + part_counts
+                    part_sums = prev.sums + part_sums
+                    shard_gates = prev.gates + group.contexts[i].gates
+                else:
+                    shard_gates = group.contexts[i].gates
+                accumulators.append(
+                    ShardAccumulator(
+                        watermark=lengths[i],
+                        counts=part_counts,
+                        sums=part_sums,
+                        gates=shard_gates,
+                    )
+                )
+            # Share-local merge across shards, in shard order.
+            counts = accumulators[0].counts.copy()
+            sums = accumulators[0].sums.copy()
+            for acc in accumulators[1:]:
+                counts += acc.counts
+                sums += acc.sums
             seconds = group.seconds(runtime.cost_model)
-        return assemble_answer(aggregates, plan.group_domain, counts, sums), seconds
+            suffix_gates = group.gates
+        if cache is not None:
+            cache.store(view, plan, accumulators)
+        total_rows = sum(lengths)
+        cached_rows = sum(starts)
+        report = ScanReport(
+            mode=(
+                "off"
+                if cache is None
+                else ("warm" if entry is not None else "cold")
+            ),
+            total_rows=total_rows,
+            delta_rows=total_rows - cached_rows,
+            cached_rows=cached_rows,
+            gates=suffix_gates,
+            saved_gates=entry.cached_gates if entry is not None else 0,
+        )
+        answer = assemble_answer(aggregates, plan.group_domain, counts, sums)
+        return answer, seconds, report

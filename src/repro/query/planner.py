@@ -163,6 +163,13 @@ class ViewCandidate:
     padded_rows: int
     n_shards: int = 1
     scan_backend: str | None = None
+    #: Rows an incremental (warm-cache) scan of this view would skip for
+    #: this query structure — 0 when cold or when incremental execution
+    #: is disabled.  A pure function of the public length history and
+    #: the (public) query structure, read from the database's
+    #: :class:`~repro.query.incremental.AccumulatorCache` at planning
+    #: time.
+    cached_rows: int = 0
 
 
 @dataclass(frozen=True)
@@ -176,6 +183,19 @@ class QueryPlan:
     the oblivious sort-merge join is a single sequential circuit), and
     ``scan_backend`` the resolved executor backend of the chosen view
     (``None`` for NM plans, which always run in-process).
+
+    ``warm`` records that the estimate assumed an incremental scan over
+    ``cached_rows`` already-accumulated rows: ``estimated_gates`` and
+    ``estimated_seconds`` then price the *suffix* only — the gates the
+    executor will actually charge — which is what lets a warm view scan
+    compete honestly against the NM fallback.  ``incremental_seconds``
+    is always the suffix-based estimate
+    (:meth:`~repro.mpc.cost_model.CostModel.incremental_seconds`); for a
+    cold view scan it equals ``estimated_seconds`` exactly, and it is
+    ``None`` for NM plans (the join has no incremental path).  Estimates
+    are advisory: if the accumulator entry is evicted between planning
+    and execution the scan silently runs cold — answers unchanged, only
+    the realized gate bill exceeds the estimate.
     """
 
     kind: str  # VIEW_SCAN | NM_JOIN
@@ -185,6 +205,9 @@ class QueryPlan:
     estimated_seconds: float
     n_shards: int = 1
     scan_backend: str | None = None
+    warm: bool = False
+    cached_rows: int = 0
+    incremental_seconds: float | None = None
 
 
 def plan_query(
@@ -221,9 +244,16 @@ def plan_query(
         if not can_answer(lq, cand.view_def):
             continue
         view_query = lower_to_view_scan(lq, cand.view_def)
+        # A warm accumulator cache shrinks the scan to the suffix past
+        # the cached watermarks; the estimate prices exactly the gates
+        # the executor will charge.  cached_rows == 0 (cold, or
+        # incremental execution disabled) degenerates to the historical
+        # full-view estimate.
+        warm = cand.cached_rows > 0
+        suffix_rows = max(0, cand.padded_rows - cand.cached_rows)
         gates = multi_scan_gates(
             model,
-            cand.padded_rows,
+            suffix_rows,
             cand.view_def.view_schema.width,
             need_count=need_count,
             n_sum_columns=n_sum_columns,
@@ -231,15 +261,19 @@ def plan_query(
             grouped=grouped,
             predicate_words=predicate_words,
         )
+        inc_seconds = model.incremental_seconds(gates, cand.n_shards)
         plans.append(
             QueryPlan(
                 kind=VIEW_SCAN,
                 view_name=cand.view_def.name,
                 view_query=view_query,
                 estimated_gates=gates,
-                estimated_seconds=model.parallel_seconds(gates, cand.n_shards),
+                estimated_seconds=inc_seconds,
                 n_shards=cand.n_shards,
                 scan_backend=cand.scan_backend,
+                warm=warm,
+                cached_rows=cand.cached_rows,
+                incremental_seconds=inc_seconds,
             )
         )
     if nm_allowed:

@@ -74,6 +74,12 @@ class ShardScanTask:
     ``2·n`` flag-share words (share half 0 then half 1 for each).
     Clauses arrive pre-lowered to ``(column_index, lo, hi)`` so workers
     never unpickle plan/schema objects.
+
+    ``start_row`` makes the task incremental: the worker recovers and
+    folds only rows ``[start_row, n_rows)`` of its shard and charges
+    gates for that suffix alone — the coordinator merges the returned
+    suffix accumulators with its cached prefix
+    (:mod:`repro.query.incremental`).  0 scans the whole shard.
     """
 
     shm_name: str
@@ -88,6 +94,7 @@ class ShardScanTask:
     payload_words: int
     predicate_words: int
     cost_model: CostModel
+    start_row: int = 0
 
 
 # -- worker side (runs in spawned processes) ---------------------------------
@@ -124,26 +131,31 @@ def _worker_attach(name: str) -> np.ndarray:
 
 
 def worker_scan(task: ShardScanTask) -> tuple[np.ndarray, np.ndarray, int]:
-    """Scan one shard: zero-copy views → XOR recover → one padded pass.
+    """Scan one shard suffix: zero-copy views → XOR recover → one pass.
 
-    Runs inside a spawned worker process.  Returns the shard's partial
+    Runs inside a spawned worker process.  Returns the suffix's partial
     ``(counts, sums, gates)`` for the coordinator to merge and replay.
+    The slice ``[start_row, n_rows)`` is taken on the zero-copy views
+    before recovery, so an incremental task's XOR/fold work — and its
+    gate charge — is proportional to the suffix, not the shard.
     """
     flat = _worker_attach(task.shm_name)
     n, w = task.n_rows, task.width
     base = task.offset_words
+    start = task.start_row
     rw = n * w
-    rows0 = flat[base : base + rw].reshape(n, w)
-    rows1 = flat[base + rw : base + 2 * rw].reshape(n, w)
-    flags0 = flat[base + 2 * rw : base + 2 * rw + n]
-    flags1 = flat[base + 2 * rw + n : base + 2 * rw + 2 * n]
+    rows0 = flat[base : base + rw].reshape(n, w)[start:]
+    rows1 = flat[base + rw : base + 2 * rw].reshape(n, w)[start:]
+    flags0 = flat[base + 2 * rw : base + 2 * rw + n][start:]
+    flags1 = flat[base + 2 * rw + n : base + 2 * rw + 2 * n][start:]
     rows = rows0 ^ rows1
     flags = (flags0 ^ flags1).astype(bool)
+    n_suffix = len(rows)
     mask = None
-    if task.clause_specs and n:
+    if task.clause_specs and n_suffix:
         # Mirrors repro.query.executor.clause_mask over pre-lowered
         # (column, lo, hi) triples — same comparisons, same dtype rules.
-        mask = np.ones(n, dtype=bool)
+        mask = np.ones(n_suffix, dtype=bool)
         for col, lo, hi in task.clause_specs:
             values = rows[:, col]
             mask &= (values >= np.uint32(lo)) & (values <= np.uint32(hi))

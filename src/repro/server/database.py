@@ -76,6 +76,11 @@ from ..query.executor import (
     execute_view_count,
     execute_view_sum,
 )
+from ..query.incremental import (
+    DEFAULT_MAX_CACHED_QUERIES,
+    AccumulatorCache,
+    ScanReport,
+)
 from ..query.parallel import ParallelScanExecutor
 from ..query.planner import VIEW_SCAN, QueryPlan
 from ..query.rewrite import lower_to_view_scan
@@ -169,6 +174,9 @@ class DatabaseQueryResult:
     answers: QueryAnswer | None = None
     logical_answers: QueryAnswer | None = None
     epsilon_spent: float = 0.0
+    #: How the view scan actually executed (warm/cold/off + delta rows);
+    #: ``None`` for NM plans, which have no incremental path.
+    scan_report: ScanReport | None = None
 
     @property
     def answer(self) -> float:
@@ -190,6 +198,8 @@ class IncShrinkDatabase:
         n_shards: int = 1,
         scan_workers: int | None = None,
         scan_backend: str = "auto",
+        incremental: bool = True,
+        max_cached_queries: int = DEFAULT_MAX_CACHED_QUERIES,
     ) -> None:
         if total_epsilon <= 0:
             raise ConfigurationError(
@@ -198,6 +208,14 @@ class IncShrinkDatabase:
         self.total_epsilon = total_epsilon
         self.nm_fallback = nm_fallback
         self.grid_steps = grid_steps
+        #: Per-shard prefix accumulators of repeat queries — repeat view
+        #: scans pay gates only for rows appended since the last run,
+        #: byte-identically to a cold scan (``None`` disables the path;
+        #: every query then rescans in full, the pre-incremental
+        #: behaviour).  Never persisted: a restored database starts cold.
+        self.accumulator_cache: AccumulatorCache | None = (
+            AccumulatorCache(max_cached_queries) if incremental else None
+        )
         #: Round-robin placement of every view's (and cache's) rows — a
         #: pure function of public lengths, so the layout adds no leakage
         #: beyond the already-public total sizes.
@@ -470,6 +488,12 @@ class IncShrinkDatabase:
             vr.view.reshard(layout)
             vr.cache.reshard(layout)
         self.shard_layout = layout
+        # Resharding re-scatters every row: cached per-shard prefixes no
+        # longer describe any shard's content.  The containers' epoch
+        # bump already fails their validity checks; dropping them here
+        # keeps the gauges honest and frees the memory immediately.
+        if self.accumulator_cache is not None:
+            self.accumulator_cache.invalidate()
         # Shard counts feed the planner's wall-clock estimates.
         self._state_version += 1
 
@@ -493,6 +517,33 @@ class IncShrinkDatabase:
             max_workers=scan_workers, backend=backend
         )
         self._state_version += 1
+
+    # -- incremental execution --------------------------------------------------
+    @property
+    def incremental(self) -> bool:
+        """Whether repeat view scans reuse cached prefix accumulators."""
+        return self.accumulator_cache is not None
+
+    def set_incremental(
+        self, enabled: bool, max_cached_queries: int = DEFAULT_MAX_CACHED_QUERIES
+    ) -> None:
+        """Toggle incremental execution at runtime (e.g. after a resume).
+
+        Purely operational, like :meth:`set_scan_backend`: answers,
+        realized ε, and per-row gate formulas are identical either way —
+        only whether repeat queries recharge already-scanned prefixes
+        changes.  Disabling drops every cached accumulator.
+        """
+        if enabled and self.accumulator_cache is None:
+            self.accumulator_cache = AccumulatorCache(max_cached_queries)
+        elif not enabled:
+            self.accumulator_cache = None
+
+    def incremental_cache_stats(self) -> dict:
+        """Hit/miss/evict gauges of the accumulator cache (``{}`` when off)."""
+        if self.accumulator_cache is None:
+            return {}
+        return self.accumulator_cache.stats()
 
     # -- analyst side -----------------------------------------------------------
     def query(
@@ -526,10 +577,15 @@ class IncShrinkDatabase:
         if plan is None:
             plan = self.planner.plan(lq, predicate_words=predicate_words)
         logical = self._logical_answer_query(lq, time)
+        scan_report = None
         if plan.kind == VIEW_SCAN:
             vr = self.views[plan.view_name]
-            answers, qet = self.scan_executor.execute(
-                self.runtime, time, vr.view, plan.view_query
+            answers, qet, scan_report = self.scan_executor.execute_detailed(
+                self.runtime,
+                time,
+                vr.view,
+                plan.view_query,
+                self.accumulator_cache,
             )
         else:
             spec = self._join_spec(lq)
@@ -560,6 +616,7 @@ class IncShrinkDatabase:
             answers=answers,
             logical_answers=logical,
             epsilon_spent=epsilon_spent,
+            scan_report=scan_report,
         )
 
     def query_count(

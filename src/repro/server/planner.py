@@ -12,22 +12,28 @@ Planned queries are cached **by query structure**: the unified
 :class:`~repro.query.ast.LogicalQuery` AST is fully hashable (join spec,
 aggregate list, GROUP BY domain, structural predicate), so a dashboard
 re-issuing the same query shape pays the candidate enumeration and cost
-scoring once per database state.  The cache is invalidated wholesale
-whenever the database's :attr:`~repro.server.database.IncShrinkDatabase.
-state_version` advances (uploads and steps change the public sizes every
-cost formula reads), and it is deliberately **not** persisted — a
-restored database replans from its restored sizes
+scoring once per relevant state change.  Each cached plan carries a
+*validity tuple* — the answering views' public
+:attr:`~repro.storage.sharded_container.ShardedTableContainer.
+content_version`\\ s and incremental cached-row counts, the base-store
+sizes the NM estimate reads, and the requested scan backend — and is
+reused exactly while that tuple is unchanged.  Keying on the inputs the
+cost formulas actually read (instead of the database-wide
+``state_version``) means uploads into view A's tables no longer evict
+plans for an unrelated view B.  The cache is deliberately **not**
+persisted — a restored database replans from its restored sizes
 (:mod:`repro.server.persistence` round-trips plan-cache-free).
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import TYPE_CHECKING
 
 from ..common.errors import SchemaError
 from ..query.ast import LogicalJoinQuery, LogicalQuery, as_logical
 from ..query.planner import QueryPlan, ViewCandidate, plan_query
-from ..query.rewrite import can_answer
+from ..query.rewrite import can_answer, lower_to_view_scan
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from .database import IncShrinkDatabase
@@ -37,6 +43,12 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 #: would win every cost comparison while answering nothing.
 SCANNABLE_MODES = ("dp-timer", "dp-ant", "ep")
 
+#: Bound on retained plan-cache entries (distinct query structures).
+#: Entries now survive unrelated state changes, so without a cap a
+#: long-lived server fed ever-new query shapes would grow the dict
+#: forever; LRU eviction keeps the hot dashboard shapes resident.
+PLAN_CACHE_MAX_ENTRIES = 256
+
 
 class DatabasePlanner:
     """Routes logical queries over one database's registered views."""
@@ -44,19 +56,28 @@ class DatabasePlanner:
     def __init__(self, database: "IncShrinkDatabase", multiplicity: float = 1.0) -> None:
         self._db = database
         self.multiplicity = multiplicity
-        self._cache: dict = {}
-        self._cache_version: int | None = None
+        self._cache: "OrderedDict[tuple, tuple[tuple, QueryPlan]]" = OrderedDict()
         self.cache_hits = 0
         self.cache_misses = 0
+
+    def _cached_rows(self, query: LogicalQuery | LogicalJoinQuery, vr) -> int:
+        """Rows an incremental scan of ``vr.view`` would skip for ``query``."""
+        cache = self._db.accumulator_cache
+        if cache is None:
+            return 0
+        lq = as_logical(query)
+        return cache.cached_rows(vr.view, lower_to_view_scan(lq, vr.view_def))
 
     def candidates(self, query: LogicalQuery | LogicalJoinQuery) -> list[ViewCandidate]:
         """Every registered view whose join structure answers ``query``.
 
         Each candidate carries its view's public shard count so the core
         planner can price the parallelism-aware wall-clock estimate
-        (:meth:`repro.mpc.cost_model.CostModel.parallel_seconds`), plus
-        the execution backend the scan executor resolved for it (purely
-        informational: simulated seconds are backend-independent).
+        (:meth:`repro.mpc.cost_model.CostModel.parallel_seconds`), the
+        execution backend the scan executor resolved for it (purely
+        informational: simulated seconds are backend-independent), and
+        the rows a warm accumulator-cache entry would let the scan skip
+        (so warm view scans are priced at their suffix cost).
         """
         return [
             ViewCandidate(
@@ -64,10 +85,39 @@ class DatabasePlanner:
                 len(vr.view),
                 n_shards=vr.view.n_shards,
                 scan_backend=self._db.scan_executor.backend_for(vr.view),
+                cached_rows=self._cached_rows(query, vr),
             )
             for vr in self._db.views.values()
             if vr.mode in SCANNABLE_MODES and can_answer(query, vr.view_def)
         ]
+
+    def _validity(self, lq: LogicalQuery) -> tuple:
+        """Everything the cost comparison for ``lq`` actually reads.
+
+        Per answering view: content version (covers size, shard count,
+        reshard/restore) and the incremental cached-row count (a cold →
+        warm transition changes the view's price without any content
+        change).  Plus the base-store sizes the NM estimate reads and
+        the requested scan backend.  A cached plan is reused iff this
+        tuple is unchanged — so an upload into unrelated tables evicts
+        nothing.
+        """
+        db = self._db
+        views = tuple(
+            (
+                name,
+                vr.view.content_version,
+                self._cached_rows(lq, vr),
+            )
+            for name, vr in db.views.items()
+            if vr.mode in SCANNABLE_MODES and can_answer(lq, vr.view_def)
+        )
+        return (
+            views,
+            db.tables[lq.probe_table].total_rows,
+            db.tables[lq.driver_table].total_rows,
+            db.scan_backend,
+        )
 
     def nm_allowed(self, query: LogicalQuery | LogicalJoinQuery) -> bool:
         if self._db.nm_fallback:
@@ -84,10 +134,12 @@ class DatabasePlanner:
     ) -> QueryPlan:
         """Choose the cheapest plan for ``query`` at the current sizes.
 
-        Structurally identical queries hit the plan cache until the next
-        upload/step bumps the database's state version.  Cache access is
-        benign under concurrent read sessions: a race costs at most one
-        redundant (deterministic, identical) planning pass.
+        Structurally identical queries hit the plan cache while the
+        inputs their cost comparison reads (:meth:`_validity`) are
+        unchanged — uploads into other views' tables no longer evict
+        them.  Cache access is benign under concurrent read sessions: a
+        race costs at most one redundant (deterministic, identical)
+        planning pass.
         """
         db = self._db
         lq = as_logical(query)
@@ -97,15 +149,13 @@ class DatabasePlanner:
                     f"query references unregistered table {table!r}; known "
                     f"tables: {sorted(db.tables)}"
                 )
-        version = db.state_version
-        if version != self._cache_version:
-            self._cache = {}
-            self._cache_version = version
         key = (lq.structure_key(), predicate_words)
+        validity = self._validity(lq)
         cached = self._cache.get(key)
-        if cached is not None:
+        if cached is not None and cached[0] == validity:
             self.cache_hits += 1
-            return cached
+            self._cache.move_to_end(key)
+            return cached[1]
         self.cache_misses += 1
         probe_store = db.tables[lq.probe_table]
         driver_store = db.tables[lq.driver_table]
@@ -121,8 +171,17 @@ class DatabasePlanner:
             probe_width=probe_store.schema.width,
             driver_width=driver_store.schema.width,
         )
-        self._cache[key] = plan
+        self._cache[key] = (validity, plan)
+        self._cache.move_to_end(key)
+        while len(self._cache) > PLAN_CACHE_MAX_ENTRIES:
+            self._cache.popitem(last=False)
         return plan
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of :meth:`plan` calls served from the cache."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
 
     def cache_info(self) -> dict:
         """Hit/miss counters and current cache size (benchmark surface)."""
@@ -130,5 +189,5 @@ class DatabasePlanner:
             "hits": self.cache_hits,
             "misses": self.cache_misses,
             "entries": len(self._cache),
-            "version": self._cache_version,
+            "hit_rate": self.hit_rate,
         }

@@ -133,6 +133,11 @@ class ServingStats:
     shard_rows: dict = field(default_factory=dict)
     #: total ε spent by noisy per-query releases so far
     query_epsilon: float = 0.0
+    #: fraction of planner calls served from the structural plan cache
+    plan_cache_hit_rate: float = 0.0
+    #: accumulator-cache gauges (hits/misses/evictions/...); empty when
+    #: incremental execution is disabled
+    incremental_cache: dict = field(default_factory=dict)
 
     def uploads_per_second(self) -> float:
         return self.uploads / self.ingest_seconds if self.ingest_seconds else 0.0
@@ -158,6 +163,8 @@ class ServingStats:
                 name: list(rows) for name, rows in self.shard_rows.items()
             },
             "query_epsilon": self.query_epsilon,
+            "plan_cache_hit_rate": self.plan_cache_hit_rate,
+            "incremental_cache": dict(self.incremental_cache),
         }
 
 
@@ -622,6 +629,10 @@ class DatabaseServer:
             self.stats.queue_depth = self._queue.qsize()
             self.stats.queue_capacity = self.max_pending
             self.stats.query_epsilon = self.database.query_epsilon()
+            self.stats.plan_cache_hit_rate = self.database.planner.hit_rate
+            self.stats.incremental_cache = (
+                self.database.incremental_cache_stats()
+            )
             return self.stats
 
     def observability(self) -> dict:

@@ -74,6 +74,10 @@ class MaterializedView(ShardedTableContainer):
             self._shard_chunks = [[t] if len(t) else [] for t in shards]
             self._total_rows = total
             self._bump_version()
+            # A restore replaces content wholesale — even when the shard
+            # shape matches, cached prefixes over the old content must
+            # never be merged with suffixes of the new one.
+            self._mark_rebuilt()
         else:
             # Shard-count mismatch (e.g. a v1 single-shard snapshot loaded
             # into a sharded deployment): re-scatter under this layout.

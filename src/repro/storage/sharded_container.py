@@ -16,6 +16,7 @@ leakage beyond the already-public lengths and consume no randomness.
 
 from __future__ import annotations
 
+import itertools
 from typing import TYPE_CHECKING
 
 from ..common.errors import ProtocolError
@@ -24,6 +25,9 @@ from ..sharing.shared_value import SharedTable
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from ..server.sharding import ShardLayout
+
+#: Process-wide source of :attr:`ShardedTableContainer.container_uid`.
+_CONTAINER_UIDS = itertools.count(1)
 
 
 def _single_shard() -> "ShardLayout":
@@ -55,6 +59,13 @@ class ShardedTableContainer:
         self._total_rows = 0
         self._gathered: SharedTable | None = None
         self._content_version = 0
+        self._append_epoch = 0
+        #: Process-unique public identity of this container.  Derived
+        #: caches that outlive a container reference (the incremental
+        #: accumulator cache of :mod:`repro.query.incremental`) key
+        #: entries on this instead of ``id()``, which the allocator may
+        #: reuse.
+        self.container_uid = next(_CONTAINER_UIDS)
 
     # -- public structure -------------------------------------------------------
     def __len__(self) -> int:
@@ -84,6 +95,24 @@ class ShardedTableContainer:
     def _bump_version(self) -> None:
         self._gathered = None
         self._content_version += 1
+
+    @property
+    def append_epoch(self) -> int:
+        """Monotone counter bumped on every **non-append** mutation.
+
+        Appends leave it unchanged: within one epoch, every shard's row
+        sequence is a strict prefix of its later self (round-robin
+        placement continues from the public total), which is exactly the
+        property prefix-accumulator caches need.  ``_clear`` — and
+        therefore ``reshard`` and every restore path — advances it, so a
+        cached per-shard prefix can never be merged across a rebuild
+        that reordered rows.  Like the lengths, this is a pure function
+        of the public mutation history.
+        """
+        return self._append_epoch
+
+    def _mark_rebuilt(self) -> None:
+        self._append_epoch += 1
 
     def shard_lengths(self) -> tuple[int, ...]:
         """Public per-shard row counts (balanced to within one row)."""
@@ -145,6 +174,7 @@ class ShardedTableContainer:
         self._shard_chunks = [[] for _ in range(self.layout.n_shards)]
         self._total_rows = 0
         self._bump_version()
+        self._mark_rebuilt()
 
     def reshard(self, layout: "ShardLayout") -> None:
         """Re-scatter the content under a new layout.

@@ -405,6 +405,10 @@ def test_worker_crash_surfaces_and_pool_recovers():
     from repro.query.shard_workers import PROCESS_BACKEND
 
     db, answers, _ = run_deployment(4, seed=0, scan_backend="process")
+    # A warm accumulator cache would answer the repeat queries below
+    # without touching the worker pool at all (zero-delta scans submit
+    # no tasks); disable it so every query exercises the pool.
+    db.set_incremental(False)
     q = dashboard_query(make_view_def("full"))
     expected = db.query(q, 7).answers
 
