@@ -1,0 +1,286 @@
+"""Heartbeat-driven membership of the shard-worker fleet.
+
+The coordinator owns one :class:`WorkerLink` per configured endpoint: a
+persistent framed connection (binary codec preferred), a request lock
+(one in-flight exchange per worker), and the liveness/gauge state the
+serving runtime surfaces per worker (assigned shard replicas, last
+heartbeat age, scans served, re-scatter count).
+
+A :class:`MembershipTracker` thread probes every *idle* live link with a
+``heartbeat`` frame each interval — an exchange already in flight
+counts as liveness, so heartbeats never queue behind a long scan — and
+redials dead links on the shared exponential-backoff-with-full-jitter
+schedule (:mod:`repro.net.backoff`, the same curve the analyst client's
+``connect()`` uses).  A successful redial bumps the link's
+``generation``: a restarted daemon lost its hosted shards, so the
+coordinator drops its sync watermarks and re-bootstraps from scratch
+(the v2-snapshot-encoded ``shard_assign`` path).  A reconnect to a
+daemon that in fact kept its state costs one redundant bootstrap —
+correctness never depends on the distinction.
+
+Failure detection is symmetrical: the heartbeat thread marks a link
+dead when the probe fails, and the scan path marks it dead the moment
+an exchange raises — whichever notices first.  Either way the
+coordinator re-scatters the dead worker's in-flight scan tasks to a
+replica (:mod:`repro.dist.coordinator`) and this module keeps trying to
+bring the worker back.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time as _time
+from dataclasses import dataclass
+
+from ..common.errors import ProtocolError
+from ..net import protocol as wire
+from ..net.backoff import backoff_delay
+
+
+@dataclass(frozen=True)
+class WorkerEndpoint:
+    """One configured fleet member."""
+
+    host: str
+    port: int
+
+    @property
+    def name(self) -> str:
+        return f"{self.host}:{self.port}"
+
+
+def parse_worker_endpoints(spec: str) -> list[WorkerEndpoint]:
+    """``"host:port,host:port,…"`` → endpoints (the ``--workers`` flag).
+
+    >>> parse_worker_endpoints("127.0.0.1:7001, 127.0.0.1:7002")
+    [WorkerEndpoint(host='127.0.0.1', port=7001), WorkerEndpoint(host='127.0.0.1', port=7002)]
+    """
+    endpoints = []
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        host, sep, port_text = part.rpartition(":")
+        if not sep or not host or not port_text.isdigit():
+            raise ProtocolError(
+                f"malformed worker endpoint {part!r}; expected HOST:PORT"
+            )
+        port = int(port_text)
+        if not 0 < port <= 65535:
+            raise ProtocolError(f"worker port {port} is out of range 1-65535")
+        endpoints.append(WorkerEndpoint(host, port))
+    if not endpoints:
+        raise ProtocolError(f"no worker endpoints in {spec!r}")
+    return endpoints
+
+
+class WorkerLink:
+    """One persistent connection to one shard worker, plus its gauges."""
+
+    def __init__(
+        self, endpoint: WorkerEndpoint, timeout: float = 30.0
+    ) -> None:
+        self.endpoint = endpoint
+        self.timeout = timeout
+        #: serializes exchanges on this link (scans, syncs, heartbeats)
+        self.lock = threading.Lock()
+        self.alive = False
+        #: bumped on every successful (re)connect — sync state keyed on
+        #: an older generation is void (the daemon may have restarted)
+        self.generation = 0
+        self.last_seen = 0.0  # monotonic; 0 = never
+        self.codec = wire.CODEC_JSON
+        #: coordinator-side gauges (the ServingStats per-worker surface)
+        self.assigned_shards = 0
+        self.scans_served = 0
+        self.rescatters = 0
+        self._sock: socket.socket | None = None
+        self._stream = None
+        self._dial_attempts = 0
+
+    # -- connection lifecycle ---------------------------------------------
+    def connect(self) -> None:
+        """One dial + handshake attempt; raises on failure."""
+        self.disconnect()
+        sock = socket.create_connection(
+            (self.endpoint.host, self.endpoint.port), timeout=self.timeout
+        )
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        stream = sock.makefile("rwb")
+        try:
+            wire.write_frame(
+                stream,
+                "hello",
+                {
+                    "client": "scan-coordinator",
+                    "codecs": [wire.CODEC_BINARY, wire.CODEC_JSON],
+                },
+            )
+            frame_type, payload = wire.read_frame(stream)
+        except (OSError, ValueError, wire.WireError):
+            sock.close()
+            raise
+        if frame_type != "welcome" or payload.get("role") != "shard-worker":
+            sock.close()
+            raise ProtocolError(
+                f"{self.endpoint.name} is not a shard worker (got "
+                f"{frame_type!r}, role {payload.get('role')!r})"
+            )
+        self._sock = sock
+        self._stream = stream
+        self.codec = payload.get("codec", wire.CODEC_JSON)
+        self.alive = True
+        self.generation += 1
+        self.last_seen = _time.monotonic()
+        self._dial_attempts = 0
+
+    def disconnect(self) -> None:
+        self.alive = False
+        if self._stream is not None:
+            try:
+                self._stream.close()
+            except (OSError, ValueError):
+                pass
+            self._stream = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def mark_dead(self) -> None:
+        self.disconnect()
+
+    def next_redial_delay(self) -> float:
+        """The jittered delay before the next dial attempt."""
+        delay = backoff_delay(self._dial_attempts)
+        self._dial_attempts += 1
+        return delay
+
+    # -- exchanges ---------------------------------------------------------
+    def exchange(self, frame_type: str, payload: dict, expect: str) -> dict:
+        """One request/response on this link (caller holds no lock).
+
+        Any transport or protocol failure marks the link dead and
+        re-raises — the caller (scan scatter, sync, heartbeat) decides
+        whether that means failover or just a missed probe.
+        """
+        with self.lock:
+            stream = self._stream
+            if stream is None:
+                raise ConnectionError(f"{self.endpoint.name} is not connected")
+            try:
+                wire.write_frame(stream, frame_type, payload, codec=self.codec)
+                response_type, response = wire.read_frame(stream)
+            except (OSError, ValueError, wire.WireError) as exc:
+                self.mark_dead()
+                raise ConnectionError(
+                    f"worker {self.endpoint.name} lost mid-exchange: {exc}"
+                ) from exc
+            self.last_seen = _time.monotonic()
+            if response_type == "error":
+                raise wire.RemoteError(
+                    response.get("code", wire.ERR_SERVER),
+                    response.get("message", "unspecified"),
+                    response.get("retry_after"),
+                )
+            if response_type != expect:
+                self.mark_dead()
+                raise ConnectionError(
+                    f"worker {self.endpoint.name} answered {frame_type!r} "
+                    f"with {response_type!r} (expected {expect!r})"
+                )
+            return response
+
+    def gauge_dict(self) -> dict:
+        """The ServingStats per-worker surface for this link."""
+        age = (
+            None
+            if not self.last_seen
+            else max(0.0, _time.monotonic() - self.last_seen)
+        )
+        return {
+            "endpoint": self.endpoint.name,
+            "alive": self.alive,
+            "assigned_shards": self.assigned_shards,
+            "last_heartbeat_age_seconds": age,
+            "scans_served": self.scans_served,
+            "rescatters": self.rescatters,
+        }
+
+
+class MembershipTracker:
+    """Background heartbeats + jittered redial over a set of links."""
+
+    def __init__(
+        self,
+        links: list[WorkerLink],
+        heartbeat_interval: float = 1.0,
+        on_revive=None,
+    ) -> None:
+        self.links = links
+        self.heartbeat_interval = heartbeat_interval
+        #: called with the revived link after a successful redial (the
+        #: coordinator voids that worker's sync watermarks here)
+        self.on_revive = on_revive
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        #: per-link monotonic deadline before the next dial attempt
+        self._next_dial: dict[int, float] = {}
+
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._thread = threading.Thread(
+            target=self._loop, name="dist-membership", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def revive(self, link: WorkerLink) -> bool:
+        """One synchronous redial attempt (also used by the scan path)."""
+        try:
+            link.connect()
+        except (OSError, ConnectionError, ProtocolError, wire.WireError):
+            return False
+        if self.on_revive is not None:
+            self.on_revive(link)
+        return True
+
+    # -- the probe loop ----------------------------------------------------
+    def _loop(self) -> None:
+        while not self._stop.wait(self.heartbeat_interval):
+            now = _time.monotonic()
+            for i, link in enumerate(self.links):
+                if self._stop.is_set():
+                    return
+                if link.alive:
+                    self._probe(link)
+                elif now >= self._next_dial.get(i, 0.0):
+                    if not self.revive(link):
+                        self._next_dial[i] = (
+                            _time.monotonic() + link.next_redial_delay()
+                        )
+
+    def _probe(self, link: WorkerLink) -> None:
+        # A busy link has an exchange in flight — that *is* liveness
+        # (its completion refreshes last_seen); probing would only queue
+        # behind a long scan and inflate the measured heartbeat age.
+        if not link.lock.acquire(blocking=False):
+            return
+        link.lock.release()
+        try:
+            gauges = link.exchange("heartbeat", {}, expect="heartbeat_ok")
+        except (ConnectionError, wire.RemoteError):
+            link.mark_dead()
+            return
+        served = gauges.get("scans_served")
+        if isinstance(served, int):
+            link.scans_served = served

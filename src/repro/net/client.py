@@ -3,8 +3,9 @@
 :class:`IncShrinkClient` mirrors the in-process serving surface over one
 TCP connection:
 
-* ``connect()`` retries with linear backoff (servers often come up a
-  beat after their clients in scripted deployments) and performs the
+* ``connect()`` retries with capped exponential backoff and full jitter
+  (servers often come up a beat after their clients in scripted
+  deployments, and jitter de-synchronizes reconnect herds) and performs the
   ``hello``/``welcome`` handshake, capturing the server's public
   deployment metadata (:attr:`server_info` — view names and join specs,
   shard count, stream watermark);
@@ -40,6 +41,7 @@ from typing import Iterable, Mapping
 from ..common.types import RecordBatch
 from ..query.ast import LogicalJoinQuery, LogicalQuery
 from . import protocol as wire
+from .backoff import backoff_delay
 from .protocol import RemoteError, RemoteQueryResult, WireError
 
 
@@ -151,7 +153,12 @@ class IncShrinkClient:
         last_error: Exception | None = None
         for attempt in range(max(1, self.connect_retries)):
             if attempt:
-                _time.sleep(self.retry_backoff * attempt)
+                # Exponential backoff with full jitter, capped — the
+                # same schedule the scan coordinator redials dead shard
+                # workers on (:mod:`repro.net.backoff`).  Jitter keeps a
+                # thundering herd of reconnecting clients from landing
+                # on the same instant after a server restart.
+                _time.sleep(backoff_delay(attempt - 1, base=self.retry_backoff))
             try:
                 sock = socket.create_connection(
                     (self.host, self.port), timeout=self.timeout

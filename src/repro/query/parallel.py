@@ -76,8 +76,10 @@ from .executor import assemble_answer, clause_mask
 from .incremental import AccumulatorCache, ScanReport, ShardAccumulator
 from .shard_workers import PROCESS_BACKEND, ShardScanTask, usable_cpus
 
-#: Executor backends a caller may request.
-SCAN_BACKENDS = ("auto", "thread", "process")
+#: Executor backends a caller may request.  ``"remote"`` scatters shard
+#: scans over a fleet of shard-worker daemons (:mod:`repro.dist`) and
+#: requires a connected coordinator (``remote=`` on the constructor).
+SCAN_BACKENDS = ("auto", "thread", "process", "remote")
 
 #: ``backend="auto"`` switches to process workers when the largest shard
 #: reaches this many rows.  Measured on the shard-scaling benchmark: one
@@ -134,7 +136,10 @@ class ParallelScanExecutor:
     """
 
     def __init__(
-        self, max_workers: int | None = None, backend: str = "auto"
+        self,
+        max_workers: int | None = None,
+        backend: str = "auto",
+        remote=None,
     ) -> None:
         if max_workers is not None and max_workers < 1:
             raise ConfigurationError(
@@ -144,8 +149,16 @@ class ParallelScanExecutor:
             raise ConfigurationError(
                 f"backend must be one of {SCAN_BACKENDS}, got {backend!r}"
             )
+        if backend == "remote" and remote is None:
+            raise ConfigurationError(
+                "backend 'remote' needs a connected RemoteScanBackend "
+                "(remote=...)"
+            )
         self.max_workers = max_workers or min(32, os.cpu_count() or 1)
         self.backend = backend
+        #: the :class:`repro.dist.RemoteScanBackend` coordinator, when
+        #: this executor scatters to a worker fleet
+        self.remote = remote
 
     # -- backend selection -------------------------------------------------
     def backend_for(self, view: MaterializedView) -> str:
@@ -159,6 +172,10 @@ class ParallelScanExecutor:
         is actually usable — on a single-core host the IPC overhead
         buys nothing.
         """
+        if self.backend == "remote":
+            # The fleet serves single-shard views too (the one-worker
+            # baseline); the replica ring degenerates gracefully.
+            return "remote"
         if view.n_shards <= 1:
             return "thread"
         if self.backend != "auto":
@@ -261,7 +278,46 @@ class ParallelScanExecutor:
             )
 
         with runtime.parallel_protocol("query", time, len(shards)) as group:
-            if backend == "process":
+            if backend == "remote":
+                from ..net import protocol as wire
+
+                parts = [None] * len(shards)
+                tasks = []
+                for i, (n_rows, start) in enumerate(zip(lengths, starts)):
+                    if start >= n_rows:
+                        # Zero delta: no task crosses the wire, no gates
+                        # charge — same as the local backends.
+                        parts[i] = zero_part()
+                        continue
+                    tasks.append((i, n_rows, start))
+                spec = wire.encode_scan_spec(
+                    sum_indices=tuple(sum_indices),
+                    need_count=plan.need_count,
+                    group_column=group_column,
+                    group_domain=(
+                        tuple(plan.group_domain)
+                        if plan.group_domain is not None
+                        else None
+                    ),
+                    clause_specs=tuple(
+                        (schema.index(c.column), int(c.lo), int(c.hi))
+                        for c in plan.clauses
+                    ),
+                    payload_words=schema.width,
+                    predicate_words=plan.predicate_words,
+                )
+                remote_parts = self.remote.scan(
+                    view, spec, runtime.cost_model, tasks
+                )
+                # Replay worker gate totals onto the real shard contexts
+                # (same discipline as the process backend): workers ran
+                # the identical kernel under the identical cost model,
+                # so the merged ProtocolRun is byte-identical.
+                for i, _n_rows, _start in tasks:
+                    counts, sums, gates = remote_parts[i]
+                    group.contexts[i].charge_gates(gates)
+                    parts[i] = (counts, sums)
+            elif backend == "process":
                 pub = PROCESS_BACKEND.publication_for(view)
                 parts: list[tuple[np.ndarray, np.ndarray] | None] = [
                     None

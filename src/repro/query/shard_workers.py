@@ -130,6 +130,58 @@ def _worker_attach(name: str) -> np.ndarray:
     return flat
 
 
+def scan_share_suffix(
+    rows0: np.ndarray,
+    rows1: np.ndarray,
+    flags0: np.ndarray,
+    flags1: np.ndarray,
+    sum_indices: tuple[int, ...],
+    need_count: bool,
+    group_column: int | None,
+    group_domain: tuple[int, ...] | None,
+    clause_specs: tuple[tuple[int, int, int], ...],
+    payload_words: int,
+    predicate_words: int,
+    cost_model: CostModel,
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """The shard-scan kernel over already-sliced share halves.
+
+    XOR-recovers the rows, evaluates the pre-lowered clauses, and runs
+    the same :func:`~repro.oblivious.filter.oblivious_multi_aggregate`
+    pass every backend runs, under a charge-only
+    :class:`~repro.mpc.runtime.WorkerShardContext`.  Shared verbatim by
+    the shared-memory process workers (:func:`worker_scan`) and the
+    distributed shard-worker daemon (:mod:`repro.dist.worker`) — one
+    kernel, so "byte-identical across backends" is structural, not
+    re-proved per transport.
+    """
+    rows = rows0 ^ rows1
+    flags = (flags0 ^ flags1).astype(bool)
+    n_suffix = len(rows)
+    mask = None
+    if clause_specs and n_suffix:
+        # Mirrors repro.query.executor.clause_mask over pre-lowered
+        # (column, lo, hi) triples — same comparisons, same dtype rules.
+        mask = np.ones(n_suffix, dtype=bool)
+        for col, lo, hi in clause_specs:
+            values = rows[:, col]
+            mask &= (values >= np.uint32(lo)) & (values <= np.uint32(hi))
+    ctx = WorkerShardContext(cost_model)
+    counts, sums = oblivious_multi_aggregate(
+        ctx,
+        rows,
+        flags,
+        list(sum_indices),
+        need_count,
+        group_column,
+        group_domain,
+        mask,
+        payload_words,
+        predicate_words,
+    )
+    return counts, sums, ctx.gates
+
+
 def worker_scan(task: ShardScanTask) -> tuple[np.ndarray, np.ndarray, int]:
     """Scan one shard suffix: zero-copy views → XOR recover → one pass.
 
@@ -144,35 +196,20 @@ def worker_scan(task: ShardScanTask) -> tuple[np.ndarray, np.ndarray, int]:
     base = task.offset_words
     start = task.start_row
     rw = n * w
-    rows0 = flat[base : base + rw].reshape(n, w)[start:]
-    rows1 = flat[base + rw : base + 2 * rw].reshape(n, w)[start:]
-    flags0 = flat[base + 2 * rw : base + 2 * rw + n][start:]
-    flags1 = flat[base + 2 * rw + n : base + 2 * rw + 2 * n][start:]
-    rows = rows0 ^ rows1
-    flags = (flags0 ^ flags1).astype(bool)
-    n_suffix = len(rows)
-    mask = None
-    if task.clause_specs and n_suffix:
-        # Mirrors repro.query.executor.clause_mask over pre-lowered
-        # (column, lo, hi) triples — same comparisons, same dtype rules.
-        mask = np.ones(n_suffix, dtype=bool)
-        for col, lo, hi in task.clause_specs:
-            values = rows[:, col]
-            mask &= (values >= np.uint32(lo)) & (values <= np.uint32(hi))
-    ctx = WorkerShardContext(task.cost_model)
-    counts, sums = oblivious_multi_aggregate(
-        ctx,
-        rows,
-        flags,
-        list(task.sum_indices),
+    return scan_share_suffix(
+        flat[base : base + rw].reshape(n, w)[start:],
+        flat[base + rw : base + 2 * rw].reshape(n, w)[start:],
+        flat[base + 2 * rw : base + 2 * rw + n][start:],
+        flat[base + 2 * rw + n : base + 2 * rw + 2 * n][start:],
+        task.sum_indices,
         task.need_count,
         task.group_column,
         task.group_domain,
-        mask,
+        task.clause_specs,
         task.payload_words,
         task.predicate_words,
+        task.cost_model,
     )
-    return counts, sums, ctx.gates
 
 
 def _worker_ping() -> int:

@@ -138,6 +138,9 @@ class ServingStats:
     #: accumulator-cache gauges (hits/misses/evictions/...); empty when
     #: incremental execution is disabled
     incremental_cache: dict = field(default_factory=dict)
+    #: per-worker fleet gauges (assigned shards, heartbeat age, scans
+    #: served, re-scatters); empty unless the remote backend is active
+    workers: dict = field(default_factory=dict)
 
     def uploads_per_second(self) -> float:
         return self.uploads / self.ingest_seconds if self.ingest_seconds else 0.0
@@ -165,6 +168,9 @@ class ServingStats:
             "query_epsilon": self.query_epsilon,
             "plan_cache_hit_rate": self.plan_cache_hit_rate,
             "incremental_cache": dict(self.incremental_cache),
+            "workers": {
+                name: dict(gauges) for name, gauges in self.workers.items()
+            },
         }
 
 
@@ -467,6 +473,7 @@ class DatabaseServer:
         # shared-memory publications (idempotent; a later database in the
         # same interpreter transparently respawns them).
         shutdown_process_backend()
+        self.database.close_remote()
         self._raise_ingest_error()
         if final_snapshot:
             self.snapshot()
@@ -633,6 +640,7 @@ class DatabaseServer:
             self.stats.incremental_cache = (
                 self.database.incremental_cache_stats()
             )
+            self.stats.workers = self.database.remote_worker_stats()
             return self.stats
 
     def observability(self) -> dict:
