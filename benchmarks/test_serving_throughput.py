@@ -17,6 +17,7 @@ no-double-spend acceptance criterion of the persistence layer.
 from __future__ import annotations
 
 import json
+import math
 import threading
 import time as _time
 from pathlib import Path
@@ -150,3 +151,171 @@ def test_bench_serving_throughput(benchmark, tmp_path):
         "(byte-identical answers + realized epsilon verified)\n"
         f"  -> recorded to {BENCH_PATH.name}"
     )
+
+
+# -- multi-tenant serving scenario ---------------------------------------------
+TENANT_WEIGHTS = {"heavy": 8, "steady": 4, "light": 2, "rare": 1}
+QUERY_EPSILON = 0.01
+
+
+def _percentile(samples: list[float], q: float) -> float:
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _run_multi_tenant(tmp_path: Path) -> dict:
+    from repro.net import protocol as wire
+    from repro.net.client import IncShrinkClient
+    from repro.net.server import NetworkServer
+    from repro.tenancy import Tenant, TenantRegistry
+
+    config = MultiViewRunConfig(
+        dataset=DATASET, n_steps=16, seed=11, query_every=QUERY_EVERY
+    )
+    deployment = build_multiview_deployment(config)
+    server = DatabaseServer(deployment.database)
+    server.start()
+    for step in deployment.workload.steps:
+        server.submit(step.time, deployment.upload_items(step))
+    server.drain()
+
+    # Every analyst gets exactly the budget its skewed traffic needs;
+    # "rare" gets one query less than it will ask for, so the scenario
+    # also exercises a live budget-exhausted refusal under load.
+    rounds = 6
+    budgets = {
+        tid: weight * rounds * QUERY_EPSILON
+        for tid, weight in TENANT_WEIGHTS.items()
+    }
+    budgets["rare"] -= QUERY_EPSILON
+    registry = TenantRegistry(
+        [
+            Tenant(tid, f"{tid}-token", role="analyst", epsilon_budget=budgets[tid])
+            for tid in TENANT_WEIGHTS
+        ]
+    )
+    latencies: dict[str, list[float]] = {tid: [] for tid in TENANT_WEIGHTS}
+    refused: dict[str, int] = {tid: 0 for tid in TENANT_WEIGHTS}
+    errors: list[BaseException] = []
+
+    with NetworkServer(server, registry=registry) as net:
+        host, port = net.address
+
+        def analyst_loop(tid: str) -> None:
+            try:
+                with IncShrinkClient(
+                    host, port, tenant=tid, token=f"{tid}-token"
+                ) as client:
+                    query = deployment.step_queries[0]
+                    for _ in range(TENANT_WEIGHTS[tid] * rounds):
+                        t0 = _time.perf_counter()
+                        try:
+                            client.query(query, epsilon=QUERY_EPSILON)
+                        except wire.RemoteError as exc:
+                            if exc.code != wire.ERR_BUDGET_EXHAUSTED:
+                                raise
+                            refused[tid] += 1
+                        latencies[tid].append(_time.perf_counter() - t0)
+            except BaseException as exc:  # surfaced by the assertion below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=analyst_loop, args=(tid,), daemon=True)
+            for tid in TENANT_WEIGHTS
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        ledgers = net.server.database.tenant_epsilons()
+        global_spend = net.server.database.query_epsilon()
+    server.stop()
+    assert not errors, errors
+
+    per_tenant = {
+        tid: {
+            "queries": len(latencies[tid]),
+            "refused": refused[tid],
+            "epsilon_spent": ledgers.get(tid, 0.0),
+            "epsilon_budget": budgets[tid],
+            "p50_ms": _percentile(latencies[tid], 0.50) * 1000,
+            "p95_ms": _percentile(latencies[tid], 0.95) * 1000,
+        }
+        for tid in TENANT_WEIGHTS
+    }
+    return {
+        "benchmark": "multi_tenant_serving",
+        "dataset": DATASET,
+        "tenants": len(TENANT_WEIGHTS),
+        "weights": dict(TENANT_WEIGHTS),
+        "rounds": rounds,
+        "query_epsilon": QUERY_EPSILON,
+        "global_query_epsilon": global_spend,
+        "ledger_sum": sum(ledgers.values()),
+        "per_tenant": per_tenant,
+    }
+
+
+def test_bench_multi_tenant_serving(benchmark, tmp_path):
+    result = benchmark.pedantic(
+        _run_multi_tenant, args=(tmp_path,), rounds=1, iterations=1
+    )
+    per_tenant = result["per_tenant"]
+
+    # Skewed traffic really is skewed: the heavy tenant asked for 8x
+    # the rare tenant's load, and everyone got answers.
+    assert per_tenant["heavy"]["queries"] == 8 * result["rounds"]
+    assert per_tenant["rare"]["queries"] == 1 * result["rounds"]
+    for tid, entry in per_tenant.items():
+        assert entry["p50_ms"] > 0
+        assert entry["p95_ms"] >= entry["p50_ms"]
+
+    # ε isolation: each ledger holds precisely what its tenant released
+    # (refused queries spent nothing) — compared in the ledger's own
+    # accumulation order, so equality is bitwise, not approximate — and
+    # the ledgers sum to the global query spend (up to float
+    # re-association across tenants): attribution never distorts
+    # composition.
+    for tid, entry in per_tenant.items():
+        served = entry["queries"] - entry["refused"]
+        assert entry["epsilon_spent"] == sum(
+            [result["query_epsilon"]] * served
+        )
+        assert entry["epsilon_spent"] <= entry["epsilon_budget"] + 1e-9
+    assert math.isclose(
+        result["ledger_sum"], result["global_query_epsilon"],
+        rel_tol=0.0, abs_tol=1e-9,
+    )
+
+    # The under-budgeted tenant hit its cap; nobody else was refused.
+    assert per_tenant["rare"]["refused"] == 1
+    assert all(
+        per_tenant[tid]["refused"] == 0 for tid in ("heavy", "steady", "light")
+    )
+
+    # Merge alongside the single-tenant baseline in the recorded JSON.
+    doc = {}
+    if BENCH_PATH.exists():
+        doc = json.loads(BENCH_PATH.read_text(encoding="utf8"))
+    if doc.get("benchmark") == "serving_throughput":
+        doc = {"serving_throughput": doc}
+    doc["multi_tenant"] = result
+    BENCH_PATH.write_text(json.dumps(doc, indent=2) + "\n", encoding="utf8")
+
+    lines = [
+        "multi-tenant serving (4 analysts, 8:4:2:1 skew, real TCP)",
+    ]
+    for tid in TENANT_WEIGHTS:
+        entry = per_tenant[tid]
+        lines.append(
+            f"  {tid:<7}: {entry['queries']:>3} queries, "
+            f"p50 {entry['p50_ms']:.1f} ms, p95 {entry['p95_ms']:.1f} ms, "
+            f"eps {entry['epsilon_spent']:.4f}/{entry['epsilon_budget']:.4f}"
+            + (f", {entry['refused']} refused" if entry["refused"] else "")
+        )
+    lines.append(
+        f"  ledgers sum to the global query spend exactly "
+        f"({result['ledger_sum']:.4f})\n  -> merged into {BENCH_PATH.name}"
+    )
+    emit("\n".join(lines))

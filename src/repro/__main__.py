@@ -67,6 +67,7 @@ from .common.errors import (
     SchemaError,
 )
 from .net.client import IncShrinkClient
+from .net.metrics import MetricsServer
 from .net.protocol import JOIN_FIELDS, RemoteError, WireError
 from .net.server import NetworkServer
 from .query.ast import (
@@ -142,6 +143,11 @@ def _add_workers_flags(parser) -> None:
         help="with --workers: host every shard on N workers so a dead "
         "worker's scans fail over to a replica mid-query (default: 2, "
         "capped at the fleet size)",
+    )
+    parser.add_argument(
+        "--worker-token", default=None, metavar="TOKEN",
+        help="with --workers: pre-shared fleet token offered in every "
+        "worker handshake (pair with `shard-worker --token`)",
     )
 
 
@@ -258,6 +264,28 @@ def _build_parser() -> argparse.ArgumentParser:
         help="with --listen: event-loop threads multiplexing the "
         "connections (default: 2)",
     )
+    serve.add_argument(
+        "--tenants", default=None, metavar="PATH",
+        help="with --listen: require authenticated sessions, loading the "
+        'tenant registry from this JSON config file ({"tenants": [...]})',
+    )
+    serve.add_argument(
+        "--tenant", action="append", default=None, metavar="SPEC",
+        help="with --listen: add one tenant inline as "
+        "ID:TOKEN:ROLE[:EPSILON_BUDGET] (repeatable; an alternative to "
+        "--tenants for scripted deployments)",
+    )
+    serve.add_argument(
+        "--metrics-port", type=int, default=None, metavar="PORT",
+        help="with --listen: expose a read-only Prometheus /metrics and "
+        "/healthz HTTP listener on this port (0 lets the OS pick; the "
+        "bound address is printed)",
+    )
+    serve.add_argument(
+        "--audit-log", default=None, metavar="PATH",
+        help="with --listen: append structured JSON audit events "
+        "(auth failures, quota/budget rejections) to this file",
+    )
     _add_workers_flags(serve)
 
     sw = sub.add_parser(
@@ -276,6 +304,12 @@ def _build_parser() -> argparse.ArgumentParser:
     sw.add_argument(
         "--serve-seconds", type=float, default=None,
         help="exit after this long (default: serve until Ctrl-C)",
+    )
+    sw.add_argument(
+        "--token", default=None,
+        help="pre-shared fleet token; when set, every connection must "
+        "offer it in the hello handshake (pair with the coordinator's "
+        "--worker-token)",
     )
 
     res = sub.add_parser(
@@ -339,6 +373,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "--codec", choices=["binary", "json"], default="binary",
         help="preferred payload codec offered in the handshake; the "
         "server may negotiate down to json (default: binary)",
+    )
+    cl.add_argument(
+        "--tenant", default=None, metavar="ID",
+        help="tenant id offered in the hello handshake (required when "
+        "the server runs a tenant registry; pair with --token)",
+    )
+    cl.add_argument(
+        "--token", default=None,
+        help="pre-shared tenant token offered in the hello handshake",
     )
     _add_query_flags(cl)
     return parser
@@ -511,7 +554,11 @@ def _connect_fleet(db, args) -> None:
     if args.replication < 1:
         raise SystemExit(f"--replication must be >= 1, got {args.replication}")
     try:
-        db.set_remote_workers(args.workers, replication=args.replication)
+        db.set_remote_workers(
+            args.workers,
+            replication=args.replication,
+            token=args.worker_token,
+        )
     except (ProtocolError, ConfigurationError) as exc:
         raise SystemExit(f"cannot connect worker fleet: {exc}")
     remote = db.scan_executor.remote
@@ -531,6 +578,18 @@ def _cmd_serve(args) -> None:
         )
     if args.snapshot is not None:
         _check_snapshot_target(args.snapshot)
+    registry = _build_registry(args, listen)
+    if args.metrics_port is not None and not 0 <= args.metrics_port <= 65535:
+        raise SystemExit(
+            f"--metrics-port must be in 0-65535, got {args.metrics_port}"
+        )
+    if listen is None:
+        for flag, value in (
+            ("--metrics-port", args.metrics_port),
+            ("--audit-log", args.audit_log),
+        ):
+            if value is not None:
+                raise SystemExit(f"{flag} requires --listen")
     config = MultiViewRunConfig(
         dataset=args.dataset,
         n_steps=args.steps,
@@ -562,6 +621,9 @@ def _cmd_serve(args) -> None:
         _serve_network(
             server, deployment, steps, listen, args.serve_seconds,
             loop_threads=args.loop_threads,
+            registry=registry,
+            metrics_port=args.metrics_port,
+            audit_log=args.audit_log,
         )
     else:
         _serve_stream(server, deployment, steps, clients=args.clients)
@@ -571,8 +633,27 @@ def _cmd_serve(args) -> None:
         print(f"snapshot written to {args.snapshot}")
 
 
+def _build_registry(args, listen):
+    """The serve command's tenant registry (or None: open access)."""
+    if args.tenants is not None and args.tenant:
+        raise SystemExit("--tenants and --tenant are mutually exclusive")
+    if args.tenants is None and not args.tenant:
+        return None
+    if listen is None:
+        raise SystemExit("--tenants/--tenant require --listen")
+    from .tenancy import TenantRegistry
+
+    try:
+        if args.tenants is not None:
+            return TenantRegistry.from_file(args.tenants)
+        return TenantRegistry.from_specs(args.tenant)
+    except ConfigurationError as exc:
+        raise SystemExit(f"invalid tenant configuration: {exc}")
+
+
 def _serve_network(
-    server, deployment, steps, listen, serve_seconds, loop_threads=2
+    server, deployment, steps, listen, serve_seconds, loop_threads=2,
+    registry=None, metrics_port=None, audit_log=None,
 ) -> None:
     """Ingest the local stream, then serve remote clients over TCP.
 
@@ -586,7 +667,8 @@ def _serve_network(
         server.submit(step.time, deployment.upload_items(step))
     server.drain()
     net = NetworkServer(
-        server, host=listen[0], port=listen[1], loop_threads=loop_threads
+        server, host=listen[0], port=listen[1], loop_threads=loop_threads,
+        registry=registry, audit_log=audit_log,
     )
     net.start()
     host, port = net.address
@@ -594,13 +676,32 @@ def _serve_network(
         f"listening on {host}:{port} (incshrink wire protocol v1/v2, "
         f"codecs: json+binary, {loop_threads} event loops)"
     )
+    if registry is not None:
+        print(
+            f"tenant registry active: {len(registry)} tenant(s), "
+            "credentialed hello required"
+        )
+    metrics = None
+    if metrics_port is not None:
+        metrics = MetricsServer(net, host=listen[0], port=metrics_port)
+        try:
+            metrics.start()
+        except OSError as exc:
+            net.close()
+            raise SystemExit(
+                f"cannot bind metrics port {listen[0]}:{metrics_port}: {exc}"
+            )
+        mhost, mport = metrics.address
+        # Scripted scrapes (the CI tenant-smoke job) parse this line.
+        print(f"metrics listening on http://{mhost}:{mport}/metrics", flush=True)
     print(
         f"local stream ingested through step {server.last_time}; serving "
         + (
             f"remote clients for {serve_seconds:.0f}s"
             if serve_seconds is not None
             else "remote clients until Ctrl-C"
-        )
+        ),
+        flush=True,
     )
     try:
         if serve_seconds is not None:
@@ -610,6 +711,8 @@ def _serve_network(
                 _time.sleep(3600)
     except KeyboardInterrupt:
         print("interrupt received; draining connections")
+    if metrics is not None:
+        metrics.close()
     net.close()
 
 
@@ -901,7 +1004,7 @@ def _cmd_shard_worker(args) -> None:
         raise SystemExit(
             f"--serve-seconds must be >= 0, got {args.serve_seconds}"
         )
-    worker = ShardWorker(host, port, name=args.name)
+    worker = ShardWorker(host, port, name=args.name, token=args.token)
     try:
         worker.start()
     except OSError as exc:
@@ -935,8 +1038,11 @@ def _cmd_client(args) -> None:
         view_name = args.view
     wants_query = bool(aggregates or group_by or predicate)
 
+    if (args.tenant is None) != (args.token is None):
+        raise SystemExit("--tenant and --token must be given together")
     client = IncShrinkClient(
-        host, port, name="repro-cli", connect_retries=3, codec=args.codec
+        host, port, name="repro-cli", connect_retries=3, codec=args.codec,
+        tenant=args.tenant, token=args.token,
     )
     try:
         client.connect()

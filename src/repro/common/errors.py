@@ -27,6 +27,29 @@ class PrivacyBudgetError(ReproError):
     """A differential-privacy budget was overdrawn or mis-specified."""
 
 
+class BudgetExhaustedError(PrivacyBudgetError):
+    """A tenant's privacy ledger cannot cover a requested release.
+
+    Raised *before any noise is drawn*: the query is refused outright,
+    so a rejected release neither perturbs the shared noise stream nor
+    records a partial spend.  Carries the structured fields the wire
+    protocol's ``budget-exhausted`` error reports back to the analyst.
+    """
+
+    def __init__(
+        self, tenant: str, requested: float, spent: float, budget: float
+    ) -> None:
+        super().__init__(
+            f"tenant {tenant!r} privacy budget exhausted: requested "
+            f"epsilon {requested:g} but only {max(budget - spent, 0.0):g} "
+            f"of {budget:g} remains (spent {spent:g})"
+        )
+        self.tenant = tenant
+        self.requested = float(requested)
+        self.spent = float(spent)
+        self.budget = float(budget)
+
+
 class ContributionBudgetError(ReproError):
     """A record's lifetime contribution budget (``b``) was violated."""
 

@@ -61,6 +61,7 @@ class RemoteScanBackend:
         replication: int = 2,
         timeout: float = 30.0,
         heartbeat_interval: float = 1.0,
+        token: str | None = None,
     ) -> None:
         if not endpoints:
             raise ConfigurationError("remote backend needs >= 1 worker")
@@ -68,7 +69,9 @@ class RemoteScanBackend:
             raise ConfigurationError(
                 f"replication must be >= 1, got {replication}"
             )
-        self.links = [WorkerLink(ep, timeout=timeout) for ep in endpoints]
+        self.links = [
+            WorkerLink(ep, timeout=timeout, token=token) for ep in endpoints
+        ]
         #: effective factor — never more copies than workers
         self.replication = min(int(replication), len(self.links))
         self.total_rescatters = 0

@@ -79,10 +79,15 @@ class WorkerLink:
     """One persistent connection to one shard worker, plus its gauges."""
 
     def __init__(
-        self, endpoint: WorkerEndpoint, timeout: float = 30.0
+        self,
+        endpoint: WorkerEndpoint,
+        timeout: float = 30.0,
+        token: str | None = None,
     ) -> None:
         self.endpoint = endpoint
         self.timeout = timeout
+        #: pre-shared fleet token offered in every (re)dial's hello
+        self.token = token
         #: serializes exchanges on this link (scans, syncs, heartbeats)
         self.lock = threading.Lock()
         self.alive = False
@@ -108,19 +113,24 @@ class WorkerLink:
         )
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         stream = sock.makefile("rwb")
+        hello = {
+            "client": "scan-coordinator",
+            "codecs": [wire.CODEC_BINARY, wire.CODEC_JSON],
+        }
+        if self.token is not None:
+            hello["token"] = self.token
         try:
-            wire.write_frame(
-                stream,
-                "hello",
-                {
-                    "client": "scan-coordinator",
-                    "codecs": [wire.CODEC_BINARY, wire.CODEC_JSON],
-                },
-            )
+            wire.write_frame(stream, "hello", hello)
             frame_type, payload = wire.read_frame(stream)
         except (OSError, ValueError, wire.WireError):
             sock.close()
             raise
+        if frame_type == "error":
+            sock.close()
+            raise ProtocolError(
+                f"{self.endpoint.name} refused the handshake: "
+                f"[{payload.get('code')}] {payload.get('message')}"
+            )
         if frame_type != "welcome" or payload.get("role") != "shard-worker":
             sock.close()
             raise ProtocolError(

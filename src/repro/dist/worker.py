@@ -37,6 +37,7 @@ SIGKILL a worker while its scan is provably in flight.
 
 from __future__ import annotations
 
+import hmac
 import os
 import socket
 import threading
@@ -51,6 +52,15 @@ from ..net import protocol as wire
 #: width 32 is ~2·32·4·2^18 = 64 MiB of shares only at width >= 32;
 #: realistic view widths are < 10, i.e. ~17 MiB).
 SHARD_CHUNK_ROWS = 262_144
+
+
+def _token_matches(expected: str, offered: object) -> bool:
+    """Constant-time fleet-token check (wrong type/size never matches)."""
+    if not isinstance(offered, str) or len(offered.encode("utf8")) > 1024:
+        return False
+    return hmac.compare_digest(
+        expected.encode("utf8"), offered.encode("utf8")
+    )
 
 
 class _HostedShard:
@@ -96,8 +106,13 @@ class ShardWorker:
         host: str = "127.0.0.1",
         port: int = 0,
         name: str | None = None,
+        token: str | None = None,
     ) -> None:
         self.name = name or f"shard-worker-{os.getpid()}"
+        #: pre-shared fleet token; when set, every connection must open
+        #: with a hello carrying it (the coordinator reuses the tenant
+        #: handshake) before any shard frame is served
+        self.token = token
         self._listen_addr = (host, port)
         self._sock: socket.socket | None = None
         self._accept_thread: threading.Thread | None = None
@@ -209,6 +224,7 @@ class ShardWorker:
     def _serve_connection(self, conn: socket.socket) -> None:
         stream = conn.makefile("rwb")
         codec = wire.CODEC_JSON
+        authed = self.token is None
         try:
             while True:
                 try:
@@ -218,7 +234,36 @@ class ShardWorker:
                 except wire.WireError:
                     return  # framing is unrecoverable; drop the stream
                 try:
+                    if not authed and frame_type != "hello":
+                        # Token-protected fleet: one structured error,
+                        # then hang up (never serve shard state to an
+                        # unauthenticated peer).
+                        wire.write_frame(
+                            stream,
+                            "error",
+                            wire.error_payload(
+                                wire.ERR_AUTH_FAILED,
+                                "this worker requires a credentialed hello",
+                            ),
+                            codec=codec,
+                        )
+                        return
                     if frame_type == "hello":
+                        if self.token is not None and not _token_matches(
+                            self.token, payload.get("token")
+                        ):
+                            wire.write_frame(
+                                stream,
+                                "error",
+                                wire.error_payload(
+                                    wire.ERR_AUTH_FAILED,
+                                    f"authentication failed for worker "
+                                    f"{self.name!r}",
+                                ),
+                                codec=wire.CODEC_JSON,
+                            )
+                            return
+                        authed = True
                         codec = wire.negotiate_codec(payload.get("codecs"))
                         wire.write_frame(
                             stream,

@@ -33,6 +33,42 @@ class MechanismEvent:
     segment: Hashable  # identifies the disjoint data the mechanism touched
 
 
+#: Marker element of a tenant-scoped segment key.  A tenant-attributed
+#: spend extends the mechanism's segment tuple with ``("tenant", id)``,
+#: so every existing prefix filter (``segment[:1] == ("query",)``) and
+#: sequence-number recovery (``segment[1]``) keeps working while the
+#: per-tenant ledger can be recovered from the events alone — including
+#: after a snapshot/restore round trip.
+TENANT_SEGMENT_MARK = "tenant"
+
+
+def tenant_scoped_segment(segment: tuple, tenant_id: str) -> tuple:
+    """Attribute a segment key to one tenant's ledger.
+
+    >>> tenant_scoped_segment(("query", 3), "alice")
+    ('query', 3, 'tenant', 'alice')
+    """
+    return (*segment, TENANT_SEGMENT_MARK, str(tenant_id))
+
+
+def segment_tenant(segment: Hashable) -> str | None:
+    """The tenant a segment key is attributed to, or ``None``.
+
+    >>> segment_tenant(("query", 3, "tenant", "alice"))
+    'alice'
+    >>> segment_tenant(("query", 3)) is None
+    True
+    """
+    if (
+        isinstance(segment, tuple)
+        and len(segment) >= 4
+        and segment[-2] == TENANT_SEGMENT_MARK
+        and isinstance(segment[-1], str)
+    ):
+        return segment[-1]
+    return None
+
+
 @dataclass
 class PrivacyAccountant:
     """Ledger of mechanism invocations with composition rules."""
@@ -59,6 +95,25 @@ class PrivacyAccountant:
             MechanismEvent(str(name), float(epsilon), segment)
             for name, epsilon, segment in events
         ]
+
+    # -- per-tenant ledgers -------------------------------------------------
+    def tenant_epsilons(self) -> dict[str, float]:
+        """Spent ε per tenant, from tenant-attributed segment keys.
+
+        Events without a tenant attribution (view releases, pre-tenancy
+        query spends) belong to no ledger and are excluded — they are
+        still part of every *global* composition below.
+        """
+        totals: dict[str, float] = {}
+        for e in self.events:
+            tenant = segment_tenant(e.segment)
+            if tenant is not None:
+                totals[tenant] = totals.get(tenant, 0.0) + e.epsilon
+        return totals
+
+    def tenant_epsilon(self, tenant_id: str) -> float:
+        """One tenant's total spent ε (0.0 for an unknown tenant)."""
+        return self.tenant_epsilons().get(str(tenant_id), 0.0)
 
     # -- composition -------------------------------------------------------
     def sequential_epsilon(self) -> float:

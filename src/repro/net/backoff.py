@@ -63,3 +63,47 @@ def backoff_delay(
     window = min(cap, base * (2.0 ** min(attempt, 62)))
     draw = _JITTER_RNG.random() if rng is None else rng()
     return window * draw
+
+
+#: Floor on a server-supplied ``retry_after`` hint (seconds).  A hint of
+#: 0 (an empty-but-refilling token bucket reports exactly that) taken
+#: literally turns the client's polite retry loop into a busy-wait
+#: hammering the very server that asked it to back off.
+RETRY_AFTER_FLOOR = 0.01
+#: Ceiling on a hint: a server (or a corrupted frame) must not be able
+#: to park a client for minutes.
+RETRY_AFTER_CAP = 30.0
+
+
+def clamp_retry_after(
+    hint: object,
+    floor: float = RETRY_AFTER_FLOOR,
+    cap: float = RETRY_AFTER_CAP,
+) -> float:
+    """A safe sleep from an untrusted ``retry_after`` hint.
+
+    The hint came off the wire: it may be absent, zero, negative,
+    non-finite, or not a number at all.  Every degenerate form maps to
+    the floor — the retry loop's budget (``busy_retries``) bounds total
+    waiting, this bounds the *rate*.
+
+    >>> clamp_retry_after(0.5)
+    0.5
+    >>> clamp_retry_after(0)        # zero would busy-spin
+    0.01
+    >>> clamp_retry_after(None)     # absent hint
+    0.01
+    >>> clamp_retry_after(-3)       # negative is nonsense
+    0.01
+    >>> clamp_retry_after(float("inf"))  # unbounded park
+    30.0
+    >>> clamp_retry_after("soon")   # not a number
+    0.01
+    """
+    try:
+        value = float(hint)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        return floor
+    if value != value:  # NaN
+        return floor
+    return min(max(value, floor), cap)

@@ -41,7 +41,7 @@ from typing import Iterable, Mapping
 from ..common.types import RecordBatch
 from ..query.ast import LogicalJoinQuery, LogicalQuery
 from . import protocol as wire
-from .backoff import backoff_delay
+from .backoff import backoff_delay, clamp_retry_after
 from .protocol import RemoteError, RemoteQueryResult, WireError
 
 
@@ -88,6 +88,8 @@ class IncShrinkClient:
         retry_backoff: float = 0.05,
         busy_retries: int = 16,
         codec: str = wire.CODEC_BINARY,
+        tenant: str | None = None,
+        token: str | None = None,
     ) -> None:
         if codec not in wire.SUPPORTED_CODECS:
             raise WireError(
@@ -104,6 +106,12 @@ class IncShrinkClient:
         #: preferred codec, offered first in the ``hello`` frame; the
         #: server's ``welcome`` has the final word (:attr:`codec`)
         self.preferred_codec = codec
+        #: multi-tenant credentials, sent in the ``hello`` frame when
+        #: set.  A registry-backed server answers a wrong or missing
+        #: pair with a structured ``auth-failed`` error and closes; a
+        #: registry-less server ignores the fields entirely.
+        self.tenant = tenant
+        self.token = token
         #: the server's ``welcome`` payload (views, shard count, watermark)
         self.server_info: dict = {}
         self._sock: socket.socket | None = None
@@ -179,9 +187,14 @@ class IncShrinkClient:
                 # rejection closes the socket, so overload is handled
                 # below by redialing.  The hello itself always rides a
                 # version-1 JSON frame — it must parse on any server.
+                hello: dict = {"client": self.name, "codecs": offered}
+                if self.tenant is not None:
+                    hello["tenant"] = self.tenant
+                if self.token is not None:
+                    hello["token"] = self.token
                 self.server_info = self._request(
                     "hello",
-                    {"client": self.name, "codecs": offered},
+                    hello,
                     expect="welcome",
                     retry_busy=False,
                 )
@@ -201,8 +214,10 @@ class IncShrinkClient:
                 self._teardown()
                 if exc.code == wire.ERR_OVERLOADED:
                     last_error = exc
-                    if exc.retry_after is not None:
-                        _time.sleep(exc.retry_after)
+                    # The hint is untrusted wire data: absent, zero, or
+                    # negative values all clamp to a floor so a shedding
+                    # server is never redialed in a hot loop.
+                    _time.sleep(clamp_retry_after(exc.retry_after))
                     continue
                 raise
             except ConnectionError as exc:
@@ -285,12 +300,12 @@ class IncShrinkClient:
             if response_type == "error":
                 code = response.get("code", wire.ERR_SERVER)
                 retry_after = response.get("retry_after")
-                if (
-                    code == wire.ERR_OVERLOADED
-                    and retry_after is not None
-                    and attempt < busy_budget
-                ):
-                    _time.sleep(float(retry_after))
+                if code == wire.ERR_OVERLOADED and attempt < busy_budget:
+                    # Only ``overloaded`` is retryable — ``auth-failed``,
+                    # ``forbidden``, and ``budget-exhausted`` raise below:
+                    # waiting makes no token valid and no ledger solvent.
+                    # A missing/zero hint clamps to a floor (no hot loop).
+                    _time.sleep(clamp_retry_after(retry_after))
                     continue
                 raise RemoteError(
                     code, response.get("message", "unspecified"), retry_after
@@ -410,8 +425,8 @@ class IncShrinkClient:
             if retry_from is None:
                 return results
             remaining = remaining[retry_from:]
-            if attempt < self.busy_retries and retry_after is not None:
-                _time.sleep(float(retry_after))
+            if attempt < self.busy_retries:
+                _time.sleep(clamp_retry_after(retry_after))
         raise RemoteError(
             wire.ERR_OVERLOADED,
             f"ingest queue still full after {self.busy_retries} retries "

@@ -165,6 +165,14 @@ ERR_INVALID_REQUEST = "invalid-request"
 ERR_OVERLOADED = "overloaded"
 ERR_SHUTTING_DOWN = "shutting-down"
 ERR_SERVER = "server-error"
+# Multi-tenant serving (PR 10).  ``auth-failed`` closes the connection
+# after the error flushes (wrong/missing credentials on a registry-backed
+# deployment); ``forbidden`` and ``budget-exhausted`` leave it open —
+# the session is authentic, only this request is refused.  Neither is
+# retryable: backing off cannot make a token valid or a ledger solvent.
+ERR_AUTH_FAILED = "auth-failed"
+ERR_FORBIDDEN = "forbidden"
+ERR_BUDGET_EXHAUSTED = "budget-exhausted"
 
 
 class WireError(ProtocolError):

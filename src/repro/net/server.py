@@ -48,6 +48,7 @@ OS pick a free port (the bound address is :attr:`address`).
 
 from __future__ import annotations
 
+import json
 import selectors
 import socket
 import threading
@@ -55,8 +56,16 @@ import time as _time
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 
-from ..common.errors import ConfigurationError, ReproError
+from ..common.errors import (
+    BudgetExhaustedError,
+    ConfigurationError,
+    ReproError,
+    SecurityError,
+)
 from ..server.runtime import DatabaseServer, DrainTimeout
+from ..tenancy.ledger import TenantLedger
+from ..tenancy.quota import TenantGates
+from ..tenancy.registry import Tenant, TenantRegistry
 from . import protocol as wire
 
 #: Request frames that consume an in-flight permit (everything that
@@ -88,6 +97,9 @@ class _Connection:
         "last_write_progress",
         "registered",
         "events",
+        "tenant",
+        "gate",
+        "tenant_permits",
     )
 
     def __init__(self, sock: socket.socket, counted: bool = True) -> None:
@@ -118,6 +130,13 @@ class _Connection:
         self.last_write_progress = now
         self.registered = False
         self.events = 0
+        #: the authenticated :class:`~repro.tenancy.registry.Tenant`
+        #: (None until a credentialed hello on a registry-backed server)
+        self.tenant: Tenant | None = None
+        #: the tenant's admission gate; holds one connection slot
+        self.gate = None
+        #: per-tenant in-flight permits held alongside :attr:`permits`
+        self.tenant_permits = 0
 
 
 class _EventLoop(threading.Thread):
@@ -254,6 +273,8 @@ class NetworkServer:
         max_write_buffer: int = 2 * wire.MAX_FRAME_BYTES,
         max_pending_frames: int = 64,
         socket_sndbuf: int | None = None,
+        registry: TenantRegistry | None = None,
+        audit_log: str | None = None,
     ) -> None:
         if max_connections < 1:
             raise ConfigurationError(
@@ -334,6 +355,21 @@ class NetworkServer:
         #: high-water mark of any connection's reassembly buffer, for
         #: bounded-memory assertions in tests
         self._reassembly_hwm = 0
+        #: multi-tenant identity/quota config.  ``None`` = open
+        #: back-compat mode: hello's tenant/token fields are ignored and
+        #: every request is served exactly as before PR 10.
+        self.registry = registry
+        self._gates = None if registry is None else TenantGates(registry)
+        #: structured JSON audit trail (auth failures, budget refusals,
+        #: quota rejections) — a bounded in-memory ring plus an optional
+        #: append-only JSON-lines file at ``audit_log``
+        self.audit_log = audit_log
+        self.audit_events: deque = deque(maxlen=1024)
+        self._audit_lock = threading.Lock()
+        if registry is not None:
+            budgets = registry.budgets()
+            if budgets:
+                server.database.set_tenant_budgets(budgets)
 
     # -- lifecycle ---------------------------------------------------------------
     @property
@@ -488,6 +524,7 @@ class NetworkServer:
             return
         conn.closed = True
         self._release_permits(conn)
+        self._release_gate(conn)
         if conn.registered:
             try:
                 loop.selector.unregister(conn.sock)
@@ -502,6 +539,16 @@ class NetworkServer:
         while conn.permits > 0:
             conn.permits -= 1
             self._inflight.release()
+        while conn.tenant_permits > 0:
+            conn.tenant_permits -= 1
+            if conn.gate is not None:
+                conn.gate.release_permit()
+
+    def _release_gate(self, conn: _Connection) -> None:
+        """Return the tenant's connection slot (at most once)."""
+        gate, conn.gate = conn.gate, None
+        if gate is not None:
+            gate.release_connection()
 
     def _update_interest(self, loop: _EventLoop, conn: _Connection) -> None:
         if conn.closed:
@@ -601,11 +648,22 @@ class NetworkServer:
                 break
             if frame_type == "hello":
                 conn.pending.popleft()
+                if self.registry is not None:
+                    failure = self._authenticate(conn, payload)
+                    if failure is not None:
+                        # A failed handshake answers one structured
+                        # error and closes cleanly once it flushes.
+                        conn.pending.clear()
+                        conn.close_after_flush = True
+                        self._send(loop, conn, [failure])
+                        break
                 codec = wire.negotiate_codec(
                     payload.get("codecs") if isinstance(payload, dict) else None
                 )
                 conn.codec = codec
-                self._send(loop, conn, [("welcome", self._welcome(codec))])
+                self._send(
+                    loop, conn, [("welcome", self._welcome(codec, conn.tenant))]
+                )
                 continue
             if frame_type in _GUARDED_FRAMES or frame_type == "stats":
                 batch = [conn.pending.popleft()]
@@ -619,12 +677,23 @@ class NetworkServer:
                         and conn.pending[0][0] == "upload"
                     ):
                         batch.append(conn.pending.popleft())
+                if self.registry is not None:
+                    rejection = self._authorize(conn, frame_type, len(batch))
+                    if rejection is not None:
+                        if rejection[1].get("code") == wire.ERR_AUTH_FAILED:
+                            # Requests before a credentialed hello: one
+                            # error, then hang up.
+                            conn.pending.clear()
+                            conn.close_after_flush = True
+                            self._send(loop, conn, [rejection])
+                            break
+                        self._send(loop, conn, [rejection] * len(batch))
+                        continue
                 if frame_type in _GUARDED_FRAMES:
-                    rejection = self._admit()
+                    rejection = self._admit(conn)
                     if rejection is not None:
                         self._send(loop, conn, [rejection] * len(batch))
                         continue
-                    conn.permits += 1
                 conn.executing = True
                 assert self._executor is not None
                 self._executor.submit(self._worker, loop, conn, batch)
@@ -748,6 +817,11 @@ class NetworkServer:
                         frame_type,
                         batch[0][1],
                         binary=conn.codec == wire.CODEC_BINARY,
+                        tenant=(
+                            None
+                            if conn.tenant is None
+                            else conn.tenant.tenant_id
+                        ),
                     )
                 ]
             blob = self._encode_responses(responses, conn.codec)
@@ -781,14 +855,148 @@ class NetworkServer:
         if not conn.closed:
             self._pump(loop, conn)
 
+    # -- multi-tenant identity and quotas ------------------------------------------
+    def _authenticate(
+        self, conn: _Connection, payload: object
+    ) -> tuple[str, dict] | None:
+        """Verify a hello's tenant credentials against the registry.
+
+        Returns the rejection response, or ``None`` with ``conn.tenant``
+        and ``conn.gate`` set.  Every failure shape — missing fields,
+        wrong types, oversized strings, unknown tenant, wrong token —
+        answers the same structured ``auth-failed`` error (constant-time
+        token comparison, no token ever echoed or logged).
+        """
+        assert self.registry is not None and self._gates is not None
+        fields = payload if isinstance(payload, dict) else {}
+        tenant_id = fields.get("tenant")
+        try:
+            tenant = self.registry.authenticate(tenant_id, fields.get("token"))
+        except SecurityError as exc:
+            self._audit(
+                "auth-failed",
+                tenant=tenant_id if isinstance(tenant_id, str) else None,
+                reason=str(exc),
+            )
+            return "error", wire.error_payload(
+                wire.ERR_AUTH_FAILED, str(exc)
+            )
+        gate = self._gates.gate(tenant.tenant_id)
+        if conn.gate is not None and conn.gate is not gate:
+            # A re-hello that switches identity frees the old slot.
+            self._release_gate(conn)
+        if conn.gate is None:
+            if not gate.try_connect():
+                gate.note_rejection("connections")
+                self._audit("quota-rejected", tenant=tenant.tenant_id,
+                            quota="connections")
+                return "error", wire.error_payload(
+                    wire.ERR_OVERLOADED,
+                    f"tenant {tenant.tenant_id!r} at "
+                    f"max_connections={tenant.max_connections}",
+                    retry_after=self.retry_after,
+                )
+            conn.gate = gate
+        conn.tenant = tenant
+        return None
+
+    def _authorize(
+        self, conn: _Connection, frame_type: str, n: int
+    ) -> tuple[str, dict] | None:
+        """Role and rate checks for one request batch (``n`` frames).
+
+        Runs before the global admission gate so a throttled tenant
+        never consumes a deployment-wide permit.  ``stats`` needs a
+        session but no role (every tenant may watch the deployment).
+        """
+        tenant = conn.tenant
+        if tenant is None:
+            self._audit("auth-failed", tenant=None,
+                        reason=f"{frame_type} before a credentialed hello")
+            return "error", wire.error_payload(
+                wire.ERR_AUTH_FAILED,
+                f"cannot serve {frame_type!r} before a credentialed hello",
+            )
+        if frame_type == "stats":
+            return None
+        if not self.registry.allowed(tenant.role, frame_type):
+            assert conn.gate is not None
+            conn.gate.note_rejection("forbidden")
+            self._audit("forbidden", tenant=tenant.tenant_id,
+                        role=tenant.role, frame=frame_type)
+            return "error", wire.error_payload(
+                wire.ERR_FORBIDDEN,
+                f"role {tenant.role!r} of tenant {tenant.tenant_id!r} "
+                f"may not {frame_type}",
+            )
+        if frame_type in ("upload", "query"):
+            assert conn.gate is not None
+            wait = conn.gate.try_rate(frame_type, n)
+            if wait is not None:
+                conn.gate.note_rejection(f"{frame_type}-rate")
+                self._audit("quota-rejected", tenant=tenant.tenant_id,
+                            quota=f"{frame_type}-rate")
+                return "error", wire.error_payload(
+                    wire.ERR_OVERLOADED,
+                    f"tenant {tenant.tenant_id!r} over its {frame_type} "
+                    "rate limit",
+                    retry_after=max(wait, self.retry_after),
+                )
+        return None
+
+    def _audit(self, event: str, **fields: object) -> None:
+        """Record one structured audit event (never a token)."""
+        record = {"event": event, "ts": _time.time(), **fields}
+        with self._audit_lock:
+            self.audit_events.append(record)
+            if self.audit_log is not None:
+                try:
+                    with open(self.audit_log, "a", encoding="utf8") as fh:
+                        fh.write(json.dumps(record, default=str) + "\n")
+                except OSError:
+                    pass  # auditing must never take the data path down
+
+    def tenancy_stats(self) -> dict:
+        """Per-tenant gauges for the metrics listener and tests.
+
+        Merges each tenant's live admission gauges (connections,
+        in-flight, rejection counters) with its privacy-ledger summary
+        (ε spent / budget / remaining).  Empty without a registry.
+        """
+        if self.registry is None or self._gates is None:
+            return {}
+        db = self.server.database
+        ledger = TenantLedger(db.accountant, db.tenant_budgets)
+        summary = ledger.summary()
+        out: dict[str, dict] = {}
+        for tenant in self.registry:
+            tid = tenant.tenant_id
+            entry = dict(self._gates.gate(tid).gauges())
+            entry["role"] = tenant.role
+            entry.update(
+                summary.get(
+                    tid,
+                    {
+                        "epsilon_spent": ledger.spent(tid),
+                        "epsilon_budget": None,
+                        "epsilon_remaining": None,
+                    },
+                )
+            )
+            out[tid] = entry
+        return out
+
     # -- request dispatch ---------------------------------------------------------
-    def _admit(self) -> tuple[str, dict] | None:
+    def _admit(self, conn: _Connection | None = None) -> tuple[str, dict] | None:
         """Admission control for guarded frames.
 
         Returns a rejection response, or ``None`` when admitted — in
-        which case one in-flight permit is held and the **caller** must
-        release it (after flushing the response, so a graceful drain
-        counts the unflushed answer as still in flight).
+        which case one in-flight permit (plus the tenant's, when ``conn``
+        is an authenticated connection) is held on ``conn`` and released
+        after the response bytes flush, so a graceful drain counts the
+        unflushed answer as still in flight.  Direct callers passing no
+        connection (:meth:`_dispatch`) must release the global permit
+        themselves.
         """
         if self._closing:
             return "error", wire.error_payload(
@@ -800,10 +1008,32 @@ class NetworkServer:
                 f"server at max_inflight={self.max_inflight} concurrent requests",
                 retry_after=self.retry_after,
             )
+        if conn is None:
+            return None
+        if conn.gate is not None and not conn.gate.try_permit():
+            self._inflight.release()
+            conn.gate.note_rejection("inflight")
+            tenant = conn.tenant
+            assert tenant is not None
+            self._audit("quota-rejected", tenant=tenant.tenant_id,
+                        quota="inflight")
+            return "error", wire.error_payload(
+                wire.ERR_OVERLOADED,
+                f"tenant {tenant.tenant_id!r} at "
+                f"max_inflight={tenant.max_inflight} concurrent requests",
+                retry_after=self.retry_after,
+            )
+        conn.permits += 1
+        if conn.gate is not None:
+            conn.tenant_permits += 1
         return None
 
     def _execute(
-        self, frame_type: str, payload: dict, binary: bool = False
+        self,
+        frame_type: str,
+        payload: dict,
+        binary: bool = False,
+        tenant: str | None = None,
     ) -> tuple[str, dict]:
         """Run one admitted guarded request; never raises.
 
@@ -827,10 +1057,29 @@ class NetworkServer:
             if frame_type == "upload":
                 return self._handle_upload(payload)
             if frame_type == "query":
-                return self._handle_query(payload, binary=binary)
+                return self._handle_query(payload, binary=binary, tenant=tenant)
             if frame_type == "snapshot":
                 return self._handle_snapshot(payload)
             return self._handle_reshard(payload)
+        except BudgetExhaustedError as exc:
+            # Refused *before* any noise was drawn: structured fields so
+            # the analyst can see exactly what the ledger has left.  Not
+            # retryable — waiting cannot make the ledger solvent.
+            self._audit(
+                "budget-exhausted",
+                tenant=exc.tenant,
+                requested_epsilon=exc.requested,
+                epsilon_spent=exc.spent,
+                epsilon_budget=exc.budget,
+            )
+            if self._gates is not None and exc.tenant is not None:
+                self._gates.gate(exc.tenant).note_rejection("budget-exhausted")
+            response = wire.error_payload(wire.ERR_BUDGET_EXHAUSTED, str(exc))
+            response["tenant"] = exc.tenant
+            response["requested_epsilon"] = exc.requested
+            response["epsilon_spent"] = exc.spent
+            response["epsilon_budget"] = exc.budget
+            return "error", response
         except ReproError as exc:
             return "error", wire.error_payload(
                 wire.ERR_INVALID_REQUEST, f"{type(exc).__name__}: {exc}"
@@ -867,7 +1116,9 @@ class NetworkServer:
         finally:
             self._inflight.release()
 
-    def _welcome(self, codec: str | None = None) -> dict:
+    def _welcome(
+        self, codec: str | None = None, tenant: Tenant | None = None
+    ) -> dict:
         """Public deployment metadata a client needs to form queries."""
         db = self.server.database
         payload = {
@@ -887,6 +1138,9 @@ class NetworkServer:
         }
         if codec is not None:
             payload["codec"] = codec
+        if tenant is not None:
+            payload["tenant"] = tenant.tenant_id
+            payload["role"] = tenant.role
         return payload
 
     # -- upload admission + batched submission -------------------------------------
@@ -1068,7 +1322,7 @@ class NetworkServer:
             )
 
     def _handle_query(
-        self, payload: dict, binary: bool = False
+        self, payload: dict, binary: bool = False, tenant: str | None = None
     ) -> tuple[str, dict]:
         try:
             query = wire.decode_query(payload["query"])
@@ -1084,6 +1338,7 @@ class NetworkServer:
             time=time,
             predicate_words=predicate_words,
             epsilon=epsilon,
+            tenant=tenant,
         )
         return "result", wire.encode_result(result, binary=binary)
 

@@ -53,7 +53,11 @@ from ..core.flush import CacheFlusher
 from ..core.shrink_ant import SDPANT
 from ..core.shrink_timer import SDPTimer
 from ..core.view_def import JoinViewDefinition
-from ..dp.accountant import PrivacyAccountant, theorem3_epsilon
+from ..dp.accountant import (
+    PrivacyAccountant,
+    tenant_scoped_segment,
+    theorem3_epsilon,
+)
 from ..dp.allocation import allocate_budget, split_query_epsilon, view_operator_spec
 from ..dp.laplace import laplace_noise
 from ..mpc.cost_model import CostModel
@@ -88,6 +92,7 @@ from ..storage.growing_db import GrowingDatabase
 from ..storage.materialized_view import MaterializedView
 from ..storage.outsourced_table import OutsourcedTable
 from ..storage.secure_cache import SecureCache
+from ..tenancy.ledger import check_tenant_budget, validate_budgets
 from .planner import DatabasePlanner
 from .sharding import ShardLayout
 from .scheduler import (
@@ -255,6 +260,10 @@ class IncShrinkDatabase:
         self._finalized = False
         self._state_version = 0
         self._query_seq = 0
+        #: tenant -> ε cap for per-tenant ledgers.  Empty = single-tenant
+        #: deployment; nothing here changes realized ε or noise draws —
+        #: tenant attribution only extends the *segment key* of a spend.
+        self.tenant_budgets: dict[str, float] = {}
 
     # -- registration -----------------------------------------------------------
     def register_table(self, name: str, schema: Schema) -> None:
@@ -528,6 +537,7 @@ class IncShrinkDatabase:
         replication: int = 2,
         scan_workers: int | None = None,
         heartbeat_interval: float = 1.0,
+        token: str | None = None,
     ) -> None:
         """Scatter view scans to a fleet of shard-worker daemons.
 
@@ -547,6 +557,7 @@ class IncShrinkDatabase:
             endpoints,
             replication=replication,
             heartbeat_interval=heartbeat_interval,
+            token=token,
         ).start()
         old_remote = self.scan_executor.remote
         self.scan_executor = ParallelScanExecutor(
@@ -604,6 +615,7 @@ class IncShrinkDatabase:
         predicate_words: int = 1,
         plan: QueryPlan | None = None,
         epsilon: float | None = None,
+        tenant: str | None = None,
     ) -> DatabaseQueryResult:
         """Plan, execute, and score one logical query (any AST form).
 
@@ -621,9 +633,14 @@ class IncShrinkDatabase:
         across the query's aggregates by sensitivity
         (:func:`repro.dp.allocation.split_query_epsilon`), each spend is
         composed in the shared accountant, and the observation scores the
-        *released* (noisy) values.
+        *released* (noisy) values.  ``tenant`` attributes the spends to
+        that tenant's ledger and enforces its ε cap (if one is set)
+        **before** the scan runs or any noise is drawn, so a refused
+        query leaves the noise stream and every ledger untouched.
         """
         self.finalize()
+        if epsilon is not None and tenant is not None:
+            check_tenant_budget(self.accountant, self.tenant_budgets, tenant, epsilon)
         lq = as_logical(query)
         if plan is None:
             plan = self.planner.plan(lq, predicate_words=predicate_words)
@@ -650,7 +667,7 @@ class IncShrinkDatabase:
             )
         epsilon_spent = 0.0
         if epsilon is not None:
-            answers = self._noise_answers(lq, answers, epsilon)
+            answers = self._noise_answers(lq, answers, epsilon, tenant=tenant)
             epsilon_spent = epsilon
         obs = QueryObservation(
             time=time,
@@ -681,7 +698,11 @@ class IncShrinkDatabase:
         return self.query(query, time)
 
     def _noise_answers(
-        self, lq: LogicalQuery, answers: QueryAnswer, epsilon: float
+        self,
+        lq: LogicalQuery,
+        answers: QueryAnswer,
+        epsilon: float,
+        tenant: str | None = None,
     ) -> QueryAnswer:
         """Laplace-release one query's answer table under ``epsilon``.
 
@@ -722,7 +743,12 @@ class IncShrinkDatabase:
             [aggregates[i].sensitivity for i in released], epsilon
         )
         self._query_seq += 1
-        segment = ("query", self._query_seq)
+        segment: tuple = ("query", self._query_seq)
+        if tenant is not None:
+            # Extending the key (never the ε values) keeps every global
+            # composition and the drawn noise byte-identical to the
+            # single-tenant path while attributing the spend to a ledger.
+            segment = tenant_scoped_segment(segment, tenant)
         n_groups = len(answers.rows)
         noisy_rows = [list(row) for row in answers.rows]
         for a, eps_i in zip(released, split):
@@ -858,6 +884,22 @@ class IncShrinkDatabase:
             for e in self.accountant.events
             if isinstance(e.segment, tuple) and e.segment[:1] == ("query",)
         )
+
+    # -- per-tenant ledgers ------------------------------------------------------
+    def set_tenant_budgets(self, budgets: Mapping[str, float]) -> None:
+        """Install (validated) per-tenant ε caps for noisy query releases.
+
+        Budgets are declarative config, not spend state: the spends
+        themselves live in the shared accountant's events (tenant-scoped
+        segment keys), so installing the same budgets after a restore
+        recovers every ledger exactly — there is no second store to
+        double-spend from.
+        """
+        self.tenant_budgets = validate_budgets(budgets)
+
+    def tenant_epsilons(self) -> dict[str, float]:
+        """Spent query-ε per tenant (derived from the accountant)."""
+        return self.accountant.tenant_epsilons()
 
     def realized_epsilon(self) -> float:
         """Composed end-to-end ε across every view of the database.

@@ -69,11 +69,16 @@ SNAPSHOT_MAGIC = "incshrink-snapshot"
 #: Bump on any incompatible change to the body layout.
 #: v2 adds the shard layout: ``config.n_shards`` plus per-shard view
 #: tables (``views[i].view.shards``) in round-robin global order.
-SNAPSHOT_VERSION = 2
+#: v3 adds ``tenant_budgets`` (tenant -> ε cap) for multi-tenant
+#: deployments; the per-tenant *spends* need no new field — they ride
+#: the accountant events' tenant-scoped segment keys, which v2 already
+#: round-trips.
+SNAPSHOT_VERSION = 3
 #: Older format versions :func:`restore_database` still reads.  A v1
 #: snapshot predates sharding and restores as a single-shard deployment
-#: (``IncShrinkDatabase.reshard`` is the upgrade path afterwards).
-COMPATIBLE_VERSIONS = (1, SNAPSHOT_VERSION)
+#: (``IncShrinkDatabase.reshard`` is the upgrade path afterwards); a v2
+#: snapshot predates tenancy and restores with no tenant budget caps.
+COMPATIBLE_VERSIONS = (1, 2, SNAPSHOT_VERSION)
 
 #: ``ViewRegistration`` fields that are plain scalars (everything but the
 #: view definition itself).
@@ -374,6 +379,7 @@ def _snapshot_body(db: IncShrinkDatabase, metadata: dict | None) -> dict:
             [name, eps, _encode_segment(segment)]
             for name, eps, segment in db.accountant.snapshot_state()
         ],
+        "tenant_budgets": dict(db.tenant_budgets),
         "metrics": _encode_metric_log(db.metrics),
         "rng": {
             "server0": runtime.server0.gen.bit_generator.state,
@@ -625,6 +631,13 @@ def _rebuild(body: dict) -> IncShrinkDatabase:
         ]
     )
     db.metrics = _decode_metric_log(body["metrics"])
+    # Tenant ε caps (v3+; absent = pre-tenancy snapshot, no caps).  The
+    # per-tenant *spends* were just restored with the accountant events
+    # above — deriving ledgers from events is what makes a restore
+    # incapable of double-spending a tenant's budget.
+    budgets = body.get("tenant_budgets") or {}
+    if budgets:
+        db.set_tenant_budgets(budgets)
 
     # Both servers' and the owners' RNG streams continue exactly where
     # the snapshotted process stopped, as does the query-release noise

@@ -42,6 +42,7 @@ from ..common.errors import ConfigurationError, ProtocolError
 from ..common.types import RecordBatch
 from ..query.ast import LogicalJoinQuery, LogicalQuery
 from ..query.shard_workers import shutdown_process_backend
+from ..tenancy.ledger import TenantLedger
 from .database import DatabaseQueryResult, IncShrinkDatabase
 from .persistence import SnapshotInfo, restore_database, snapshot_database
 
@@ -193,9 +194,14 @@ class ReadSession:
         time: int | None = None,
         predicate_words: int = 1,
         epsilon: float | None = None,
+        tenant: str | None = None,
     ) -> DatabaseQueryResult:
         result = self.server.query(
-            query, time=time, predicate_words=predicate_words, epsilon=epsilon
+            query,
+            time=time,
+            predicate_words=predicate_words,
+            epsilon=epsilon,
+            tenant=tenant,
         )
         self.results.append(result)
         return result
@@ -587,6 +593,7 @@ class DatabaseServer:
         time: int | None = None,
         predicate_words: int = 1,
         epsilon: float | None = None,
+        tenant: str | None = None,
     ) -> DatabaseQueryResult:
         """Plan and execute one logical query against a consistent state.
 
@@ -594,7 +601,9 @@ class DatabaseServer:
         guard serialises sessions scanning the same view; the MPC lock
         serialises circuit evaluation on the simulated 2PC backend (and
         the noisy-release sampling of an ε-released query, whose noise
-        stream is separate from the ingestion streams).
+        stream is separate from the ingestion streams).  Because the MPC
+        lock serialises noisy releases, the database's check-then-spend
+        ledger gate for ``tenant`` is atomic with the spend it guards.
         """
         self._raise_ingest_error()
         t0 = _time.perf_counter()
@@ -611,6 +620,7 @@ class DatabaseServer:
                     predicate_words=predicate_words,
                     plan=plan,
                     epsilon=epsilon,
+                    tenant=tenant,
                 )
         with self._stats_lock:
             self.stats.queries += 1
@@ -659,6 +669,10 @@ class DatabaseServer:
             payload["realized_epsilon"] = self.database.realized_epsilon()
             error = self._ingest_error
             payload["ingest_error"] = None if error is None else str(error)
+            if self.database.tenant_budgets:
+                payload["tenants"] = TenantLedger(
+                    self.database.accountant, self.database.tenant_budgets
+                ).summary()
         return payload
 
     # -- persistence --------------------------------------------------------------

@@ -1,0 +1,129 @@
+"""Per-tenant privacy ledgers over the shared accountant.
+
+A tenant's ledger is not a second accountant — it is a *view* of the
+one shared :class:`~repro.dp.accountant.PrivacyAccountant`, recovered
+from the tenant attribution carried on each event's segment key
+(:func:`repro.dp.accountant.tenant_scoped_segment`).  That gives two
+properties for free:
+
+* **Global composition is untouched.**  Every tenant-attributed spend
+  is an ordinary event; ``sequential_epsilon``/``parallel_epsilon`` and
+  the Theorem-3 realized-ε computation see exactly the events a
+  single-tenant deployment would record, with identical ε values.
+* **Ledgers survive restarts without double-spend.**  The accountant's
+  events already round-trip through the snapshot format; because the
+  ledger is derived from them, a restored deployment's per-tenant
+  spends are byte-exact — there is no second store to drift.
+
+The only *write-side* addition is :func:`check_tenant_budget`: the
+pre-spend gate that rejects an overdraw **before any noise is drawn**,
+so a refused query perturbs neither the noise stream nor the ledger.
+
+>>> from repro.dp.accountant import PrivacyAccountant, tenant_scoped_segment
+>>> acc = PrivacyAccountant()
+>>> acc.spend("query:count", 0.4, tenant_scoped_segment(("query", 1), "an"))
+>>> ledger = TenantLedger(acc, {"an": 1.0})
+>>> ledger.spent("an")
+0.4
+>>> round(ledger.remaining("an"), 6)
+0.6
+>>> check_tenant_budget(acc, {"an": 1.0}, "an", 0.7)
+Traceback (most recent call last):
+  ...
+repro.common.errors.BudgetExhaustedError: tenant 'an' privacy budget exhausted: requested epsilon 0.7 but only 0.6 of 1 remains (spent 0.4)
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..common.errors import BudgetExhaustedError, ConfigurationError
+from ..dp.accountant import PrivacyAccountant
+
+#: Absolute float tolerance on the overdraw check: a ledger may be
+#: spent *exactly* to its cap (budget 1.0 spent in four 0.25 releases
+#: must admit all four), so the comparison forgives accumulated
+#: rounding at machine-epsilon scale, never a real overdraw.
+BUDGET_ATOL = 1e-9
+
+
+def validate_budgets(budgets: Mapping[str, float]) -> dict[str, float]:
+    """Validate a ``tenant -> epsilon cap`` mapping (PR 4 convention)."""
+    checked: dict[str, float] = {}
+    for tenant, budget in budgets.items():
+        if not isinstance(tenant, str) or not tenant:
+            raise ConfigurationError(
+                f"tenant id must be a non-empty string, got {tenant!r}"
+            )
+        try:
+            value = float(budget)
+        except (TypeError, ValueError):
+            raise ConfigurationError(
+                f"tenant {tenant!r}: epsilon_budget must be a number, "
+                f"got {budget!r}"
+            )
+        if not value > 0:
+            raise ConfigurationError(
+                f"tenant {tenant!r}: epsilon_budget must be positive, "
+                f"got {budget!r}"
+            )
+        checked[tenant] = value
+    return checked
+
+
+def check_tenant_budget(
+    accountant: PrivacyAccountant,
+    budgets: Mapping[str, float],
+    tenant: str,
+    epsilon: float,
+) -> None:
+    """The pre-spend gate: refuse a release that would overdraw.
+
+    A tenant absent from ``budgets`` is uncapped (the deployment chose
+    not to bound it); a capped tenant may spend up to its cap exactly.
+    Raises :class:`~repro.common.errors.BudgetExhaustedError` carrying
+    the structured fields the wire error reports.
+    """
+    budget = budgets.get(tenant)
+    if budget is None:
+        return
+    spent = accountant.tenant_epsilon(tenant)
+    if spent + epsilon > budget + BUDGET_ATOL:
+        raise BudgetExhaustedError(tenant, epsilon, spent, budget)
+
+
+class TenantLedger:
+    """Read-side summary of every tenant's ledger (metrics, stats)."""
+
+    def __init__(
+        self, accountant: PrivacyAccountant, budgets: Mapping[str, float]
+    ) -> None:
+        self.accountant = accountant
+        self.budgets = validate_budgets(budgets)
+
+    def spent(self, tenant: str) -> float:
+        return self.accountant.tenant_epsilon(tenant)
+
+    def remaining(self, tenant: str) -> float | None:
+        """Headroom under the cap (``None`` for an uncapped tenant)."""
+        budget = self.budgets.get(tenant)
+        if budget is None:
+            return None
+        return max(budget - self.spent(tenant), 0.0)
+
+    def summary(self) -> dict[str, dict]:
+        """Per-tenant ``{spent, budget, remaining}`` over the union of
+        capped tenants and tenants with recorded spends."""
+        spends = self.accountant.tenant_epsilons()
+        out: dict[str, dict] = {}
+        for tenant in sorted(set(spends) | set(self.budgets)):
+            budget = self.budgets.get(tenant)
+            spent = spends.get(tenant, 0.0)
+            out[tenant] = {
+                "epsilon_spent": spent,
+                "epsilon_budget": budget,
+                "epsilon_remaining": (
+                    None if budget is None else max(budget - spent, 0.0)
+                ),
+            }
+        return out

@@ -1,0 +1,165 @@
+"""Per-tenant admission state: token buckets, connection caps, permits.
+
+The network front door (PR 5/7) already rejects-with-``retry_after``
+instead of buffering at three gates — the connection cap, the in-flight
+semaphore, and the bounded ingest queue.  This module re-expresses the
+same policy *per tenant*, so one greedy principal exhausts its own
+quota, never the deployment's.
+
+Everything here is wall-clock operational state: token-bucket refills
+draw from :func:`time.monotonic` (injectable for tests) and never touch
+the simulation's seeded randomness streams.
+
+>>> clock = iter([0.0, 0.0, 0.0, 0.0, 0.5, 10.0]).__next__
+>>> bucket = TokenBucket(rate=2.0, burst=2, clock=clock)
+>>> bucket.try_take()            # burst token 1
+>>> bucket.try_take()            # burst token 2
+>>> bucket.try_take()            # empty: 1 token is 0.5 s away
+0.5
+>>> bucket.try_take()            # at t=0.5 one token has refilled
+>>> bucket.try_take()            # t=10: bucket refilled up to burst
+"""
+
+from __future__ import annotations
+
+import threading
+import time as _time
+from typing import Callable
+
+from ..common.errors import ConfigurationError
+from .registry import Tenant, TenantRegistry
+
+
+class TokenBucket:
+    """A thread-safe token bucket: ``rate`` tokens/s, ``burst`` capacity.
+
+    :meth:`try_take` never blocks: it returns ``None`` on success or
+    the seconds until the requested tokens will be available — exactly
+    the ``retry_after`` hint a structured ``overloaded`` error carries.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: int | None = None,
+        clock: Callable[[], float] = _time.monotonic,
+    ) -> None:
+        if not rate > 0:
+            raise ConfigurationError(f"rate must be positive, got {rate!r}")
+        self.rate = float(rate)
+        self.burst = float(burst) if burst is not None else max(1.0, self.rate)
+        if not self.burst >= 1:
+            raise ConfigurationError(f"burst must be >= 1, got {burst!r}")
+        self._clock = clock
+        self._tokens = self.burst
+        self._last = self._clock()
+        self._lock = threading.Lock()
+
+    def try_take(self, n: int = 1) -> float | None:
+        """Take ``n`` tokens, or report how long until they exist."""
+        need = float(n)
+        with self._lock:
+            now = self._clock()
+            self._tokens = min(
+                self.burst, self._tokens + (now - self._last) * self.rate
+            )
+            self._last = now
+            if self._tokens >= need:
+                self._tokens -= need
+                return None
+            # Even a burst-sized request eventually fits; one larger
+            # than the bucket reports the time to fill the whole bucket
+            # (the caller's retry will re-ask with the same n and keep
+            # being told to wait — a config error surfaced as throttle).
+            missing = min(need, self.burst) - self._tokens
+            return max(missing / self.rate, 0.0)
+
+
+class TenantGate:
+    """One tenant's live admission state on one serving front door."""
+
+    def __init__(
+        self, tenant: Tenant, clock: Callable[[], float] = _time.monotonic
+    ) -> None:
+        self.tenant = tenant
+        self._lock = threading.Lock()
+        self._connections = 0
+        self._inflight = 0
+        self._rejections: dict[str, int] = {}
+        self._buckets: dict[str, TokenBucket] = {}
+        if tenant.upload_rate is not None:
+            self._buckets["upload"] = TokenBucket(
+                tenant.upload_rate, tenant.burst, clock=clock
+            )
+        if tenant.query_rate is not None:
+            self._buckets["query"] = TokenBucket(
+                tenant.query_rate, tenant.burst, clock=clock
+            )
+
+    # -- connection cap ----------------------------------------------------
+    def try_connect(self) -> bool:
+        with self._lock:
+            cap = self.tenant.max_connections
+            if cap is not None and self._connections >= cap:
+                return False
+            self._connections += 1
+            return True
+
+    def release_connection(self) -> None:
+        with self._lock:
+            self._connections -= 1
+
+    # -- in-flight permits -------------------------------------------------
+    def try_permit(self) -> bool:
+        with self._lock:
+            cap = self.tenant.max_inflight
+            if cap is not None and self._inflight >= cap:
+                return False
+            self._inflight += 1
+            return True
+
+    def release_permit(self) -> None:
+        with self._lock:
+            self._inflight -= 1
+
+    # -- rate limits -------------------------------------------------------
+    def try_rate(self, kind: str, n: int = 1) -> float | None:
+        """``None`` = admitted; else seconds until ``n`` tokens exist."""
+        bucket = self._buckets.get(kind)
+        if bucket is None:
+            return None
+        return bucket.try_take(n)
+
+    # -- accounting --------------------------------------------------------
+    def note_rejection(self, reason: str) -> None:
+        with self._lock:
+            self._rejections[reason] = self._rejections.get(reason, 0) + 1
+
+    def gauges(self) -> dict:
+        with self._lock:
+            return {
+                "connections": self._connections,
+                "inflight": self._inflight,
+                "rejections": dict(self._rejections),
+            }
+
+
+class TenantGates:
+    """The per-tenant gates of one front door, keyed by tenant id."""
+
+    def __init__(
+        self,
+        registry: TenantRegistry,
+        clock: Callable[[], float] = _time.monotonic,
+    ) -> None:
+        self._gates = {
+            tenant.tenant_id: TenantGate(tenant, clock=clock)
+            for tenant in registry
+        }
+
+    def gate(self, tenant_id: str) -> TenantGate:
+        return self._gates[tenant_id]
+
+    def stats(self) -> dict[str, dict]:
+        """Per-tenant gauges (connections, in-flight, rejections)."""
+        return {tid: gate.gauges() for tid, gate in self._gates.items()}

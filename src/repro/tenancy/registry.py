@@ -1,0 +1,271 @@
+"""Tenant identities: tokens, roles, budgets, and quotas.
+
+A :class:`TenantRegistry` is the authentication and authorization
+database of one serving deployment.  It is deliberately small — a
+handful of tenants with pre-shared tokens, not a user directory — and
+deliberately strict: every field is validated at load time with an
+error naming the field and the offending value, so a typo in an ops
+config fails the boot, not the first request.
+
+Token verification is **constant-time** (:func:`hmac.compare_digest`
+over UTF-8 bytes).  An unknown tenant id compares the presented token
+against a per-registry random dummy of the same construction, so the
+timing of a rejection does not reveal whether the tenant id exists.
+
+>>> reg = TenantRegistry.from_specs([
+...     "ow:owner-token:owner:1.0",
+...     "an:analyst-token:analyst:2.5",
+... ])
+>>> sorted(reg.ids())
+['an', 'ow']
+>>> reg.authenticate("an", "analyst-token").role
+'analyst'
+>>> reg.allowed("analyst", "query"), reg.allowed("analyst", "upload")
+(True, False)
+>>> reg.budgets()
+{'ow': 1.0, 'an': 2.5}
+"""
+
+from __future__ import annotations
+
+import hmac
+import json
+import os
+import secrets
+from dataclasses import dataclass
+
+from ..common.errors import ConfigurationError, SecurityError
+
+#: The recognised roles and the request frames each may issue.  Owners
+#: stream the database forward, analysts spend privacy budget, admins
+#: operate the deployment (and may do everything a tenant can).  The
+#: cheap observability frames (``hello``/``stats``/``bye``) are open to
+#: every *authenticated* role.
+ROLE_FRAMES: dict[str, frozenset[str]] = {
+    "owner": frozenset({"upload"}),
+    "analyst": frozenset({"query"}),
+    "admin": frozenset({"upload", "query", "snapshot", "reshard"}),
+}
+ROLES = tuple(sorted(ROLE_FRAMES))
+
+#: Hard ceiling on credential field sizes accepted anywhere (config
+#: files, CLI specs, hello frames) — a constant-time compare over an
+#: unbounded attacker-supplied string is a CPU amplification vector.
+MAX_CREDENTIAL_BYTES = 1024
+
+
+@dataclass(frozen=True)
+class Tenant:
+    """One principal: identity, secret, role, budget, quotas.
+
+    ``epsilon_budget`` caps the tenant's lifetime spend of per-query
+    Laplace releases (``None`` = uncapped).  ``max_connections`` and
+    ``max_inflight`` bound concurrent sockets and concurrently
+    executing requests; ``upload_rate``/``query_rate`` are sustained
+    frames-per-second token-bucket rates with ``burst`` capacity.
+    ``None`` disables the corresponding quota.
+    """
+
+    tenant_id: str
+    token: str
+    role: str = "analyst"
+    epsilon_budget: float | None = None
+    max_connections: int | None = None
+    max_inflight: int | None = None
+    upload_rate: float | None = None
+    query_rate: float | None = None
+    burst: int | None = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.tenant_id, str) or not self.tenant_id:
+            raise ConfigurationError(
+                f"tenant id must be a non-empty string, got {self.tenant_id!r}"
+            )
+        if len(self.tenant_id.encode("utf8")) > MAX_CREDENTIAL_BYTES:
+            raise ConfigurationError(
+                f"tenant id must be <= {MAX_CREDENTIAL_BYTES} bytes, got "
+                f"{len(self.tenant_id.encode('utf8'))} bytes"
+            )
+        if not isinstance(self.token, str) or not self.token:
+            raise ConfigurationError(
+                f"tenant {self.tenant_id!r}: token must be a non-empty string"
+            )
+        if len(self.token.encode("utf8")) > MAX_CREDENTIAL_BYTES:
+            raise ConfigurationError(
+                f"tenant {self.tenant_id!r}: token must be <= "
+                f"{MAX_CREDENTIAL_BYTES} bytes"
+            )
+        if self.role not in ROLE_FRAMES:
+            raise ConfigurationError(
+                f"tenant {self.tenant_id!r}: role must be one of {ROLES}, "
+                f"got {self.role!r}"
+            )
+        if self.epsilon_budget is not None and not self.epsilon_budget > 0:
+            raise ConfigurationError(
+                f"tenant {self.tenant_id!r}: epsilon_budget must be "
+                f"positive, got {self.epsilon_budget!r}"
+            )
+        for field_name in ("max_connections", "max_inflight", "burst"):
+            value = getattr(self, field_name)
+            if value is not None and (not isinstance(value, int) or value < 1):
+                raise ConfigurationError(
+                    f"tenant {self.tenant_id!r}: {field_name} must be an "
+                    f"integer >= 1, got {value!r}"
+                )
+        for field_name in ("upload_rate", "query_rate"):
+            value = getattr(self, field_name)
+            if value is not None and not value > 0:
+                raise ConfigurationError(
+                    f"tenant {self.tenant_id!r}: {field_name} must be "
+                    f"positive, got {value!r}"
+                )
+
+
+class TenantRegistry:
+    """The deployment's tenant database, immutable after construction."""
+
+    def __init__(self, tenants: list[Tenant]) -> None:
+        if not tenants:
+            raise ConfigurationError("a tenant registry needs >= 1 tenant")
+        self._tenants: dict[str, Tenant] = {}
+        for tenant in tenants:
+            if tenant.tenant_id in self._tenants:
+                raise ConfigurationError(
+                    f"duplicate tenant id {tenant.tenant_id!r} in registry"
+                )
+            self._tenants[tenant.tenant_id] = tenant
+        # Timing decoy for unknown tenant ids: same length class as a
+        # real token, fresh per registry, never matches anything.
+        self._decoy = secrets.token_hex(32)
+
+    # -- construction ------------------------------------------------------
+    @classmethod
+    def from_file(cls, path: str | os.PathLike) -> "TenantRegistry":
+        """Load ``{"tenants": [{...}, ...]}`` from a JSON config file."""
+        try:
+            with open(path, "r", encoding="utf8") as fh:
+                doc = json.load(fh)
+        except OSError as exc:
+            raise ConfigurationError(f"cannot read tenant config {path}: {exc}")
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(
+                f"tenant config {path} is not valid JSON: {exc}"
+            )
+        if not isinstance(doc, dict) or not isinstance(doc.get("tenants"), list):
+            raise ConfigurationError(
+                f"tenant config {path} must be an object with a 'tenants' list"
+            )
+        tenants = []
+        for i, entry in enumerate(doc["tenants"]):
+            if not isinstance(entry, dict):
+                raise ConfigurationError(
+                    f"tenant config {path}: tenants[{i}] must be an object, "
+                    f"got {type(entry).__name__}"
+                )
+            known = {
+                "id",
+                "token",
+                "role",
+                "epsilon_budget",
+                "max_connections",
+                "max_inflight",
+                "upload_rate",
+                "query_rate",
+                "burst",
+            }
+            unknown = set(entry) - known
+            if unknown:
+                raise ConfigurationError(
+                    f"tenant config {path}: tenants[{i}] has unknown "
+                    f"field(s) {sorted(unknown)}"
+                )
+            kwargs = dict(entry)
+            kwargs["tenant_id"] = kwargs.pop("id", None)
+            tenants.append(Tenant(**kwargs))
+        return cls(tenants)
+
+    @classmethod
+    def from_specs(cls, specs: list[str]) -> "TenantRegistry":
+        """Parse CLI specs ``ID:TOKEN:ROLE[:EPSILON_BUDGET]``."""
+        tenants = []
+        for spec in specs:
+            parts = spec.split(":")
+            if len(parts) not in (3, 4) or not all(parts[:3]):
+                raise ConfigurationError(
+                    f"malformed tenant spec {spec!r}; expected "
+                    "ID:TOKEN:ROLE[:EPSILON_BUDGET]"
+                )
+            budget: float | None = None
+            if len(parts) == 4:
+                try:
+                    budget = float(parts[3])
+                except ValueError:
+                    raise ConfigurationError(
+                        f"tenant spec {spec!r}: epsilon budget must be a "
+                        f"number, got {parts[3]!r}"
+                    )
+            tenants.append(
+                Tenant(
+                    tenant_id=parts[0],
+                    token=parts[1],
+                    role=parts[2],
+                    epsilon_budget=budget,
+                )
+            )
+        return cls(tenants)
+
+    # -- lookups -----------------------------------------------------------
+    def ids(self) -> list[str]:
+        return list(self._tenants)
+
+    def get(self, tenant_id: str) -> Tenant | None:
+        return self._tenants.get(tenant_id)
+
+    def budgets(self) -> dict[str, float]:
+        """Per-tenant ε caps (tenants without a cap are omitted)."""
+        return {
+            tid: t.epsilon_budget
+            for tid, t in self._tenants.items()
+            if t.epsilon_budget is not None
+        }
+
+    def __len__(self) -> int:
+        return len(self._tenants)
+
+    def __iter__(self):
+        return iter(self._tenants.values())
+
+    # -- authentication / authorization ------------------------------------
+    def authenticate(self, tenant_id: object, token: object) -> Tenant:
+        """Verify a presented ``(tenant, token)`` pair, constant-time.
+
+        Raises :class:`~repro.common.errors.SecurityError` on any
+        failure — malformed fields, unknown tenant, or token mismatch —
+        with a message that never echoes the presented token.
+        """
+        if (
+            not isinstance(tenant_id, str)
+            or not isinstance(token, str)
+            or not tenant_id
+            or not token
+            or len(tenant_id.encode("utf8", "replace")) > MAX_CREDENTIAL_BYTES
+            or len(token.encode("utf8", "replace")) > MAX_CREDENTIAL_BYTES
+        ):
+            raise SecurityError(
+                "hello credentials must be non-empty strings of at most "
+                f"{MAX_CREDENTIAL_BYTES} bytes each"
+            )
+        tenant = self._tenants.get(tenant_id)
+        expected = self._decoy if tenant is None else tenant.token
+        ok = hmac.compare_digest(
+            expected.encode("utf8"), token.encode("utf8", "replace")
+        )
+        if tenant is None or not ok:
+            raise SecurityError(
+                f"authentication failed for tenant {tenant_id!r}"
+            )
+        return tenant
+
+    def allowed(self, role: str, frame_type: str) -> bool:
+        """May ``role`` issue ``frame_type`` requests?"""
+        return frame_type in ROLE_FRAMES.get(role, frozenset())

@@ -30,6 +30,7 @@ from repro.query.ast import (
 from repro.server.database import IncShrinkDatabase, ViewRegistration
 from repro.server.persistence import (
     SNAPSHOT_MAGIC,
+    SNAPSHOT_VERSION,
     restore_database,
     snapshot_database,
 )
@@ -496,7 +497,7 @@ def test_v2_roundtrip_preserves_shard_layout(tmp_path):
     snapshot_database(db, tmp_path / "sharded.snap")
 
     doc = json.loads((tmp_path / "sharded.snap").read_text(encoding="utf8"))
-    assert doc["version"] == 2
+    assert doc["version"] == SNAPSHOT_VERSION
     assert doc["body"]["config"]["n_shards"] == 4
 
     restored = restore_database(tmp_path / "sharded.snap").database

@@ -459,3 +459,205 @@ def test_response_type_frames_sent_as_requests_get_unsupported(live_net):
     frame_type, _ = wire.read_frame(stream)
     assert frame_type == "welcome"
     sock.close()
+
+
+# -- hostile credentials against a tenant-aware reactor ------------------------
+@pytest.fixture()
+def tenant_net():
+    from repro.tenancy import Tenant, TenantRegistry
+
+    registry = TenantRegistry(
+        [
+            Tenant("fuzz-owner", "fuzz-owner-token", role="owner"),
+            Tenant("fuzz-analyst", "fuzz-analyst-token", role="analyst"),
+        ]
+    )
+    server = DatabaseServer(build_database(), snapshot_every=None)
+    net = NetworkServer(
+        server,
+        registry=registry,
+        max_connections=16,
+        max_inflight=4,
+        idle_timeout=30.0,
+        loop_threads=2,
+    )
+    net.start()
+    yield net
+    net.close(stop_server=True)
+    assert net._unhandled_errors == []
+
+
+def _hello_response(net, payload: dict) -> tuple[str, dict]:
+    sock = _raw_conn(net)
+    try:
+        sock.sendall(wire.encode_frame("hello", payload))
+        stream = sock.makefile("rb")
+        frame_type, body = wire.read_frame(stream)
+        if frame_type == "error":
+            # An auth failure must also close the connection cleanly.
+            assert stream.read(1) == b""
+        return frame_type, body
+    finally:
+        sock.close()
+
+
+def test_malformed_credential_shapes_all_rejected_structurally(tenant_net):
+    hostile_values = [
+        None,
+        0,
+        1.5,
+        True,
+        [],
+        ["fuzz-owner"],
+        {},
+        {"id": "fuzz-owner"},
+        "",
+    ]
+    for tenant in hostile_values:
+        for token in hostile_values:
+            frame_type, body = _hello_response(
+                tenant_net,
+                {"client": "fuzz", "tenant": tenant, "token": token},
+            )
+            assert frame_type == "error"
+            assert body["code"] == wire.ERR_AUTH_FAILED
+
+
+def test_oversized_credentials_rejected_without_amplification(tenant_net):
+    for size in (1025, 4096, 1 << 16):
+        for payload in (
+            {"tenant": "x" * size, "token": "fuzz-owner-token"},
+            {"tenant": "fuzz-owner", "token": "x" * size},
+            {"tenant": "x" * size, "token": "y" * size},
+        ):
+            payload["client"] = "fuzz"
+            frame_type, body = _hello_response(tenant_net, payload)
+            assert frame_type == "error"
+            assert body["code"] == wire.ERR_AUTH_FAILED
+            assert "1024" in body["message"]
+
+
+def test_credential_errors_never_echo_the_presented_token(tenant_net):
+    # The tenant *id* may appear in the refusal (it names the subject);
+    # the presented *token* must never leak into any error surface.
+    token_marker = "sekrit-fuzz-token-marker"
+    for payload in (
+        {"client": "fuzz", "tenant": "fuzz-owner", "token": token_marker},
+        {"client": "fuzz", "tenant": "ghost-tenant", "token": token_marker},
+    ):
+        frame_type, body = _hello_response(tenant_net, payload)
+        assert frame_type == "error"
+        assert token_marker not in body.get("message", "")
+
+
+def test_randomized_credential_garbage_never_wedges_auth(tenant_net):
+    rng = np.random.default_rng(4242)
+    alphabet = np.frombuffer(bytes(range(256)), dtype=np.uint8)
+    for _ in range(60):
+        tenant = bytes(
+            rng.choice(alphabet, size=int(rng.integers(0, 64)))
+        ).decode("latin1")
+        token = bytes(
+            rng.choice(alphabet, size=int(rng.integers(0, 64)))
+        ).decode("latin1")
+        frame_type, body = _hello_response(
+            tenant_net, {"client": "fuzz", "tenant": tenant, "token": token}
+        )
+        assert frame_type == "error"
+        assert body["code"] == wire.ERR_AUTH_FAILED
+    # The registry still authenticates a well-formed principal.
+    frame_type, body = _hello_response(
+        tenant_net,
+        {
+            "client": "fuzz",
+            "tenant": "fuzz-analyst",
+            "token": "fuzz-analyst-token",
+        },
+    )
+    assert frame_type == "welcome"
+    assert body["tenant"] == "fuzz-analyst"
+    assert body["role"] == "analyst"
+
+
+def test_request_frames_before_credentialed_hello_are_refused(tenant_net):
+    for frame in ("query", "upload", "stats", "snapshot", "reshard"):
+        sock = _raw_conn(tenant_net)
+        try:
+            sock.sendall(wire.encode_frame(frame, {}))
+            frame_type, body = wire.read_frame(sock.makefile("rb"))
+        finally:
+            sock.close()
+        assert frame_type == "error"
+        assert body["code"] == wire.ERR_AUTH_FAILED
+
+
+# -- hostile bytes against the metrics listener --------------------------------
+@pytest.fixture()
+def metrics_endpoint(live_net):
+    from repro.net.metrics import MetricsServer
+
+    with MetricsServer(live_net, port=0) as metrics:
+        yield metrics.address
+
+
+def _raw_metrics_conn(address) -> socket.socket:
+    sock = socket.create_connection(address, timeout=5.0)
+    sock.settimeout(5.0)
+    return sock
+
+
+def test_metrics_truncated_request_lines_close_cleanly(metrics_endpoint):
+    for blob in (b"", b"G", b"GET", b"GET /metrics", b"GET /metrics HTTP/1.1\r\n"):
+        sock = _raw_metrics_conn(metrics_endpoint)
+        try:
+            if blob:
+                sock.sendall(blob)
+            sock.shutdown(socket.SHUT_WR)
+            data = _read_until_closed(sock, limit=1 << 16)
+        finally:
+            sock.close()
+        # Either nothing (too truncated to parse) or an HTTP error —
+        # never a hang, never a traceback blob.
+        assert b"Traceback" not in data
+
+
+def test_metrics_garbage_requests_never_crash_the_listener(metrics_endpoint):
+    rng = np.random.default_rng(9091)
+    for _ in range(25):
+        blob = (
+            rng.integers(0, 256, size=int(rng.integers(1, 300)))
+            .astype(np.uint8)
+            .tobytes()
+        )
+        sock = _raw_metrics_conn(metrics_endpoint)
+        try:
+            sock.sendall(blob)
+            _read_until_closed(sock, limit=1 << 16)
+        except OSError:
+            pass
+        finally:
+            sock.close()
+    # The listener survived the storm and still serves a real scrape.
+    sock = _raw_metrics_conn(metrics_endpoint)
+    try:
+        sock.sendall(b"GET /metrics HTTP/1.1\r\nHost: fuzz\r\n\r\n")
+        data = _read_until_closed(sock, limit=1 << 20)
+    finally:
+        sock.close()
+    assert data.startswith(b"HTTP/1.0 200") or data.startswith(b"HTTP/1.1 200")
+    assert b"incshrink_" in data
+
+
+def test_metrics_rejects_writes_and_unknown_paths(metrics_endpoint):
+    for request, expected in (
+        (b"POST /metrics HTTP/1.1\r\nHost: f\r\nContent-Length: 0\r\n\r\n", b" 405 "),
+        (b"DELETE /healthz HTTP/1.1\r\nHost: f\r\n\r\n", b" 405 "),
+        (b"GET /admin HTTP/1.1\r\nHost: f\r\n\r\n", b" 404 "),
+    ):
+        sock = _raw_metrics_conn(metrics_endpoint)
+        try:
+            sock.sendall(request)
+            data = _read_until_closed(sock, limit=1 << 16)
+        finally:
+            sock.close()
+        assert expected in data.split(b"\r\n", 1)[0] + b" "
